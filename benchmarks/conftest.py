@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the experiments listed in DESIGN.md
+(E1-E19) and prints the qualitative result the paper states alongside the
+measured numbers, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction harness for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a heavyweight target exactly once under the benchmark clock."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,70 @@
+"""E13 + E14 + E15: the CSL+ constructions for r.e. and context-free inventories."""
+
+from repro.core.csl_constructions import cfg_to_csl, equal_pairs_grammar, turing_to_csl
+from repro.core.patterns import pattern_of_run
+from repro.formal.turing import TuringMachine
+from repro.model.instance import DatabaseInstance
+
+
+def _drive(simulation, steps):
+    instance = DatabaseInstance.empty(simulation.schema)
+    trace = []
+    for name, assignment in steps:
+        instance = simulation.transactions[name].apply(instance, assignment)
+        trace.append(instance)
+    objects = [
+        obj
+        for obj in sorted(set().union(*[t.all_objects() for t in trace]))
+        if any(simulation.pattern_root in t.role_set(obj) for t in trace)
+    ]
+    return [pattern_of_run(obj, trace) for obj in objects]
+
+
+def test_e13_build_turing_schema(benchmark):
+    machine = TuringMachine.accepting_regular_sample(["a", "b"])
+    simulation = benchmark(turing_to_csl, machine)
+    print("\n[E13] Theorem 4.3 schema size:", len(simulation.transactions), "transactions")
+    assert simulation.transactions.is_positive
+
+
+def test_e13_simulate_accepted_word(benchmark, run_once):
+    machine = TuringMachine.accepting_equal_pairs("a", "b")
+    simulation = turing_to_csl(machine, accept_projection={("tm", "Xa"): "a", ("tm", "Xb"): "b"})
+
+    def drive():
+        steps = simulation.accepting_run_steps(["a", "a", "b", "b"])
+        return _drive(simulation, steps), len(steps)
+
+    patterns, steps = run_once(benchmark, drive)
+    core = [role for role in patterns[0].word if role]
+    print(f"\n[E13] a^2 b^2 simulated in {steps} transaction applications; emitted pattern length {len(core)}")
+    assert len(core) == 4
+
+
+def test_e13b_padded_variant(benchmark, run_once):
+    machine = TuringMachine.accepting_regular_sample(["a", "b"])
+    simulation = turing_to_csl(machine, immediate_padding=True)
+
+    def drive():
+        return _drive(simulation, simulation.accepting_run_steps(["a", "a"]))
+
+    patterns = run_once(benchmark, drive)
+    word = patterns[0].word
+    print("\n[E13b] Theorem 4.4 padded immediate-start pattern length:", len(word))
+    assert word[0] == simulation.padding[0]
+
+
+def test_e14_e15_context_free_construction(benchmark, run_once):
+    simulation = cfg_to_csl(equal_pairs_grammar())
+
+    def drive():
+        results = {}
+        for count in (1, 2, 3):
+            word = ["a"] * count + ["b"] * count
+            patterns = _drive(simulation, simulation.derivation_steps(word))
+            results[count] = [role for role in patterns[0].word if role]
+        return results
+
+    results = run_once(benchmark, drive)
+    print("\n[E14/E15] a^i b^i emitted lengths:", {k: len(v) for k, v in results.items()})
+    assert all(len(v) == 2 * k for k, v in results.items())

@@ -1,0 +1,71 @@
+"""E11 + E12 + E19: decision procedures (Corollary 3.3), bounded enumeration (Theorem 4.2),
+and the cost of the regular-language decisions as expressions grow."""
+
+from repro.core.inventory import MigrationInventory
+from repro.core.satisfiability import check_all_kinds
+from repro.core.simulation import explore_patterns, observed_within
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.formal import decision, operations
+from repro.workloads import banking, generators, university
+
+
+def test_e11_satisfaction_and_generation_decisions(benchmark, run_once):
+    analysis = SLMigrationAnalysis(banking.transactions())
+    analysis.pattern_family("all")
+
+    def decide():
+        good = check_all_kinds(analysis, banking.checking_role_inventory())
+        bad = check_all_kinds(analysis, banking.no_downgrade_inventory())
+        return (
+            all(v.satisfies for v in good.values()),
+            any(v.satisfies for v in bad.values()),
+        )
+
+    good_ok, bad_any = run_once(benchmark, decide)
+    print("\n[E11] banking satisfies 'always a checking role':", good_ok,
+          "| satisfies 'never downgraded':", bad_any)
+    assert good_ok and not bad_any
+
+
+def test_e12_bounded_enumeration_agrees_with_analysis(benchmark, run_once):
+    analysis = SLMigrationAnalysis(university.transactions())
+    families = analysis.pattern_families()
+
+    def enumerate_and_check():
+        observation = explore_patterns(university.transactions(), max_depth=3, extra_values=2)
+        agreement = {
+            kind: observed_within(observation, families[kind], kind)[0] for kind in families
+        }
+        return agreement, observation.runs_explored
+
+    agreement, runs = run_once(benchmark, enumerate_and_check)
+    print(f"\n[E12] simulation ⊆ analysis over {runs} runs:", agreement)
+    assert all(agreement.values())
+
+
+def test_e19_containment_cost_scales_with_expression_size(benchmark, run_once):
+    schema = generators.random_schema(seed=11, classes=4)
+    small = generators.random_role_set_regex(schema, seed=1, size=4)
+    large = generators.random_role_set_regex(schema, seed=2, size=10)
+
+    def containments():
+        small_nfa = small.to_nfa()
+        large_nfa = large.to_nfa()
+        merged = operations.union(small_nfa, large_nfa)
+        return (
+            decision.is_contained_in(small_nfa, merged),
+            decision.is_contained_in(large_nfa, merged),
+            decision.are_equivalent(merged, operations.union(large_nfa, small_nfa)),
+        )
+
+    results = run_once(benchmark, containments)
+    print("\n[E19] containment/equivalence over random role-set expressions:", results)
+    assert all(results)
+
+
+def test_e19_inventory_equivalence(benchmark):
+    left = MigrationInventory.from_text("([S]([G][S])*)?", university.SYMBOLS, prefix_close=True)
+    right = MigrationInventory.from_text("([S][G])* [S]?", university.SYMBOLS, prefix_close=True)
+
+    result = benchmark(left.equals, right)
+    assert result

@@ -1,0 +1,44 @@
+"""E3 + E5: Example 3.2's inventory and the pattern families of Example 3.4."""
+
+from repro.core.satisfiability import check_constraint
+from repro.core.sl_analysis import PATTERN_KINDS, SLMigrationAnalysis
+from repro.workloads import university
+
+
+def test_e3_build_life_cycle_inventory(benchmark):
+    inventory = benchmark(university.life_cycle_inventory)
+    assert inventory.contains([university.ROLE_P, university.ROLE_S])
+
+
+def test_e5_migration_graph_of_example_3_4(benchmark, run_once):
+    def build():
+        analysis = SLMigrationAnalysis(university.transactions())
+        return analysis.migration_graph().stats()
+
+    stats = run_once(benchmark, build)
+    print("\n[E5] Example 3.4 migration graph:", stats)
+    assert stats["vertices"] == 2
+
+
+def test_e5_pattern_families_match_the_paper(benchmark, run_once):
+    def families():
+        analysis = SLMigrationAnalysis(university.transactions())
+        computed = analysis.pattern_families()
+        expected = university.expected_families()
+        return {kind: computed[kind].equals(expected[kind]) for kind in PATTERN_KINDS}
+
+    agreement = run_once(benchmark, families)
+    print("\n[E5] family agreement with the paper's expressions:", agreement)
+    assert all(agreement.values())
+
+
+def test_e5_constraint_check_against_example_3_2(benchmark, run_once):
+    analysis = SLMigrationAnalysis(university.transactions())
+    analysis.pattern_family("all")
+
+    def check():
+        return check_constraint(analysis, university.life_cycle_inventory())
+
+    verdict = run_once(benchmark, check)
+    print("\n[E5] Example 3.2 inventory vs Example 3.4 transactions:", verdict.summary())
+    assert not verdict.characterizes

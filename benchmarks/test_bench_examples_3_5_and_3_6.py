@@ -1,0 +1,50 @@
+"""E6 + E7: the PhD life cycle (Example 3.5) and the hand-built schemas of Example 3.6."""
+
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.workloads import phd, three_class
+
+
+def test_e6_phd_proper_family(benchmark, run_once):
+    def analyse():
+        analysis = SLMigrationAnalysis(phd.guarded_transactions())
+        family = analysis.pattern_family("proper")
+        return family.equals(phd.expected_proper_family()), analysis.migration_graph().stats()
+
+    matches, stats = run_once(benchmark, analyse)
+    print("\n[E6] guarded PhD schema matches (λ∪∅)·Init([U][S][C]∅?):", matches, stats)
+    assert matches
+
+
+def test_e6_phd_as_printed_reveals_the_extra_role_set(benchmark, run_once):
+    def analyse():
+        analysis = SLMigrationAnalysis(phd.transactions())
+        return analysis.pattern_family("proper").equals(phd.expected_proper_family())
+
+    matches = run_once(benchmark, analyse)
+    print("\n[E6] transactions exactly as printed match the paper's family:", matches)
+    assert not matches
+
+
+def test_e7_cycle_schema_characterizes_pqqp(benchmark, run_once):
+    def analyse():
+        analysis = SLMigrationAnalysis(three_class.cycle_transactions())
+        family = analysis.pattern_family("all")
+        return (
+            family.equals(three_class.cycle_inventory_exact()),
+            analysis.migration_graph().stats(),
+        )
+
+    matches, stats = run_once(benchmark, analyse)
+    print("\n[E7] P(QQP)* characterization (deletions after QQ):", matches, stats)
+    assert matches
+
+
+def test_e7_branch_schema_first_steps(benchmark, run_once):
+    def analyse():
+        analysis = SLMigrationAnalysis(three_class.branch_transactions())
+        family = analysis.pattern_family("all")
+        return family.contains([three_class.ROLE_P]), family.contains([three_class.ROLE_Q])
+
+    p_ok, q_ok = run_once(benchmark, analyse)
+    print("\n[E7] ∅*(PQ*∪QP*)∅* branch starts reachable:", p_ok, q_ok)
+    assert p_ok and q_ok

@@ -1,0 +1,40 @@
+"""E1 + E2: the Figure 1/2 schema and instance, and role-set enumeration (Example 3.1)."""
+
+from repro.core.rolesets import enumerate_role_sets
+from repro.language.semantics import run_sequence
+from repro.model.instance import DatabaseInstance
+from repro.model.values import Assignment
+from repro.workloads import phd, university
+
+
+def test_e1_build_figure_2_instance(benchmark):
+    instance = benchmark(university.sample_instance)
+    assert len(instance.all_objects()) == 5
+
+
+def test_e1_execute_a_student_life_cycle(benchmark):
+    transactions = university.transactions()
+    empty = DatabaseInstance.empty(university.schema())
+    steps = [
+        (transactions["T1_enroll_student"], Assignment(s="1", n="A", m="CS", t=1990)),
+        (transactions["T2_grant_assistantship"], Assignment(s="1", p=50, x=100, d="CS")),
+        (transactions["T3_cancel_assistantship"], Assignment(s="1")),
+        (transactions["T4_delete_person"], Assignment(s="1")),
+    ]
+
+    def life_cycle():
+        return run_sequence(empty, steps)
+
+    final, trace = benchmark(life_cycle)
+    assert not final.all_objects()
+
+
+def test_e2_enumerate_role_sets_of_figure_1(benchmark):
+    role_sets = benchmark(enumerate_role_sets, university.schema())
+    # Example 3.1: ∅, [P], [S], [E], [SE], [G].
+    assert len(role_sets) == 6
+
+
+def test_e2_enumerate_role_sets_of_figure_4(benchmark):
+    role_sets = benchmark(enumerate_role_sets, phd.schema())
+    assert len(role_sets) == 9

@@ -1,0 +1,34 @@
+"""E16 + E17: reachability for inflow and script schemas (Theorems 5.1 and 5.2)."""
+
+from repro.core.inflow import ReachabilityAnalyzer
+from repro.workloads import immigration
+
+
+def _check(schema):
+    analyzer = ReachabilityAnalyzer(schema)
+    return analyzer.check(immigration.visa_holder_assertion(), immigration.immigrant_assertion())
+
+
+def test_e16_lawful_inflow(benchmark, run_once):
+    result = run_once(benchmark, _check, immigration.inflow_schema())
+    print("\n[E16] lawful inflow: reachable =", result.reachable_everywhere, "witness =", result.a_witness())
+    assert result.reachable_everywhere
+    assert result.a_witness() == ("record_departure", "record_return", "grant_immigrant_status")
+
+
+def test_e16_corrupt_inflow_is_laundered_by_fillers(benchmark, run_once):
+    result = run_once(benchmark, _check, immigration.corrupt_inflow_schema())
+    print("\n[E16] corrupt inflow: reachable =", result.reachable_somewhere, "witness =", result.a_witness())
+    assert result.reachable_somewhere
+
+
+def test_e17_corrupt_script_blocks_the_upgrade(benchmark, run_once):
+    result = run_once(benchmark, _check, immigration.corrupt_script_schema())
+    print("\n[E17] corrupt script: reachable =", result.reachable_somewhere)
+    assert not result.reachable_somewhere
+
+
+def test_e17_lawful_script(benchmark, run_once):
+    result = run_once(benchmark, _check, immigration.script_schema())
+    print("\n[E17] lawful script: reachable =", result.reachable_everywhere)
+    assert result.reachable_everywhere

@@ -1,0 +1,42 @@
+"""E18: scaling of the migration-graph analysis with schema and transaction size.
+
+The paper has no performance evaluation; this added study measures how the
+Theorem 3.2 construction behaves as the random workloads grow, reporting the
+reachable-vertex and edge counts alongside the timings.
+"""
+
+import pytest
+
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.workloads import generators
+
+
+@pytest.mark.parametrize("classes", [3, 5, 7])
+def test_e18_analysis_scales_with_schema_size(benchmark, run_once, classes):
+    schema = generators.random_schema(seed=classes, classes=classes)
+    transactions = generators.random_transactions(schema, seed=classes, transactions=3, updates_per_transaction=2)
+
+    def analyse():
+        analysis = SLMigrationAnalysis(transactions)
+        analysis.pattern_family("all")
+        return analysis.migration_graph().stats()
+
+    stats = run_once(benchmark, analyse)
+    print(f"\n[E18] classes={classes}:", stats)
+    assert stats["vertices"] >= 1
+
+
+@pytest.mark.parametrize("transactions_count", [2, 4, 6])
+def test_e18_analysis_scales_with_transaction_count(benchmark, run_once, transactions_count):
+    schema = generators.random_schema(seed=42, classes=4)
+    transactions = generators.random_transactions(
+        schema, seed=transactions_count, transactions=transactions_count, updates_per_transaction=2
+    )
+
+    def analyse():
+        analysis = SLMigrationAnalysis(transactions)
+        return analysis.migration_graph().stats()
+
+    stats = run_once(benchmark, analyse)
+    print(f"\n[E18] transactions={transactions_count}:", stats)
+    assert stats["assignments_tried"] > 0

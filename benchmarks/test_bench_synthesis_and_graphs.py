@@ -1,0 +1,72 @@
+"""E4 + E8 + E9 + E10: path expressions, migration graphs of expressions, and the
+Theorem 3.2 round trip (synthesis followed by re-analysis)."""
+
+from repro.core.migration_graph import build_migration_graph
+from repro.core.rolesets import RoleSet
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.core.synthesis import synthesize_sl_schema
+from repro.formal import regex as rx
+from repro.workloads import path_expressions, three_class
+
+ROLE_P = RoleSet({"R", "P"})
+ROLE_Q = RoleSet({"R", "Q"})
+
+
+def _pqqp_star():
+    return rx.Concat(
+        rx.Symbol(ROLE_P),
+        rx.Star(rx.Concat(rx.Concat(rx.Symbol(ROLE_Q), rx.Symbol(ROLE_Q)), rx.Symbol(ROLE_P))),
+    )
+
+
+def test_e4_path_expression_inventory(benchmark):
+    inventory = benchmark(path_expressions.path_expression_inventory, "(p(q|r)s)*")
+    roles = path_expressions.role_sets()
+    assert inventory.contains([roles["p"], roles["r"], roles["s"]])
+
+
+def test_e8_migration_graph_of_figure_6(benchmark):
+    graph = benchmark(build_migration_graph, _pqqp_star())
+    stats = graph.stats()
+    print("\n[E8] migration graph of P(QQP)*:", stats)
+    assert stats["inner_vertices"] == 4
+
+
+def test_e10_synthesize_sl_schema(benchmark):
+    schema = three_class.synthesis_schema()
+    result = benchmark(synthesize_sl_schema, schema, _pqqp_star())
+    assert len(result.transactions) == 1
+
+
+def test_e9_e10_round_trip_characterization(benchmark, run_once):
+    """Theorem 3.2 both ways: synthesize from P Q*, re-analyse, compare families."""
+    schema = three_class.synthesis_schema()
+    expression = rx.Concat(rx.Symbol(ROLE_P), rx.Star(rx.Symbol(ROLE_Q)))
+
+    def round_trip():
+        result = synthesize_sl_schema(schema, expression)
+        analysis = SLMigrationAnalysis(result.transactions)
+        expected = result.expected_families(expression)
+        agreement = {
+            kind: analysis.pattern_family(kind).equals(expected[kind])
+            for kind in ("all", "immediate_start", "proper")
+        }
+        return agreement, analysis.migration_graph().stats()
+
+    agreement, stats = run_once(benchmark, round_trip)
+    print("\n[E9/E10] synthesis round trip for P Q*:", agreement, stats)
+    assert all(agreement.values())
+
+
+def test_e4_path_expression_enforcement_round_trip(benchmark, run_once):
+    text = "(p q)*"
+
+    def enforce():
+        synthesis = path_expressions.enforcing_transactions(text)
+        analysis = SLMigrationAnalysis(synthesis.transactions)
+        inventory = path_expressions.path_expression_inventory(text)
+        return analysis.satisfies(inventory, kind="all")
+
+    satisfied = run_once(benchmark, enforce)
+    print("\n[E4] synthesized transactions obey the path expression:", satisfied)
+    assert satisfied

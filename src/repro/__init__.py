@@ -1,0 +1,139 @@
+"""repro: dynamic constraints and object migration for object-based databases.
+
+A production-quality reproduction of Jianwen Su, *Dynamic Constraints and
+Object Migration* (VLDB 1991; full version TCS 184, 1997).  The package
+provides
+
+* an object-based data model with class hierarchies and attribute values
+  (:mod:`repro.model`),
+* the update languages SL, CSL+ and CSL with executable semantics
+  (:mod:`repro.language`),
+* role sets, migration patterns and migration inventories as dynamic
+  integrity constraints, together with the analysis and synthesis
+  algorithms of the paper -- regularity of SL pattern families, synthesis of
+  SL schemas from regular inventories, decidable satisfaction/generation,
+  CSL+ constructions for r.e. and context-free inventories, and the
+  reachability analysis for inflow/script schemas (:mod:`repro.core`),
+* the paper's worked examples as ready-made workloads plus random
+  generators for scaling studies (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import SLMigrationAnalysis, check_constraint
+    from repro.workloads import university
+
+    analysis = SLMigrationAnalysis(university.transactions())
+    family = analysis.pattern_family("proper")
+    verdict = check_constraint(analysis, university.life_cycle_inventory())
+    print(verdict.summary())
+"""
+
+from repro.model import (
+    Assignment,
+    AtomicCondition,
+    Condition,
+    DatabaseInstance,
+    DatabaseSchema,
+    ObjectId,
+    ReproError,
+    Variable,
+)
+from repro.language import (
+    ConditionalTransaction,
+    ConditionalTransactionSchema,
+    ConditionalUpdate,
+    Create,
+    Delete,
+    Generalize,
+    Literal,
+    Modify,
+    Specialize,
+    Transaction,
+    TransactionSchema,
+    apply_transaction,
+    apply_update,
+    migrate_to_role_set,
+    migration_sequence,
+    run_sequence,
+)
+from repro.core import (
+    Assertion,
+    EMPTY_ROLE_SET,
+    InflowSchema,
+    MigrationInventory,
+    MigrationPattern,
+    ReachabilityAnalyzer,
+    RoleSet,
+    ScriptSchema,
+    SLMigrationAnalysis,
+    SynthesisResult,
+    build_migration_graph,
+    cfg_to_csl,
+    characterizes,
+    check_all_kinds,
+    check_constraint,
+    enumerate_role_sets,
+    explore_patterns,
+    generates,
+    pattern_of_run,
+    reachability_reduction,
+    satisfies,
+    synthesize_sl_schema,
+    turing_to_csl,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "ReproError",
+    "DatabaseSchema",
+    "DatabaseInstance",
+    "Condition",
+    "AtomicCondition",
+    "Variable",
+    "Assignment",
+    "ObjectId",
+    # languages
+    "Create",
+    "Delete",
+    "Modify",
+    "Generalize",
+    "Specialize",
+    "Transaction",
+    "TransactionSchema",
+    "Literal",
+    "ConditionalUpdate",
+    "ConditionalTransaction",
+    "ConditionalTransactionSchema",
+    "apply_update",
+    "apply_transaction",
+    "run_sequence",
+    "migration_sequence",
+    "migrate_to_role_set",
+    # core
+    "RoleSet",
+    "EMPTY_ROLE_SET",
+    "enumerate_role_sets",
+    "MigrationPattern",
+    "pattern_of_run",
+    "MigrationInventory",
+    "SLMigrationAnalysis",
+    "build_migration_graph",
+    "SynthesisResult",
+    "synthesize_sl_schema",
+    "check_constraint",
+    "check_all_kinds",
+    "satisfies",
+    "generates",
+    "characterizes",
+    "explore_patterns",
+    "turing_to_csl",
+    "cfg_to_csl",
+    "reachability_reduction",
+    "Assertion",
+    "InflowSchema",
+    "ScriptSchema",
+    "ReachabilityAnalyzer",
+]

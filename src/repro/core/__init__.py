@@ -1,0 +1,87 @@
+"""The paper's contribution: role sets, migration patterns, inventories and their analyses.
+
+* :mod:`repro.core.rolesets`, :mod:`repro.core.patterns`,
+  :mod:`repro.core.inventory` -- the basic vocabulary of Section 3.
+* :mod:`repro.core.hyperplanes`, :mod:`repro.core.migration_graph`,
+  :mod:`repro.core.sl_analysis`, :mod:`repro.core.synthesis`,
+  :mod:`repro.core.satisfiability` -- both directions of Theorem 3.2 and the
+  decidability results of Corollary 3.3.
+* :mod:`repro.core.simulation` -- bounded pattern enumeration (Theorem 4.2
+  and cross-validation of the static analysis).
+* :mod:`repro.core.csl_constructions` -- the CSL+ constructions of
+  Theorems 4.3, 4.4 and 4.8.
+* :mod:`repro.core.inflow` -- inflow/script schemas and the reachability
+  problem of Section 5.
+"""
+
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets, role_set_of, symbol_map
+from repro.core.patterns import MigrationPattern, pattern_of_run
+from repro.core.inventory import MigrationInventory
+from repro.core.migration_graph import RegexMigrationGraph, build_migration_graph
+from repro.core.sl_analysis import PATTERN_KINDS, MigrationGraph, SLMigrationAnalysis
+from repro.core.synthesis import SynthesisResult, expected_synthesis_families, synthesize_sl_schema
+from repro.core.satisfiability import (
+    ConstraintCheck,
+    characterizes,
+    check_all_kinds,
+    check_constraint,
+    generates,
+    satisfies,
+)
+from repro.core.simulation import SimulationResult, explore_patterns, observed_within
+from repro.core.csl_constructions import (
+    GrammarSimulation,
+    TuringSimulation,
+    cfg_to_csl,
+    equal_pairs_grammar,
+    reachability_reduction,
+    turing_to_csl,
+)
+from repro.core.inflow import (
+    Assertion,
+    InflowSchema,
+    ReachabilityAnalyzer,
+    ReachabilityResult,
+    ScriptSchema,
+    bounded_csl_reachability,
+)
+
+__all__ = [
+    "RoleSet",
+    "EMPTY_ROLE_SET",
+    "enumerate_role_sets",
+    "role_set_of",
+    "symbol_map",
+    "MigrationPattern",
+    "pattern_of_run",
+    "MigrationInventory",
+    "RegexMigrationGraph",
+    "build_migration_graph",
+    "SLMigrationAnalysis",
+    "MigrationGraph",
+    "PATTERN_KINDS",
+    "SynthesisResult",
+    "synthesize_sl_schema",
+    "expected_synthesis_families",
+    "ConstraintCheck",
+    "check_constraint",
+    "check_all_kinds",
+    "satisfies",
+    "generates",
+    "characterizes",
+    "SimulationResult",
+    "explore_patterns",
+    "observed_within",
+    "TuringSimulation",
+    "turing_to_csl",
+    "GrammarSimulation",
+    "cfg_to_csl",
+    "equal_pairs_grammar",
+    "reachability_reduction",
+    "Assertion",
+    "InflowSchema",
+    "ScriptSchema",
+    "ReachabilityAnalyzer",
+    "ReachabilityResult",
+    "bounded_csl_reachability",
+]

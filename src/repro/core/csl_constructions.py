@@ -1,0 +1,802 @@
+"""CSL+ constructions for r.e. and context-free inventories (Section 4).
+
+Three constructions are provided, mirroring Theorems 4.3, 4.4 and 4.8:
+
+* :func:`turing_to_csl` -- given a Turing machine ``M`` accepting a language
+  ``L`` over role-set symbols, build a CSL+ transaction schema whose family
+  of migration patterns over the pattern component is ``∅*·Init(L·∅*)``
+  (Theorem 4.3).  With ``immediate_padding`` the schema instead keeps a
+  padding object alive during the simulation so that the *immediate-start*
+  family becomes ``ω1+ ω2 · Init(L·∅*)`` -- i.e. the inventory is a left
+  quotient of the immediate-start family by a regular set (Theorem 4.4).
+* :func:`cfg_to_csl` -- given a context-free grammar in Greibach normal
+  form, build a CSL+ schema whose proper and immediate-start pattern
+  families are ``Init(L·∅*)`` without padding (Theorem 4.8; the chain of
+  stack cells doubles as the counter of Example 4.1).
+* :func:`reachability_reduction` -- package the Theorem 4.3 schema as an
+  inflow schema together with source/target assertions such that the
+  target is reachable iff the machine accepts; this is the reduction behind
+  the undecidability half of Theorem 5.1.
+
+The constructions follow the paper's encoding: the auxiliary component ``S``
+stores a linked chain of cells (tape cells for the Turing construction,
+stack cells for the grammar construction) plus a phase/pointer flag object,
+and every transaction is guarded by *positive* literals only, so the output
+is genuinely in CSL+.
+
+Because the simulated machines are driven by transaction parameters, each
+construction also ships a *driver* that converts an accepting run (or a
+leftmost derivation) into the concrete sequence of (transaction, assignment)
+steps realizing the corresponding migration pattern; the tests execute those
+steps with the CSL semantics and check the tracked object's pattern, and
+additionally run a bounded adversarial exploration to confirm that no
+pattern outside the target inventory is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.inflow import Assertion, InflowSchema
+from repro.core.rolesets import RoleSet
+from repro.formal.grammar import ContextFreeGrammar, Production
+from repro.formal.turing import LEFT, RIGHT, STAY, TMConfiguration, TMTransition, TuringMachine
+from repro.language.conditional import (
+    ConditionalTransaction,
+    ConditionalTransactionSchema,
+    ConditionalUpdate,
+    Literal,
+)
+from repro.language.migration_ops import migrate_to_role_set
+from repro.language.updates import AtomicUpdate, Create, Delete, Modify
+from repro.model.conditions import Condition
+from repro.model.errors import AnalysisError
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Assignment, Constant, Variable
+
+# Names of the auxiliary (chain) component and its attributes.
+CHAIN_CLASS = "S_CHAIN"
+ATTR_CELL = "Cell"
+ATTR_NEXT = "Next"
+ATTR_SYM = "Sym"
+ATTR_HEAD = "Head"
+
+# Distinguished constants of the encoding.
+FLAG = "id:flag"
+LEFT_END = "id:left"
+END = "id:end"
+NO_HEAD = "mark:nohead"
+PHASE_GEN = "phase:generate"
+PHASE_SIM = "phase:simulate"
+PHASE_MIG = "phase:migrate"
+PATTERN_TAG = "tag:pattern-object"
+BOTTOM = "id:bottom"
+
+
+def _state(value) -> str:
+    return f"state:{value!r}"
+
+
+def _symbol(value) -> str:
+    return f"sym:{value!r}"
+
+
+def default_pattern_component(symbols: Sequence[Constant]) -> Tuple[Dict[str, Iterable[str]], Dict[Constant, RoleSet]]:
+    """A default pattern component ``G``: one subclass of a root per alphabet symbol.
+
+    Returns the class layout (root + subclasses with their attributes) and
+    the symbol-to-role-set mapping used by the constructions.
+    """
+    root = "G_ROOT"
+    classes: Dict[str, Iterable[str]] = {root: {"Tag"}}
+    mapping: Dict[Constant, RoleSet] = {}
+    for index, symbol in enumerate(symbols):
+        name = f"G_SYM_{index}"
+        classes[name] = set()
+        mapping[symbol] = RoleSet({root, name})
+    return classes, mapping
+
+
+def _build_schema(pattern_classes: Mapping[str, Iterable[str]], pattern_isa: Iterable[Tuple[str, str]]) -> DatabaseSchema:
+    classes = set(pattern_classes) | {CHAIN_CLASS}
+    attributes = {name: set(attrs) for name, attrs in pattern_classes.items()}
+    attributes[CHAIN_CLASS] = {ATTR_CELL, ATTR_NEXT, ATTR_SYM, ATTR_HEAD}
+    return DatabaseSchema(classes, set(pattern_isa), attributes)
+
+
+def _chain(*literals: Literal) -> Tuple[Literal, ...]:
+    return literals
+
+
+def _cell(**equalities) -> Condition:
+    return Condition.of(**equalities)
+
+
+def _chain_literal(**equalities) -> Literal:
+    return Literal(CHAIN_CLASS, Condition.of(**equalities))
+
+
+def _guarded(guards: Sequence[Literal], update: AtomicUpdate) -> ConditionalUpdate:
+    return ConditionalUpdate(tuple(guards), update)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.3 / 4.4: Turing machines
+# --------------------------------------------------------------------------- #
+@dataclass
+class TuringSimulation:
+    """The output of :func:`turing_to_csl`."""
+
+    #: The combined two-component database schema.
+    schema: DatabaseSchema
+    #: The CSL+ transaction schema simulating the machine.
+    transactions: ConditionalTransactionSchema
+    #: The (wrapped) machine actually simulated; its tape position 0 is a sentinel blank.
+    machine: TuringMachine
+    #: The original, unwrapped machine.
+    original_machine: TuringMachine
+    #: Input symbol -> role set of the pattern component.
+    symbol_roles: Dict[Constant, RoleSet]
+    #: Tape symbol at acceptance time -> role set (defaults to ``symbol_roles``).
+    accept_projection: Dict[Constant, RoleSet]
+    #: Root class of the pattern component.
+    pattern_root: str
+    #: Classes of the pattern component.
+    pattern_component: FrozenSet[str]
+    #: Padding role sets (ω1, ω2) when built for Theorem 4.4, else ``None``.
+    padding: Optional[Tuple[RoleSet, RoleSet]] = None
+
+    # -- driver ---------------------------------------------------------------- #
+    def accepting_run_steps(
+        self, word: Sequence[Constant], max_steps: int = 5_000
+    ) -> List[Tuple[str, Assignment]]:
+        """The (transaction, assignment) sequence realizing the pattern for ``word``.
+
+        ``word`` must be accepted by the machine within ``max_steps`` steps
+        and the machine must be deterministic (the bundled machines are).
+        Raises :class:`AnalysisError` otherwise.
+        """
+        if not self.machine.is_deterministic():
+            raise AnalysisError("the driver supports deterministic machines only")
+        for symbol in word:
+            if symbol not in self.symbol_roles:
+                raise AnalysisError(f"{symbol!r} is not an input symbol of the construction")
+
+        steps: List[Tuple[str, Assignment]] = [("T_init", Assignment())]
+        cell_ids = [LEFT_END] + [f"cell:{index}" for index in range(len(word))]
+        cell_symbols: List[Constant] = [self.machine.blank, *word]
+        previous = LEFT_END
+        for index, symbol in enumerate(word):
+            steps.append(
+                (f"T_append_{_symbol(symbol)}", Assignment(z=previous, y=cell_ids[index + 1]))
+            )
+            previous = cell_ids[index + 1]
+        steps.append(("T_begin_sim", Assignment()))
+
+        # Replay the (deterministic) computation of the wrapped machine.
+        state = self.machine.initial_state
+        head = 0
+        tape: List[Constant] = list(cell_symbols)
+        executed = 0
+        while state != self.machine.accept_state:
+            executed += 1
+            if executed > max_steps:
+                raise AnalysisError(f"the machine did not accept {word!r} within {max_steps} steps")
+            read = tape[head] if head < len(tape) else self.machine.blank
+            options = self.machine.transitions_from(state, read)
+            if not options:
+                raise AnalysisError(f"the machine rejected {word!r} (stuck in state {state!r})")
+            transition = options[0]
+            if head >= len(tape) - 1 and transition.move == RIGHT:
+                # Extend the chain with a fresh blank cell before moving onto it.
+                fresh = f"cell:{len(cell_ids) - 1}"
+                steps.append((f"T_extend", Assignment(z=cell_ids[-1], y=fresh)))
+                cell_ids.append(fresh)
+                tape.append(self.machine.blank)
+            name = f"T_step_{_state(transition.state)}_{_symbol(transition.read)}"
+            if transition.move == RIGHT:
+                steps.append((name, Assignment(u=cell_ids[head], v=cell_ids[head + 1])))
+            elif transition.move == LEFT:
+                if head == 0:
+                    raise AnalysisError("the simulated machine moved left of the sentinel cell")
+                steps.append((name, Assignment(u=cell_ids[head], w=cell_ids[head - 1])))
+            else:
+                steps.append((name, Assignment(u=cell_ids[head])))
+            tape[head] = transition.write
+            state = transition.next_state
+            if transition.move == RIGHT:
+                head += 1
+            elif transition.move == LEFT:
+                head -= 1
+
+        # Migration phase: read the (projected) word off the chain.
+        if self.padding is not None:
+            steps.append(("T_start_mig", Assignment()))
+            consumed = 0
+        else:
+            if not word:
+                return steps
+            first = tape[1]
+            steps.append((f"T_start_mig_{_symbol(first)}", Assignment(v=cell_ids[1])))
+            consumed = 1
+        for index in range(consumed + 1, len(word) + 1):
+            symbol_now = tape[index]
+            steps.append(
+                (
+                    f"T_mig_{_symbol(symbol_now)}",
+                    Assignment(v=cell_ids[index - 1], w=cell_ids[index]),
+                )
+            )
+        last = cell_ids[len(word)]
+        if len(cell_ids) > len(word) + 1:
+            # The computation extended the tape; the cell after the word holds a blank.
+            steps.append(("T_mig_blank", Assignment(v=last, w=cell_ids[len(word) + 1])))
+        else:
+            steps.append(("T_mig_end", Assignment(v=last)))
+        return steps
+
+
+def turing_to_csl(
+    machine: TuringMachine,
+    accept_projection: Optional[Mapping[Constant, Constant]] = None,
+    immediate_padding: bool = False,
+) -> TuringSimulation:
+    """Build the Theorem 4.3 (or 4.4) CSL+ transaction schema simulating ``machine``.
+
+    Parameters
+    ----------
+    machine:
+        A Turing machine over input symbols that become the role-set alphabet
+        of the pattern component.  The machine is wrapped so that its tape
+        starts with a sentinel blank cell; it must never move left of that
+        sentinel.
+    accept_projection:
+        Maps the tape symbol found in an input cell *at acceptance time* back
+        to the input symbol it represents (identity by default).  Machines
+        that never overwrite input cells need not pass it; machines such as
+        the ``a^n b^n`` checker pass ``{crossed_a: a, crossed_b: b}``.
+    immediate_padding:
+        Build the Theorem 4.4 variant: a padding object lives in the role set
+        ``ω1`` throughout the simulation and is migrated through ``ω2`` and
+        then the accepted word, so the immediate-start family is the target
+        inventory padded on the left by ``ω1+ ω2``.
+    """
+    input_symbols = sorted(machine.input_alphabet, key=repr)
+    pattern_classes, symbol_roles = default_pattern_component(input_symbols)
+    pattern_root = "G_ROOT"
+    pattern_isa = {(name, pattern_root) for name in pattern_classes if name != pattern_root}
+    schema = _build_schema(pattern_classes, pattern_isa)
+    pattern_component = frozenset(pattern_classes)
+
+    projection_symbols: Dict[Constant, RoleSet] = dict(symbol_roles)
+    for tape_symbol, input_symbol in (accept_projection or {}).items():
+        projection_symbols[tape_symbol] = symbol_roles[input_symbol]
+
+    # Wrap the machine: a fresh start state walks off the sentinel blank.
+    wrapped_start = ("wrap", "start")
+    wrapped = TuringMachine(
+        set(machine.states) | {wrapped_start},
+        machine.input_alphabet,
+        machine.tape_alphabet,
+        machine.blank,
+        list(machine.transitions)
+        + [
+            # On the sentinel cell the wrapper reads the blank, keeps it and
+            # enters the original machine one cell to the right.
+            TMTransition(wrapped_start, machine.blank, machine.initial_state, machine.blank, RIGHT)
+        ],
+        wrapped_start,
+        machine.accept_state,
+        machine.reject_state,
+    )
+
+    padding_roles: Optional[Tuple[RoleSet, RoleSet]] = None
+    if immediate_padding:
+        if len(input_symbols) < 2:
+            raise AnalysisError("immediate_padding needs at least two input symbols (two distinct role sets)")
+        padding_roles = (symbol_roles[input_symbols[0]], symbol_roles[input_symbols[1]])
+
+    transactions: List[ConditionalTransaction] = []
+
+    # ----- T_init: clear everything, set up the flag and the sentinel cell. ---- #
+    init_updates: List[ConditionalUpdate] = [
+        _guarded((), Delete(pattern_root, Condition())),
+        _guarded((), Delete(CHAIN_CLASS, Condition())),
+        _guarded(
+            (),
+            Create(
+                CHAIN_CLASS,
+                _cell(Cell=FLAG, Next=FLAG, Sym=NO_HEAD, Head=PHASE_GEN),
+            ),
+        ),
+        _guarded(
+            (),
+            Create(
+                CHAIN_CLASS,
+                _cell(Cell=LEFT_END, Next=END, Sym=_symbol(machine.blank), Head=NO_HEAD),
+            ),
+        ),
+    ]
+    if immediate_padding:
+        init_updates.append(_guarded((), Create(pattern_root, Condition.of(Tag=PATTERN_TAG))))
+        for update in migrate_to_role_set(schema, padding_roles[0], Condition.of(Tag=PATTERN_TAG)):
+            init_updates.append(_guarded((), update))
+    transactions.append(ConditionalTransaction("T_init", init_updates))
+
+    # ----- T_append_<a>: append one input cell during the generation phase. ---- #
+    gen_flag = _chain_literal(Cell=FLAG, Head=PHASE_GEN)
+    for symbol in input_symbols:
+        z, y = Variable("z"), Variable("y")
+        guards = _chain(gen_flag, _chain_literal(Cell=z, Next=END))
+        appended = _chain(gen_flag, _chain_literal(Cell=z, Next=y))
+        transactions.append(
+            ConditionalTransaction(
+                f"T_append_{_symbol(symbol)}",
+                [
+                    _guarded(guards, Delete(CHAIN_CLASS, Condition.of(Cell=y))),
+                    _guarded(guards, Delete(CHAIN_CLASS, Condition.of(Next=y))),
+                    _guarded(guards, Modify(CHAIN_CLASS, _cell(Cell=z, Next=END), _cell(Next=y))),
+                    _guarded(
+                        appended,
+                        Create(
+                            CHAIN_CLASS,
+                            _cell(Cell=y, Next=END, Sym=_symbol(symbol), Head=NO_HEAD),
+                        ),
+                    ),
+                ],
+            )
+        )
+
+    # ----- T_begin_sim: place the head on the sentinel and switch phases. ------- #
+    transactions.append(
+        ConditionalTransaction(
+            "T_begin_sim",
+            [
+                _guarded(
+                    _chain(gen_flag),
+                    Modify(CHAIN_CLASS, _cell(Cell=LEFT_END), _cell(Head=_state(wrapped.initial_state))),
+                ),
+                _guarded(
+                    _chain(gen_flag, _chain_literal(Cell=LEFT_END, Head=_state(wrapped.initial_state))),
+                    Modify(CHAIN_CLASS, _cell(Cell=FLAG), _cell(Head=PHASE_SIM)),
+                ),
+            ],
+        )
+    )
+
+    # ----- T_step_*: one transaction per machine transition. -------------------- #
+    sim_flag = _chain_literal(Cell=FLAG, Head=PHASE_SIM)
+    for transition in wrapped.transitions:
+        name = f"T_step_{_state(transition.state)}_{_symbol(transition.read)}"
+        p, a = _state(transition.state), _symbol(transition.read)
+        q, b = _state(transition.next_state), _symbol(transition.write)
+        u = Variable("u")
+        if transition.move == RIGHT:
+            v = Variable("v")
+            here = _chain_literal(Cell=u, Sym=a, Head=p)
+            link = _chain_literal(Cell=u, Next=v)
+            free = _chain_literal(Cell=v, Head=NO_HEAD)
+            placed = _chain_literal(Cell=v, Head=q)
+            updates = [
+                _guarded(_chain(sim_flag, here, link, free), Modify(CHAIN_CLASS, _cell(Cell=v, Head=NO_HEAD), _cell(Head=q))),
+                _guarded(_chain(sim_flag, here, link, placed), Modify(CHAIN_CLASS, _cell(Cell=u, Sym=a, Head=p), _cell(Sym=b, Head=NO_HEAD))),
+            ]
+        elif transition.move == LEFT:
+            w = Variable("w")
+            here = _chain_literal(Cell=u, Sym=a, Head=p)
+            link = _chain_literal(Cell=w, Next=u)
+            free = _chain_literal(Cell=w, Head=NO_HEAD)
+            placed = _chain_literal(Cell=w, Head=q)
+            updates = [
+                _guarded(_chain(sim_flag, here, link, free), Modify(CHAIN_CLASS, _cell(Cell=w, Head=NO_HEAD), _cell(Head=q))),
+                _guarded(_chain(sim_flag, here, link, placed), Modify(CHAIN_CLASS, _cell(Cell=u, Sym=a, Head=p), _cell(Sym=b, Head=NO_HEAD))),
+            ]
+        else:  # STAY
+            here = _chain_literal(Cell=u, Sym=a, Head=p)
+            updates = [
+                _guarded(_chain(sim_flag, here), Modify(CHAIN_CLASS, _cell(Cell=u, Sym=a, Head=p), _cell(Sym=b, Head=q))),
+            ]
+        transactions.append(ConditionalTransaction(name, updates))
+
+    # ----- T_extend: append a blank cell while simulating (tape growth). --------- #
+    z, y = Variable("z"), Variable("y")
+    extend_guards = _chain(sim_flag, _chain_literal(Cell=z, Next=END))
+    extend_done = _chain(sim_flag, _chain_literal(Cell=z, Next=y))
+    transactions.append(
+        ConditionalTransaction(
+            "T_extend",
+            [
+                _guarded(extend_guards, Delete(CHAIN_CLASS, Condition.of(Cell=y))),
+                _guarded(extend_guards, Delete(CHAIN_CLASS, Condition.of(Next=y))),
+                _guarded(extend_guards, Modify(CHAIN_CLASS, _cell(Cell=z, Next=END), _cell(Next=y))),
+                _guarded(
+                    extend_done,
+                    Create(CHAIN_CLASS, _cell(Cell=y, Next=END, Sym=_symbol(machine.blank), Head=NO_HEAD)),
+                ),
+            ],
+        )
+    )
+
+    # ----- Migration phase. ------------------------------------------------------ #
+    accepted = _chain_literal(Head=_state(wrapped.accept_state))
+    mig_symbols = sorted(projection_symbols, key=repr)
+    pattern_selection = Condition.of(Tag=PATTERN_TAG)
+    if immediate_padding:
+        # T_start_mig: move the padding object to ω2 and point the reader at the sentinel.
+        started = _chain(_chain_literal(Cell=FLAG, Head=PHASE_MIG, Next=LEFT_END))
+        start_updates: List[ConditionalUpdate] = [
+            _guarded(_chain(sim_flag, accepted), Modify(CHAIN_CLASS, _cell(Cell=FLAG), _cell(Head=PHASE_MIG, Next=LEFT_END))),
+        ]
+        for update in migrate_to_role_set(schema, padding_roles[1], pattern_selection):
+            start_updates.append(_guarded(started, update))
+        transactions.append(ConditionalTransaction("T_start_mig", start_updates))
+    else:
+        for tape_symbol in mig_symbols:
+            role = projection_symbols[tape_symbol]
+            v = Variable("v")
+            guards = _chain(
+                sim_flag,
+                accepted,
+                _chain_literal(Cell=LEFT_END, Next=v),
+                _chain_literal(Cell=v, Sym=_symbol(tape_symbol)),
+            )
+            started = _chain(
+                _chain_literal(Cell=FLAG, Head=PHASE_MIG, Next=v),
+                _chain_literal(Cell=v, Sym=_symbol(tape_symbol)),
+            )
+            updates = [
+                _guarded(guards, Modify(CHAIN_CLASS, _cell(Cell=FLAG), _cell(Head=PHASE_MIG, Next=v))),
+                _guarded(started, Create(pattern_root, Condition.of(Tag=PATTERN_TAG))),
+            ]
+            for update in migrate_to_role_set(schema, role, pattern_selection):
+                updates.append(_guarded(started, update))
+            transactions.append(ConditionalTransaction(f"T_start_mig_{_symbol(tape_symbol)}", updates))
+
+    # T_mig_<a>: consume the next cell and migrate the pattern object accordingly.
+    for tape_symbol in mig_symbols:
+        role = projection_symbols[tape_symbol]
+        v, w = Variable("v"), Variable("w")
+        guards = _chain(
+            _chain_literal(Cell=FLAG, Head=PHASE_MIG, Next=v),
+            _chain_literal(Cell=v, Next=w),
+            _chain_literal(Cell=w, Sym=_symbol(tape_symbol)),
+        )
+        updates = []
+        for update in migrate_to_role_set(schema, role, pattern_selection):
+            updates.append(_guarded(guards, update))
+        updates.append(_guarded(guards, Modify(CHAIN_CLASS, _cell(Cell=FLAG, Head=PHASE_MIG), _cell(Next=w))))
+        transactions.append(ConditionalTransaction(f"T_mig_{_symbol(tape_symbol)}", updates))
+
+    # T_mig_end / T_mig_blank: past the end of the word (or onto a blank cell)
+    # the pattern object is deleted.
+    v = Variable("v")
+    end_guards = _chain(
+        _chain_literal(Cell=FLAG, Head=PHASE_MIG, Next=v),
+        _chain_literal(Cell=v, Next=END),
+    )
+    transactions.append(
+        ConditionalTransaction(
+            "T_mig_end",
+            [_guarded(end_guards, Delete(pattern_root, Condition()))],
+        )
+    )
+    v, w = Variable("v"), Variable("w")
+    blank_guards = _chain(
+        _chain_literal(Cell=FLAG, Head=PHASE_MIG, Next=v),
+        _chain_literal(Cell=v, Next=w),
+        _chain_literal(Cell=w, Sym=_symbol(machine.blank)),
+    )
+    transactions.append(
+        ConditionalTransaction(
+            "T_mig_blank",
+            [_guarded(blank_guards, Delete(pattern_root, Condition()))],
+        )
+    )
+
+    schema_obj = ConditionalTransactionSchema(schema, transactions)
+    return TuringSimulation(
+        schema=schema,
+        transactions=schema_obj,
+        machine=wrapped,
+        original_machine=machine,
+        symbol_roles=symbol_roles,
+        accept_projection=projection_symbols,
+        pattern_root=pattern_root,
+        pattern_component=pattern_component,
+        padding=padding_roles,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 5.1(2): undecidability of reachability via the halting problem
+# --------------------------------------------------------------------------- #
+def reachability_reduction(machine: TuringMachine) -> Tuple[InflowSchema, Assertion, Assertion, TuringSimulation]:
+    """The reduction behind Theorem 5.1(2).
+
+    Returns an inflow schema (with the complete precedence relation Σ×Σ), a
+    source assertion over the padding role set ``ω1`` and a target assertion
+    over a class of ``ω2 - ω1``; the target is reachable from the source iff
+    the machine accepts some input (for the bundled machines: iff it halts on
+    the words the driver feeds it).  Because acceptance is undecidable in
+    general, so is reachability for CSL+ inflow schemas.
+    """
+    simulation = turing_to_csl(machine, immediate_padding=True)
+    names = simulation.transactions.names()
+    inflow = InflowSchema(simulation.transactions, {(a, b) for a in names for b in names})
+    omega1, omega2 = simulation.padding  # type: ignore[misc]
+    source_class = sorted(omega1 - {simulation.pattern_root})[0]
+    target_class = sorted(omega2 - omega1)[0]
+    source = Assertion.over(source_class)
+    target = Assertion.over(target_class)
+    return inflow, source, target, simulation
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4.8: context-free inventories via Greibach normal form
+# --------------------------------------------------------------------------- #
+@dataclass
+class GrammarSimulation:
+    """The output of :func:`cfg_to_csl`."""
+
+    schema: DatabaseSchema
+    transactions: ConditionalTransactionSchema
+    grammar: ContextFreeGrammar
+    symbol_roles: Dict[Constant, RoleSet]
+    pattern_root: str
+    pattern_component: FrozenSet[str]
+    #: Transaction that *starts* a derivation with this start production.
+    begin_transactions: Dict[Production, str] = field(default_factory=dict)
+    #: Transaction that applies this production mid-derivation.
+    apply_transactions: Dict[Production, str] = field(default_factory=dict)
+
+    def derivation_steps(self, word: Sequence[Constant], max_nodes: int = 200_000) -> List[Tuple[str, Assignment]]:
+        """The (transaction, assignment) sequence deriving ``word``.
+
+        Searches for a leftmost derivation of ``word`` in the (Greibach
+        normal form) grammar and converts it into transaction applications;
+        raises :class:`AnalysisError` when the word is not in the language.
+        """
+        derivation = _leftmost_derivation(self.grammar, tuple(word), max_nodes)
+        if derivation is None:
+            raise AnalysisError(f"{list(word)!r} is not generated by the grammar")
+        steps: List[Tuple[str, Assignment]] = []
+        fresh = 0
+        stack_ids: List[str] = []  # cell ids of the current stack, top first
+        flip = 0
+        for index, production in enumerate(derivation):
+            body_nonterminals = production.body[1:]
+            assignment: Dict[str, Constant] = {"f": f"flip:{flip % 2}"}
+            flip += 1
+            if index == 0:
+                name = self.begin_transactions[production]
+                new_ids = []
+                for position in range(len(body_nonterminals)):
+                    new_ids.append(f"stk:{fresh}")
+                    fresh += 1
+                for position, cell_id in enumerate(new_ids):
+                    assignment[f"n{position}"] = cell_id
+                stack_ids = new_ids
+            else:
+                name = self.apply_transactions[production]
+                top = stack_ids.pop(0)
+                assignment["t"] = top
+                assignment["r"] = stack_ids[0] if stack_ids else BOTTOM
+                new_ids = []
+                for position in range(len(body_nonterminals)):
+                    new_ids.append(f"stk:{fresh}")
+                    fresh += 1
+                for position, cell_id in enumerate(new_ids):
+                    assignment[f"n{position}"] = cell_id
+                stack_ids = new_ids + stack_ids
+            steps.append((name, Assignment(assignment)))
+        steps.append(("T_finish", Assignment()))
+        return steps
+
+
+def _leftmost_derivation(
+    grammar: ContextFreeGrammar, word: Tuple[Constant, ...], max_nodes: int
+) -> Optional[List[Production]]:
+    """A leftmost derivation of ``word`` in a Greibach normal form grammar."""
+    if not grammar.is_greibach():
+        raise AnalysisError("the grammar must be in Greibach normal form")
+
+    from collections import deque
+
+    # State: (position in word, tuple of pending nonterminals), plus the
+    # productions applied so far.  In GNF each step consumes one terminal, so
+    # the search depth is |word|.
+    start_state = (0, (grammar.start,))
+    queue = deque([(start_state, [])])
+    seen = {start_state}
+    nodes = 0
+    while queue:
+        (position, pending), applied = queue.popleft()
+        if position == len(word) and not pending:
+            return applied
+        if position >= len(word) or not pending:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            return None
+        head, rest = pending[0], pending[1:]
+        for production in grammar.productions_for(head):
+            if not production.body:
+                continue
+            terminal = production.body[0]
+            if terminal != word[position]:
+                continue
+            next_state = (position + 1, tuple(production.body[1:]) + rest)
+            if len(next_state[1]) > (len(word) - position) + 2:
+                continue
+            if next_state in seen:
+                continue
+            seen.add(next_state)
+            queue.append((next_state, applied + [production]))
+    return None
+
+
+def cfg_to_csl(grammar: ContextFreeGrammar) -> GrammarSimulation:
+    """Build the Theorem 4.8 CSL+ schema for a context-free language.
+
+    The grammar is converted to Greibach normal form if necessary.  The
+    auxiliary component stores the stack of pending nonterminals as a linked
+    chain whose top is referenced by the flag object; every production
+    ``N -> c N1 ... Nk`` becomes a transaction that (a) migrates the pattern
+    object to the role set of ``c`` and (b) replaces the stack top ``N`` by
+    ``N1 ... Nk``.  Because Greibach productions emit their terminal first,
+    the pattern object is migrated *as the word is derived*, which is what
+    makes the immediate-start and proper families equal ``Init(L·∅*)``.
+    """
+    gnf = grammar if grammar.is_greibach() else grammar.to_greibach()
+    # Keep only productions whose nonterminals can all derive terminal strings,
+    # so a partial derivation can always be completed (Init(L) soundness).
+    generating = gnf._generating()
+    gnf = ContextFreeGrammar(
+        gnf.nonterminals,
+        gnf.terminals,
+        [p for p in gnf.productions if all(item in generating or item in gnf.terminals for item in p.body)],
+        gnf.start,
+    )
+    terminals = sorted(gnf.terminals, key=repr)
+    pattern_classes, symbol_roles = default_pattern_component(terminals)
+    pattern_root = "G_ROOT"
+    pattern_isa = {(name, pattern_root) for name in pattern_classes if name != pattern_root}
+    schema = _build_schema(pattern_classes, pattern_isa)
+    pattern_selection = Condition.of(Tag=PATTERN_TAG)
+
+    def nonterminal_constant(nonterminal) -> str:
+        return f"nt:{nonterminal!r}"
+
+    transactions: List[ConditionalTransaction] = []
+
+    def push_updates(
+        guards: Tuple[Literal, ...],
+        body_nonterminals: Tuple[Constant, ...],
+        rest_pointer,
+    ) -> List[ConditionalUpdate]:
+        """Create the chain cells for ``body_nonterminals`` (top first) and repoint the flag."""
+        updates: List[ConditionalUpdate] = []
+        ids = [Variable(f"n{position}") for position in range(len(body_nonterminals))]
+        for position, nonterminal in enumerate(body_nonterminals):
+            next_pointer = ids[position + 1] if position + 1 < len(ids) else rest_pointer
+            updates.append(
+                _guarded(guards, Delete(CHAIN_CLASS, Condition.of(Cell=ids[position])))
+            )
+            updates.append(
+                _guarded(
+                    guards,
+                    Create(
+                        CHAIN_CLASS,
+                        Condition.of(
+                            Cell=ids[position],
+                            Next=next_pointer,
+                            Sym=nonterminal_constant(nonterminal),
+                            Head=NO_HEAD,
+                        ),
+                    ),
+                )
+            )
+        new_top = ids[0] if ids else rest_pointer
+        updates.append(
+            _guarded(guards, Modify(CHAIN_CLASS, _cell(Cell=FLAG), _cell(Next=new_top)))
+        )
+        return updates
+
+    start_productions = [p for p in gnf.productions if p.head == gnf.start and p.body]
+    all_productions = [p for p in gnf.productions if p.body]
+    begin_transactions: Dict[Production, str] = {}
+    apply_transactions: Dict[Production, str] = {}
+
+    # ----- Start transactions: reset, create the pattern object, emit the first terminal. ----- #
+    for index, production in enumerate(start_productions):
+        terminal = production.body[0]
+        role = symbol_roles[terminal]
+        f = Variable("f")
+        updates: List[ConditionalUpdate] = [
+            _guarded((), Delete(pattern_root, Condition())),
+            _guarded((), Delete(CHAIN_CLASS, Condition())),
+            _guarded((), Create(CHAIN_CLASS, _cell(Cell=FLAG, Next=BOTTOM, Sym=NO_HEAD, Head=PHASE_MIG))),
+            _guarded((), Create(pattern_root, Condition.of(Tag=f))),
+        ]
+        for update in migrate_to_role_set(schema, role, Condition.of(Tag=f)):
+            updates.append(_guarded((), update))
+        updates.extend(push_updates((), tuple(production.body[1:]), BOTTOM))
+        name = f"T_begin_{index}"
+        transactions.append(ConditionalTransaction(name, updates))
+        begin_transactions[production] = name
+
+    # ----- Production transactions: pop the matching stack top, emit, push. ----- #
+    for index, production in enumerate(all_productions):
+        terminal = production.body[0]
+        role = symbol_roles[terminal]
+        t, r, f = Variable("t"), Variable("r"), Variable("f")
+        ids = [Variable(f"n{position}") for position in range(len(production.body[1:]))]
+        new_top = ids[0] if ids else r
+        # While the stack top is untouched both the flag and the top cell can
+        # be tested; once the flag has been repointed the old top is deleted
+        # under a guard that names the new top instead.
+        guards = _chain(
+            _chain_literal(Cell=FLAG, Next=t),
+            _chain_literal(Cell=t, Sym=nonterminal_constant(production.head), Next=r),
+        )
+        after_repoint = _chain(
+            _chain_literal(Cell=FLAG, Next=new_top),
+            _chain_literal(Cell=t, Sym=nonterminal_constant(production.head), Next=r),
+        )
+        updates = []
+        for update in migrate_to_role_set(schema, role, Condition()):
+            updates.append(_guarded(guards, update))
+        # The pattern object's tag is rewritten every application so the step
+        # always properly updates it even when the role set repeats.
+        updates.append(_guarded(guards, Modify(pattern_root, Condition(), Condition.of(Tag=f))))
+        updates.extend(push_updates(guards, tuple(production.body[1:]), r))
+        updates.append(_guarded(after_repoint, Delete(CHAIN_CLASS, Condition.of(Cell=t))))
+        name = f"T_apply_{index}"
+        transactions.append(ConditionalTransaction(name, updates))
+        apply_transactions[production] = name
+
+    # ----- T_finish: the stack is empty, the word is complete, delete the object. ----- #
+    finish_guards = _chain(_chain_literal(Cell=FLAG, Next=BOTTOM))
+    transactions.append(
+        ConditionalTransaction("T_finish", [_guarded(finish_guards, Delete(pattern_root, Condition()))])
+    )
+
+    schema_obj = ConditionalTransactionSchema(schema, transactions)
+    simulation = GrammarSimulation(
+        schema=schema,
+        transactions=schema_obj,
+        grammar=gnf,
+        symbol_roles=symbol_roles,
+        pattern_root=pattern_root,
+        pattern_component=frozenset(pattern_classes),
+        begin_transactions=begin_transactions,
+        apply_transactions=apply_transactions,
+    )
+    return simulation
+
+
+def equal_pairs_grammar(first: Constant = "a", second: Constant = "b") -> ContextFreeGrammar:
+    """The Example 4.1 language ``{ a^i b^i | i >= 1 }`` as a Greibach grammar."""
+    return ContextFreeGrammar(
+        nonterminals={"S", "B"},
+        terminals={first, second},
+        productions=[
+            Production("S", (first, "S", "B")),
+            Production("S", (first, "B")),
+            Production("B", (second,)),
+        ],
+        start="S",
+    )
+
+
+__all__ = [
+    "TuringSimulation",
+    "turing_to_csl",
+    "reachability_reduction",
+    "GrammarSimulation",
+    "cfg_to_csl",
+    "equal_pairs_grammar",
+    "default_pattern_component",
+    "CHAIN_CLASS",
+]

@@ -1,0 +1,289 @@
+"""Hyperplanes, separators and abstraction vertices (proof of Theorem 3.2).
+
+The regularity proof for SL pattern families partitions the space of objects
+with a given role set ``ω`` by
+
+* a *hyperplane* over the attributes of ``ω`` with respect to the constants
+  ``C_Σ`` occurring in the transaction schema: for every attribute, either
+  ``A = c`` for some ``c ∈ C_Σ`` or ``A ≠ c`` for *all* of them ("free"), and
+* an equivalence relation on the free attributes recording which of them
+  hold equal values.
+
+Two objects falling into the same cell of this partition (the same
+*abstraction vertex*) cannot be distinguished by any condition built from
+``C_Σ`` and shared variables, which is what makes the migration graph of a
+transaction schema finite (Lemmas 3.7-3.9).
+
+Attribute relevance.  The paper builds the separator over *all* attributes
+of the role set.  This module optionally restricts it to the *relevant*
+attributes -- those that some condition of the schema tests, or assigns a
+constant, or assigns a variable that the same transaction also uses in a
+test -- because conditions can only ever observe those; the reduction can
+shrink the vertex space from ``Bell(|A_ω|)·(|C|+1)^{|A_ω|}`` to a handful
+without changing the computed pattern families.  Passing
+``use_all_attributes=True`` to the analysis reproduces the paper's original
+vertex space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rolesets import RoleSet
+from repro.language.conditional import ConditionalTransactionSchema
+from repro.language.transactions import TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import AttributeName, DatabaseSchema
+from repro.model.values import Constant, ObjectId, Variable
+
+#: Marker for a "free" hyperplane coordinate (attribute differs from every constant).
+FREE = ("free",)
+
+
+def _eq(constant: Constant) -> Tuple[str, Constant]:
+    return ("eq", constant)
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """One hyperplane: for each tracked attribute, ``= c`` or free."""
+
+    entries: Tuple[Tuple[AttributeName, Tuple], ...]
+
+    @classmethod
+    def of(cls, coordinates: Dict[AttributeName, Tuple]) -> "Hyperplane":
+        return cls(tuple(sorted(coordinates.items())))
+
+    def coordinate(self, attribute: AttributeName) -> Tuple:
+        """The coordinate for ``attribute`` (``FREE`` or ``("eq", c)``)."""
+        for name, value in self.entries:
+            if name == attribute:
+                return value
+        raise KeyError(attribute)
+
+    def attributes(self) -> Tuple[AttributeName, ...]:
+        """The tracked attributes, sorted."""
+        return tuple(name for name, _ in self.entries)
+
+    def free_attributes(self) -> Tuple[AttributeName, ...]:
+        """``Att+(Γ)``: the attributes whose coordinate is free."""
+        return tuple(name for name, value in self.entries if value == FREE)
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, value in self.entries:
+            parts.append(f"{name}={value[1]!r}" if value != FREE else f"{name}=*")
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class AbstractionVertex:
+    """A vertex ``(ω, (Γ, [r]))`` of the migration graph of a transaction schema."""
+
+    role_set: RoleSet
+    hyperplane: Hyperplane
+    partition: FrozenSet[FrozenSet[AttributeName]]
+
+    @property
+    def label(self) -> RoleSet:
+        """The vertex label used for migration patterns: its role set."""
+        return self.role_set
+
+    def __repr__(self) -> str:
+        blocks = "/".join("~".join(sorted(block)) for block in sorted(self.partition, key=sorted))
+        return f"⟨{self.role_set.label()} {self.hyperplane!r}{' ' + blocks if blocks else ''}⟩"
+
+
+# --------------------------------------------------------------------------- #
+# Relevant attributes and constants of a transaction schema
+# --------------------------------------------------------------------------- #
+def _update_condition_roles(update) -> List[Tuple[Condition, str]]:
+    """The (condition, role) pairs of an SL update; role is 'test' or 'assign'."""
+    if isinstance(update, Create):
+        return [(update.values, "assign")]
+    if isinstance(update, Delete):
+        return [(update.selection, "test")]
+    if isinstance(update, Modify):
+        return [(update.selection, "test"), (update.changes, "assign")]
+    if isinstance(update, Generalize):
+        return [(update.selection, "test")]
+    if isinstance(update, Specialize):
+        return [(update.selection, "test"), (update.new_values, "assign")]
+    raise TypeError(f"unknown update type {type(update).__name__}")  # pragma: no cover
+
+
+def _transaction_steps(transaction) -> Iterator[Tuple[List[Tuple[Condition, str]], List[Condition]]]:
+    """Yield (update conditions with roles, guard conditions) per transaction.
+
+    Works for both plain SL transactions and conditional (CSL) transactions.
+    """
+    if hasattr(transaction, "steps"):
+        for step in transaction.steps:
+            guards = [literal.condition for literal in step.literals]
+            yield _update_condition_roles(step.update), guards
+    else:
+        for update in transaction.updates:
+            yield _update_condition_roles(update), []
+
+
+def relevant_attributes(schema_like) -> FrozenSet[AttributeName]:
+    """The attributes the abstraction has to track for a transaction schema.
+
+    An attribute is relevant when some transaction tests it, assigns it a
+    constant, or assigns it a variable that the same transaction also uses in
+    a test (so the assigned value is not freely choosable).
+    """
+    relevant: Set[AttributeName] = set()
+    for transaction in schema_like.transactions:
+        tested_variables: Set[Variable] = set()
+        for conditions, guards in _transaction_steps(transaction):
+            for guard in guards:
+                relevant |= guard.referenced_attributes()
+                tested_variables |= guard.variables()
+            for condition, role in conditions:
+                if role == "test":
+                    relevant |= condition.referenced_attributes()
+                    tested_variables |= condition.variables()
+        for conditions, _guards in _transaction_steps(transaction):
+            for condition, role in conditions:
+                if role != "assign":
+                    continue
+                for atom in condition:
+                    if not isinstance(atom.term, Variable):
+                        relevant.add(atom.attribute)
+                    elif atom.term in tested_variables:
+                        relevant.add(atom.attribute)
+    return frozenset(relevant)
+
+
+def schema_constants(schema_like) -> FrozenSet[Constant]:
+    """``C_Σ``: every constant occurring in the transaction schema."""
+    return schema_like.constants()
+
+
+# --------------------------------------------------------------------------- #
+# Matching objects to vertices and building canonical witnesses
+# --------------------------------------------------------------------------- #
+class AbstractionContext:
+    """Shared data for matching objects to vertices and building witnesses.
+
+    Parameters
+    ----------
+    schema:
+        The database schema.
+    constants:
+        ``C_Σ`` plus any extra constants the caller wants distinguishable
+        (e.g. constants from reachability assertions, Theorem 5.1).
+    tracked:
+        The attributes to track; ``None`` tracks all attributes (the paper's
+        original construction).
+    """
+
+    #: Padding values: fresh constants standing for "some value outside C_Σ".
+    PADDING_PREFIX = "⊥pad"
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        constants: Iterable[Constant],
+        tracked: Optional[Iterable[AttributeName]] = None,
+    ) -> None:
+        self.schema = schema
+        self.constants: FrozenSet[Constant] = frozenset(constants)
+        self.tracked: Optional[FrozenSet[AttributeName]] = (
+            None if tracked is None else frozenset(tracked)
+        )
+
+    # -- helpers ------------------------------------------------------------ #
+    def tracked_attributes(self, role_set: RoleSet) -> Tuple[AttributeName, ...]:
+        """The tracked attributes defined on ``role_set``, sorted."""
+        defined = self.schema.attributes_of_role_set(role_set)
+        if self.tracked is not None:
+            defined = defined & self.tracked
+        return tuple(sorted(defined))
+
+    def match(self, instance: DatabaseInstance, obj: ObjectId) -> Optional[AbstractionVertex]:
+        """The unique vertex matched by ``obj`` in ``instance`` (``None`` if absent)."""
+        role_set = RoleSet(instance.role_set(obj))
+        if not role_set:
+            return None
+        coordinates: Dict[AttributeName, Tuple] = {}
+        free_values: Dict[AttributeName, Constant] = {}
+        for attribute in self.tracked_attributes(role_set):
+            value = instance.value(obj, attribute)
+            if value in self.constants:
+                coordinates[attribute] = _eq(value)
+            else:
+                coordinates[attribute] = FREE
+                free_values[attribute] = value
+        blocks: Dict[Constant, Set[AttributeName]] = {}
+        for attribute, value in free_values.items():
+            blocks.setdefault(value, set()).add(attribute)
+        partition = frozenset(frozenset(block) for block in blocks.values())
+        return AbstractionVertex(role_set, Hyperplane.of(coordinates), partition)
+
+    def padding_values(self, vertex: AbstractionVertex) -> Dict[FrozenSet[AttributeName], Constant]:
+        """One fresh padding constant per free equivalence class of ``vertex``."""
+        paddings: Dict[FrozenSet[AttributeName], Constant] = {}
+        for index, block in enumerate(sorted(vertex.partition, key=sorted)):
+            paddings[block] = (self.PADDING_PREFIX, index)
+        return paddings
+
+    def canonical_instance(
+        self, vertex: AbstractionVertex
+    ) -> Tuple[DatabaseInstance, ObjectId, Tuple[Constant, ...]]:
+        """A single-object instance whose object matches ``vertex``.
+
+        Returns the instance, the object, and the tuple of non-constant
+        values carried by the object (paddings and fillers); the edge
+        computation must include those among the candidate assignment
+        values (Lemma 3.9).
+        """
+        role_set = vertex.role_set
+        obj = ObjectId(1)
+        extent = {name: {obj} for name in role_set}
+        values: Dict[Tuple[ObjectId, AttributeName], Constant] = {}
+        paddings = self.padding_values(vertex)
+        block_of: Dict[AttributeName, FrozenSet[AttributeName]] = {}
+        for block in vertex.partition:
+            for attribute in block:
+                block_of[attribute] = block
+        extra_values: List[Constant] = list(paddings.values())
+        filler_index = 0
+        for attribute in sorted(self.schema.attributes_of_role_set(role_set)):
+            if attribute in block_of:
+                values[(obj, attribute)] = paddings[block_of[attribute]]
+            else:
+                tracked = self.tracked_attributes(role_set)
+                if attribute in tracked:
+                    coordinate = vertex.hyperplane.coordinate(attribute)
+                    values[(obj, attribute)] = coordinate[1] if coordinate != FREE else ("⊥free", attribute)
+                    if coordinate == FREE:  # pragma: no cover - free attrs always have a block
+                        extra_values.append(values[(obj, attribute)])
+                else:
+                    filler = ("⊥fill", filler_index)
+                    filler_index += 1
+                    values[(obj, attribute)] = filler
+                    extra_values.append(filler)
+        instance = DatabaseInstance(
+            self.schema, extent, values, obj.successor(), validate=False
+        )
+        return instance, obj, tuple(extra_values)
+
+    def fresh_values(self, count: int) -> Tuple[Constant, ...]:
+        """``count`` fresh constants distinct from C_Σ, paddings and fillers."""
+        return tuple(("⊥new", index) for index in range(count))
+
+
+__all__ = [
+    "FREE",
+    "Hyperplane",
+    "AbstractionVertex",
+    "AbstractionContext",
+    "relevant_attributes",
+    "schema_constants",
+]

@@ -1,0 +1,458 @@
+"""Inflow schemas, script schemas and the reachability problem (Section 5).
+
+An *inflow schema* (Definition 5.1) pairs a transaction schema with a
+precedence relation on transactions: a sequence ``T_1, ..., T_n`` is
+applicable only when every consecutive pair is related.  A *script schema*
+(Definition 5.3) has the same syntax, but the precedence is interpreted per
+object: only the sub-sequence of transactions that actually *update* the
+object has to follow the relation.
+
+The *reachability problem* asks whether every object of a class ``P``
+satisfying an assertion ``p_P`` can be driven, by an applicable sequence, to
+a state where it belongs to class ``Q`` and satisfies ``p_Q``.  Theorem 5.1
+shows this is decidable for SL inflow (and script) schemas -- by a product
+of the migration graph with the precedence relation -- and undecidable for
+CSL/CSL+ schemas (by reduction from the halting problem).
+:class:`ReachabilityAnalyzer` implements the decidable cases;
+:func:`bounded_csl_reachability` is the inevitable semi-decision procedure
+for the conditional languages, and the halting reduction itself is produced
+by :func:`repro.core.csl_constructions.reachability_reduction`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.hyperplanes import FREE, AbstractionVertex, Hyperplane
+from repro.core.sl_analysis import DELETED, SLMigrationAnalysis
+from repro.language.conditional import ConditionalTransactionSchema
+from repro.language.transactions import TransactionSchema
+from repro.model.errors import AnalysisError
+from repro.model.schema import AttributeName, ClassName, DatabaseSchema
+from repro.model.values import Constant
+
+
+# --------------------------------------------------------------------------- #
+# Assertions (Definition 5.2)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ValueAssertion:
+    """The atomic assertion ``A = a`` (attribute equals a constant)."""
+
+    attribute: AttributeName
+    constant: Constant
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}={self.constant!r}"
+
+
+@dataclass(frozen=True)
+class EqualityAssertion:
+    """The atomic assertion ``A = B`` (two attributes hold equal values)."""
+
+    left: AttributeName
+    right: AttributeName
+
+    def __repr__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+AtomicAssertion = Union[ValueAssertion, EqualityAssertion]
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A conjunction of atomic assertions over one class."""
+
+    class_name: ClassName
+    atoms: Tuple[AtomicAssertion, ...] = ()
+
+    @classmethod
+    def over(cls, class_name: ClassName, **values: Constant) -> "Assertion":
+        """Shorthand for an all-``A = a`` assertion."""
+        return cls(class_name, tuple(ValueAssertion(attribute, constant) for attribute, constant in values.items()))
+
+    def with_equality(self, left: AttributeName, right: AttributeName) -> "Assertion":
+        """Add an ``A = B`` atom."""
+        return Assertion(self.class_name, self.atoms + (EqualityAssertion(left, right),))
+
+    def attributes(self) -> FrozenSet[AttributeName]:
+        """Attributes mentioned by the assertion."""
+        names: Set[AttributeName] = set()
+        for atom in self.atoms:
+            if isinstance(atom, ValueAssertion):
+                names.add(atom.attribute)
+            else:
+                names.add(atom.left)
+                names.add(atom.right)
+        return frozenset(names)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Constants mentioned by the assertion."""
+        return frozenset(atom.constant for atom in self.atoms if isinstance(atom, ValueAssertion))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check the mentioned attributes are defined on the class."""
+        schema.require_class(self.class_name)
+        defined = schema.all_attributes_of(self.class_name)
+        unknown = self.attributes() - defined
+        if unknown:
+            raise AnalysisError(
+                f"assertion on {self.class_name!r} mentions attributes {sorted(unknown)!r} "
+                f"outside A*({self.class_name})"
+            )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(atom) for atom in self.atoms) or "true"
+        return f"{self.class_name}⟨{inner}⟩"
+
+
+def _vertex_satisfies(vertex: AbstractionVertex, assertion: Assertion) -> bool:
+    """Whether every object matching ``vertex`` satisfies ``assertion``.
+
+    Because the assertion's constants are part of the abstraction context,
+    all objects matching a vertex agree on each atomic assertion, so the
+    check is exact (this is the observation used in the proof of
+    Theorem 5.1).
+    """
+    if assertion.class_name not in vertex.role_set:
+        return False
+    tracked = dict(vertex.hyperplane.entries)
+    block_of: Dict[AttributeName, FrozenSet[AttributeName]] = {}
+    for block in vertex.partition:
+        for attribute in block:
+            block_of[attribute] = block
+    for atom in assertion.atoms:
+        if isinstance(atom, ValueAssertion):
+            coordinate = tracked.get(atom.attribute)
+            if coordinate is None or coordinate == FREE or coordinate[1] != atom.constant:
+                return False
+        else:
+            left = tracked.get(atom.left)
+            right = tracked.get(atom.right)
+            if left is None or right is None:
+                return False
+            if left == FREE and right == FREE:
+                if block_of.get(atom.left) != block_of.get(atom.right):
+                    return False
+            elif left != FREE and right != FREE:
+                if left[1] != right[1]:
+                    return False
+            else:
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Inflow and script schemas
+# --------------------------------------------------------------------------- #
+class InflowSchema:
+    """A transaction schema plus a precedence relation on transactions (Definition 5.1)."""
+
+    #: How the precedence relation is interpreted; script schemas override this.
+    flavour = "inflow"
+
+    def __init__(
+        self,
+        transactions: Union[TransactionSchema, ConditionalTransactionSchema],
+        precedence: Iterable[Tuple[str, str]],
+    ) -> None:
+        self.transactions = transactions
+        names = set(transactions.names())
+        self.precedence: FrozenSet[Tuple[str, str]] = frozenset(precedence)
+        for before, after in self.precedence:
+            if before not in names or after not in names:
+                raise AnalysisError(f"precedence edge ({before!r}, {after!r}) mentions an unknown transaction")
+
+    @property
+    def is_sl(self) -> bool:
+        """Whether the underlying transactions are plain SL (decidable reachability)."""
+        return isinstance(self.transactions, TransactionSchema)
+
+    def allows(self, before: Optional[str], after: str) -> bool:
+        """Whether ``after`` may follow ``before`` (``before=None`` starts a sequence)."""
+        if before is None:
+            return True
+        return (before, after) in self.precedence
+
+    def is_applicable(self, sequence: Sequence[str]) -> bool:
+        """Whether a whole sequence of transaction names is applicable."""
+        return all(self.allows(sequence[i - 1], sequence[i]) for i in range(1, len(sequence)))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({list(self.transactions.names())}, {sorted(self.precedence)})"
+
+
+class ScriptSchema(InflowSchema):
+    """Same syntax as an inflow schema; the order constrains per-object updates only (Definition 5.3)."""
+
+    flavour = "script"
+
+
+# --------------------------------------------------------------------------- #
+# Reachability for SL schemas (Theorem 5.1/5.2, decidable cases)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ReachabilityResult:
+    """The outcome of a reachability question."""
+
+    source: Assertion
+    target: Assertion
+    #: Source vertices from which the target is reachable, with a witness
+    #: sequence of transaction names each.
+    witnesses: Dict[AbstractionVertex, Tuple[str, ...]]
+    #: Source vertices from which the target is *not* reachable.
+    unreachable_sources: Tuple[AbstractionVertex, ...]
+
+    @property
+    def reachable_somewhere(self) -> bool:
+        """Some object satisfying the source assertion can reach the target."""
+        return bool(self.witnesses)
+
+    @property
+    def reachable_everywhere(self) -> bool:
+        """Every object satisfying the source assertion can reach the target (the paper's question)."""
+        return not self.unreachable_sources
+
+    def a_witness(self) -> Optional[Tuple[str, ...]]:
+        """Some witness sequence of transaction names (shortest found)."""
+        if not self.witnesses:
+            return None
+        return min(self.witnesses.values(), key=len)
+
+
+class ReachabilityAnalyzer:
+    """Decide reachability questions for SL inflow and script schemas.
+
+    The analyzer builds abstraction vertices for every way an object of the
+    source class can satisfy the source assertion (objects of an *arbitrary*
+    instance, not only instances reachable from the empty database, exactly
+    as the problem statement of Section 5 requires) and searches the product
+    of the migration graph with the precedence relation.
+    """
+
+    def __init__(self, inflow: InflowSchema, use_all_attributes: bool = False) -> None:
+        if not inflow.is_sl:
+            raise AnalysisError(
+                "reachability is undecidable for CSL/CSL+ inflow schemas (Theorem 5.1); "
+                "use bounded_csl_reachability for a semi-decision procedure"
+            )
+        self.inflow = inflow
+        self._transactions: TransactionSchema = inflow.transactions  # type: ignore[assignment]
+        self._schema = self._transactions.schema
+
+    # -- vertex enumeration -------------------------------------------------- #
+    def _source_vertices(self, analysis: SLMigrationAnalysis, source: Assertion) -> List[AbstractionVertex]:
+        """All abstraction vertices describing objects of the source class satisfying the assertion."""
+        from itertools import product as cartesian
+
+        schema = self._schema
+        context = analysis.context
+        component = schema.component_of(source.class_name)
+        role_sets = [rs for rs in analysis.role_sets if rs and source.class_name in rs and rs <= component]
+        constants = sorted(context.constants, key=repr)
+        vertices: List[AbstractionVertex] = []
+        for role_set in role_sets:
+            tracked = context.tracked_attributes(role_set)
+            options: List[List[Tuple]] = []
+            for _attribute in tracked:
+                options.append([FREE] + [("eq", constant) for constant in constants])
+            for combination in cartesian(*options) if tracked else [()]:
+                coordinates = dict(zip(tracked, combination))
+                free = [attribute for attribute, value in coordinates.items() if value == FREE]
+                for partition in _partitions(free):
+                    vertex = AbstractionVertex(role_set, Hyperplane.of(coordinates), partition)
+                    if _vertex_satisfies(vertex, source):
+                        vertices.append(vertex)
+        return vertices
+
+    # -- search ---------------------------------------------------------------- #
+    def check(self, source: Assertion, target: Assertion, max_vertices: int = 5000) -> ReachabilityResult:
+        """Answer the reachability question for the configured inflow/script schema."""
+        source.validate(self._schema)
+        target.validate(self._schema)
+        if not self._schema.weakly_connected(source.class_name, target.class_name):
+            # Objects cannot migrate across components (Lemma 4.1).
+            analysis = self._make_analysis(source, target)
+            sources = self._source_vertices(analysis, source)
+            return ReachabilityResult(source, target, {}, tuple(sources))
+
+        analysis = self._make_analysis(source, target)
+        sources = self._source_vertices(analysis, source)
+        if len(sources) > max_vertices:
+            raise AnalysisError(
+                f"{len(sources)} source vertices exceed the limit of {max_vertices}; "
+                "restrict the assertions or raise max_vertices"
+            )
+        script_mode = self.inflow.flavour == "script"
+
+        witnesses: Dict[AbstractionVertex, Tuple[str, ...]] = {}
+        unreachable: List[AbstractionVertex] = []
+        for start in sources:
+            witness = self._search_from(analysis, start, target, script_mode)
+            if witness is None:
+                unreachable.append(start)
+            else:
+                witnesses[start] = witness
+        return ReachabilityResult(source, target, witnesses, tuple(unreachable))
+
+    def _make_analysis(self, source: Assertion, target: Assertion) -> SLMigrationAnalysis:
+        extra = set(source.constants()) | set(target.constants())
+        tracked = set(source.attributes()) | set(target.attributes())
+        return SLMigrationAnalysis(
+            self._transactions,
+            component=self._schema.component_of(source.class_name),
+            extra_constants=extra,
+            extra_tracked_attributes=tracked,
+        )
+
+    def _search_from(
+        self,
+        analysis: SLMigrationAnalysis,
+        start: AbstractionVertex,
+        target: Assertion,
+        script_mode: bool,
+    ) -> Optional[Tuple[str, ...]]:
+        """BFS in the product of the migration graph and the precedence relation."""
+        if _vertex_satisfies(start, target):
+            return ()
+        initial = (start, None)
+        queue = deque([(initial, ())])
+        seen = {initial}
+        while queue:
+            (vertex, last), path = queue.popleft()
+            for edge in analysis.expand_vertex(vertex):
+                if edge.target == DELETED:
+                    continue
+                if script_mode and not edge.proper:
+                    # A transaction that does not update the object is not part
+                    # of the object's script and does not move it either.
+                    continue
+                if not self.inflow.allows(last, edge.transaction):
+                    continue
+                state = (edge.target, edge.transaction)
+                if state in seen:
+                    continue
+                seen.add(state)
+                new_path = path + (edge.transaction,)
+                if _vertex_satisfies(edge.target, target):
+                    return new_path
+                queue.append((state, new_path))
+        return None
+
+
+def _partitions(items: Sequence[AttributeName]) -> Iterable[FrozenSet[FrozenSet[AttributeName]]]:
+    """All set partitions of ``items`` (used for source-vertex enumeration)."""
+    items = list(items)
+    if not items:
+        yield frozenset()
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        blocks = [set(block) for block in partition]
+        # First joins an existing block ...
+        for index in range(len(blocks)):
+            grown = [set(block) for block in blocks]
+            grown[index].add(first)
+            yield frozenset(frozenset(block) for block in grown)
+        # ... or forms its own block.
+        yield frozenset([frozenset([first]), *map(frozenset, blocks)])
+
+
+# --------------------------------------------------------------------------- #
+# Bounded semi-decision for conditional schemas
+# --------------------------------------------------------------------------- #
+def bounded_csl_reachability(
+    inflow: InflowSchema,
+    source: Assertion,
+    target: Assertion,
+    max_depth: int = 6,
+    extra_values: int = 2,
+    max_states: int = 20_000,
+) -> Optional[Tuple[str, ...]]:
+    """Search for a witness sequence for a CSL/CSL+ inflow schema, up to a depth bound.
+
+    Reachability is undecidable for the conditional languages
+    (Theorem 5.1(2)); this bounded search either returns a witness sequence
+    of transaction names (reachability holds for at least one matching
+    object) or ``None``, which means "not found within the bound" rather
+    than unreachable.
+    """
+    import itertools
+
+    from repro.model.instance import DatabaseInstance, validation_disabled
+    from repro.model.values import Assignment
+
+    transactions = inflow.transactions
+    schema = transactions.schema
+    source.validate(schema)
+    target.validate(schema)
+
+    pool: List[Constant] = sorted(
+        set(transactions.constants()) | set(source.constants()) | set(target.constants()), key=repr
+    )
+    pool.extend(("reach", index) for index in range(extra_values))
+
+    def object_satisfies(instance, obj, assertion: Assertion) -> bool:
+        if assertion.class_name not in instance.role_set(obj):
+            return False
+        for atom in assertion.atoms:
+            if isinstance(atom, ValueAssertion):
+                if instance.value(obj, atom.attribute) != atom.constant:
+                    return False
+            else:
+                if instance.value(obj, atom.left) != instance.value(obj, atom.right):
+                    return False
+        return True
+
+    counters = {"states": 0}
+
+    def assignments(transaction):
+        variables = sorted(transaction.variables(), key=lambda v: v.name)
+        if not variables:
+            yield Assignment()
+            return
+        for values in itertools.product(pool, repeat=len(variables)):
+            yield Assignment({variable: value for variable, value in zip(variables, values)})
+
+    with validation_disabled():
+        start = DatabaseInstance.empty(schema)
+        queue = deque([(start, None, ())])
+        while queue:
+            instance, last, path = queue.popleft()
+            for obj in instance.all_objects():
+                if object_satisfies(instance, obj, target):
+                    return path
+            if len(path) >= max_depth or counters["states"] >= max_states:
+                continue
+            for transaction in transactions:
+                if not inflow.allows(last, transaction.name):
+                    continue
+                for assignment in assignments(transaction):
+                    counters["states"] += 1
+                    if counters["states"] >= max_states:
+                        break
+                    if hasattr(transaction, "apply"):
+                        result = transaction.apply(instance, assignment)
+                    else:  # pragma: no cover - SL fallback
+                        from repro.language.semantics import apply_transaction
+
+                        result = apply_transaction(transaction, instance, assignment)
+                    if result == instance:
+                        continue
+                    queue.append((result, transaction.name, path + (transaction.name,)))
+    return None
+
+
+__all__ = [
+    "ValueAssertion",
+    "EqualityAssertion",
+    "Assertion",
+    "InflowSchema",
+    "ScriptSchema",
+    "ReachabilityAnalyzer",
+    "ReachabilityResult",
+    "bounded_csl_reachability",
+]

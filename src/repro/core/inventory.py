@@ -1,0 +1,228 @@
+"""Migration inventories: sets of migration patterns used as dynamic constraints.
+
+Definition 3.3: a migration inventory over the role sets ``Ω`` is a set
+``L`` of object migration patterns that is prefix closed
+(``Init(L) ⊆ L``) and contained in ``∅* Ω+^* ∅*``.  Regular inventories are
+given by regular expressions over role sets (Example 3.2, Example 3.3); this
+class wraps the corresponding automaton and offers the operations the rest
+of the package needs: membership, prefix closure, containment, equivalence,
+sampling, and the paper's word functions at the language level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.patterns import MigrationPattern
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets, symbol_map
+from repro.formal import decision, operations
+from repro.formal.nfa import NFA
+from repro.formal.regex import Regex, parse_regex
+from repro.model.errors import AnalysisError
+from repro.model.schema import DatabaseSchema
+
+PatternLike = Union[MigrationPattern, Sequence[RoleSet]]
+
+
+def _as_word(pattern: PatternLike) -> Tuple[RoleSet, ...]:
+    if isinstance(pattern, MigrationPattern):
+        return pattern.word
+    return tuple(rs if isinstance(rs, RoleSet) else RoleSet(rs) for rs in pattern)
+
+
+class MigrationInventory:
+    """A (regular) migration inventory, backed by a finite automaton.
+
+    The alphabet always includes the empty role set so that the ``∅`` padding
+    of Definitions 3.2/3.4 can be expressed even when the defining expression
+    does not mention it.
+    """
+
+    def __init__(self, automaton: NFA, alphabet: Optional[Iterable[RoleSet]] = None) -> None:
+        symbols = set(automaton.alphabet) | {EMPTY_ROLE_SET}
+        if alphabet is not None:
+            symbols |= {rs if isinstance(rs, RoleSet) else RoleSet(rs) for rs in alphabet}
+        self._automaton = automaton.with_alphabet(symbols)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_regex(
+        cls,
+        expression: Regex,
+        alphabet: Optional[Iterable[RoleSet]] = None,
+        prefix_close: bool = False,
+    ) -> "MigrationInventory":
+        """Build an inventory from a :class:`repro.formal.regex.Regex` over role sets."""
+        automaton = expression.to_nfa()
+        inventory = cls(automaton, alphabet)
+        return inventory.prefix_closure() if prefix_close else inventory
+
+    @classmethod
+    def from_text(
+        cls,
+        text: str,
+        symbols: Mapping[str, RoleSet],
+        alphabet: Optional[Iterable[RoleSet]] = None,
+        prefix_close: bool = False,
+    ) -> "MigrationInventory":
+        """Parse a textual regular expression, e.g. ``"0* [P]* [S]* [E]+ 0*"``.
+
+        ``symbols`` maps identifiers to role sets; :func:`repro.core.rolesets.symbol_map`
+        builds such a mapping from a schema's role sets.
+        """
+        return cls.from_regex(parse_regex(text, symbols), alphabet, prefix_close)
+
+    @classmethod
+    def from_patterns(
+        cls,
+        patterns: Iterable[PatternLike],
+        alphabet: Optional[Iterable[RoleSet]] = None,
+        prefix_close: bool = True,
+    ) -> "MigrationInventory":
+        """The (finite) inventory consisting of the given patterns and, by default, their prefixes."""
+        words = [_as_word(pattern) for pattern in patterns]
+        inventory = cls(NFA.from_words(words), alphabet)
+        return inventory.prefix_closure() if prefix_close else inventory
+
+    @classmethod
+    def universe(cls, schema: DatabaseSchema) -> "MigrationInventory":
+        """``∅* Ω+^* ∅*``: every well-formed pattern over the schema's role sets."""
+        role_sets = enumerate_role_sets(schema)
+        non_empty = [rs for rs in role_sets if rs]
+        from repro.formal import regex as rx
+
+        body = rx.union_of(rx.Symbol(rs) for rs in non_empty)
+        empty = rx.Symbol(EMPTY_ROLE_SET)
+        expression = rx.Concat(rx.Concat(rx.Star(empty), rx.Star(body)), rx.Star(empty))
+        return cls.from_regex(expression, alphabet=role_sets)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def automaton(self) -> NFA:
+        """The underlying automaton."""
+        return self._automaton
+
+    @property
+    def alphabet(self) -> Tuple[RoleSet, ...]:
+        """The role-set alphabet, empty role set included."""
+        return tuple(sorted(self._automaton.alphabet, key=lambda rs: (len(rs), sorted(rs))))
+
+    def to_regex(self) -> Regex:
+        """An equivalent regular expression (via state elimination)."""
+        return self._automaton.to_regex()
+
+    # ------------------------------------------------------------------ #
+    # Language queries
+    # ------------------------------------------------------------------ #
+    def contains(self, pattern: PatternLike) -> bool:
+        """Membership of a single migration pattern."""
+        return self._automaton.accepts(_as_word(pattern))
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if no pattern is allowed at all."""
+        return self._automaton.is_empty()
+
+    def sample(self, max_length: int = 6, limit: int = 25) -> List[MigrationPattern]:
+        """A deterministic sample of member patterns (for reports and tests)."""
+        return [
+            MigrationPattern(word)
+            for word in self._automaton.enumerate_words(max_length, limit=limit)
+        ]
+
+    def is_prefix_closed(self) -> bool:
+        """``Init(L) ⊆ L``: required of inventories by Definition 3.3."""
+        return decision.is_contained_in(
+            operations.prefix_closure(self._automaton), self._automaton
+        )
+
+    def is_well_formed(self, schema: Optional[DatabaseSchema] = None) -> bool:
+        """Containment in ``∅* Ω+^* ∅*`` (and prefix closure)."""
+        if schema is not None:
+            universe = MigrationInventory.universe(schema)
+            if not self.is_subset_of(universe):
+                return False
+        else:
+            # Check the shape symbolically over this inventory's own alphabet.
+            non_empty = [rs for rs in self._automaton.alphabet if rs]
+            from repro.formal import regex as rx
+
+            body = rx.union_of(rx.Symbol(rs) for rs in non_empty)
+            empty = rx.Symbol(RoleSet())
+            shape = rx.Concat(rx.Concat(rx.Star(empty), rx.Star(body)), rx.Star(empty))
+            if not decision.is_contained_in(self._automaton, shape.to_nfa(self._automaton.alphabet)):
+                return False
+        return self.is_prefix_closed()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def prefix_closure(self) -> "MigrationInventory":
+        """``Init(L)``."""
+        return MigrationInventory(operations.prefix_closure(self._automaton), self._automaton.alphabet)
+
+    def union(self, other: "MigrationInventory") -> "MigrationInventory":
+        """Language union."""
+        return MigrationInventory(
+            operations.union(self._automaton, other._automaton),
+            self._automaton.alphabet | other._automaton.alphabet,
+        )
+
+    def intersection(self, other: "MigrationInventory") -> "MigrationInventory":
+        """Language intersection."""
+        return MigrationInventory(
+            operations.intersection(self._automaton, other._automaton),
+            self._automaton.alphabet | other._automaton.alphabet,
+        )
+
+    def concat(self, other: "MigrationInventory") -> "MigrationInventory":
+        """Language concatenation."""
+        return MigrationInventory(
+            operations.concat(self._automaton, other._automaton),
+            self._automaton.alphabet | other._automaton.alphabet,
+        )
+
+    def left_quotient_by(self, prefix: "MigrationInventory") -> "MigrationInventory":
+        """``X^{-1} L`` where ``X`` is ``prefix`` (Definition 4.8)."""
+        return MigrationInventory(
+            operations.left_quotient(prefix._automaton, self._automaton),
+            self._automaton.alphabet | prefix._automaton.alphabet,
+        )
+
+    def remove_repeats(self) -> "MigrationInventory":
+        """The image under ``f_rr`` (non-repeating patterns)."""
+        return MigrationInventory(operations.remove_repeats(self._automaton), self._automaton.alphabet)
+
+    def remove_empty_initial(self) -> "MigrationInventory":
+        """The image under ``f_rei``."""
+        return MigrationInventory(
+            operations.remove_empty_initial(self._automaton, EMPTY_ROLE_SET),
+            self._automaton.alphabet,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+    def is_subset_of(self, other: "MigrationInventory") -> bool:
+        """Language containment."""
+        return decision.is_contained_in(self._automaton, other._automaton)
+
+    def equals(self, other: "MigrationInventory") -> bool:
+        """Language equality."""
+        return decision.are_equivalent(self._automaton, other._automaton)
+
+    def counterexample_against(self, other: "MigrationInventory") -> Optional[MigrationPattern]:
+        """A pattern of this inventory that ``other`` does not allow (or ``None``)."""
+        witness = decision.counterexample(self._automaton, other._automaton)
+        return None if witness is None else MigrationPattern(witness)
+
+    def __repr__(self) -> str:
+        return f"MigrationInventory(alphabet={len(self._automaton.alphabet)} role sets)"
+
+
+__all__ = ["MigrationInventory"]

@@ -1,0 +1,209 @@
+"""Vertex-labelled migration graphs of regular expressions (Definition 3.6, Fig. 6).
+
+The synthesis direction of Theorem 3.2 (Lemma 3.4) starts from a regular
+expression ``η`` over non-empty role sets and builds a *migration graph*: a
+vertex-labelled graph with a source ``v_s``, a sink ``v_t`` and inner
+vertices labelled by role sets, whose source-to-sink path labels spell
+exactly the words of ``η``.  The construction mirrors the usual
+regular-expression-to-NFA construction, except that labels sit on vertices
+rather than edges (Figure 6 shows the graph for ``P(QQP)*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.rolesets import RoleSet
+from repro.formal import regex as rx
+from repro.formal.nfa import EPSILON, NFA
+from repro.model.errors import AnalysisError
+
+#: The distinguished source and sink vertices.
+SOURCE_VERTEX = ("mg", "source")
+SINK_VERTEX = ("mg", "sink")
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class RegexMigrationGraph:
+    """A migration graph: source, sink, labelled inner vertices and edges."""
+
+    vertices: FrozenSet[Vertex]
+    edges: FrozenSet[Tuple[Vertex, Vertex]]
+    labels: Tuple[Tuple[Vertex, RoleSet], ...]
+
+    # -- accessors ----------------------------------------------------------- #
+    def label_of(self, vertex: Vertex) -> RoleSet:
+        """The role set labelling an inner vertex."""
+        for candidate, label in self.labels:
+            if candidate == vertex:
+                return label
+        raise KeyError(vertex)
+
+    def label_map(self) -> Dict[Vertex, RoleSet]:
+        """Vertex-to-label mapping for the inner vertices."""
+        return dict(self.labels)
+
+    def inner_vertices(self) -> Tuple[Vertex, ...]:
+        """All vertices except the source and the sink, deterministically ordered."""
+        return tuple(
+            sorted(
+                (v for v in self.vertices if v not in (SOURCE_VERTEX, SINK_VERTEX)),
+                key=repr,
+            )
+        )
+
+    def successors(self, vertex: Vertex) -> Tuple[Vertex, ...]:
+        """Outgoing neighbours of ``vertex``, deterministically ordered."""
+        return tuple(sorted((target for source, target in self.edges if source == vertex), key=repr))
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of outgoing edges."""
+        return len(self.successors(vertex))
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics, reported by benchmarks."""
+        return {
+            "vertices": len(self.vertices),
+            "inner_vertices": len(self.inner_vertices()),
+            "edges": len(self.edges),
+        }
+
+    # -- language views -------------------------------------------------------- #
+    def path_language(self) -> NFA:
+        """The NFA of source-to-sink path label sequences (should equal ``η``)."""
+        labels = self.label_map()
+        # Edges into the sink are "finish here" markers: the sink is the only
+        # accepting state, reached silently.
+        nfa_transitions: Dict[Tuple[Vertex, object], Set[Vertex]] = {}
+        for source, target in self.edges:
+            if target == SINK_VERTEX:
+                nfa_transitions.setdefault((source, EPSILON), set()).add(SINK_VERTEX)
+            else:
+                nfa_transitions.setdefault((source, labels[target]), set()).add(target)
+        alphabet = set(labels.values())
+        return NFA(self.vertices, alphabet, nfa_transitions, {SOURCE_VERTEX}, {SINK_VERTEX})
+
+    def walk_language(self) -> NFA:
+        """The NFA of label sequences of walks starting at the source (prefix closed)."""
+        labels = self.label_map()
+        transitions: Dict[Tuple[Vertex, object], Set[Vertex]] = {}
+        for source, target in self.edges:
+            if target == SINK_VERTEX:
+                continue
+            transitions.setdefault((source, labels[target]), set()).add(target)
+        alphabet = set(labels.values())
+        states = set(self.vertices) - {SINK_VERTEX}
+        return NFA(states, alphabet, transitions, {SOURCE_VERTEX}, states)
+
+    # -- derived graphs --------------------------------------------------------- #
+    def lazy_variant(self) -> "RegexMigrationGraph":
+        """The graph ``G'`` used for lazy patterns (Lemma 3.4, item 2).
+
+        There is an edge ``(u, v)`` in the result iff the original graph has a
+        path ``u = v_0, ..., v_n = v`` whose intermediate vertices all carry
+        the label of ``u`` while ``v`` carries a different label (or ``v`` is
+        the sink).  Along such a path the role set does not change until the
+        final step, so collapsing it yields exactly the non-repeating
+        patterns.
+        """
+        labels = self.label_map()
+        new_edges: Set[Tuple[Vertex, Vertex]] = set()
+        for start in self.vertices:
+            if start == SINK_VERTEX:
+                continue
+            start_label = labels.get(start)
+            # Breadth-first through same-labelled vertices.
+            frontier = [start]
+            visited: Set[Vertex] = {start}
+            while frontier:
+                current = frontier.pop()
+                for target in self.successors(current):
+                    if target == SINK_VERTEX:
+                        new_edges.add((start, SINK_VERTEX))
+                        continue
+                    if start_label is not None and labels[target] == start_label:
+                        if target not in visited:
+                            visited.add(target)
+                            frontier.append(target)
+                    else:
+                        new_edges.add((start, target))
+        return RegexMigrationGraph(self.vertices, frozenset(new_edges), self.labels)
+
+
+def build_migration_graph(expression: rx.Regex) -> RegexMigrationGraph:
+    """Build the migration graph ``G_η`` of a regular expression over role sets.
+
+    The expression must denote a language over *non-empty* role sets; the
+    empty-set expression is rejected (it has no meaningful graph).
+    """
+    expression = expression.simplify()
+    if isinstance(expression, rx.EmptySet):
+        raise AnalysisError("cannot build a migration graph for the empty language")
+    fresh = count()
+
+    def build(node: rx.Regex) -> Tuple[Set[Vertex], Set[Tuple[Vertex, Vertex]], Dict[Vertex, RoleSet]]:
+        if isinstance(node, rx.Epsilon):
+            return {SOURCE_VERTEX, SINK_VERTEX}, {(SOURCE_VERTEX, SINK_VERTEX)}, {}
+        if isinstance(node, rx.Symbol):
+            value = node.value
+            label = value if isinstance(value, RoleSet) else RoleSet(value)
+            if not label:
+                raise AnalysisError("migration-graph expressions must use non-empty role sets")
+            vertex = ("mg", "v", next(fresh))
+            return (
+                {SOURCE_VERTEX, vertex, SINK_VERTEX},
+                {(SOURCE_VERTEX, vertex), (vertex, SINK_VERTEX)},
+                {vertex: label},
+            )
+        if isinstance(node, rx.Concat):
+            v1, e1, l1 = build(node.left)
+            v2, e2, l2 = build(node.right)
+            edges = {(u, v) for (u, v) in e1 if v != SINK_VERTEX}
+            edges |= {(u, v) for (u, v) in e2 if u != SOURCE_VERTEX}
+            edges |= {
+                (u, v)
+                for (u, _sink) in e1
+                if _sink == SINK_VERTEX
+                for (_src, v) in e2
+                if _src == SOURCE_VERTEX
+            }
+            return v1 | v2, edges, {**l1, **l2}
+        if isinstance(node, rx.Union):
+            v1, e1, l1 = build(node.left)
+            v2, e2, l2 = build(node.right)
+            return v1 | v2, e1 | e2, {**l1, **l2}
+        if isinstance(node, rx.Star):
+            v1, e1, l1 = build(node.operand)
+            edges = set(e1) | {(SOURCE_VERTEX, SINK_VERTEX)}
+            edges |= {
+                (u, v)
+                for (u, _sink) in e1
+                if _sink == SINK_VERTEX
+                for (_src, v) in e1
+                if _src == SOURCE_VERTEX
+            }
+            return v1, edges, l1
+        if isinstance(node, rx.Plus):
+            return build(rx.Concat(node.operand, rx.Star(node.operand)))
+        if isinstance(node, rx.Optional):
+            return build(rx.Union(node.operand, rx.Epsilon()))
+        raise AnalysisError(f"unsupported expression node {type(node).__name__}")  # pragma: no cover
+
+    vertices, edges, labels = build(expression)
+    return RegexMigrationGraph(
+        frozenset(vertices),
+        frozenset(edges),
+        tuple(sorted(labels.items(), key=lambda kv: repr(kv[0]))),
+    )
+
+
+__all__ = [
+    "RegexMigrationGraph",
+    "build_migration_graph",
+    "SOURCE_VERTEX",
+    "SINK_VERTEX",
+]

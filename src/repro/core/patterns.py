@@ -1,0 +1,199 @@
+"""Migration patterns (Definitions 3.2 and 3.4) and the word functions f_rr / f_rei.
+
+A *migration pattern* is the word of role sets an object passes through
+under a sequence of transaction applications, always starting from the empty
+database ``d_0``.  This module provides
+
+* :class:`MigrationPattern` -- an immutable word of role sets with the
+  classification predicates (*immediate-start*, *proper*, *lazy*),
+* :func:`pattern_of_run` -- read the pattern of one object off a run
+  (sequence of instances) produced by :func:`repro.language.semantics.run_sequence`,
+* :func:`remove_repeats_word` (``f_rr``) and
+  :func:`remove_empty_initial_word` (``f_rei``) on single words (their
+  language-level counterparts live in :mod:`repro.formal.operations`).
+
+Classification convention.  Definition 3.4 distinguishes three subclasses of
+patterns.  Following the worked examples of the paper (Examples 3.4-3.6,
+whose stated families have the shape ``(λ ∪ ∅)·...``), the *proper* and
+*lazy* requirements constrain consecutive symbols of the pattern (steps
+``i = 2..n``): a step is proper when the object's role set or attribute
+tuple changed, and lazy when its role set changed; the first symbol of the
+pattern is unconstrained.  *Immediate-start* requires the first symbol to be
+non-empty (the object is created by the very first update).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.model.instance import DatabaseInstance
+from repro.model.values import Constant, ObjectId
+
+
+class MigrationPattern:
+    """An immutable word over the role-set alphabet."""
+
+    __slots__ = ("_word",)
+
+    def __init__(self, role_sets: Iterable[Iterable[str]] = ()) -> None:
+        self._word: Tuple[RoleSet, ...] = tuple(
+            rs if isinstance(rs, RoleSet) else RoleSet(rs) for rs in role_sets
+        )
+
+    # -- sequence protocol -------------------------------------------------- #
+    @property
+    def word(self) -> Tuple[RoleSet, ...]:
+        """The underlying tuple of role sets."""
+        return self._word
+
+    def __len__(self) -> int:
+        return len(self._word)
+
+    def __iter__(self):
+        return iter(self._word)
+
+    def __getitem__(self, index):
+        result = self._word[index]
+        return MigrationPattern(result) if isinstance(index, slice) else result
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MigrationPattern):
+            return self._word == other._word
+        if isinstance(other, tuple):
+            return self._word == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._word)
+
+    def __repr__(self) -> str:
+        if not self._word:
+            return "λ"
+        return "·".join(rs.label() for rs in self._word)
+
+    # -- structure ----------------------------------------------------------- #
+    def is_well_formed(self) -> bool:
+        """Membership in ``∅* Ω+^* ∅*`` (Definition 3.2): empties only at the ends."""
+        seen_body = False
+        seen_trailing_empty = False
+        for role_set in self._word:
+            if role_set:
+                if seen_trailing_empty:
+                    return False
+                seen_body = True
+            else:
+                if seen_body:
+                    seen_trailing_empty = True
+        return True
+
+    @property
+    def is_immediate_start(self) -> bool:
+        """The first role set is non-empty (object created at the very first step)."""
+        return bool(self._word) and bool(self._word[0])
+
+    def is_lazy(self) -> bool:
+        """Consecutive role sets always differ."""
+        return all(self._word[i - 1] != self._word[i] for i in range(1, len(self._word)))
+
+    def prefixes(self) -> Tuple["MigrationPattern", ...]:
+        """All prefixes, shortest first (inventories are prefix closed)."""
+        return tuple(MigrationPattern(self._word[:length]) for length in range(len(self._word) + 1))
+
+    # -- the word functions of Section 3 -------------------------------------- #
+    def remove_repeats(self) -> "MigrationPattern":
+        """``f_rr``: collapse consecutive equal role sets."""
+        return MigrationPattern(remove_repeats_word(self._word))
+
+    def remove_empty_initial(self) -> "MigrationPattern":
+        """``f_rei``: drop the leading block of empty role sets."""
+        return MigrationPattern(remove_empty_initial_word(self._word))
+
+
+def remove_repeats_word(word: Sequence[RoleSet]) -> Tuple[RoleSet, ...]:
+    """``f_rr`` on a single word: ``f_rr(w a a) = f_rr(w a)``."""
+    result: List[RoleSet] = []
+    for symbol in word:
+        if not result or result[-1] != symbol:
+            result.append(symbol if isinstance(symbol, RoleSet) else RoleSet(symbol))
+    return tuple(result)
+
+
+def remove_empty_initial_word(word: Sequence[RoleSet]) -> Tuple[RoleSet, ...]:
+    """``f_rei`` on a single word: drop leading empty role sets."""
+    index = 0
+    while index < len(word) and not word[index]:
+        index += 1
+    return tuple(symbol if isinstance(symbol, RoleSet) else RoleSet(symbol) for symbol in word[index:])
+
+
+# --------------------------------------------------------------------------- #
+# Reading patterns off runs
+# --------------------------------------------------------------------------- #
+def _tuple_of(instance: DatabaseInstance, obj: ObjectId) -> Optional[Tuple[Tuple[str, Constant], ...]]:
+    """The object's attribute tuple in ``instance`` (``None`` if it does not occur)."""
+    if not instance.occurs(obj):
+        return None
+    return tuple(sorted(instance.tuple_of(obj).items()))
+
+
+def pattern_of_run(
+    obj: ObjectId,
+    trace: Sequence[DatabaseInstance],
+) -> MigrationPattern:
+    """The migration pattern of ``obj`` over a run ``d_1, ..., d_n``.
+
+    ``trace`` excludes the starting (empty) database, matching the output of
+    :func:`repro.language.semantics.run_sequence`.
+    """
+    return MigrationPattern(RoleSet(instance.role_set(obj)) for instance in trace)
+
+
+def run_is_proper_for(
+    obj: ObjectId,
+    initial: DatabaseInstance,
+    trace: Sequence[DatabaseInstance],
+) -> bool:
+    """Whether each step *after the first* properly updates ``obj``.
+
+    A step properly updates the object when its role set or attribute tuple
+    changes across the step.
+    """
+    states = [initial, *trace]
+    for index in range(2, len(states)):
+        before, after = states[index - 1], states[index]
+        role_changed = before.role_set(obj) != after.role_set(obj)
+        tuple_changed = _tuple_of(before, obj) != _tuple_of(after, obj)
+        if not (role_changed or tuple_changed):
+            return False
+    return True
+
+
+def run_is_lazy_for(
+    obj: ObjectId,
+    initial: DatabaseInstance,
+    trace: Sequence[DatabaseInstance],
+) -> bool:
+    """Whether each step *after the first* changes the role set of ``obj``."""
+    states = [initial, *trace]
+    for index in range(2, len(states)):
+        if states[index - 1].role_set(obj) == states[index].role_set(obj):
+            return False
+    return True
+
+
+def run_changes_database(trace_pair: Tuple[DatabaseInstance, DatabaseInstance]) -> bool:
+    """Whether a single step changed the database at all (Definition 4.6 requires it for CSL)."""
+    before, after = trace_pair
+    return before != after
+
+
+__all__ = [
+    "MigrationPattern",
+    "remove_repeats_word",
+    "remove_empty_initial_word",
+    "pattern_of_run",
+    "run_is_proper_for",
+    "run_is_lazy_for",
+    "run_changes_database",
+]

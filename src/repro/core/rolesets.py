@@ -1,0 +1,135 @@
+"""Role sets (Definitions 3.1 and 4.5).
+
+A *role set* is an isa-closed set of pairwise weakly-connected classes: the
+set of classes an object belongs to at one instant.  Role sets are the
+alphabet over which migration patterns and inventories are written, so they
+are represented as hashable, immutable values (:class:`RoleSet` is a
+``frozenset`` subclass with a compact rendering) directly usable as automata
+symbols.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.errors import SchemaError
+from repro.model.schema import ClassName, DatabaseSchema
+
+
+class RoleSet(frozenset):
+    """An isa-closed set of classes; the empty role set prints as ``∅``.
+
+    Being a ``frozenset`` subclass, role sets compare equal to plain
+    frozensets with the same elements and can be used as automaton symbols,
+    dictionary keys and members of regular expressions.
+    """
+
+    def __new__(cls, classes: Iterable[ClassName] = ()) -> "RoleSet":
+        return super().__new__(cls, classes)
+
+    def label(self) -> str:
+        """A compact, deterministic rendering such as ``[EMPLOYEE+STUDENT]``."""
+        if not self:
+            return "∅"
+        return "[" + "+".join(sorted(self)) + "]"
+
+    def __repr__(self) -> str:
+        return self.label()
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+#: The empty role set (the object does not occur in the database).
+EMPTY_ROLE_SET = RoleSet()
+
+
+def role_set_of(schema: DatabaseSchema, classes: Iterable[ClassName]) -> RoleSet:
+    """The role set obtained by isa-closing ``classes`` (checked against ``schema``)."""
+    closed = schema.role_set_closure(classes)
+    if not schema.is_role_set(closed):
+        raise SchemaError(f"{sorted(closed)!r} is not a role set (classes are not weakly connected)")
+    return RoleSet(closed)
+
+
+def enumerate_role_sets(
+    schema: DatabaseSchema,
+    component: Optional[AbstractSet[ClassName]] = None,
+    include_empty: bool = True,
+) -> Tuple[RoleSet, ...]:
+    """All role sets over ``schema`` (or over one weakly-connected component).
+
+    When the schema has several components and no component is given, the
+    non-empty role sets of *all* components are returned (Definition 4.5);
+    the empty role set is included once if ``include_empty``.
+
+    The enumeration walks upward-closed subsets directly, so its cost is
+    proportional to the number of role sets rather than ``2^|C|``.
+    """
+    if component is not None:
+        components: Sequence[FrozenSet[ClassName]] = [frozenset(component)]
+        for name in component:
+            schema.require_class(name)
+    else:
+        components = schema.weakly_connected_components()
+
+    found: Dict[RoleSet, None] = {}
+    if include_empty:
+        found[EMPTY_ROLE_SET] = None
+    for comp in components:
+        for role_set in _enumerate_component_role_sets(schema, comp):
+            found[role_set] = None
+    return tuple(sorted(found, key=lambda rs: (len(rs), rs.label())))
+
+
+def _enumerate_component_role_sets(
+    schema: DatabaseSchema, component: AbstractSet[ClassName]
+) -> Iterator[RoleSet]:
+    """Non-empty role sets of one component, by BFS over "add one class and close"."""
+    names = sorted(component)
+    roots = [name for name in names if schema.is_isa_root(name)]
+    if len(roots) != 1:
+        raise SchemaError(f"{sorted(component)!r} is not a single weakly-connected component")
+    seed = RoleSet(schema.role_set_closure({roots[0]}))
+    seen = {seed}
+    queue: List[RoleSet] = [seed]
+    while queue:
+        current = queue.pop()
+        yield current
+        for name in names:
+            if name in current:
+                continue
+            grown = RoleSet(schema.role_set_closure(set(current) | {name}))
+            if grown not in seen:
+                seen.add(grown)
+                queue.append(grown)
+
+
+def count_role_sets(schema: DatabaseSchema, include_empty: bool = True) -> int:
+    """The number of role sets of ``schema`` (a size measure used in benchmarks)."""
+    return len(enumerate_role_sets(schema, include_empty=include_empty))
+
+
+def symbol_map(role_sets: Iterable[RoleSet]) -> Dict[str, RoleSet]:
+    """A name->role-set mapping usable with :func:`repro.formal.regex.parse_regex`.
+
+    Each role set is addressable by its :meth:`RoleSet.label` (e.g. ``"[PERSON]"``)
+    and the empty role set also by ``"0"``.
+    """
+    mapping: Dict[str, RoleSet] = {}
+    for role_set in role_sets:
+        mapping[role_set.label()] = role_set
+        if not role_set:
+            mapping["0"] = role_set
+    return mapping
+
+
+__all__ = [
+    "RoleSet",
+    "EMPTY_ROLE_SET",
+    "role_set_of",
+    "enumerate_role_sets",
+    "count_role_sets",
+    "symbol_map",
+]

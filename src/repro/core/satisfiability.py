@@ -1,0 +1,105 @@
+"""Satisfaction / generation / characterization of inventories (Definition 3.5, Corollary 3.3).
+
+A transaction schema ``Σ`` *satisfies* an inventory ``L`` (with respect to a
+pattern kind) when every pattern it can produce lies in ``L``; it
+*generates* ``L`` when it can produce every pattern of ``L``; it
+*characterizes* ``L`` when both hold.  For SL schemas all three questions
+are decidable because the pattern families are regular (Theorem 3.2); the
+functions here combine :class:`repro.core.sl_analysis.SLMigrationAnalysis`
+with the regular-language decision procedures and also report
+counterexamples, which the examples and benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.inventory import MigrationInventory
+from repro.core.patterns import MigrationPattern
+from repro.core.sl_analysis import PATTERN_KINDS, SLMigrationAnalysis
+from repro.language.transactions import TransactionSchema
+from repro.model.errors import AnalysisError
+
+SchemaOrAnalysis = Union[TransactionSchema, SLMigrationAnalysis]
+
+
+@dataclass(frozen=True)
+class ConstraintCheck:
+    """The outcome of checking one schema against one inventory."""
+
+    kind: str
+    satisfies: bool
+    generates: bool
+    #: A pattern the schema produces but the inventory forbids (if any).
+    violation: Optional[MigrationPattern]
+    #: A pattern the inventory allows but the schema cannot produce (if any).
+    missing: Optional[MigrationPattern]
+
+    @property
+    def characterizes(self) -> bool:
+        """Both satisfies and generates."""
+        return self.satisfies and self.generates
+
+    def summary(self) -> str:
+        """A one-line human-readable verdict."""
+        verdict = []
+        verdict.append("satisfies" if self.satisfies else f"violates (e.g. {self.violation!r})")
+        verdict.append("generates" if self.generates else f"does not generate (e.g. {self.missing!r})")
+        return f"[{self.kind}] " + ", ".join(verdict)
+
+
+def _as_analysis(schema: SchemaOrAnalysis) -> SLMigrationAnalysis:
+    if isinstance(schema, SLMigrationAnalysis):
+        return schema
+    if isinstance(schema, TransactionSchema):
+        return SLMigrationAnalysis(schema)
+    raise AnalysisError(f"expected a TransactionSchema or SLMigrationAnalysis, got {type(schema).__name__}")
+
+
+def check_constraint(
+    schema: SchemaOrAnalysis,
+    inventory: MigrationInventory,
+    kind: str = "all",
+) -> ConstraintCheck:
+    """Decide satisfaction and generation of ``inventory`` and report witnesses."""
+    analysis = _as_analysis(schema)
+    family = analysis.pattern_family(kind)
+    satisfies = family.is_subset_of(inventory)
+    generates = inventory.is_subset_of(family)
+    violation = None if satisfies else family.counterexample_against(inventory)
+    missing = None if generates else inventory.counterexample_against(family)
+    return ConstraintCheck(kind, satisfies, generates, violation, missing)
+
+
+def satisfies(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+    """Whether the schema produces only patterns allowed by the inventory."""
+    return check_constraint(schema, inventory, kind).satisfies
+
+
+def generates(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+    """Whether the schema can produce every pattern of the inventory."""
+    return check_constraint(schema, inventory, kind).generates
+
+
+def characterizes(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+    """Whether the schema both satisfies and generates the inventory."""
+    return check_constraint(schema, inventory, kind).characterizes
+
+
+def check_all_kinds(
+    schema: SchemaOrAnalysis, inventory: MigrationInventory
+) -> Dict[str, ConstraintCheck]:
+    """Run :func:`check_constraint` for every pattern kind."""
+    analysis = _as_analysis(schema)
+    return {kind: check_constraint(analysis, inventory, kind) for kind in PATTERN_KINDS}
+
+
+__all__ = [
+    "ConstraintCheck",
+    "check_constraint",
+    "check_all_kinds",
+    "satisfies",
+    "generates",
+    "characterizes",
+]

@@ -1,0 +1,232 @@
+"""Bounded enumeration of migration patterns by exhaustive simulation.
+
+Two uses in the reproduction:
+
+* **Cross-validation** of the static analysis (Theorem 3.2): every pattern
+  observed by exhaustively running an SL schema up to a depth bound must be
+  a member of the corresponding analysed family.
+* **Theorem 4.2**: for CSL/CSL+ schemas the pattern families are recursively
+  enumerable; this module *is* that enumeration procedure, made finite by a
+  depth bound, a bounded assignment value pool and a cap on explored states.
+
+The explorer runs every transaction of the schema under every assignment
+drawn from a finite pool (the schema's constants plus a few fresh values),
+tracks the role-set history of every object, and classifies the resulting
+patterns into the four families of Definition 3.4.  For conditional schemas
+it follows Definition 4.6 and only counts applications that actually change
+the database.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.patterns import MigrationPattern
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.conditional import ConditionalTransaction, ConditionalTransactionSchema
+from repro.language.semantics import apply_transaction
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.model.errors import AnalysisError
+from repro.model.instance import DatabaseInstance, validation_disabled
+from repro.model.schema import ClassName
+from repro.model.values import Assignment, Constant, ObjectId
+
+AnySchema = Union[TransactionSchema, ConditionalTransactionSchema]
+
+
+@dataclass
+class SimulationResult:
+    """Patterns observed by the bounded exploration."""
+
+    patterns: Dict[str, Set[Tuple[RoleSet, ...]]]
+    runs_explored: int
+    states_explored: int
+    truncated: bool
+
+    def as_migration_patterns(self, kind: str = "all") -> List[MigrationPattern]:
+        """The observed patterns of one kind, deterministically ordered."""
+        return [MigrationPattern(word) for word in sorted(self.patterns[kind], key=repr)]
+
+    def observed(self, kind: str = "all") -> Set[Tuple[RoleSet, ...]]:
+        """The raw set of observed words for one kind."""
+        return self.patterns[kind]
+
+
+def _apply(transaction, instance: DatabaseInstance, assignment: Assignment) -> DatabaseInstance:
+    if isinstance(transaction, ConditionalTransaction):
+        return transaction.apply(instance, assignment)
+    return apply_transaction(transaction, instance, assignment)
+
+
+def _assignments(transaction, pool: Sequence[Constant]) -> Iterable[Assignment]:
+    variables = sorted(transaction.variables(), key=lambda v: v.name)
+    if not variables:
+        yield Assignment()
+        return
+    for values in itertools.product(pool, repeat=len(variables)):
+        yield Assignment({variable: value for variable, value in zip(variables, values)})
+
+
+def _object_tuple(instance: DatabaseInstance, obj: ObjectId):
+    if not instance.occurs(obj):
+        return None
+    return tuple(sorted(instance.tuple_of(obj).items()))
+
+
+def explore_patterns(
+    transactions: AnySchema,
+    component: Optional[Iterable[ClassName]] = None,
+    max_depth: int = 4,
+    extra_values: int = 2,
+    value_pool: Optional[Sequence[Constant]] = None,
+    max_states: int = 50_000,
+    require_database_change: Optional[bool] = None,
+) -> SimulationResult:
+    """Exhaustively run the schema up to ``max_depth`` applications.
+
+    Parameters
+    ----------
+    transactions:
+        An SL :class:`TransactionSchema` or a CSL/CSL+
+        :class:`ConditionalTransactionSchema`.
+    component:
+        Restrict observed role sets to one weakly-connected component
+        (required for multi-component schemas, Definition 4.7).
+    max_depth:
+        Number of transaction applications per run.
+    extra_values:
+        How many fresh constants (outside the schema's constants) the
+        assignment pool contains.
+    value_pool:
+        Overrides the assignment pool entirely.
+    max_states:
+        Cap on the number of explored run nodes; exceeding it sets
+        ``truncated`` in the result instead of raising.
+    require_database_change:
+        Only count applications that change the database (Definition 4.6).
+        Defaults to ``True`` for conditional schemas and ``False`` for SL.
+    """
+    schema = transactions.schema
+    is_conditional = isinstance(transactions, ConditionalTransactionSchema)
+    if require_database_change is None:
+        require_database_change = is_conditional
+
+    if component is not None:
+        component_set: Optional[FrozenSet[ClassName]] = frozenset(component)
+    elif schema.is_weakly_connected_schema():
+        component_set = schema.weakly_connected_components()[0]
+    else:
+        component_set = None  # observe all components together
+
+    if value_pool is None:
+        pool: List[Constant] = sorted(set(transactions.constants()), key=repr)
+        pool.extend(("sim", index) for index in range(extra_values))
+    else:
+        pool = list(value_pool)
+    if not pool:
+        pool = [("sim", 0)]
+
+    observed: Dict[str, Set[Tuple[RoleSet, ...]]] = {
+        "all": set(),
+        "immediate_start": set(),
+        "proper": set(),
+        "lazy": set(),
+    }
+    counters = {"runs": 0, "states": 0, "truncated": False}
+
+    def role_of(instance: DatabaseInstance, obj: ObjectId) -> RoleSet:
+        role = RoleSet(instance.role_set(obj))
+        if component_set is not None and not role <= component_set:
+            return EMPTY_ROLE_SET if not (role & component_set) else RoleSet(role & component_set)
+        return role
+
+    def record(trace: List[DatabaseInstance]) -> None:
+        counters["runs"] += 1
+        if not trace:
+            for kind in observed:
+                observed[kind].add(())
+            return
+        # Track every object that could have been created during the run,
+        # plus one that never was (for the all-empty patterns).
+        highest = max(instance.next_object.index for instance in trace)
+        candidates = [ObjectId(index) for index in range(1, highest + 1)]
+        initial = DatabaseInstance.empty(schema)
+        states = [initial, *trace]
+        for obj in candidates:
+            word = tuple(role_of(instance, obj) for instance in trace)
+            if component_set is not None and any(
+                not role <= component_set for role in word
+            ):  # pragma: no cover - role_of already projects
+                continue
+            observed["all"].add(word)
+            if word and word[0]:
+                observed["immediate_start"].add(word)
+            proper = True
+            lazy = True
+            for index in range(2, len(states)):
+                before, after = states[index - 1], states[index]
+                role_changed = before.role_set(obj) != after.role_set(obj)
+                tuple_changed = _object_tuple(before, obj) != _object_tuple(after, obj)
+                if not role_changed:
+                    lazy = False
+                if not (role_changed or tuple_changed):
+                    proper = False
+            if proper:
+                observed["proper"].add(word)
+            if lazy:
+                observed["lazy"].add(word)
+
+    def explore(instance: DatabaseInstance, trace: List[DatabaseInstance]) -> None:
+        record(trace)
+        if len(trace) >= max_depth:
+            return
+        if counters["states"] >= max_states:
+            counters["truncated"] = True
+            return
+        # Siblings producing the same instance lead to identical subtrees
+        # (the prior trace is shared), so they are explored only once.
+        seen_children: Set[DatabaseInstance] = set()
+        for transaction in transactions:
+            for assignment in _assignments(transaction, pool):
+                counters["states"] += 1
+                if counters["states"] >= max_states:
+                    counters["truncated"] = True
+                    return
+                result = _apply(transaction, instance, assignment)
+                if require_database_change and result == instance:
+                    continue
+                if result in seen_children:
+                    continue
+                seen_children.add(result)
+                explore(result, trace + [result])
+
+    with validation_disabled():
+        explore(DatabaseInstance.empty(schema), [])
+
+    return SimulationResult(
+        patterns=observed,
+        runs_explored=counters["runs"],
+        states_explored=counters["states"],
+        truncated=counters["truncated"],
+    )
+
+
+def observed_within(
+    result: SimulationResult,
+    inventory,
+    kind: str = "all",
+) -> Tuple[bool, Optional[MigrationPattern]]:
+    """Check that every observed pattern belongs to ``inventory``.
+
+    Returns ``(ok, first_counterexample)``; used by the cross-validation
+    tests (observed ⊆ analysed family) and by the CSL soundness checks.
+    """
+    for word in sorted(result.patterns[kind], key=repr):
+        if not inventory.contains(word):
+            return False, MigrationPattern(word)
+    return True, None
+
+
+__all__ = ["SimulationResult", "explore_patterns", "observed_within"]

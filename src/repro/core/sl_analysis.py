@@ -1,0 +1,420 @@
+"""Migration-pattern analysis of SL transaction schemas (Theorem 3.2, part 1).
+
+Given a finite set of (parameterized) SL transactions, this module computes
+the *migration graph* of the schema -- the finite abstraction whose vertices
+are the (role set, hyperplane, equality-partition) cells of
+:mod:`repro.core.hyperplanes` and whose edges record which cells a single
+object can be driven between by one transaction application -- and reads the
+four pattern families off it:
+
+* all migration patterns,
+* immediate-start patterns (object created by the very first update),
+* proper patterns (every step after the first changes the object), and
+* lazy patterns (every step after the first changes its role set).
+
+All four are regular (Theorem 3.2); they are returned as
+:class:`repro.core.inventory.MigrationInventory` objects, so satisfaction and
+generation of a constraint inventory reduce to regular-language containment
+(Corollary 3.3, implemented in :mod:`repro.core.satisfiability`).
+
+The construction explores only the *reachable* vertices (objects start their
+life via some ``create``), which keeps the graph small in practice while
+computing exactly the same pattern languages as the full vertex enumeration
+of the paper's proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.hyperplanes import AbstractionContext, AbstractionVertex, relevant_attributes
+from repro.core.inventory import MigrationInventory
+from repro.core.patterns import MigrationPattern
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
+from repro.formal import operations
+from repro.formal.nfa import NFA
+from repro.language.semantics import apply_transaction
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.model.errors import AnalysisError
+from repro.model.instance import DatabaseInstance, validation_disabled
+from repro.model.schema import ClassName, DatabaseSchema
+from repro.model.values import Assignment, Constant, ObjectId
+
+#: Graph endpoints that are not abstraction vertices.
+SOURCE = "⊤source"
+DELETED = "⊥deleted"
+
+#: The four pattern families of Definition 3.4.
+PATTERN_KINDS = ("all", "immediate_start", "proper", "lazy")
+
+
+@dataclass(frozen=True)
+class MigrationEdge:
+    """One edge of the migration graph, annotated per realizing transaction."""
+
+    source: Union[str, AbstractionVertex]
+    target: Union[str, AbstractionVertex]
+    transaction: str
+    proper: bool
+    lazy: bool
+
+
+@dataclass
+class MigrationGraph:
+    """The migration graph of a transaction schema (analysis output)."""
+
+    vertices: Tuple[AbstractionVertex, ...]
+    edges: Tuple[MigrationEdge, ...]
+    role_sets: Tuple[RoleSet, ...]
+    assignments_tried: int = 0
+
+    def creation_edges(self) -> Tuple[MigrationEdge, ...]:
+        """Edges out of the virtual source (object creations)."""
+        return tuple(edge for edge in self.edges if edge.source == SOURCE)
+
+    def deletion_edges(self) -> Tuple[MigrationEdge, ...]:
+        """Edges into the virtual sink (object deletions)."""
+        return tuple(edge for edge in self.edges if edge.target == DELETED)
+
+    def migration_edges(self) -> Tuple[MigrationEdge, ...]:
+        """Vertex-to-vertex edges."""
+        return tuple(
+            edge for edge in self.edges if edge.source != SOURCE and edge.target != DELETED
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics (reported by the benchmarks)."""
+        return {
+            "vertices": len(self.vertices),
+            "edges": len(self.edges),
+            "creation_edges": len(self.creation_edges()),
+            "deletion_edges": len(self.deletion_edges()),
+            "migration_edges": len(self.migration_edges()),
+            "role_sets": len(self.role_sets),
+            "assignments_tried": self.assignments_tried,
+        }
+
+
+class SLMigrationAnalysis:
+    """Compute the migration graph and pattern families of an SL transaction schema.
+
+    Parameters
+    ----------
+    transactions:
+        The SL transaction schema to analyse.
+    component:
+        The weakly-connected component (set of class names) whose role sets
+        the patterns range over.  May be omitted when the database schema is
+        weakly connected (the setting of Section 3).
+    use_all_attributes:
+        Track every attribute in the abstraction, exactly as in the paper's
+        proof.  The default tracks only the relevant attributes (see
+        :func:`repro.core.hyperplanes.relevant_attributes`), which yields the
+        same pattern families with a much smaller vertex space.
+    extra_constants:
+        Additional constants to keep distinguishable (used by the
+        reachability analysis of Section 5, whose assertions mention
+        constants that do not occur in the transactions).
+    max_assignments:
+        Safety bound on the number of assignments tried per (vertex,
+        transaction) pair; exceeding it raises :class:`AnalysisError`.
+    """
+
+    def __init__(
+        self,
+        transactions: TransactionSchema,
+        component: Optional[Iterable[ClassName]] = None,
+        use_all_attributes: bool = False,
+        extra_constants: Iterable[Constant] = (),
+        extra_tracked_attributes: Iterable[str] = (),
+        max_assignments: int = 200_000,
+    ) -> None:
+        self._transactions = transactions
+        self._schema = transactions.schema
+        self._component = self._resolve_component(component)
+        self._max_assignments = max_assignments
+        if use_all_attributes:
+            tracked = None
+        else:
+            tracked = frozenset(relevant_attributes(transactions)) | frozenset(extra_tracked_attributes)
+        constants = set(transactions.constants()) | set(extra_constants)
+        self._context = AbstractionContext(self._schema, constants, tracked)
+        self._role_sets = enumerate_role_sets(self._schema, component=self._component)
+        self._graph: Optional[MigrationGraph] = None
+        self._families: Dict[str, MigrationInventory] = {}
+        self._expansion_cache: Dict[AbstractionVertex, Tuple[MigrationEdge, ...]] = {}
+        self._assignments_tried = 0
+
+    # ------------------------------------------------------------------ #
+    # Setup helpers
+    # ------------------------------------------------------------------ #
+    def _resolve_component(self, component: Optional[Iterable[ClassName]]) -> FrozenSet[ClassName]:
+        if component is not None:
+            names = frozenset(component)
+            for name in names:
+                self._schema.require_class(name)
+            for candidate in self._schema.weakly_connected_components():
+                if names == candidate:
+                    return candidate
+            raise AnalysisError(
+                f"{sorted(names)!r} is not a maximal weakly-connected component of the schema"
+            )
+        components = self._schema.weakly_connected_components()
+        if len(components) == 1:
+            return components[0]
+        raise AnalysisError(
+            "the database schema has several weakly-connected components; "
+            "pass component=... to select the one whose migration patterns to analyse"
+        )
+
+    @property
+    def component(self) -> FrozenSet[ClassName]:
+        """The analysed weakly-connected component."""
+        return self._component
+
+    @property
+    def context(self) -> AbstractionContext:
+        """The abstraction context (exposed for the reachability analysis)."""
+        return self._context
+
+    @property
+    def role_sets(self) -> Tuple[RoleSet, ...]:
+        """All role sets of the analysed component (empty role set included)."""
+        return self._role_sets
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def _assignments(
+        self, transaction: Transaction, extra_values: Tuple[Constant, ...]
+    ) -> Iterable[Assignment]:
+        variables = sorted(transaction.variables(), key=lambda v: v.name)
+        if not variables:
+            yield Assignment()
+            return
+        candidates: List[Constant] = sorted(
+            set(self._context.constants) | set(extra_values), key=repr
+        )
+        candidates.extend(self._context.fresh_values(len(variables)))
+        total = len(candidates) ** len(variables)
+        if total > self._max_assignments:
+            raise AnalysisError(
+                f"transaction {transaction.name!r} needs {total} candidate assignments, "
+                f"above the limit of {self._max_assignments}; reduce the number of variables "
+                "or constants, or raise max_assignments"
+            )
+        for values in itertools.product(candidates, repeat=len(variables)):
+            yield Assignment({variable: value for variable, value in zip(variables, values)})
+
+    def _tuple_of(self, instance: DatabaseInstance, obj: ObjectId) -> Tuple:
+        return tuple(sorted(instance.tuple_of(obj).items(), key=lambda kv: kv[0]))
+
+    def creation_edges(self) -> Tuple[MigrationEdge, ...]:
+        """Edges from the virtual source: every way a transaction can create an object."""
+        edges: Dict[Tuple, MigrationEdge] = {}
+        with validation_disabled():
+            empty = DatabaseInstance.empty(self._schema)
+            for transaction in self._transactions:
+                for assignment in self._assignments(transaction, ()):
+                    self._assignments_tried += 1
+                    result = apply_transaction(transaction, empty, assignment)
+                    for obj in sorted(result.all_objects()):
+                        role_set = result.role_set(obj)
+                        if not role_set or not role_set <= self._component:
+                            continue
+                        vertex = self._context.match(result, obj)
+                        if vertex is None:  # pragma: no cover - role_set checked above
+                            continue
+                        edges.setdefault(
+                            (SOURCE, vertex, transaction.name),
+                            MigrationEdge(SOURCE, vertex, transaction.name, True, True),
+                        )
+        return tuple(edges.values())
+
+    def expand_vertex(self, vertex: AbstractionVertex) -> Tuple[MigrationEdge, ...]:
+        """Outgoing edges of an arbitrary abstraction vertex (cached).
+
+        The vertex need not be reachable from the empty database; the
+        reachability analysis of Section 5 starts from vertices describing
+        the objects of an arbitrary given instance.
+        """
+        cached = self._expansion_cache.get(vertex)
+        if cached is not None:
+            return cached
+        edges: Dict[Tuple, MigrationEdge] = {}
+
+        def record(target, transaction_name: str, proper: bool, lazy: bool) -> None:
+            key = (vertex, target, transaction_name)
+            existing = edges.get(key)
+            if existing is None:
+                edges[key] = MigrationEdge(vertex, target, transaction_name, proper, lazy)
+            elif (proper and not existing.proper) or (lazy and not existing.lazy):
+                edges[key] = MigrationEdge(
+                    vertex,
+                    target,
+                    transaction_name,
+                    existing.proper or proper,
+                    existing.lazy or lazy,
+                )
+
+        with validation_disabled():
+            canonical, obj, extras = self._context.canonical_instance(vertex)
+            before_tuple = self._tuple_of(canonical, obj)
+            for transaction in self._transactions:
+                for assignment in self._assignments(transaction, extras):
+                    self._assignments_tried += 1
+                    result = apply_transaction(transaction, canonical, assignment)
+                    if not result.occurs(obj):
+                        record(DELETED, transaction.name, True, True)
+                        continue
+                    target = self._context.match(result, obj)
+                    role_changed = target.role_set != vertex.role_set
+                    tuple_changed = role_changed or self._tuple_of(result, obj) != before_tuple
+                    record(target, transaction.name, tuple_changed, role_changed)
+        result_edges = tuple(edges.values())
+        self._expansion_cache[vertex] = result_edges
+        return result_edges
+
+    def migration_graph(self) -> MigrationGraph:
+        """Build (and cache) the migration graph of the transaction schema."""
+        if self._graph is not None:
+            return self._graph
+
+        all_edges: Dict[Tuple, MigrationEdge] = {}
+        vertices: Dict[AbstractionVertex, None] = {}
+        worklist: List[AbstractionVertex] = []
+
+        def discover(vertex) -> None:
+            if vertex in (SOURCE, DELETED):
+                return
+            if vertex not in vertices:
+                vertices[vertex] = None
+                worklist.append(vertex)
+
+        for edge in self.creation_edges():
+            all_edges[(edge.source, edge.target, edge.transaction)] = edge
+            discover(edge.target)
+
+        while worklist:
+            vertex = worklist.pop()
+            for edge in self.expand_vertex(vertex):
+                all_edges[(edge.source, edge.target, edge.transaction)] = edge
+                discover(edge.target)
+
+        self._graph = MigrationGraph(
+            vertices=tuple(vertices),
+            edges=tuple(all_edges.values()),
+            role_sets=self._role_sets,
+            assignments_tried=self._assignments_tried,
+        )
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # Pattern families
+    # ------------------------------------------------------------------ #
+    def _walk_automaton(self, proper_only: bool, lazy_only: bool, deleted_self_loop: bool) -> NFA:
+        graph = self.migration_graph()
+        states: Set = {SOURCE, DELETED} | set(graph.vertices)
+        alphabet: Set[RoleSet] = set(self._role_sets) | {EMPTY_ROLE_SET}
+        transitions: Dict[Tuple, Set] = {}
+
+        def allowed(edge: MigrationEdge) -> bool:
+            if lazy_only:
+                return edge.lazy
+            if proper_only:
+                return edge.proper
+            return True
+
+        for edge in graph.edges:
+            if not allowed(edge) and edge.source != SOURCE and edge.target != DELETED:
+                continue
+            if edge.target == DELETED:
+                label: RoleSet = EMPTY_ROLE_SET
+            else:
+                label = edge.target.role_set
+            transitions.setdefault((edge.source, label), set()).add(
+                DELETED if edge.target == DELETED else edge.target
+            )
+        if deleted_self_loop and len(self._transactions) > 0:
+            transitions.setdefault((DELETED, EMPTY_ROLE_SET), set()).add(DELETED)
+        return NFA(states, alphabet, transitions, {SOURCE}, states)
+
+    def _empty_symbol_nfa(self) -> NFA:
+        alphabet = set(self._role_sets) | {EMPTY_ROLE_SET}
+        return NFA.single_symbol(EMPTY_ROLE_SET, alphabet)
+
+    def pattern_family(self, kind: str = "all") -> MigrationInventory:
+        """The family of migration patterns of the schema (Definition 3.4).
+
+        ``kind`` is one of ``"all"``, ``"immediate_start"``, ``"proper"`` or
+        ``"lazy"``.
+        """
+        if kind not in PATTERN_KINDS:
+            raise AnalysisError(f"unknown pattern kind {kind!r}; expected one of {PATTERN_KINDS}")
+        if kind in self._families:
+            return self._families[kind]
+        alphabet = set(self._role_sets) | {EMPTY_ROLE_SET}
+
+        if len(self._transactions) == 0:
+            # No transactions: the only pattern is the empty word.
+            family = MigrationInventory(NFA.epsilon_language(alphabet), alphabet)
+            self._families[kind] = family
+            return family
+
+        if kind == "immediate_start":
+            automaton = self._walk_automaton(proper_only=False, lazy_only=False, deleted_self_loop=True)
+        elif kind == "all":
+            immediate = self.pattern_family("immediate_start").automaton
+            empty_star = operations.star(self._empty_symbol_nfa())
+            automaton = operations.union(operations.concat(empty_star, immediate), empty_star)
+        elif kind == "proper":
+            walks = self._walk_automaton(proper_only=True, lazy_only=False, deleted_self_loop=False)
+            prefix = operations.union(
+                NFA.epsilon_language(alphabet), self._empty_symbol_nfa()
+            )
+            automaton = operations.concat(prefix, walks)
+        else:  # lazy
+            walks = self._walk_automaton(proper_only=False, lazy_only=True, deleted_self_loop=False)
+            prefix = operations.union(
+                NFA.epsilon_language(alphabet), self._empty_symbol_nfa()
+            )
+            automaton = operations.concat(prefix, walks)
+
+        family = MigrationInventory(automaton, alphabet)
+        self._families[kind] = family
+        return family
+
+    def pattern_families(self) -> Dict[str, MigrationInventory]:
+        """All four pattern families."""
+        return {kind: self.pattern_family(kind) for kind in PATTERN_KINDS}
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers around the decision procedures
+    # ------------------------------------------------------------------ #
+    def satisfies(self, inventory: MigrationInventory, kind: str = "all") -> bool:
+        """Whether the schema only produces patterns allowed by ``inventory``."""
+        return self.pattern_family(kind).is_subset_of(inventory)
+
+    def generates(self, inventory: MigrationInventory, kind: str = "all") -> bool:
+        """Whether the schema can produce every pattern of ``inventory``."""
+        return inventory.is_subset_of(self.pattern_family(kind))
+
+    def characterizes(self, inventory: MigrationInventory, kind: str = "all") -> bool:
+        """Whether the schema both satisfies and generates ``inventory``."""
+        return self.satisfies(inventory, kind) and self.generates(inventory, kind)
+
+    def sample_patterns(self, kind: str = "all", max_length: int = 6, limit: int = 20) -> List[MigrationPattern]:
+        """A deterministic sample of the family (for reports)."""
+        return self.pattern_family(kind).sample(max_length=max_length, limit=limit)
+
+
+__all__ = [
+    "SLMigrationAnalysis",
+    "MigrationGraph",
+    "MigrationEdge",
+    "SOURCE",
+    "DELETED",
+    "PATTERN_KINDS",
+]

@@ -1,0 +1,291 @@
+"""Synthesis of SL transaction schemas from regular inventories (Lemma 3.4 / Theorem 3.2, part 2).
+
+Given a weakly-connected database schema whose isa-root carries at least
+three attributes and a regular expression ``η`` over its non-empty role
+sets, :func:`synthesize_sl_schema` constructs a single parameterized SL
+transaction ``T(x, y)`` such that, writing ``Σ = {T}``,
+
+* ``L(Σ)      = Init(∅* η ∅*)``                (all patterns)
+* ``L_imm(Σ)  = Init(η ∅*)``                   (immediate-start patterns)
+* ``L_pro(Σ)  = (λ ∪ ∅) · Init(η ∅?)``         (proper patterns)
+
+and a companion transaction ``T_lazy`` built from the "collapsed" graph
+``G'_η`` whose lazy pattern family is ``f_rr(Init(∅* η ∅*))``.
+
+The construction follows the paper: the migration graph ``G_η`` of the
+expression is built first (:mod:`repro.core.migration_graph`), then three
+control attributes of the isa-root are used to drive objects along its
+edges --
+
+* ``A`` (the *state* attribute) stores ``h(u)``, the constant identifying
+  the vertex the object currently sits at;
+* ``B`` (the *choice* attribute) receives the transaction parameter ``x``
+  and selects which outgoing edge to follow when a vertex has several;
+* ``C`` (the *mark* attribute) is a three-valued processing mark that
+  guarantees each object is moved at most once per transaction application.
+
+Every application of ``T`` creates one fresh object at the source vertex
+and advances every existing object one edge (deleting those that reach the
+sink), so the i-th created object's migration pattern is exactly the label
+sequence of a source walk of ``G_η``.  A second parameter ``y`` rewrites the
+choice attribute at the very end of the transaction so that every processed
+object's tuple can always be changed, which is what makes the *proper*
+family coincide with the walks (the paper's "refinement" remark in the
+proof of Lemma 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.inventory import MigrationInventory
+from repro.core.migration_graph import (
+    SINK_VERTEX,
+    SOURCE_VERTEX,
+    RegexMigrationGraph,
+    build_migration_graph,
+)
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
+from repro.formal import regex as rx
+from repro.formal.nfa import NFA
+from repro.formal import operations
+from repro.language.migration_ops import migration_sequence
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import AtomicUpdate, Create, Delete, Modify
+from repro.model.conditions import Condition
+from repro.model.errors import AnalysisError
+from repro.model.schema import AttributeName, ClassName, DatabaseSchema
+from repro.model.values import Variable
+
+#: The three processing marks carried by the control attribute ``C``.
+MARK_IDLE = "mark:idle"
+MARK_BUSY = "mark:busy"
+MARK_DONE = "mark:done"
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by :func:`synthesize_sl_schema`."""
+
+    #: The database schema the transactions are written against.
+    schema: DatabaseSchema
+    #: The migration graph of the input expression.
+    graph: RegexMigrationGraph
+    #: Σ = {T}: characterizes the all / immediate-start / proper families.
+    transactions: TransactionSchema
+    #: Σ' = {T_lazy}: characterizes the lazy family (built from ``G'_η``).
+    lazy_transactions: TransactionSchema
+    #: The control attributes used (state, choice, mark).
+    control_attributes: Tuple[AttributeName, AttributeName, AttributeName]
+    #: Vertex-identifying constants ``h``.
+    vertex_constants: Dict[object, str]
+
+    def expected_families(self, expression: rx.Regex) -> Dict[str, MigrationInventory]:
+        """The pattern families Theorem 3.2(2) promises for the synthesized schema."""
+        return expected_synthesis_families(self.schema, expression)
+
+
+def _root_and_controls(
+    schema: DatabaseSchema,
+    control_attributes: Optional[Sequence[AttributeName]],
+) -> Tuple[ClassName, Tuple[AttributeName, AttributeName, AttributeName]]:
+    if not schema.is_weakly_connected_schema():
+        raise AnalysisError("the synthesis construction needs a weakly-connected database schema")
+    root = sorted(schema.isa_roots())[0]
+    available = sorted(schema.attributes_of(root))
+    if control_attributes is not None:
+        controls = tuple(control_attributes)
+        if len(controls) != 3:
+            raise AnalysisError("exactly three control attributes are required")
+        for attribute in controls:
+            if attribute not in schema.attributes_of(root):
+                raise AnalysisError(f"control attribute {attribute!r} is not an attribute of the isa-root")
+        return root, controls  # type: ignore[return-value]
+    if len(available) < 3:
+        raise AnalysisError(
+            "Theorem 3.2(2) requires the isa-root to carry at least three attributes; "
+            f"{root!r} has {available!r}"
+        )
+    return root, (available[0], available[1], available[2])
+
+
+def _choice_condition(base: Condition, attr_choice: AttributeName, index: int, fanout: int) -> Condition:
+    """The edge-selection condition ``Γ_u(v_i)`` of the proof of Lemma 3.4."""
+    if fanout == 1:
+        return base
+    if index < fanout - 1:
+        return base.and_equal(attr_choice, index + 1)
+    condition = base
+    for excluded in range(1, fanout):
+        condition = condition.and_not_equal(attr_choice, excluded)
+    return condition
+
+
+def _build_driver_transaction(
+    name: str,
+    schema: DatabaseSchema,
+    graph: RegexMigrationGraph,
+    root: ClassName,
+    controls: Tuple[AttributeName, AttributeName, AttributeName],
+    vertex_constant: Dict[object, str],
+) -> Transaction:
+    """The single transaction driving objects along the edges of ``graph``."""
+    attr_state, attr_choice, attr_mark = controls
+    x, y = Variable("x"), Variable("y")
+
+    updates: List[AtomicUpdate] = []
+
+    # 1. Create a fresh object sitting at the source vertex.
+    create_values = Condition.of(**{attr_state: vertex_constant[SOURCE_VERTEX], attr_choice: x, attr_mark: MARK_IDLE})
+    for attribute in sorted(schema.attributes_of(root)):
+        if attribute not in controls:
+            create_values = create_values.and_equal(attribute, x)
+    updates.append(Create(root, create_values))
+
+    # 2. Process every vertex with outgoing edges (the source included).
+    ordered_vertices = [SOURCE_VERTEX, *graph.inner_vertices()]
+    label_map = graph.label_map()
+    root_role = RoleSet(schema.role_set_closure({root}))
+    for vertex in ordered_vertices:
+        successors = graph.successors(vertex)
+        if not successors:
+            continue
+        here = vertex_constant[vertex]
+        source_role = label_map.get(vertex, root_role)
+        # Mark the objects currently at this vertex as "busy" and record the
+        # edge choice in the choice attribute.
+        updates.append(
+            Modify(
+                root,
+                Condition.of(**{attr_state: here, attr_mark: MARK_IDLE}),
+                Condition.of(**{attr_choice: x, attr_mark: MARK_BUSY}),
+            )
+        )
+        fanout = len(successors)
+        for index, successor in enumerate(successors):
+            selection = _choice_condition(
+                Condition.of(**{attr_state: here, attr_mark: MARK_BUSY}),
+                attr_choice,
+                index,
+                fanout,
+            )
+            if successor == SINK_VERTEX:
+                updates.append(Delete(root, selection))
+                continue
+            target_role = label_map[successor]
+            # Move between role sets (possibly a no-op when the labels agree),
+            # then record the new vertex and mark the object as processed.
+            new_values = {
+                attribute: x
+                for attribute in sorted(schema.attributes_of_role_set(target_role))
+                if attribute not in schema.attributes_of(root)
+            }
+            updates.extend(
+                migration_sequence(schema, source_role, target_role, selection, new_values)
+            )
+            updates.append(
+                Modify(
+                    root,
+                    selection,
+                    Condition.of(**{attr_state: vertex_constant[successor], attr_mark: MARK_DONE}),
+                )
+            )
+
+    # 3. Unmark every processed object, rewriting the choice attribute so the
+    #    object's tuple always changes when the second parameter is fresh.
+    updates.append(
+        Modify(
+            root,
+            Condition.of(**{attr_mark: MARK_DONE}),
+            Condition.of(**{attr_choice: y, attr_mark: MARK_IDLE}),
+        )
+    )
+    return Transaction(name, updates)
+
+
+def synthesize_sl_schema(
+    schema: DatabaseSchema,
+    expression: rx.Regex,
+    control_attributes: Optional[Sequence[AttributeName]] = None,
+) -> SynthesisResult:
+    """Construct the SL transaction schemas of Theorem 3.2(2) for ``expression``.
+
+    ``expression`` must be a regular expression whose symbols are non-empty
+    role sets of ``schema`` (each therefore containing the isa-root).
+    """
+    expression = expression.simplify()
+    if isinstance(expression, rx.EmptySet):
+        raise AnalysisError("the empty inventory cannot be synthesized (no pattern is permitted)")
+    for symbol in expression.symbols():
+        role_set = symbol if isinstance(symbol, RoleSet) else RoleSet(symbol)
+        if not schema.is_role_set(role_set) or not role_set:
+            raise AnalysisError(f"{symbol!r} is not a non-empty role set of the schema")
+    root, controls = _root_and_controls(schema, control_attributes)
+
+    graph = build_migration_graph(expression)
+    vertex_constant = {
+        vertex: f"vtx:{index}"
+        for index, vertex in enumerate([SOURCE_VERTEX, *graph.inner_vertices()])
+    }
+    driver = _build_driver_transaction("T_drive", schema, graph, root, controls, vertex_constant)
+    transactions = TransactionSchema(schema, [driver])
+
+    lazy_graph = graph.lazy_variant()
+    lazy_constants = {
+        vertex: f"vtx:{index}"
+        for index, vertex in enumerate([SOURCE_VERTEX, *lazy_graph.inner_vertices()])
+    }
+    lazy_driver = _build_driver_transaction(
+        "T_drive_lazy", schema, lazy_graph, root, controls, lazy_constants
+    )
+    lazy_transactions = TransactionSchema(schema, [lazy_driver])
+
+    return SynthesisResult(
+        schema=schema,
+        graph=graph,
+        transactions=transactions,
+        lazy_transactions=lazy_transactions,
+        control_attributes=controls,
+        vertex_constants=vertex_constant,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The families Theorem 3.2(2) promises, for verification
+# --------------------------------------------------------------------------- #
+def expected_synthesis_families(
+    schema: DatabaseSchema, expression: rx.Regex
+) -> Dict[str, MigrationInventory]:
+    """The target pattern families ``Init(∅*η∅*)``, ``Init(η∅*)``, ``(λ∪∅)Init(η∅?)``, ``f_rr(...)``."""
+    role_sets = enumerate_role_sets(schema)
+    alphabet = set(role_sets) | {EMPTY_ROLE_SET}
+    eta = expression.to_nfa(alphabet)
+    empty = NFA.single_symbol(EMPTY_ROLE_SET, alphabet)
+    empty_star = operations.star(empty)
+    empty_opt = operations.union(NFA.epsilon_language(alphabet), empty)
+
+    all_nfa = operations.prefix_closure(operations.concat(operations.concat(empty_star, eta), empty_star))
+    imm_nfa = operations.prefix_closure(operations.concat(eta, empty_star))
+    pro_nfa = operations.concat(
+        empty_opt, operations.prefix_closure(operations.concat(eta, empty_opt))
+    )
+    lazy_core = operations.remove_repeats(
+        operations.prefix_closure(operations.concat(operations.concat(empty_star, eta), empty_star))
+    )
+    return {
+        "all": MigrationInventory(all_nfa, alphabet),
+        "immediate_start": MigrationInventory(imm_nfa, alphabet),
+        "proper": MigrationInventory(pro_nfa, alphabet),
+        "lazy": MigrationInventory(lazy_core, alphabet),
+    }
+
+
+__all__ = [
+    "SynthesisResult",
+    "synthesize_sl_schema",
+    "expected_synthesis_families",
+    "MARK_IDLE",
+    "MARK_BUSY",
+    "MARK_DONE",
+]

@@ -1,0 +1,102 @@
+"""Formal-language substrate.
+
+The results of the paper (Su, "Dynamic Constraints and Object Migration")
+are characterizations of families of migration patterns as regular,
+context-free or recursively-enumerable languages over the alphabet of role
+sets.  This subpackage provides the language machinery that the analysis and
+synthesis algorithms in :mod:`repro.core` are built on:
+
+* :mod:`repro.formal.nfa` / :mod:`repro.formal.dfa` -- nondeterministic and
+  deterministic finite automata over arbitrary hashable symbols.
+* :mod:`repro.formal.regex` -- regular-expression ASTs, a parser, Thompson
+  construction and state elimination (automaton to regex).
+* :mod:`repro.formal.operations` -- closure operations: boolean operations,
+  concatenation, star, prefix closure (``Init``), left quotients, and the
+  word functions ``f_rr`` (remove repeats) and ``f_rei`` (remove empty
+  initial) used in Section 3 of the paper.
+* :mod:`repro.formal.decision` -- emptiness, membership, containment and
+  equivalence tests (Corollary 3.3 rests on these).
+* :mod:`repro.formal.grammar` -- left-linear grammars (used to read the
+  migration graph as an automaton), context-free grammars, CNF/CYK and
+  Greibach normal form (used by Theorem 4.8).
+* :mod:`repro.formal.turing` -- a single-tape Turing machine simulator (used
+  by the Theorem 4.3 construction and the undecidability reductions).
+"""
+
+from repro.formal.nfa import EPSILON, NFA
+from repro.formal.dfa import DFA
+from repro.formal.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+)
+from repro.formal.operations import (
+    concat,
+    complement,
+    difference,
+    intersection,
+    left_quotient,
+    prefix_closure,
+    remove_empty_initial,
+    remove_repeats,
+    reverse,
+    star,
+    union,
+)
+from repro.formal.decision import (
+    are_equivalent,
+    is_contained_in,
+    is_empty,
+    accepts,
+    enumerate_words,
+)
+from repro.formal.grammar import (
+    ContextFreeGrammar,
+    LeftLinearGrammar,
+    Production,
+)
+from repro.formal.turing import TuringMachine, TMConfiguration
+
+__all__ = [
+    "EPSILON",
+    "NFA",
+    "DFA",
+    "Regex",
+    "EmptySet",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "parse_regex",
+    "union",
+    "concat",
+    "star",
+    "intersection",
+    "complement",
+    "difference",
+    "reverse",
+    "prefix_closure",
+    "left_quotient",
+    "remove_repeats",
+    "remove_empty_initial",
+    "is_empty",
+    "accepts",
+    "is_contained_in",
+    "are_equivalent",
+    "enumerate_words",
+    "LeftLinearGrammar",
+    "ContextFreeGrammar",
+    "Production",
+    "TuringMachine",
+    "TMConfiguration",
+]

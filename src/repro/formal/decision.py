@@ -1,0 +1,85 @@
+"""Decision procedures on regular languages.
+
+Corollary 3.3 of the paper states that for SL transaction schemas it is
+decidable whether the schema *satisfies* or *generates* a regular migration
+inventory; both reduce to containment between regular languages, which are
+implemented here on top of the automata in :mod:`repro.formal.nfa` /
+:mod:`repro.formal.dfa`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.formal.nfa import NFA
+from repro.formal.operations import complement, difference, intersection
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+def is_empty(automaton: NFA) -> bool:
+    """Return ``True`` if the accepted language is empty."""
+    return automaton.is_empty()
+
+
+def accepts(automaton: NFA, word: Sequence[Symbol]) -> bool:
+    """Membership test."""
+    return automaton.accepts(word)
+
+
+def is_contained_in(left: NFA, right: NFA) -> bool:
+    """Return ``True`` if ``L(left)`` is a subset of ``L(right)``.
+
+    Decided as emptiness of ``L(left) ∩ complement(L(right))`` over the
+    union of the two alphabets.
+    """
+    alphabet = left.alphabet | right.alphabet
+    return intersection(
+        left.with_alphabet(alphabet),
+        complement(right, alphabet),
+    ).is_empty()
+
+
+def are_equivalent(left: NFA, right: NFA) -> bool:
+    """Return ``True`` if the two automata accept the same language."""
+    return is_contained_in(left, right) and is_contained_in(right, left)
+
+
+def counterexample(left: NFA, right: NFA, max_length: int = 32) -> Optional[Word]:
+    """Return a word in ``L(left) - L(right)`` if one exists.
+
+    The difference of two regular languages, if non-empty, contains a word
+    no longer than the number of states of the product DFA, so the search is
+    exhaustive as long as ``max_length`` is at least that bound; the default
+    is ample for the schemas in this package and the function falls back to
+    the exact bound when it is larger.
+    """
+    delta = difference(left, right).trim()
+    if delta.is_empty():
+        return None
+    bound = max(max_length, len(delta.states))
+    for word in delta.enumerate_words(bound, limit=1):
+        return word
+    return None  # pragma: no cover - unreachable: a trimmed non-empty NFA has a short witness
+
+
+def enumerate_words(automaton: NFA, max_length: int, limit: Optional[int] = None) -> Iterator[Word]:
+    """Enumerate accepted words up to ``max_length`` (delegates to the NFA)."""
+    return automaton.enumerate_words(max_length, limit=limit)
+
+
+def sample_language(automaton: NFA, max_length: int, limit: int = 50) -> List[Word]:
+    """A deterministic sample of the language, for reporting and tests."""
+    return list(automaton.enumerate_words(max_length, limit=limit))
+
+
+__all__ = [
+    "is_empty",
+    "accepts",
+    "is_contained_in",
+    "are_equivalent",
+    "counterexample",
+    "enumerate_words",
+    "sample_language",
+]

@@ -1,0 +1,229 @@
+"""Deterministic finite automata (complete) over arbitrary hashable symbols.
+
+DFAs are produced by the subset construction in :meth:`repro.formal.nfa.NFA.
+determinize` and are the workhorse for the boolean operations and decision
+procedures (complement, intersection, containment, equivalence) that
+Corollary 3.3 of the paper relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+State = Hashable
+Symbol = Hashable
+
+
+class DFA:
+    """A complete deterministic finite automaton.
+
+    Every state must have exactly one outgoing transition for every alphabet
+    symbol; :meth:`repro.formal.nfa.NFA.determinize` guarantees this by adding
+    a sink state.
+    """
+
+    __slots__ = ("_states", "_alphabet", "_transitions", "_initial", "_accepting")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[Tuple[State, Symbol], State],
+        initial_state: State,
+        accepting_states: Iterable[State],
+    ) -> None:
+        self._states: FrozenSet[State] = frozenset(states)
+        self._alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self._transitions: Dict[Tuple[State, Symbol], State] = dict(transitions)
+        self._initial: State = initial_state
+        self._accepting: FrozenSet[State] = frozenset(accepting_states)
+        if self._initial not in self._states:
+            raise ValueError("the initial state must be a state")
+        if not self._accepting <= self._states:
+            raise ValueError("accepting states must be a subset of the states")
+        for state in self._states:
+            for symbol in self._alphabet:
+                if (state, symbol) not in self._transitions:
+                    raise ValueError(
+                        f"DFA is not complete: missing transition for ({state!r}, {symbol!r})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def states(self) -> FrozenSet[State]:
+        """The set of states."""
+        return self._states
+
+    @property
+    def alphabet(self) -> FrozenSet[Symbol]:
+        """The input alphabet."""
+        return self._alphabet
+
+    @property
+    def initial_state(self) -> State:
+        """The unique start state."""
+        return self._initial
+
+    @property
+    def accepting_states(self) -> FrozenSet[State]:
+        """The set of accepting states."""
+        return self._accepting
+
+    @property
+    def transitions(self) -> Mapping[Tuple[State, Symbol], State]:
+        """The transition function as a read-only mapping."""
+        return dict(self._transitions)
+
+    def delta(self, state: State, symbol: Symbol) -> State:
+        """The transition function."""
+        return self._transitions[(state, symbol)]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DFA(states={len(self._states)}, alphabet={len(self._alphabet)})"
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Return ``True`` if the automaton accepts ``word``."""
+        state = self._initial
+        for symbol in word:
+            if symbol not in self._alphabet:
+                return False
+            state = self._transitions[(state, symbol)]
+        return state in self._accepting
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the start state."""
+        seen: Set[State] = {self._initial}
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for symbol in self._alphabet:
+                target = self._transitions[(state, symbol)]
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the accepted language is empty."""
+        return not (self.reachable_states() & self._accepting)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def complement(self) -> "DFA":
+        """Accept exactly the words over the alphabet that this DFA rejects."""
+        return DFA(
+            self._states,
+            self._alphabet,
+            self._transitions,
+            self._initial,
+            self._states - self._accepting,
+        )
+
+    def product(self, other: "DFA", accept_both: bool) -> "DFA":
+        """Product construction.
+
+        ``accept_both=True`` yields the intersection, ``accept_both=False``
+        the union.  The alphabets must coincide; use
+        :meth:`repro.formal.nfa.NFA.with_alphabet` before determinizing to
+        align them.
+        """
+        if self._alphabet != other._alphabet:
+            raise ValueError("product requires identical alphabets")
+        start = (self._initial, other._initial)
+        states: Set[Tuple[State, State]] = {start}
+        transitions: Dict[Tuple[Tuple[State, State], Symbol], Tuple[State, State]] = {}
+        queue = deque([start])
+        while queue:
+            left, right = queue.popleft()
+            for symbol in self._alphabet:
+                target = (self._transitions[(left, symbol)], other._transitions[(right, symbol)])
+                transitions[((left, right), symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    queue.append(target)
+        if accept_both:
+            accepting = {
+                (left, right)
+                for (left, right) in states
+                if left in self._accepting and right in other._accepting
+            }
+        else:
+            accepting = {
+                (left, right)
+                for (left, right) in states
+                if left in self._accepting or right in other._accepting
+            }
+        return DFA(states, self._alphabet, transitions, start, accepting)
+
+    def minimize(self) -> "DFA":
+        """Hopcroft-style partition refinement restricted to reachable states."""
+        reachable = self.reachable_states()
+        accepting = reachable & self._accepting
+        rejecting = reachable - accepting
+        partition: list[Set[State]] = [block for block in (accepting, rejecting) if block]
+        changed = True
+        while changed:
+            changed = False
+            new_partition: list[Set[State]] = []
+            index_of: Dict[State, int] = {}
+            for index, block in enumerate(partition):
+                for state in block:
+                    index_of[state] = index
+            for block in partition:
+                buckets: Dict[Tuple[int, ...], Set[State]] = {}
+                for state in block:
+                    signature = tuple(
+                        index_of[self._transitions[(state, symbol)]]
+                        for symbol in sorted(self._alphabet, key=repr)
+                    )
+                    buckets.setdefault(signature, set()).add(state)
+                if len(buckets) > 1:
+                    changed = True
+                new_partition.extend(buckets.values())
+            partition = new_partition
+        representative: Dict[State, State] = {}
+        for block in partition:
+            canon = sorted(block, key=repr)[0]
+            for state in block:
+                representative[state] = canon
+        states = {representative[state] for state in reachable}
+        transitions = {
+            (representative[state], symbol): representative[self._transitions[(state, symbol)]]
+            for state in reachable
+            for symbol in self._alphabet
+        }
+        accepting_states = {representative[state] for state in accepting}
+        return DFA(states, self._alphabet, transitions, representative[self._initial], accepting_states)
+
+    def to_nfa(self) -> "NFA":
+        """View this DFA as an NFA (no epsilon moves)."""
+        from repro.formal.nfa import NFA
+
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {
+            key: {target} for key, target in self._transitions.items()
+        }
+        return NFA(self._states, self._alphabet, transitions, {self._initial}, self._accepting)
+
+
+from repro.formal.nfa import NFA  # noqa: E402  (typing convenience; no cycle: nfa does not import dfa at module level)
+
+__all__ = ["DFA"]

@@ -1,0 +1,438 @@
+"""Grammars: left-linear grammars, context-free grammars, CNF/CYK, Greibach.
+
+Two places in the paper need grammar machinery:
+
+* the proof of Theorem 3.2 reads the migration graph of a transaction schema
+  as a *left-linear grammar* whose language is the set of labelled walks
+  starting at the source vertex; left-linear (and right-linear) grammars are
+  convertible to NFAs here;
+* Theorem 4.8 simulates a context-free grammar in *Greibach normal form*
+  (every production ``N -> a N1 ... Nk``) with CSL+ transactions; this module
+  provides CFGs, membership testing (CNF + CYK), and conversion to Greibach
+  normal form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.formal.nfa import EPSILON, NFA
+
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class Production:
+    """A grammar production ``head -> body``.
+
+    ``body`` is a tuple whose entries are either terminals or nonterminals;
+    which is which is determined by the grammar's nonterminal set.
+    """
+
+    head: Hashable
+    body: Tuple[Hashable, ...]
+
+    def __repr__(self) -> str:
+        rhs = " ".join(repr(item) for item in self.body) if self.body else "ε"
+        return f"{self.head!r} -> {rhs}"
+
+
+# --------------------------------------------------------------------------- #
+# Regular grammars
+# --------------------------------------------------------------------------- #
+class LeftLinearGrammar:
+    """A left-linear grammar: productions ``A -> a B`` or ``A -> a`` or ``A -> ε``.
+
+    This is the exact form used at the end of the proof of Theorem 3.2: for
+    every edge ``(u, v)`` of the migration graph there is a production
+    ``u -> L(u) v`` and for every edge into the sink a production
+    ``u -> L(u)``.  (The paper calls the grammar "left-linear"; with the
+    nonterminal written on the right of the terminal the generated language
+    is the set of label sequences of walks, which is what
+    :meth:`to_nfa` computes.)
+    """
+
+    def __init__(
+        self,
+        nonterminals: Iterable[Hashable],
+        terminals: Iterable[Symbol],
+        productions: Iterable[Production],
+        start: Hashable,
+    ) -> None:
+        self.nonterminals: FrozenSet[Hashable] = frozenset(nonterminals)
+        self.terminals: FrozenSet[Symbol] = frozenset(terminals)
+        self.productions: Tuple[Production, ...] = tuple(productions)
+        self.start = start
+        if start not in self.nonterminals:
+            raise ValueError("the start symbol must be a nonterminal")
+        for production in self.productions:
+            if production.head not in self.nonterminals:
+                raise ValueError(f"unknown head {production.head!r}")
+            if len(production.body) > 2:
+                raise ValueError(f"production too long for a linear grammar: {production!r}")
+            if len(production.body) == 2:
+                terminal, nonterminal = production.body
+                if terminal not in self.terminals or nonterminal not in self.nonterminals:
+                    raise ValueError(f"malformed linear production: {production!r}")
+            if len(production.body) == 1 and production.body[0] not in self.terminals:
+                raise ValueError(f"malformed linear production: {production!r}")
+
+    def to_nfa(self) -> NFA:
+        """The NFA accepting the generated language.
+
+        Nonterminals become states; a production ``A -> a B`` becomes a
+        transition ``A --a--> B``, ``A -> a`` a transition into a fresh
+        accepting state, and ``A -> ε`` marks ``A`` accepting.
+        """
+        final: Hashable = ("llg", "final")
+        states: Set[Hashable] = set(self.nonterminals) | {final}
+        transitions: Dict[Tuple[Hashable, Symbol], Set[Hashable]] = {}
+        accepting: Set[Hashable] = {final}
+        for production in self.productions:
+            if len(production.body) == 0:
+                accepting.add(production.head)
+            elif len(production.body) == 1:
+                transitions.setdefault((production.head, production.body[0]), set()).add(final)
+            else:
+                terminal, nonterminal = production.body
+                transitions.setdefault((production.head, terminal), set()).add(nonterminal)
+        return NFA(states, self.terminals, transitions, {self.start}, accepting)
+
+
+# --------------------------------------------------------------------------- #
+# Context-free grammars
+# --------------------------------------------------------------------------- #
+class ContextFreeGrammar:
+    """A context-free grammar over arbitrary hashable terminals.
+
+    Provides membership testing (via an internal Chomsky-normal-form
+    conversion and CYK), emptiness, bounded word enumeration, and conversion
+    to *Greibach normal form*, the input format for the Theorem 4.8
+    construction in :mod:`repro.core.csl_constructions`.
+    """
+
+    def __init__(
+        self,
+        nonterminals: Iterable[Hashable],
+        terminals: Iterable[Symbol],
+        productions: Iterable[Production],
+        start: Hashable,
+    ) -> None:
+        self.nonterminals: FrozenSet[Hashable] = frozenset(nonterminals)
+        self.terminals: FrozenSet[Symbol] = frozenset(terminals)
+        if self.nonterminals & self.terminals:
+            raise ValueError("nonterminals and terminals must be disjoint")
+        self.productions: Tuple[Production, ...] = tuple(dict.fromkeys(productions))
+        self.start = start
+        if start not in self.nonterminals:
+            raise ValueError("the start symbol must be a nonterminal")
+        for production in self.productions:
+            if production.head not in self.nonterminals:
+                raise ValueError(f"unknown head {production.head!r}")
+            for item in production.body:
+                if item not in self.nonterminals and item not in self.terminals:
+                    raise ValueError(f"unknown symbol {item!r} in {production!r}")
+
+    # -- helpers ---------------------------------------------------------- #
+    def productions_for(self, head: Hashable) -> List[Production]:
+        """All productions with the given head."""
+        return [p for p in self.productions if p.head == head]
+
+    def is_terminal(self, item: Hashable) -> bool:
+        """Return ``True`` if ``item`` is a terminal of this grammar."""
+        return item in self.terminals
+
+    # -- language questions ------------------------------------------------ #
+    def generates_empty_word(self) -> bool:
+        """Return ``True`` if the empty word is in the language."""
+        return self.start in self._nullable()
+
+    def _nullable(self) -> FrozenSet[Hashable]:
+        nullable: Set[Hashable] = set()
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.head in nullable:
+                    continue
+                if all(item in nullable for item in production.body):
+                    nullable.add(production.head)
+                    changed = True
+        return frozenset(nullable)
+
+    def _generating(self) -> FrozenSet[Hashable]:
+        generating: Set[Hashable] = set(self.terminals)
+        changed = True
+        while changed:
+            changed = False
+            for production in self.productions:
+                if production.head in generating:
+                    continue
+                if all(item in generating for item in production.body):
+                    generating.add(production.head)
+                    changed = True
+        return frozenset(generating)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the generated language is empty."""
+        return self.start not in self._generating()
+
+    # -- Chomsky normal form and CYK --------------------------------------- #
+    def to_cnf(self) -> "ContextFreeGrammar":
+        """An equivalent grammar in Chomsky normal form.
+
+        The construction follows the standard pipeline: add a fresh start
+        symbol, replace terminals inside long bodies, break long bodies into
+        binary ones, eliminate epsilon productions (except possibly for the
+        start symbol), and eliminate unit productions.
+        """
+        fresh_start = ("cnf", "start")
+        nonterminals: Set[Hashable] = set(self.nonterminals) | {fresh_start}
+        productions: List[Production] = [Production(fresh_start, (self.start,))]
+        productions.extend(self.productions)
+
+        # TERM: replace terminals occurring in bodies of length >= 2.
+        terminal_wrappers: Dict[Symbol, Hashable] = {}
+        replaced: List[Production] = []
+        for production in productions:
+            if len(production.body) >= 2:
+                body: List[Hashable] = []
+                for item in production.body:
+                    if item in self.terminals:
+                        wrapper = terminal_wrappers.setdefault(item, ("cnf", "term", item))
+                        nonterminals.add(wrapper)
+                        body.append(wrapper)
+                    else:
+                        body.append(item)
+                replaced.append(Production(production.head, tuple(body)))
+            else:
+                replaced.append(production)
+        for terminal, wrapper in terminal_wrappers.items():
+            replaced.append(Production(wrapper, (terminal,)))
+        productions = replaced
+
+        # BIN: break bodies longer than two.
+        binary: List[Production] = []
+        counter = itertools.count()
+        for production in productions:
+            body = production.body
+            if len(body) <= 2:
+                binary.append(production)
+                continue
+            head = production.head
+            while len(body) > 2:
+                helper = ("cnf", "bin", next(counter))
+                nonterminals.add(helper)
+                binary.append(Production(head, (body[0], helper)))
+                head = helper
+                body = body[1:]
+            binary.append(Production(head, body))
+        productions = binary
+
+        # DEL: remove epsilon productions (keep start-epsilon if needed).
+        grammar = ContextFreeGrammar(nonterminals, self.terminals, productions, fresh_start)
+        nullable = grammar._nullable()
+        without_epsilon: Set[Production] = set()
+        for production in productions:
+            nullable_positions = [
+                index for index, item in enumerate(production.body) if item in nullable
+            ]
+            for mask in itertools.product((False, True), repeat=len(nullable_positions)):
+                removed = {
+                    nullable_positions[i] for i, drop in enumerate(mask) if drop
+                }
+                body = tuple(
+                    item for index, item in enumerate(production.body) if index not in removed
+                )
+                if body or production.head == fresh_start:
+                    without_epsilon.add(Production(production.head, body))
+        if self.generates_empty_word():
+            without_epsilon.add(Production(fresh_start, ()))
+        productions = [p for p in without_epsilon if p.body or p.head == fresh_start]
+
+        # UNIT: remove unit productions.
+        unit_pairs: Set[Tuple[Hashable, Hashable]] = {(n, n) for n in nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for production in productions:
+                if len(production.body) == 1 and production.body[0] in nonterminals:
+                    for (a, b) in list(unit_pairs):
+                        if b == production.head and (a, production.body[0]) not in unit_pairs:
+                            unit_pairs.add((a, production.body[0]))
+                            changed = True
+        final_productions: Set[Production] = set()
+        for (a, b) in unit_pairs:
+            for production in productions:
+                if production.head != b:
+                    continue
+                if len(production.body) == 1 and production.body[0] in nonterminals:
+                    continue
+                final_productions.add(Production(a, production.body))
+        return ContextFreeGrammar(nonterminals, self.terminals, final_productions, fresh_start)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """CYK membership test (converts to CNF internally)."""
+        cnf = self.to_cnf()
+        if len(word) == 0:
+            return cnf.generates_empty_word()
+        n = len(word)
+        table: List[List[Set[Hashable]]] = [[set() for _ in range(n)] for _ in range(n)]
+        for index, symbol in enumerate(word):
+            for production in cnf.productions:
+                if production.body == (symbol,):
+                    table[0][index].add(production.head)
+        for span in range(2, n + 1):
+            for start in range(n - span + 1):
+                for split in range(1, span):
+                    left = table[split - 1][start]
+                    right = table[span - split - 1][start + split]
+                    if not left or not right:
+                        continue
+                    for production in cnf.productions:
+                        if len(production.body) == 2:
+                            b, c = production.body
+                            if b in left and c in right:
+                                table[span - 1][start].add(production.head)
+        return cnf.start in table[n - 1][0]
+
+    def enumerate_words(self, max_length: int, limit: Optional[int] = None) -> Iterator[Tuple[Symbol, ...]]:
+        """Enumerate generated words up to ``max_length`` (breadth-first)."""
+        produced = 0
+        seen: Set[Tuple[Hashable, ...]] = set()
+        emitted: Set[Tuple[Symbol, ...]] = set()
+        queue: List[Tuple[Hashable, ...]] = [(self.start,)]
+        # Breadth-first over sentential forms, pruning forms that are already
+        # longer than max_length once nonterminals cannot vanish.
+        nullable = self._nullable()
+        while queue:
+            form = queue.pop(0)
+            if form in seen:
+                continue
+            seen.add(form)
+            terminals_only = all(item in self.terminals for item in form)
+            min_length = sum(
+                1 for item in form if item in self.terminals or item not in nullable
+            )
+            if min_length > max_length:
+                continue
+            if terminals_only:
+                if form not in emitted and len(form) <= max_length:
+                    emitted.add(form)
+                    yield form
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+                continue
+            # Expand the leftmost nonterminal.
+            for index, item in enumerate(form):
+                if item in self.nonterminals:
+                    for production in self.productions_for(item):
+                        new_form = form[:index] + production.body + form[index + 1 :]
+                        if len([s for s in new_form if s in self.terminals]) <= max_length:
+                            queue.append(new_form)
+                    break
+
+    # -- Greibach normal form ----------------------------------------------- #
+    def is_greibach(self) -> bool:
+        """Return ``True`` if every production is ``N -> a N1 ... Nk`` (or ``S -> ε``)."""
+        for production in self.productions:
+            if len(production.body) == 0:
+                if production.head != self.start:
+                    return False
+                continue
+            if production.body[0] not in self.terminals:
+                return False
+            if any(item not in self.nonterminals for item in production.body[1:]):
+                return False
+        return True
+
+    def to_greibach(self) -> "ContextFreeGrammar":
+        """An equivalent grammar in Greibach normal form.
+
+        Follows the classical algorithm: convert to CNF, impose an order on
+        the nonterminals, eliminate left recursion with helper nonterminals,
+        then back-substitute so every body starts with a terminal.  The empty
+        word, if generated, is kept as a single ``S -> ε`` production on a
+        fresh start symbol that does not occur in any body.
+        """
+        if self.is_greibach():
+            return self
+        cnf = self.to_cnf()
+        epsilon_in_language = cnf.generates_empty_word()
+
+        ordered = sorted(cnf.nonterminals, key=repr)
+        index_of = {nonterminal: position for position, nonterminal in enumerate(ordered)}
+        productions: Dict[Hashable, List[Tuple[Hashable, ...]]] = {
+            nonterminal: [] for nonterminal in ordered
+        }
+        for production in cnf.productions:
+            if production.body:
+                productions[production.head].append(production.body)
+
+        helper_nonterminals: List[Hashable] = []
+
+        def eliminate_left_recursion(head: Hashable) -> None:
+            recursive = [body[1:] for body in productions[head] if body and body[0] == head]
+            non_recursive = [body for body in productions[head] if not body or body[0] != head]
+            if not recursive:
+                return
+            helper = ("gnf", "rec", head)
+            helper_nonterminals.append(helper)
+            productions[helper] = []
+            productions[head] = []
+            for body in non_recursive:
+                productions[head].append(body)
+                productions[head].append(body + (helper,))
+            for body in recursive:
+                productions[helper].append(body)
+                productions[helper].append(body + (helper,))
+
+        for i, head in enumerate(ordered):
+            # Substitute lower-ordered nonterminals at the front of bodies.
+            changed = True
+            while changed:
+                changed = False
+                new_bodies: List[Tuple[Hashable, ...]] = []
+                for body in productions[head]:
+                    if body and body[0] in index_of and index_of[body[0]] < i:
+                        for replacement in productions[body[0]]:
+                            new_bodies.append(replacement + body[1:])
+                        changed = True
+                    else:
+                        new_bodies.append(body)
+                productions[head] = new_bodies
+            eliminate_left_recursion(head)
+
+        # Back-substitution: process nonterminals in reverse order so that
+        # every body begins with a terminal.
+        all_heads = list(reversed(ordered)) + helper_nonterminals
+        for _ in range(len(all_heads) + 1):
+            for head in all_heads:
+                new_bodies = []
+                for body in productions.get(head, []):
+                    if body and body[0] not in cnf.terminals:
+                        for replacement in productions.get(body[0], []):
+                            new_bodies.append(replacement + body[1:])
+                    else:
+                        new_bodies.append(body)
+                productions[head] = new_bodies
+
+        final_productions: Set[Production] = set()
+        nonterminals: Set[Hashable] = set(ordered) | set(helper_nonterminals)
+        for head, bodies in productions.items():
+            for body in bodies:
+                if not body:
+                    continue
+                if body[0] not in cnf.terminals:
+                    continue
+                final_productions.add(Production(head, body))
+        if epsilon_in_language:
+            final_productions.add(Production(cnf.start, ()))
+        result = ContextFreeGrammar(nonterminals, cnf.terminals, final_productions, cnf.start)
+        return result
+
+
+__all__ = ["Production", "LeftLinearGrammar", "ContextFreeGrammar"]

@@ -1,0 +1,469 @@
+"""Nondeterministic finite automata over arbitrary hashable symbols.
+
+Migration patterns are words over the alphabet of role sets (Definition 3.2
+of the paper), which are frozensets of class names rather than characters.
+The automata here therefore work with arbitrary hashable symbol objects.
+
+Epsilon moves are represented with the :data:`EPSILON` sentinel so that the
+Thompson construction and the image constructions for ``f_rr`` / ``f_rei``
+(Section 3) can be expressed directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+
+class _Epsilon:
+    """Sentinel for the empty-word transition label."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "EPSILON"
+
+    def __deepcopy__(self, memo) -> "_Epsilon":
+        return self
+
+
+#: The transition label used for epsilon (empty word) moves.
+EPSILON = _Epsilon()
+
+State = Hashable
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+class NFA:
+    """A nondeterministic finite automaton with optional epsilon moves.
+
+    Parameters
+    ----------
+    states:
+        Iterable of hashable state identifiers.
+    alphabet:
+        Iterable of hashable symbols.  :data:`EPSILON` must not be a member.
+    transitions:
+        Mapping ``(state, symbol) -> iterable of states``.  ``symbol`` may be
+        :data:`EPSILON`.
+    initial_states:
+        Iterable of start states (a subset of ``states``).
+    accepting_states:
+        Iterable of accepting states (a subset of ``states``).
+    """
+
+    __slots__ = ("_states", "_alphabet", "_transitions", "_initial", "_accepting")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[Tuple[State, Symbol], Iterable[State]],
+        initial_states: Iterable[State],
+        accepting_states: Iterable[State],
+    ) -> None:
+        self._states: FrozenSet[State] = frozenset(states)
+        self._alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        if EPSILON in self._alphabet:
+            raise ValueError("EPSILON may not be a member of the alphabet")
+        self._initial: FrozenSet[State] = frozenset(initial_states)
+        self._accepting: FrozenSet[State] = frozenset(accepting_states)
+        cleaned: Dict[Tuple[State, Symbol], FrozenSet[State]] = {}
+        for (source, symbol), targets in transitions.items():
+            target_set = frozenset(targets)
+            if not target_set:
+                continue
+            if source not in self._states:
+                raise ValueError(f"transition source {source!r} is not a state")
+            if symbol is not EPSILON and symbol not in self._alphabet:
+                raise ValueError(f"transition symbol {symbol!r} is not in the alphabet")
+            unknown = target_set - self._states
+            if unknown:
+                raise ValueError(f"transition targets {unknown!r} are not states")
+            cleaned[(source, symbol)] = target_set
+        self._transitions: Dict[Tuple[State, Symbol], FrozenSet[State]] = cleaned
+        if not self._initial <= self._states:
+            raise ValueError("initial states must be a subset of the states")
+        if not self._accepting <= self._states:
+            raise ValueError("accepting states must be a subset of the states")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def states(self) -> FrozenSet[State]:
+        """The set of states."""
+        return self._states
+
+    @property
+    def alphabet(self) -> FrozenSet[Symbol]:
+        """The input alphabet (without :data:`EPSILON`)."""
+        return self._alphabet
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        """The set of start states."""
+        return self._initial
+
+    @property
+    def accepting_states(self) -> FrozenSet[State]:
+        """The set of accepting states."""
+        return self._accepting
+
+    @property
+    def transitions(self) -> Mapping[Tuple[State, Symbol], FrozenSet[State]]:
+        """The transition relation as a read-only mapping."""
+        return dict(self._transitions)
+
+    def successors(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """Return the set of states reachable from ``state`` on ``symbol``."""
+        return self._transitions.get((state, symbol), frozenset())
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFA(states={len(self._states)}, alphabet={len(self._alphabet)}, "
+            f"transitions={sum(len(t) for t in self._transitions.values())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty_language(cls, alphabet: Iterable[Symbol]) -> "NFA":
+        """An automaton accepting the empty language."""
+        return cls({"q0"}, alphabet, {}, {"q0"}, set())
+
+    @classmethod
+    def epsilon_language(cls, alphabet: Iterable[Symbol]) -> "NFA":
+        """An automaton accepting only the empty word."""
+        return cls({"q0"}, alphabet, {}, {"q0"}, {"q0"})
+
+    @classmethod
+    def single_symbol(cls, symbol: Symbol, alphabet: Iterable[Symbol]) -> "NFA":
+        """An automaton accepting exactly the one-letter word ``symbol``."""
+        alpha = set(alphabet) | {symbol}
+        return cls({"q0", "q1"}, alpha, {("q0", symbol): {"q1"}}, {"q0"}, {"q1"})
+
+    @classmethod
+    def from_words(cls, words: Iterable[Sequence[Symbol]], alphabet: Iterable[Symbol] = ()) -> "NFA":
+        """An automaton accepting exactly the given finite set of words."""
+        alpha: Set[Symbol] = set(alphabet)
+        states: Set[State] = {("w", -1, -1)}
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        accepting: Set[State] = set()
+        initial = ("w", -1, -1)
+        for w_index, word in enumerate(words):
+            previous: State = initial
+            if len(word) == 0:
+                accepting.add(initial)
+                continue
+            for position, symbol in enumerate(word):
+                alpha.add(symbol)
+                current: State = ("w", w_index, position)
+                states.add(current)
+                transitions.setdefault((previous, symbol), set()).add(current)
+                previous = current
+            accepting.add(previous)
+        return cls(states, alpha, transitions, {initial}, accepting)
+
+    def with_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
+        """Return an equivalent automaton whose alphabet is extended to ``alphabet``."""
+        alpha = set(alphabet) | set(self._alphabet)
+        return NFA(self._states, alpha, self._transitions, self._initial, self._accepting)
+
+    def relabeled(self, prefix: str = "s") -> "NFA":
+        """Return an isomorphic automaton with integer-indexed state names."""
+        mapping = {state: (prefix, index) for index, state in enumerate(sorted(self._states, key=repr))}
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for (source, symbol), targets in self._transitions.items():
+            transitions[(mapping[source], symbol)] = {mapping[t] for t in targets}
+        return NFA(
+            mapping.values(),
+            self._alphabet,
+            transitions,
+            {mapping[s] for s in self._initial},
+            {mapping[s] for s in self._accepting},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """Return the epsilon closure of a set of states."""
+        closure: Set[State] = set(states)
+        stack: List[State] = list(closure)
+        while stack:
+            state = stack.pop()
+            for target in self._transitions.get((state, EPSILON), frozenset()):
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
+        """One symbol step (including the epsilon closure of the result)."""
+        moved: Set[State] = set()
+        for state in states:
+            moved |= self._transitions.get((state, symbol), frozenset())
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Return ``True`` if the automaton accepts ``word``."""
+        current = self.epsilon_closure(self._initial)
+        for symbol in word:
+            if not current:
+                return False
+            current = self.step(current, symbol)
+        return bool(current & self._accepting)
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from an initial state (by any labels)."""
+        seen: Set[State] = set(self.epsilon_closure(self._initial))
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for (source, _symbol), targets in self._transitions.items():
+                if source != state:
+                    continue
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> FrozenSet[State]:
+        """States from which an accepting state is reachable."""
+        predecessors: Dict[State, Set[State]] = {state: set() for state in self._states}
+        for (source, _symbol), targets in self._transitions.items():
+            for target in targets:
+                predecessors[target].add(source)
+        seen: Set[State] = set(self._accepting)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for pred in predecessors.get(state, ()):  # pragma: no branch
+                if pred not in seen:
+                    seen.add(pred)
+                    queue.append(pred)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Remove states that are unreachable or cannot reach acceptance."""
+        useful = self.reachable_states() & self.coreachable_states()
+        if not useful:
+            return NFA.empty_language(self._alphabet)
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for (source, symbol), targets in self._transitions.items():
+            if source not in useful:
+                continue
+            kept = {t for t in targets if t in useful}
+            if kept:
+                transitions[(source, symbol)] = kept
+        return NFA(
+            useful,
+            self._alphabet,
+            transitions,
+            self._initial & useful,
+            self._accepting & useful,
+        )
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the accepted language is empty."""
+        return not (self.reachable_states() & self._accepting)
+
+    def accepts_some_word(self) -> bool:
+        """Return ``True`` if the accepted language is non-empty."""
+        return not self.is_empty()
+
+    def enumerate_words(self, max_length: int, limit: Optional[int] = None) -> Iterator[Word]:
+        """Enumerate accepted words of length at most ``max_length``.
+
+        Words are produced in order of non-decreasing length; within a length
+        the order follows a breadth-first exploration and is deterministic
+        for a fixed automaton.  ``limit`` bounds the number of words yielded.
+        """
+        produced = 0
+        start = self.epsilon_closure(self._initial)
+        # Breadth-first over (state-set, word) pairs, de-duplicating words.
+        frontier: List[Tuple[FrozenSet[State], Word]] = [(start, ())]
+        seen_words: Set[Word] = set()
+        for length in range(max_length + 1):
+            next_frontier: List[Tuple[FrozenSet[State], Word]] = []
+            for states, word in frontier:
+                if states & self._accepting and word not in seen_words:
+                    seen_words.add(word)
+                    yield word
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+            if length == max_length:
+                return
+            symbols = sorted(self._alphabet, key=repr)
+            combined: Dict[Word, Set[State]] = {}
+            for states, word in frontier:
+                for symbol in symbols:
+                    target = self.step(states, symbol)
+                    if target:
+                        combined.setdefault(word + (symbol,), set()).update(target)
+            next_frontier = [(frozenset(states), word) for word, states in sorted(combined.items(), key=lambda kv: repr(kv[0]))]
+            frontier = next_frontier
+
+    # ------------------------------------------------------------------ #
+    # Determinization
+    # ------------------------------------------------------------------ #
+    def determinize(self) -> "DFA":
+        """Subset construction; returns an equivalent complete DFA."""
+        from repro.formal.dfa import DFA
+
+        start = self.epsilon_closure(self._initial)
+        sink: FrozenSet[State] = frozenset()
+        states: Set[FrozenSet[State]] = {start, sink}
+        transitions: Dict[Tuple[FrozenSet[State], Symbol], FrozenSet[State]] = {}
+        queue = deque([start])
+        alphabet = sorted(self._alphabet, key=repr)
+        while queue:
+            current = queue.popleft()
+            for symbol in alphabet:
+                target = self.step(current, symbol)
+                transitions[(current, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    queue.append(target)
+        for symbol in alphabet:
+            transitions.setdefault((sink, symbol), sink)
+        accepting = {subset for subset in states if subset & self._accepting}
+        return DFA(states, self._alphabet, transitions, start, accepting)
+
+    # ------------------------------------------------------------------ #
+    # Structural combination used by Thompson construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _disjoint(left: "NFA", right: "NFA") -> Tuple["NFA", "NFA"]:
+        """Relabel the operands so that their state sets are disjoint."""
+        return left.relabeled("L"), right.relabeled("R")
+
+    def union_with(self, other: "NFA") -> "NFA":
+        """Language union via a fresh start state with epsilon moves."""
+        left, right = NFA._disjoint(self, other)
+        alphabet = left.alphabet | right.alphabet
+        start: State = ("u", "start")
+        states = set(left.states) | set(right.states) | {start}
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for automaton in (left, right):
+            for key, targets in automaton.transitions.items():
+                transitions.setdefault(key, set()).update(targets)
+        transitions[(start, EPSILON)] = set(left.initial_states) | set(right.initial_states)
+        accepting = set(left.accepting_states) | set(right.accepting_states)
+        return NFA(states, alphabet, transitions, {start}, accepting)
+
+    def concat_with(self, other: "NFA") -> "NFA":
+        """Language concatenation via epsilon moves from accepting to initial."""
+        left, right = NFA._disjoint(self, other)
+        alphabet = left.alphabet | right.alphabet
+        states = set(left.states) | set(right.states)
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for automaton in (left, right):
+            for key, targets in automaton.transitions.items():
+                transitions.setdefault(key, set()).update(targets)
+        for state in left.accepting_states:
+            transitions.setdefault((state, EPSILON), set()).update(right.initial_states)
+        return NFA(states, alphabet, transitions, left.initial_states, right.accepting_states)
+
+    def star(self) -> "NFA":
+        """Kleene star via a fresh initial/accepting state."""
+        base = self.relabeled("S")
+        start: State = ("star", "start")
+        states = set(base.states) | {start}
+        transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for key, targets in base.transitions.items():
+            transitions.setdefault(key, set()).update(targets)
+        transitions[(start, EPSILON)] = set(base.initial_states)
+        for state in base.accepting_states:
+            transitions.setdefault((state, EPSILON), set()).add(start)
+        return NFA(states, base.alphabet, transitions, {start}, {start} | set(base.accepting_states))
+
+    def plus(self) -> "NFA":
+        """One-or-more repetitions."""
+        return self.concat_with(self.star())
+
+    def optional(self) -> "NFA":
+        """Zero-or-one occurrence."""
+        return self.union_with(NFA.epsilon_language(self._alphabet))
+
+    # ------------------------------------------------------------------ #
+    # Conversion back to a regular expression (state elimination)
+    # ------------------------------------------------------------------ #
+    def to_regex(self) -> "Regex":
+        """Convert to an equivalent :class:`repro.formal.regex.Regex`.
+
+        Uses the classical generalized-NFA state-elimination algorithm.  The
+        result denotes exactly the accepted language; it is not guaranteed to
+        be syntactically minimal.
+        """
+        from repro.formal import regex as rx
+
+        trimmed = self.trim()
+        if trimmed.is_empty():
+            return rx.EmptySet()
+
+        start: State = ("gnfa", "start")
+        end: State = ("gnfa", "end")
+        states = list(trimmed.states)
+        edges: Dict[Tuple[State, State], "rx.Regex"] = {}
+
+        def add_edge(source: State, target: State, expression: "rx.Regex") -> None:
+            if isinstance(expression, rx.EmptySet):
+                return
+            existing = edges.get((source, target))
+            edges[(source, target)] = expression if existing is None else rx.Union(existing, expression).simplify()
+
+        for (source, symbol), targets in trimmed.transitions.items():
+            label: "rx.Regex" = rx.Epsilon() if symbol is EPSILON else rx.Symbol(symbol)
+            for target in targets:
+                add_edge(source, target, label)
+        for state in trimmed.initial_states:
+            add_edge(start, state, rx.Epsilon())
+        for state in trimmed.accepting_states:
+            add_edge(state, end, rx.Epsilon())
+
+        for state in sorted(states, key=repr):
+            loop = edges.pop((state, state), None)
+            loop_star = rx.Star(loop).simplify() if loop is not None else rx.Epsilon()
+            incoming = [(src, expr) for (src, dst), expr in edges.items() if dst == state and src != state]
+            outgoing = [(dst, expr) for (src, dst), expr in edges.items() if src == state and dst != state]
+            for src, in_expr in incoming:
+                for dst, out_expr in outgoing:
+                    bridge = rx.Concat(rx.Concat(in_expr, loop_star), out_expr).simplify()
+                    add_edge(src, dst, bridge)
+            edges = {
+                (src, dst): expr
+                for (src, dst), expr in edges.items()
+                if src != state and dst != state
+            }
+
+        final = edges.get((start, end))
+        return rx.EmptySet() if final is None else final.simplify()
+
+
+__all__ = ["NFA", "EPSILON"]

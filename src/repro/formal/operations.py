@@ -1,0 +1,278 @@
+"""Closure operations on regular languages represented by NFAs.
+
+The analysis in Section 3 of the paper manipulates families of migration
+patterns with a small repertoire of language operations:
+
+* ``Init(L)`` -- the prefix closure of ``L`` (Definition 3.3 requires
+  inventories to be prefix closed); implemented by :func:`prefix_closure`.
+* ``X^{-1} Y`` -- the left quotient of ``Y`` by ``X`` (Definition 4.8, used
+  in Theorem 4.4); implemented by :func:`left_quotient`.
+* ``f_rr`` -- remove consecutive repeats from every word (the "remove
+  repeats" function of Section 3); implemented by :func:`remove_repeats`.
+* ``f_rei`` -- remove the leading block of empty role sets ("remove empty
+  initial"); implemented by :func:`remove_empty_initial`.
+
+plus the standard boolean/rational operations (union, concatenation, star,
+intersection, complement, difference, reversal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.formal.dfa import DFA
+from repro.formal.nfa import EPSILON, NFA
+
+Symbol = Hashable
+State = Hashable
+
+
+def _aligned(left: NFA, right: NFA) -> Tuple[NFA, NFA]:
+    """Extend both automata to the union of their alphabets."""
+    alphabet = left.alphabet | right.alphabet
+    return left.with_alphabet(alphabet), right.with_alphabet(alphabet)
+
+
+# --------------------------------------------------------------------------- #
+# Rational operations
+# --------------------------------------------------------------------------- #
+def union(left: NFA, right: NFA) -> NFA:
+    """Language union."""
+    left, right = _aligned(left, right)
+    return left.union_with(right)
+
+
+def concat(left: NFA, right: NFA) -> NFA:
+    """Language concatenation."""
+    left, right = _aligned(left, right)
+    return left.concat_with(right)
+
+
+def star(automaton: NFA) -> NFA:
+    """Kleene star."""
+    return automaton.star()
+
+
+def intersection(left: NFA, right: NFA) -> NFA:
+    """Language intersection (product of the determinizations)."""
+    left, right = _aligned(left, right)
+    product = left.determinize().product(right.determinize(), accept_both=True)
+    return product.to_nfa()
+
+
+def complement(automaton: NFA, alphabet: Optional[Iterable[Symbol]] = None) -> NFA:
+    """Complement with respect to ``alphabet`` (defaults to the automaton's)."""
+    if alphabet is not None:
+        automaton = automaton.with_alphabet(alphabet)
+    return automaton.determinize().complement().to_nfa()
+
+
+def difference(left: NFA, right: NFA) -> NFA:
+    """Language difference ``L(left) - L(right)``."""
+    left, right = _aligned(left, right)
+    return intersection(left, complement(right))
+
+
+def reverse(automaton: NFA) -> NFA:
+    """The reversal of the accepted language."""
+    transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+    for (source, symbol), targets in automaton.transitions.items():
+        for target in targets:
+            transitions.setdefault((target, symbol), set()).add(source)
+    return NFA(
+        automaton.states,
+        automaton.alphabet,
+        transitions,
+        automaton.accepting_states,
+        automaton.initial_states,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Prefix closure and quotients
+# --------------------------------------------------------------------------- #
+def prefix_closure(automaton: NFA) -> NFA:
+    """``Init(L)``: the set of prefixes of words of ``L``.
+
+    Every state from which an accepting state is reachable becomes
+    accepting; unreachable/non-co-reachable states are first trimmed so the
+    construction is exact.
+    """
+    trimmed = automaton.trim()
+    if trimmed.is_empty():
+        return NFA.epsilon_language(automaton.alphabet) if automaton.accepts(()) else trimmed
+    return NFA(
+        trimmed.states,
+        trimmed.alphabet,
+        trimmed.transitions,
+        trimmed.initial_states,
+        trimmed.states,
+    )
+
+
+def left_quotient(prefix_language: NFA, language: NFA) -> NFA:
+    """The left quotient ``X^{-1} Y = { z | exists x in X with xz in Y }``.
+
+    ``prefix_language`` plays the role of ``X`` and ``language`` of ``Y``.
+    The construction runs the product of ``X`` and ``Y`` to find every state
+    of ``Y`` reachable by some word of ``X`` and starts ``Y`` from all of
+    them simultaneously.
+    """
+    x, y = _aligned(prefix_language, language)
+    x_states = x.epsilon_closure(x.initial_states)
+    y_states = y.epsilon_closure(y.initial_states)
+    start_candidates: Set[State] = set()
+    seen: Set[Tuple[frozenset, frozenset]] = set()
+    stack = [(frozenset(x_states), frozenset(y_states))]
+    while stack:
+        x_set, y_set = stack.pop()
+        if (x_set, y_set) in seen:
+            continue
+        seen.add((x_set, y_set))
+        if x_set & x.accepting_states:
+            start_candidates.update(y_set)
+        for symbol in x.alphabet:
+            next_x = x.step(x_set, symbol)
+            next_y = y.step(y_set, symbol)
+            if next_x and next_y:
+                stack.append((frozenset(next_x), frozenset(next_y)))
+    if not start_candidates:
+        return NFA.empty_language(y.alphabet)
+    return NFA(
+        y.states,
+        y.alphabet,
+        y.transitions,
+        start_candidates,
+        y.accepting_states,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The word functions of Section 3
+# --------------------------------------------------------------------------- #
+def remove_repeats(automaton: NFA) -> NFA:
+    """The image of the language under ``f_rr`` (collapse consecutive repeats).
+
+    ``f_rr(w a a) = f_rr(w a)`` and ``f_rr(w a b) = f_rr(w a) b`` for
+    ``a != b``; the image of a regular language is regular and is computed by
+    tracking the last symbol emitted.
+    """
+    states: Set[State] = set()
+    transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+    initial: Set[State] = set()
+    accepting: Set[State] = set()
+
+    for state in automaton.states:
+        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+            states.add((state, last))
+    for state in automaton.initial_states:
+        initial.add((state, None))
+    for state in automaton.accepting_states:
+        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+            accepting.add((state, last))
+
+    for (source, symbol), targets in automaton.transitions.items():
+        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+            for target in targets:
+                if symbol is EPSILON:
+                    transitions.setdefault(((source, last), EPSILON), set()).add((target, last))
+                elif symbol == last:
+                    # Consecutive repeat: consumed silently.
+                    transitions.setdefault(((source, last), EPSILON), set()).add((target, last))
+                else:
+                    transitions.setdefault(((source, last), symbol), set()).add((target, symbol))
+    return NFA(states, automaton.alphabet, transitions, initial, accepting).trim()
+
+
+def remove_empty_initial(automaton: NFA, empty_symbol: Symbol) -> NFA:
+    """The image of the language under ``f_rei`` (drop the leading empty role sets).
+
+    ``f_rei`` erases the maximal leading block of ``empty_symbol`` letters
+    and leaves the remainder of the word untouched; the image of a regular
+    language is regular.
+    """
+    states: Set[State] = set()
+    transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+    initial: Set[State] = set()
+    accepting: Set[State] = set()
+
+    for state in automaton.states:
+        for mode in ("leading", "body"):
+            states.add((state, mode))
+    for state in automaton.initial_states:
+        initial.add((state, "leading"))
+    for state in automaton.accepting_states:
+        accepting.add((state, "leading"))
+        accepting.add((state, "body"))
+
+    for (source, symbol), targets in automaton.transitions.items():
+        for target in targets:
+            if symbol is EPSILON:
+                for mode in ("leading", "body"):
+                    transitions.setdefault(((source, mode), EPSILON), set()).add((target, mode))
+                continue
+            if symbol == empty_symbol:
+                # While leading, the empty symbol is erased; afterwards kept.
+                transitions.setdefault(((source, "leading"), EPSILON), set()).add((target, "leading"))
+                transitions.setdefault(((source, "body"), symbol), set()).add((target, "body"))
+            else:
+                transitions.setdefault(((source, "leading"), symbol), set()).add((target, "body"))
+                transitions.setdefault(((source, "body"), symbol), set()).add((target, "body"))
+    return NFA(states, automaton.alphabet, transitions, initial, accepting).trim()
+
+
+def homomorphic_image(automaton: NFA, mapping: Dict[Symbol, Tuple[Symbol, ...]]) -> NFA:
+    """The image of the language under a word homomorphism.
+
+    ``mapping`` sends each alphabet symbol to a (possibly empty) word; the
+    image of a regular language under a homomorphism is regular.
+    """
+    alphabet: Set[Symbol] = set()
+    for word in mapping.values():
+        alphabet.update(word)
+    states: Set[State] = set(automaton.states)
+    transitions: Dict[Tuple[State, Symbol], Set[State]] = {}
+
+    fresh = 0
+    for (source, symbol), targets in automaton.transitions.items():
+        if symbol is EPSILON:
+            for target in targets:
+                transitions.setdefault((source, EPSILON), set()).add(target)
+            continue
+        image = mapping.get(symbol, (symbol,))
+        for target in targets:
+            if len(image) == 0:
+                transitions.setdefault((source, EPSILON), set()).add(target)
+            elif len(image) == 1:
+                alphabet.add(image[0])
+                transitions.setdefault((source, image[0]), set()).add(target)
+            else:
+                previous = source
+                for position, letter in enumerate(image):
+                    alphabet.add(letter)
+                    if position == len(image) - 1:
+                        transitions.setdefault((previous, letter), set()).add(target)
+                    else:
+                        intermediate = ("hom", fresh)
+                        fresh += 1
+                        states.add(intermediate)
+                        transitions.setdefault((previous, letter), set()).add(intermediate)
+                        previous = intermediate
+    alphabet.update(symbol for symbol in automaton.alphabet if symbol not in mapping)
+    return NFA(states, alphabet, transitions, automaton.initial_states, automaton.accepting_states)
+
+
+__all__ = [
+    "union",
+    "concat",
+    "star",
+    "intersection",
+    "complement",
+    "difference",
+    "reverse",
+    "prefix_closure",
+    "left_quotient",
+    "remove_repeats",
+    "remove_empty_initial",
+    "homomorphic_image",
+]

@@ -1,0 +1,541 @@
+"""Regular expressions over arbitrary hashable symbols.
+
+Migration inventories are specified in the paper as regular expressions over
+the alphabet of role sets (e.g. ``0*[P]*[S]*[G]*[E]+[P]*0*`` in Example 3.2
+or ``P(QQP)*`` in Example 3.6).  This module provides
+
+* an immutable AST (:class:`EmptySet`, :class:`Epsilon`, :class:`Symbol`,
+  :class:`Concat`, :class:`Union`, :class:`Star`, :class:`Plus`,
+  :class:`Optional`),
+* algebraic simplification,
+* the Thompson construction (:meth:`Regex.to_nfa`), and
+* a small parser (:func:`parse_regex`) for a textual syntax in which
+  identifiers name symbols through a caller-supplied mapping, so that
+  expressions over role sets can be written down concisely in tests,
+  examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional as Opt, Sequence, Set, Tuple
+
+SymbolValue = Hashable
+
+
+class Regex:
+    """Base class of all regular-expression nodes.
+
+    Instances are immutable and hashable; equality is structural.
+    """
+
+    __slots__ = ()
+
+    # -- structure ------------------------------------------------------ #
+    def children(self) -> Tuple["Regex", ...]:
+        """The immediate sub-expressions."""
+        return ()
+
+    def symbols(self) -> FrozenSet[SymbolValue]:
+        """The set of symbols appearing in the expression."""
+        result: Set[SymbolValue] = set()
+        stack: List[Regex] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Symbol):
+                result.add(node.value)
+            stack.extend(node.children())
+        return frozenset(result)
+
+    def size(self) -> int:
+        """Number of AST nodes; a syntactic complexity measure."""
+        return 1 + sum(child.size() for child in self.children())
+
+    # -- algebra --------------------------------------------------------- #
+    def simplify(self) -> "Regex":
+        """Apply local algebraic identities (0, epsilon, idempotence)."""
+        return self
+
+    def matches_empty(self) -> bool:
+        """Return ``True`` if the denoted language contains the empty word."""
+        raise NotImplementedError
+
+    # -- conversions ------------------------------------------------------ #
+    def to_nfa(self, alphabet: Iterable[SymbolValue] = ()) -> "NFA":
+        """Thompson construction; ``alphabet`` may extend the symbol set."""
+        from repro.formal.nfa import NFA
+
+        alpha = set(alphabet) | set(self.symbols())
+        return self._build_nfa(alpha)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        raise NotImplementedError
+
+    # -- convenience combinators ------------------------------------------ #
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union(self, other)
+
+    def star(self) -> "Regex":
+        """Kleene star of this expression."""
+        return Star(self)
+
+    def plus(self) -> "Regex":
+        """One-or-more repetitions of this expression."""
+        return Plus(self)
+
+    def optional(self) -> "Regex":
+        """Zero-or-one occurrences of this expression."""
+        return Optional(self)
+
+    # -- equality ---------------------------------------------------------- #
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Regex) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+class EmptySet(Regex):
+    """The empty language."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return False
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        from repro.formal.nfa import NFA
+
+        return NFA.empty_language(alphabet)
+
+    def _key(self) -> Tuple:
+        return ("empty",)
+
+    def __repr__(self) -> str:
+        return "∅"
+
+
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return True
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        from repro.formal.nfa import NFA
+
+        return NFA.epsilon_language(alphabet)
+
+    def _key(self) -> Tuple:
+        return ("epsilon",)
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+class Symbol(Regex):
+    """A single-symbol language."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: SymbolValue) -> None:
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Regex nodes are immutable")
+
+    def matches_empty(self) -> bool:
+        return False
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        from repro.formal.nfa import NFA
+
+        return NFA.single_symbol(self.value, alphabet)
+
+    def _key(self) -> Tuple:
+        return ("symbol", self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+class _Binary(Regex):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Regex, right: Regex) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Regex nodes are immutable")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+
+class Concat(_Binary):
+    """Concatenation of two expressions."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return self.left.matches_empty() and self.right.matches_empty()
+
+    def simplify(self) -> Regex:
+        left = self.left.simplify()
+        right = self.right.simplify()
+        if isinstance(left, EmptySet) or isinstance(right, EmptySet):
+            return EmptySet()
+        if isinstance(left, Epsilon):
+            return right
+        if isinstance(right, Epsilon):
+            return left
+        return Concat(left, right)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        return self.left._build_nfa(alphabet).concat_with(self.right._build_nfa(alphabet))
+
+    def _key(self) -> Tuple:
+        return ("concat", self.left._key(), self.right._key())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}·{self.right!r})"
+
+
+class Union(_Binary):
+    """Union (alternation) of two expressions."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return self.left.matches_empty() or self.right.matches_empty()
+
+    def simplify(self) -> Regex:
+        left = self.left.simplify()
+        right = self.right.simplify()
+        if isinstance(left, EmptySet):
+            return right
+        if isinstance(right, EmptySet):
+            return left
+        if left == right:
+            return left
+        return Union(left, right)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        return self.left._build_nfa(alphabet).union_with(self.right._build_nfa(alphabet))
+
+    def _key(self) -> Tuple:
+        return ("union", self.left._key(), self.right._key())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}∪{self.right!r})"
+
+
+class _Unary(Regex):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Regex) -> None:
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Regex nodes are immutable")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.operand,)
+
+
+class Star(_Unary):
+    """Kleene star."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return True
+
+    def simplify(self) -> Regex:
+        operand = self.operand.simplify()
+        if isinstance(operand, (EmptySet, Epsilon)):
+            return Epsilon()
+        if isinstance(operand, Star):
+            return operand
+        return Star(operand)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        return self.operand._build_nfa(alphabet).star()
+
+    def _key(self) -> Tuple:
+        return ("star", self.operand._key())
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}*"
+
+
+class Plus(_Unary):
+    """One-or-more repetitions (``a+ = a a*``)."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return self.operand.matches_empty()
+
+    def simplify(self) -> Regex:
+        operand = self.operand.simplify()
+        if isinstance(operand, EmptySet):
+            return EmptySet()
+        if isinstance(operand, Epsilon):
+            return Epsilon()
+        return Plus(operand)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        return self.operand._build_nfa(alphabet).plus()
+
+    def _key(self) -> Tuple:
+        return ("plus", self.operand._key())
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}+"
+
+
+class Optional(_Unary):
+    """Zero-or-one occurrences (``a? = a ∪ ε``)."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        return True
+
+    def simplify(self) -> Regex:
+        operand = self.operand.simplify()
+        if isinstance(operand, EmptySet):
+            return Epsilon()
+        if isinstance(operand, (Epsilon, Star, Optional)):
+            return operand if not isinstance(operand, Epsilon) else Epsilon()
+        return Optional(operand)
+
+    def _build_nfa(self, alphabet: Set[SymbolValue]) -> "NFA":
+        return self.operand._build_nfa(alphabet).optional()
+
+    def _key(self) -> Tuple:
+        return ("optional", self.operand._key())
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}?"
+
+
+# --------------------------------------------------------------------------- #
+# Convenience constructors
+# --------------------------------------------------------------------------- #
+def literal_word(symbols: Sequence[SymbolValue]) -> Regex:
+    """The expression denoting exactly the single word ``symbols``."""
+    if not symbols:
+        return Epsilon()
+    expression: Regex = Symbol(symbols[0])
+    for value in symbols[1:]:
+        expression = Concat(expression, Symbol(value))
+    return expression
+
+
+def union_of(expressions: Iterable[Regex]) -> Regex:
+    """The union of an iterable of expressions (empty iterable -> ``EmptySet``)."""
+    result: Opt[Regex] = None
+    for expression in expressions:
+        result = expression if result is None else Union(result, expression)
+    return EmptySet() if result is None else result
+
+
+def concat_of(expressions: Iterable[Regex]) -> Regex:
+    """The concatenation of an iterable of expressions (empty -> ``Epsilon``)."""
+    result: Opt[Regex] = None
+    for expression in expressions:
+        result = expression if result is None else Concat(result, expression)
+    return Epsilon() if result is None else result
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+class RegexSyntaxError(ValueError):
+    """Raised when :func:`parse_regex` encounters malformed input."""
+
+
+_OPERATOR_CHARS = set("()|*+?·. ")
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in "()|*+?":
+            tokens.append(("op", char))
+            index += 1
+            continue
+        if char in "·.":
+            tokens.append(("op", "."))
+            index += 1
+            continue
+        # An identifier: a maximal run of characters outside the operator set,
+        # or a bracketed name such as "[SE]" which is taken verbatim.
+        if char == "[":
+            end = text.find("]", index)
+            if end < 0:
+                raise RegexSyntaxError(f"unterminated '[' at position {index}")
+            tokens.append(("id", text[index : end + 1]))
+            index = end + 1
+            continue
+        end = index
+        while end < len(text) and text[end] not in _OPERATOR_CHARS and text[end] != "[":
+            end += 1
+        tokens.append(("id", text[index:end]))
+        index = end
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser: union < concatenation < postfix < atom."""
+
+    def __init__(self, tokens: List[Tuple[str, str]], symbol_map: Mapping[str, SymbolValue]) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._symbols = symbol_map
+
+    def _peek(self) -> Opt[Tuple[str, str]]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def parse(self) -> Regex:
+        expression = self._union()
+        if self._peek() is not None:
+            raise RegexSyntaxError(f"unexpected token {self._peek()!r}")
+        return expression
+
+    def _union(self) -> Regex:
+        expression = self._concat()
+        while self._peek() == ("op", "|"):
+            self._advance()
+            expression = Union(expression, self._concat())
+        return expression
+
+    def _concat(self) -> Regex:
+        parts: List[Regex] = []
+        while True:
+            token = self._peek()
+            if token is None or token == ("op", "|") or token == ("op", ")"):
+                break
+            if token == ("op", "."):
+                self._advance()
+                continue
+            parts.append(self._postfix())
+        if not parts:
+            return Epsilon()
+        expression = parts[0]
+        for part in parts[1:]:
+            expression = Concat(expression, part)
+        return expression
+
+    def _postfix(self) -> Regex:
+        expression = self._atom()
+        while True:
+            token = self._peek()
+            if token == ("op", "*"):
+                self._advance()
+                expression = Star(expression)
+            elif token == ("op", "+"):
+                self._advance()
+                expression = Plus(expression)
+            elif token == ("op", "?"):
+                self._advance()
+                expression = Optional(expression)
+            else:
+                return expression
+
+    def _atom(self) -> Regex:
+        token = self._peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of expression")
+        kind, value = self._advance()
+        if kind == "op" and value == "(":
+            inner = self._union()
+            closing = self._peek()
+            if closing != ("op", ")"):
+                raise RegexSyntaxError("missing ')'")
+            self._advance()
+            return inner
+        if kind == "id":
+            if value in self._symbols:
+                return Symbol(self._symbols[value])
+            # An identifier run such as "QQP" may be a juxtaposition of known
+            # single/multi-character names; decompose it by greedy longest match.
+            decomposed = self._decompose(value)
+            if decomposed is not None:
+                return decomposed
+            raise RegexSyntaxError(f"unknown symbol name {value!r}")
+        raise RegexSyntaxError(f"unexpected token {value!r}")
+
+    def _decompose(self, text: str) -> Opt[Regex]:
+        names = sorted(self._symbols, key=len, reverse=True)
+        parts: List[Regex] = []
+        index = 0
+        while index < len(text):
+            for name in names:
+                if text.startswith(name, index):
+                    parts.append(Symbol(self._symbols[name]))
+                    index += len(name)
+                    break
+            else:
+                return None
+        if not parts:
+            return None
+        expression = parts[0]
+        for part in parts[1:]:
+            expression = Concat(expression, part)
+        return expression
+
+
+def parse_regex(text: str, symbol_map: Mapping[str, SymbolValue]) -> Regex:
+    """Parse ``text`` into a :class:`Regex`.
+
+    ``symbol_map`` maps identifier tokens (including bracketed identifiers
+    such as ``"[SE]"``) to symbol values, so expressions over role sets can
+    be written as e.g. ``"[P]* [S]* [G]* [E]+ [P]*"``.
+
+    The grammar supports ``|`` (union), juxtaposition or ``.`` / ``·``
+    (concatenation), ``*``, ``+``, ``?`` and parentheses.
+    """
+    return _Parser(_tokenize(text), symbol_map).parse().simplify()
+
+
+from repro.formal.nfa import NFA  # noqa: E402  (typing convenience only)
+
+__all__ = [
+    "Regex",
+    "EmptySet",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "literal_word",
+    "union_of",
+    "concat_of",
+    "parse_regex",
+    "RegexSyntaxError",
+]

@@ -1,0 +1,420 @@
+"""A single-tape Turing machine simulator.
+
+Theorem 4.3 of the paper constructs, for every recursively enumerable
+inventory ``L``, a CSL+ transaction schema whose migration patterns are
+exactly ``Init(L · 0*)`` padded with empty role sets, by simulating a Turing
+machine accepting ``L`` inside the database (the chain encoded in class
+``S``).  This module provides the Turing machines being simulated:
+
+* deterministic or nondeterministic transition relations,
+* a right-infinite tape,
+* step-bounded execution (the constructions are exercised with explicit
+  budgets because, of course, halting is undecidable),
+* machines that *do not erase their input* (the construction in the paper
+  assumes this; :meth:`TuringMachine.non_erasing_equivalent` provides the
+  standard input-duplication wrapper when needed by callers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+Symbol = Hashable
+State = Hashable
+
+#: Head movements.
+LEFT = "L"
+RIGHT = "R"
+STAY = "S"
+
+_MOVES = (LEFT, RIGHT, STAY)
+
+
+@dataclass(frozen=True)
+class TMTransition:
+    """One transition: in ``state`` reading ``read``, write/move/change state."""
+
+    state: State
+    read: Symbol
+    next_state: State
+    write: Symbol
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in _MOVES:
+            raise ValueError(f"move must be one of {_MOVES}, got {self.move!r}")
+
+
+@dataclass(frozen=True)
+class TMConfiguration:
+    """A configuration: tape contents, head position, and control state."""
+
+    state: State
+    tape: Tuple[Symbol, ...]
+    head: int
+
+    def reading(self, blank: Symbol) -> Symbol:
+        """The symbol currently under the head."""
+        if 0 <= self.head < len(self.tape):
+            return self.tape[self.head]
+        return blank
+
+    def written(self, position: int, blank: Symbol) -> Symbol:
+        """The symbol at ``position`` (blank beyond the written portion)."""
+        if 0 <= position < len(self.tape):
+            return self.tape[position]
+        return blank
+
+    def pretty(self, blank: Symbol) -> str:
+        """A one-line rendering used in logs and reports."""
+        cells = []
+        for index, symbol in enumerate(self.tape):
+            text = str(symbol)
+            cells.append(f"[{text}]" if index == self.head else f" {text} ")
+        if self.head >= len(self.tape):
+            cells.append(f"[{blank}]")
+        return f"{self.state}: " + "".join(cells)
+
+
+class TuringMachine:
+    """A (possibly nondeterministic) one-tape Turing machine.
+
+    The tape is right-infinite; moving left of cell 0 leaves the head at
+    cell 0 (the standard convention for right-infinite tapes).  Acceptance is
+    by reaching ``accept_state``; the machine may also halt by having no
+    applicable transition, which is *not* acceptance.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        input_alphabet: Iterable[Symbol],
+        tape_alphabet: Iterable[Symbol],
+        blank: Symbol,
+        transitions: Iterable[TMTransition],
+        initial_state: State,
+        accept_state: State,
+        reject_state: Optional[State] = None,
+    ) -> None:
+        self.states: FrozenSet[State] = frozenset(states)
+        self.input_alphabet: FrozenSet[Symbol] = frozenset(input_alphabet)
+        self.tape_alphabet: FrozenSet[Symbol] = frozenset(tape_alphabet) | {blank}
+        self.blank = blank
+        self.initial_state = initial_state
+        self.accept_state = accept_state
+        self.reject_state = reject_state
+        if blank in self.input_alphabet:
+            raise ValueError("the blank symbol may not be part of the input alphabet")
+        if not self.input_alphabet <= self.tape_alphabet:
+            raise ValueError("the input alphabet must be contained in the tape alphabet")
+        for required in (initial_state, accept_state):
+            if required not in self.states:
+                raise ValueError(f"{required!r} is not a state")
+        if reject_state is not None and reject_state not in self.states:
+            raise ValueError(f"{reject_state!r} is not a state")
+        self._transitions: Dict[Tuple[State, Symbol], List[TMTransition]] = {}
+        for transition in transitions:
+            if transition.state not in self.states or transition.next_state not in self.states:
+                raise ValueError(f"transition uses unknown states: {transition!r}")
+            if transition.read not in self.tape_alphabet or transition.write not in self.tape_alphabet:
+                raise ValueError(f"transition uses unknown symbols: {transition!r}")
+            self._transitions.setdefault((transition.state, transition.read), []).append(transition)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def transitions(self) -> Tuple[TMTransition, ...]:
+        """All transitions, in a deterministic order."""
+        result: List[TMTransition] = []
+        for key in sorted(self._transitions, key=repr):
+            result.extend(self._transitions[key])
+        return tuple(result)
+
+    def transitions_from(self, state: State, read: Symbol) -> Tuple[TMTransition, ...]:
+        """Transitions applicable in ``state`` when reading ``read``."""
+        return tuple(self._transitions.get((state, read), ()))
+
+    def is_deterministic(self) -> bool:
+        """Return ``True`` if at most one transition applies per (state, symbol)."""
+        return all(len(options) <= 1 for options in self._transitions.values())
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def initial_configuration(self, word: Sequence[Symbol]) -> TMConfiguration:
+        """The starting configuration on input ``word``."""
+        for symbol in word:
+            if symbol not in self.input_alphabet:
+                raise ValueError(f"{symbol!r} is not an input symbol")
+        return TMConfiguration(self.initial_state, tuple(word), 0)
+
+    def step(self, configuration: TMConfiguration) -> List[TMConfiguration]:
+        """All successor configurations (empty if the machine is stuck)."""
+        read = configuration.reading(self.blank)
+        successors: List[TMConfiguration] = []
+        for transition in self._transitions.get((configuration.state, read), ()):  # pragma: no branch
+            tape = list(configuration.tape)
+            while len(tape) <= configuration.head:
+                tape.append(self.blank)
+            tape[configuration.head] = transition.write
+            head = configuration.head
+            if transition.move == RIGHT:
+                head += 1
+            elif transition.move == LEFT:
+                head = max(0, head - 1)
+            successors.append(TMConfiguration(transition.next_state, tuple(tape), head))
+        return successors
+
+    def run(
+        self,
+        word: Sequence[Symbol],
+        max_steps: int = 10_000,
+    ) -> Tuple[str, Optional[TMConfiguration], int]:
+        """Run the machine on ``word`` with a step budget.
+
+        Returns a triple ``(verdict, configuration, steps)`` where ``verdict``
+        is ``"accept"``, ``"reject"`` (explicit reject state or no applicable
+        transition), or ``"timeout"``.  Nondeterministic machines are explored
+        breadth-first, counting explored configurations against the budget.
+        """
+        start = self.initial_configuration(word)
+        frontier: List[TMConfiguration] = [start]
+        seen: Set[TMConfiguration] = {start}
+        steps = 0
+        while frontier and steps < max_steps:
+            next_frontier: List[TMConfiguration] = []
+            for configuration in frontier:
+                if configuration.state == self.accept_state:
+                    return ("accept", configuration, steps)
+                if self.reject_state is not None and configuration.state == self.reject_state:
+                    continue
+                successors = self.step(configuration)
+                for successor in successors:
+                    if successor not in seen:
+                        seen.add(successor)
+                        next_frontier.append(successor)
+                steps += 1
+                if steps >= max_steps:
+                    break
+            if not next_frontier:
+                return ("reject", None, steps)
+            frontier = next_frontier
+        for configuration in frontier:
+            if configuration.state == self.accept_state:
+                return ("accept", configuration, steps)
+        return ("timeout", None, steps)
+
+    def accepts(self, word: Sequence[Symbol], max_steps: int = 10_000) -> bool:
+        """Step-bounded acceptance test."""
+        verdict, _configuration, _steps = self.run(word, max_steps=max_steps)
+        return verdict == "accept"
+
+    def accepted_words(
+        self,
+        alphabet: Optional[Iterable[Symbol]] = None,
+        max_length: int = 4,
+        max_steps: int = 10_000,
+    ) -> Iterator[Tuple[Symbol, ...]]:
+        """Enumerate accepted words up to ``max_length`` (step-bounded)."""
+        import itertools
+
+        letters = sorted(alphabet if alphabet is not None else self.input_alphabet, key=repr)
+        for length in range(max_length + 1):
+            for word in itertools.product(letters, repeat=length):
+                if self.accepts(word, max_steps=max_steps):
+                    yield word
+
+    # ------------------------------------------------------------------ #
+    # Constructions used by the paper
+    # ------------------------------------------------------------------ #
+    def non_erasing_equivalent(self) -> "TuringMachine":
+        """A machine accepting the same language that never erases its input.
+
+        The paper's Theorem 4.3 proof assumes the machine does not erase the
+        input word ("If not, it is easy to construct another Turing machine
+        M' which duplicates the input word and then simulates M on the right
+        copy").  For the machines bundled with this package the property is
+        arranged by construction; this helper implements the generic wrapper
+        by shifting the simulation to a disjoint copy of the tape alphabet so
+        the original input cells are never overwritten with different
+        *input* symbols.  It is primarily useful for experimentation.
+        """
+        # Shadow tape symbols: ("shadow", a).  The wrapper first copies the
+        # input to shadow symbols appended after a separator, then simulates
+        # the original machine over shadow symbols only.
+        separator = ("shadow", "#")
+        shadow = {symbol: ("shadow", symbol) for symbol in self.tape_alphabet}
+        states: Set[State] = {("copy", "scan"), ("copy", "back")}
+        transitions: List[TMTransition] = []
+        # Copying is implemented with one marker pass per input cell; to keep
+        # this helper simple (it is not on the critical path of the
+        # reproduction) we only support inputs over the input alphabet and
+        # bounce between the original prefix and the shadow suffix.
+        # Mark phase states: ("mark", a) carries the symbol being copied.
+        for symbol in self.input_alphabet:
+            states.add(("carry", symbol))
+            states.add(("return", symbol))
+        marked = {symbol: ("marked", symbol) for symbol in self.input_alphabet}
+
+        tape_alphabet: Set[Symbol] = set(self.tape_alphabet) | set(shadow.values()) | {separator}
+        tape_alphabet |= set(marked.values())
+
+        scan = ("copy", "scan")
+        back = ("copy", "back")
+        # Scan: find the first unmarked input symbol; mark it and carry right.
+        for symbol in self.input_alphabet:
+            transitions.append(TMTransition(scan, symbol, ("carry", symbol), marked[symbol], RIGHT))
+            transitions.append(TMTransition(back, marked[symbol], back, marked[symbol], LEFT))
+            transitions.append(TMTransition(back, symbol, scan, symbol, STAY))
+        for symbol in self.input_alphabet:
+            transitions.append(TMTransition(scan, marked[symbol], scan, marked[symbol], RIGHT))
+        # Carry: move right over everything until a blank, deposit the shadow copy.
+        for carried in self.input_alphabet:
+            carry = ("carry", carried)
+            for passed in list(marked.values()) + [separator] + list(shadow.values()) + list(self.input_alphabet):
+                transitions.append(TMTransition(carry, passed, carry, passed, RIGHT))
+            transitions.append(TMTransition(carry, self.blank, back, shadow[carried], LEFT))
+        # Back: return to the leftmost unmarked symbol.
+        for passed in [separator] + list(shadow.values()):
+            transitions.append(TMTransition(back, passed, back, passed, LEFT))
+        # When scan reaches the separator-less boundary (a blank or shadow
+        # cell) all input has been copied: write the separator and start the
+        # simulation of the original machine positioned on the first shadow cell.
+        sim_states = {state: ("sim", state) for state in self.states}
+        states |= set(sim_states.values())
+        transitions.append(TMTransition(scan, self.blank, sim_states[self.initial_state], separator, RIGHT))
+        for shadow_symbol in shadow.values():
+            transitions.append(
+                TMTransition(scan, shadow_symbol, sim_states[self.initial_state], shadow_symbol, STAY)
+            )
+        # Simulation over shadow symbols.
+        for transition in self.transitions:
+            transitions.append(
+                TMTransition(
+                    sim_states[transition.state],
+                    shadow[transition.read],
+                    sim_states[transition.next_state],
+                    shadow[transition.write],
+                    transition.move,
+                )
+            )
+            # Reading a blank beyond the shadow region behaves like reading
+            # the shadow blank.
+            if transition.read == self.blank:
+                transitions.append(
+                    TMTransition(
+                        sim_states[transition.state],
+                        self.blank,
+                        sim_states[transition.next_state],
+                        shadow[transition.write],
+                        transition.move,
+                    )
+                )
+        # Simulation states must not fall off the left edge of the shadow
+        # region: treat the separator and original symbols as blanks when read.
+        for state in self.states:
+            for blocked in list(marked.values()) + [separator]:
+                for transition in self.transitions_from(state, self.blank):
+                    transitions.append(
+                        TMTransition(
+                            sim_states[state],
+                            blocked,
+                            sim_states[transition.next_state],
+                            blocked,
+                            RIGHT,
+                        )
+                    )
+        return TuringMachine(
+            states | {sim_states[self.accept_state]},
+            self.input_alphabet,
+            tape_alphabet,
+            self.blank,
+            transitions,
+            scan,
+            sim_states[self.accept_state],
+            None if self.reject_state is None else sim_states.get(self.reject_state),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Factory machines used throughout tests and benchmarks
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def accepting_regular_sample(cls, symbols: Sequence[Symbol]) -> "TuringMachine":
+        """A machine accepting ``symbols[0]+`` (one or more of the first symbol).
+
+        A deliberately small machine used to exercise the Theorem 4.3
+        construction with a nontrivial but easily checkable r.e. language.
+        """
+        if not symbols:
+            raise ValueError("need at least one symbol")
+        a = symbols[0]
+        blank = ("tm", "blank")
+        states = {"q0", "q1", "qa"}
+        transitions = [
+            TMTransition("q0", a, "q1", a, RIGHT),
+            TMTransition("q1", a, "q1", a, RIGHT),
+            TMTransition("q1", blank, "qa", blank, STAY),
+        ]
+        return cls(states, set(symbols), set(symbols) | {blank}, blank, transitions, "q0", "qa")
+
+    @classmethod
+    def accepting_equal_pairs(cls, first: Symbol, second: Symbol) -> "TuringMachine":
+        """A machine accepting ``{ first^n second^n | n >= 1 }``.
+
+        The classic non-regular (context-free) language; used to check that
+        the CSL+ constructions go beyond regular inventories.
+        """
+        blank = ("tm", "blank")
+        crossed_a = ("tm", "Xa")
+        crossed_b = ("tm", "Xb")
+        states = {"q0", "q1", "q2", "q3", "qa"}
+        transitions = [
+            # Cross off one leading `first`.
+            TMTransition("q0", first, "q1", crossed_a, RIGHT),
+            # Skip over remaining firsts and crossed seconds.
+            TMTransition("q1", first, "q1", first, RIGHT),
+            TMTransition("q1", crossed_b, "q1", crossed_b, RIGHT),
+            # Cross off a matching `second`.
+            TMTransition("q1", second, "q2", crossed_b, LEFT),
+            # Walk back to the leftmost uncrossed `first`.
+            TMTransition("q2", first, "q2", first, LEFT),
+            TMTransition("q2", crossed_b, "q2", crossed_b, LEFT),
+            TMTransition("q2", crossed_a, "q0", crossed_a, RIGHT),
+            # If everything is crossed, scan right to make sure nothing remains.
+            TMTransition("q0", crossed_b, "q3", crossed_b, RIGHT),
+            TMTransition("q3", crossed_b, "q3", crossed_b, RIGHT),
+            TMTransition("q3", blank, "qa", blank, STAY),
+        ]
+        return cls(
+            states,
+            {first, second},
+            {first, second, crossed_a, crossed_b, blank},
+            blank,
+            transitions,
+            "q0",
+            "qa",
+        )
+
+    @classmethod
+    def never_halting(cls, *symbols: Symbol) -> "TuringMachine":
+        """A machine that never accepts (loops forever); accepts the empty language."""
+        if not symbols:
+            raise ValueError("need at least one input symbol")
+        blank = ("tm", "blank")
+        states = {"q0", "qa"}
+        transitions = [TMTransition("q0", blank, "q0", blank, RIGHT)]
+        for symbol in symbols:
+            transitions.append(TMTransition("q0", symbol, "q0", symbol, RIGHT))
+        return cls(states, set(symbols), set(symbols) | {blank}, blank, transitions, "q0", "qa")
+
+
+__all__ = [
+    "TuringMachine",
+    "TMTransition",
+    "TMConfiguration",
+    "LEFT",
+    "RIGHT",
+    "STAY",
+]

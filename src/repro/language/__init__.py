@@ -1,0 +1,56 @@
+"""The update languages of the paper: SL, CSL+ and CSL.
+
+* **SL** (Section 2) has five parameterized atomic updates -- ``create``,
+  ``delete``, ``modify``, ``generalize`` and ``specialize`` -- and
+  transactions are finite sequences of them.
+* **CSL+** (Section 4) adds *positive* test literals in front of updates.
+* **CSL** additionally allows *negative* literals.
+
+:mod:`repro.language.updates` defines the atomic updates and their static
+well-formedness rules (Definition 2.3); :mod:`repro.language.transactions`
+defines transactions and transaction schemas (Definition 2.4);
+:mod:`repro.language.semantics` implements their meaning as mappings on
+database instances (Definition 2.5); :mod:`repro.language.conditional`
+defines literals, conditional updates and CSL/CSL+ transactions
+(Definitions 4.1-4.4); and :mod:`repro.language.migration_ops` provides the
+``mig``/``migto`` macro sequences of Proposition 3.1 used by the synthesis
+constructions.
+"""
+
+from repro.language.updates import (
+    AtomicUpdate,
+    Create,
+    Delete,
+    Generalize,
+    Modify,
+    Specialize,
+)
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.semantics import apply_transaction, apply_update, run_sequence
+from repro.language.conditional import (
+    ConditionalTransaction,
+    ConditionalUpdate,
+    ConditionalTransactionSchema,
+    Literal,
+)
+from repro.language.migration_ops import migration_sequence, migrate_to_role_set
+
+__all__ = [
+    "AtomicUpdate",
+    "Create",
+    "Delete",
+    "Modify",
+    "Generalize",
+    "Specialize",
+    "Transaction",
+    "TransactionSchema",
+    "apply_update",
+    "apply_transaction",
+    "run_sequence",
+    "Literal",
+    "ConditionalUpdate",
+    "ConditionalTransaction",
+    "ConditionalTransactionSchema",
+    "migration_sequence",
+    "migrate_to_role_set",
+]

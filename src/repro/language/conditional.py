@@ -1,0 +1,346 @@
+"""The conditional languages CSL+ and CSL (Section 4 of the paper).
+
+A *literal* ``P(Γ)`` (positive) or ``¬P(Γ)`` (negative) tests whether some
+object of class ``P`` satisfies the condition ``Γ``.  A *conditional atomic
+update* ``δ_1, ..., δ_n → θ`` executes the atomic update ``θ`` only when the
+current database satisfies every literal, and otherwise leaves the database
+unchanged.  A *conditional transaction* is a sequence of conditional and/or
+plain atomic updates; it belongs to **CSL+** when all its literals are
+positive and to **CSL** in general.
+
+This module defines the syntax, the static checks of Definition 4.1, and the
+semantics of Definitions 4.3-4.4.  The corresponding transaction-schema
+class :class:`ConditionalTransactionSchema` mirrors
+:class:`repro.language.transactions.TransactionSchema` and is what the
+constructions of Theorems 4.3, 4.4 and 4.8 produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Set, Tuple, Union
+
+from repro.language.semantics import apply_update
+from repro.language.transactions import Transaction
+from repro.language.updates import AtomicUpdate
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import ClassName, DatabaseSchema
+from repro.model.values import Assignment, Constant, Variable
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A test literal ``P(Γ)`` or ``¬P(Γ)``."""
+
+    class_name: ClassName
+    condition: Condition
+    positive: bool = True
+
+    def negated(self) -> "Literal":
+        """The literal with opposite polarity."""
+        return Literal(self.class_name, self.condition, not self.positive)
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if the condition mentions no variable."""
+        return self.condition.is_ground
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables of the condition."""
+        return self.condition.variables()
+
+    def constants(self) -> FrozenSet[Constant]:
+        """The constants of the condition."""
+        return self.condition.constants()
+
+    def substituted(self, assignment: Assignment) -> "Literal":
+        """Instantiate the condition's variables."""
+        return Literal(self.class_name, self.condition.substituted(assignment), self.positive)
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check ``Att(Γ) ⊆ A*(P)``."""
+        schema.require_class(self.class_name)
+        unknown = self.condition.referenced_attributes() - schema.all_attributes_of(self.class_name)
+        if unknown:
+            raise UpdateError(
+                f"literal on {self.class_name!r} references attributes {sorted(unknown)!r} "
+                f"outside A*({self.class_name})"
+            )
+
+    def holds_in(self, instance: DatabaseInstance) -> bool:
+        """``d ⊨ P(Γ)`` / ``d ⊨ ¬P(Γ)`` for a ground literal."""
+        if not self.is_ground:
+            raise UpdateError(f"cannot evaluate the non-ground literal {self!r}")
+        if not self.condition.is_satisfiable():
+            witnesses = frozenset()
+        else:
+            witnesses = instance.satisfying_objects(self.condition, self.class_name)
+        return bool(witnesses) if self.positive else not witnesses
+
+    def __repr__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}{self.class_name}({self.condition!r})"
+
+
+@dataclass(frozen=True)
+class ConditionalUpdate:
+    """A conditional atomic update ``δ_1, ..., δ_n → θ``."""
+
+    literals: Tuple[Literal, ...]
+    update: AtomicUpdate
+
+    def __init__(self, literals: Iterable[Literal], update: AtomicUpdate) -> None:
+        object.__setattr__(self, "literals", tuple(literals))
+        object.__setattr__(self, "update", update)
+
+    @property
+    def is_positive(self) -> bool:
+        """Return ``True`` if all literals are positive (CSL+)."""
+        return all(literal.positive for literal in self.literals)
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if the update and every literal are ground."""
+        return self.update.is_ground and all(literal.is_ground for literal in self.literals)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the literals or the update."""
+        result: Set[Variable] = set(self.update.variables())
+        for literal in self.literals:
+            result |= literal.variables()
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in the literals or the update."""
+        result: Set[Constant] = set(self.update.constants())
+        for literal in self.literals:
+            result |= literal.constants()
+        return frozenset(result)
+
+    def substituted(self, assignment: Assignment) -> "ConditionalUpdate":
+        """Instantiate all variables."""
+        return ConditionalUpdate(
+            (literal.substituted(assignment) for literal in self.literals),
+            self.update.substituted(assignment),
+        )
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Validate the literals and the underlying update."""
+        for literal in self.literals:
+            literal.validate(schema)
+        self.update.validate(schema)
+
+    def apply(self, instance: DatabaseInstance) -> DatabaseInstance:
+        """Definition 4.3: execute the update iff every literal holds."""
+        if all(literal.holds_in(instance) for literal in self.literals):
+            return apply_update(self.update, instance)
+        return instance
+
+    def __repr__(self) -> str:
+        if not self.literals:
+            return repr(self.update)
+        tests = ", ".join(repr(literal) for literal in self.literals)
+        return f"{tests} → {self.update!r}"
+
+
+#: A step of a conditional transaction: either guarded or a bare atomic update.
+ConditionalStep = Union[ConditionalUpdate, AtomicUpdate]
+
+
+class ConditionalTransaction:
+    """A CSL/CSL+ transaction: a named sequence of (conditional) atomic updates."""
+
+    __slots__ = ("_name", "_steps")
+
+    def __init__(self, name: str, steps: Iterable[ConditionalStep]) -> None:
+        self._name = name
+        normalized = []
+        for step in steps:
+            if isinstance(step, AtomicUpdate):
+                normalized.append(ConditionalUpdate((), step))
+            elif isinstance(step, ConditionalUpdate):
+                normalized.append(step)
+            else:
+                raise UpdateError(f"unsupported transaction step {step!r}")
+        self._steps: Tuple[ConditionalUpdate, ...] = tuple(normalized)
+
+    # -- structure --------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        """The transaction's display name."""
+        return self._name
+
+    @property
+    def steps(self) -> Tuple[ConditionalUpdate, ...]:
+        """The steps, each normalized to a :class:`ConditionalUpdate`."""
+        return self._steps
+
+    def __iter__(self) -> Iterator[ConditionalUpdate]:
+        return iter(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    @property
+    def is_empty(self) -> bool:
+        """Return ``True`` for the empty transaction."""
+        return not self._steps
+
+    @property
+    def is_positive(self) -> bool:
+        """Return ``True`` if the transaction is in CSL+ (no negative literals)."""
+        return all(step.is_positive for step in self._steps)
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if every step is ground."""
+        return all(step.is_ground for step in self._steps)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the transaction."""
+        result: Set[Variable] = set()
+        for step in self._steps:
+            result |= step.variables()
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants of the transaction."""
+        result: Set[Constant] = set()
+        for step in self._steps:
+            result |= step.constants()
+        return frozenset(result)
+
+    # -- transformation ----------------------------------------------------- #
+    def substituted(self, assignment: Assignment) -> "ConditionalTransaction":
+        """``T[α]``: instantiate all variables."""
+        return ConditionalTransaction(self._name, (step.substituted(assignment) for step in self._steps))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Validate every step against ``schema``."""
+        for position, step in enumerate(self._steps):
+            try:
+                step.validate(schema)
+            except UpdateError as error:
+                raise UpdateError(f"transaction {self._name!r}, step #{position + 1}: {error}") from error
+
+    def apply(self, instance: DatabaseInstance, assignment: Optional[Assignment] = None) -> DatabaseInstance:
+        """Execute the transaction on ``instance`` (Definition 4.4)."""
+        ground = self if assignment is None else self.substituted(assignment)
+        if not ground.is_ground:
+            raise UpdateError(
+                f"transaction {self._name!r} has unbound variables "
+                f"{sorted(v.name for v in ground.variables())}; provide an assignment"
+            )
+        current = instance
+        for step in ground.steps:
+            current = step.apply(current)
+        return current
+
+    # -- conversion ----------------------------------------------------------- #
+    @classmethod
+    def from_plain(cls, transaction: Transaction) -> "ConditionalTransaction":
+        """View an SL transaction as a (trivially conditional) CSL+ transaction."""
+        return cls(transaction.name, transaction.updates)
+
+    # -- identity ----------------------------------------------------------- #
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConditionalTransaction)
+            and self._name == other._name
+            and self._steps == other._steps
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._steps))
+
+    def __repr__(self) -> str:
+        return f"ConditionalTransaction({self._name!r}, {len(self._steps)} steps)"
+
+    def describe(self) -> str:
+        """A multi-line rendering listing every step."""
+        lines = [f"{self._name}:"]
+        for step in self._steps:
+            lines.append(f"  {step!r}")
+        if not self._steps:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+class ConditionalTransactionSchema:
+    """A finite set of CSL/CSL+ transactions over one database schema."""
+
+    __slots__ = ("_schema", "_transactions")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        transactions: Iterable[ConditionalTransaction],
+        validate: bool = True,
+    ) -> None:
+        self._schema = schema
+        ordered: Dict[str, ConditionalTransaction] = {}
+        for transaction in transactions:
+            if transaction.name in ordered:
+                raise UpdateError(f"duplicate transaction name {transaction.name!r}")
+            ordered[transaction.name] = transaction
+        self._transactions: Tuple[ConditionalTransaction, ...] = tuple(ordered.values())
+        if validate:
+            for transaction in self._transactions:
+                transaction.validate(schema)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema."""
+        return self._schema
+
+    @property
+    def transactions(self) -> Tuple[ConditionalTransaction, ...]:
+        """The transactions, in declaration order."""
+        return self._transactions
+
+    def __iter__(self) -> Iterator[ConditionalTransaction]:
+        return iter(self._transactions)
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __getitem__(self, name: str) -> ConditionalTransaction:
+        for transaction in self._transactions:
+            if transaction.name == name:
+                return transaction
+        raise KeyError(name)
+
+    @property
+    def is_positive(self) -> bool:
+        """Return ``True`` if every transaction is in CSL+."""
+        return all(transaction.is_positive for transaction in self._transactions)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in any transaction."""
+        result: Set[Constant] = set()
+        for transaction in self._transactions:
+            result |= transaction.constants()
+        return frozenset(result)
+
+    def names(self) -> Tuple[str, ...]:
+        """The transaction names, in declaration order."""
+        return tuple(transaction.name for transaction in self._transactions)
+
+    def describe(self) -> str:
+        """A multi-line rendering of every transaction."""
+        return "\n".join(transaction.describe() for transaction in self._transactions)
+
+    def __repr__(self) -> str:
+        flavour = "CSL+" if self.is_positive else "CSL"
+        return f"ConditionalTransactionSchema({flavour}, {[t.name for t in self._transactions]})"
+
+
+__all__ = [
+    "Literal",
+    "ConditionalUpdate",
+    "ConditionalStep",
+    "ConditionalTransaction",
+    "ConditionalTransactionSchema",
+]

@@ -1,0 +1,172 @@
+"""Macro update sequences for object migration (Proposition 3.1).
+
+Proposition 3.1 of the paper observes that ``specialize`` and ``generalize``
+suffice to move objects between any two non-empty role sets.  The synthesis
+constructions (Lemma 3.4, Theorem 4.3) use two derived "macros":
+
+* ``mig(ω, ω', Γ, Γ')`` -- migrate the objects satisfying ``Γ`` from role set
+  ``ω`` to role set ``ω'``, supplying new attribute values from ``Γ'``;
+  implemented by :func:`migration_sequence`.
+* ``migto(ω)`` -- migrate *all* objects of a component (selected by ``Γ``)
+  to the role set ``ω``, regardless of their current role set; implemented by
+  :func:`migrate_to_role_set`.
+
+Both return plain lists of SL atomic updates so they can be spliced into
+transactions of either SL or the conditional languages.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from repro.language.updates import AtomicUpdate, Generalize, Specialize
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.schema import AttributeName, ClassName, DatabaseSchema
+from repro.model.values import Term
+
+#: Filler constant used for attributes of the target role set for which the
+#: caller supplies no explicit value.  Any constant works; the synthesis
+#: constructions only place attributes on isa-roots, so the filler rarely
+#: appears in practice.
+DEFAULT_FILLER: Term = "_"
+
+
+def _topological_order(schema: DatabaseSchema, classes: AbstractSet[ClassName]) -> List[ClassName]:
+    """Order ``classes`` so that every class appears after all its ancestors."""
+    remaining = set(classes)
+    ordered: List[ClassName] = []
+    while remaining:
+        progress = False
+        for name in sorted(remaining):
+            if not (schema.ancestors(name) - {name}) & remaining:
+                ordered.append(name)
+                remaining.discard(name)
+                progress = True
+        if not progress:  # pragma: no cover - impossible for acyclic schemas
+            raise UpdateError(f"could not topologically order {sorted(remaining)!r}")
+    return ordered
+
+
+def _maximal_classes(schema: DatabaseSchema, classes: AbstractSet[ClassName]) -> List[ClassName]:
+    """The classes of ``classes`` that have no proper ancestor inside ``classes``."""
+    return sorted(
+        name
+        for name in classes
+        if not ((schema.ancestors(name) - {name}) & classes)
+    )
+
+
+def _new_value_condition(
+    schema: DatabaseSchema,
+    child: ClassName,
+    parent: ClassName,
+    new_values: Mapping[AttributeName, Term],
+) -> Condition:
+    """The ``Γ'`` of a specialize step: define exactly ``A*(child) - A*(parent)``."""
+    required = schema.all_attributes_of(child) - schema.all_attributes_of(parent)
+    condition = Condition()
+    for attribute in sorted(required):
+        condition = condition.and_equal(attribute, new_values.get(attribute, DEFAULT_FILLER))
+    return condition
+
+
+def migration_sequence(
+    schema: DatabaseSchema,
+    source: AbstractSet[ClassName],
+    target: AbstractSet[ClassName],
+    selection: Condition = Condition(),
+    new_values: Optional[Mapping[AttributeName, Term]] = None,
+) -> List[AtomicUpdate]:
+    """``mig(source, target, Γ, Γ')``: updates migrating matching objects.
+
+    Both role sets must be non-empty, isa-closed, and lie in the same
+    weakly-connected component.  ``selection`` must reference only attributes
+    of the component's isa-root so it stays evaluable throughout the
+    migration; ``new_values`` supplies attribute values needed by classes
+    entered along the way (missing ones get :data:`DEFAULT_FILLER`).
+    """
+    source_set = frozenset(source)
+    target_set = frozenset(target)
+    values = dict(new_values or {})
+    if not source_set or not target_set:
+        raise UpdateError("migration_sequence requires non-empty source and target role sets")
+    for role_set, label in ((source_set, "source"), (target_set, "target")):
+        if not schema.is_role_set(role_set):
+            raise UpdateError(f"{label} {sorted(role_set)!r} is not a role set of the schema")
+    root = schema.root_of(sorted(source_set)[0])
+    if root not in source_set or root not in target_set:
+        raise UpdateError("both role sets must contain their component's isa-root")
+    if schema.root_of(sorted(target_set)[0]) != root:
+        raise UpdateError("source and target role sets must lie in the same component")
+    root_attributes = schema.attributes_of(root)
+    stray = selection.referenced_attributes() - root_attributes
+    if stray:
+        raise UpdateError(
+            f"the selection may only reference isa-root attributes; found {sorted(stray)!r}"
+        )
+
+    updates: List[AtomicUpdate] = []
+    # Step 1: leave the classes of source that are not kept, from the top down.
+    for name in _maximal_classes(schema, source_set - target_set):
+        updates.append(Generalize(name, selection))
+    # Step 2: enter the classes of target not already held, ancestors first.
+    current = frozenset(source_set & target_set) | {root}
+    for name in _topological_order(schema, target_set - source_set):
+        candidates = [parent for parent in sorted(schema.parents(name)) if parent in current]
+        if not candidates:  # pragma: no cover - excluded because target is isa-closed
+            raise UpdateError(f"no parent of {name!r} is available to specialize from")
+        parent = candidates[0]
+        updates.append(
+            Specialize(parent, name, selection, _new_value_condition(schema, name, parent, values))
+        )
+        current = current | {name}
+    return updates
+
+
+def migrate_to_role_set(
+    schema: DatabaseSchema,
+    target: AbstractSet[ClassName],
+    selection: Condition = Condition(),
+    new_values: Optional[Mapping[AttributeName, Term]] = None,
+) -> List[AtomicUpdate]:
+    """``migto(target)``: updates forcing matching objects into ``target``.
+
+    Unlike :func:`migration_sequence` the objects' current role set need not
+    be known: the sequence first generalizes every non-root class of the
+    component (a no-op for classes the object is not in) and then
+    specializes down to ``target``.
+    """
+    target_set = frozenset(target)
+    if not target_set:
+        raise UpdateError("migrate_to_role_set requires a non-empty target role set")
+    if not schema.is_role_set(target_set):
+        raise UpdateError(f"target {sorted(target_set)!r} is not a role set of the schema")
+    root = schema.root_of(sorted(target_set)[0])
+    if root not in target_set:
+        raise UpdateError("the target role set must contain its component's isa-root")
+    root_attributes = schema.attributes_of(root)
+    stray = selection.referenced_attributes() - root_attributes
+    if stray:
+        raise UpdateError(
+            f"the selection may only reference isa-root attributes; found {sorted(stray)!r}"
+        )
+    values = dict(new_values or {})
+
+    updates: List[AtomicUpdate] = []
+    for child in sorted(schema.children(root)):
+        updates.append(Generalize(child, selection))
+    current: FrozenSet[ClassName] = frozenset({root})
+    for name in _topological_order(schema, target_set - {root}):
+        candidates = [parent for parent in sorted(schema.parents(name)) if parent in current]
+        if not candidates:  # pragma: no cover - excluded because target is isa-closed
+            raise UpdateError(f"no parent of {name!r} is available to specialize from")
+        parent = candidates[0]
+        updates.append(
+            Specialize(parent, name, selection, _new_value_condition(schema, name, parent, values))
+        )
+        current = current | {name}
+    return updates
+
+
+__all__ = ["migration_sequence", "migrate_to_role_set", "DEFAULT_FILLER"]

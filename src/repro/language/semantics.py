@@ -1,0 +1,215 @@
+"""Operational semantics of SL updates and transactions (Definition 2.5).
+
+Every ground atomic update denotes a total mapping from instances to
+instances; a ground transaction denotes the composition of its updates; a
+parameterized transaction maps an assignment to such a mapping.  The
+functions here implement exactly the equations of Definition 2.5, including
+the corner cases the paper calls out:
+
+* an unsatisfiable condition (``E``) turns the update into a no-op;
+* ``create`` always allocates a fresh identifier (unlike relational insert);
+* ``delete``/``generalize`` remove objects from the named class *and all of
+  its descendants*, and drop the attribute values introduced at those
+  classes;
+* ``specialize`` leaves objects that are already members of the target class
+  untouched, and adds new members to the target class and all of its
+  ancestors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.language.transactions import Transaction
+from repro.language.updates import (
+    AtomicUpdate,
+    Create,
+    Delete,
+    Generalize,
+    Modify,
+    Specialize,
+)
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import AttributeName, ClassName
+from repro.model.values import Assignment, Constant, ObjectId
+
+
+def _condition_values(condition: Condition) -> Dict[AttributeName, Constant]:
+    """Extract the attribute assignments of an all-equalities ground condition."""
+    values: Dict[AttributeName, Constant] = {}
+    for atom in condition:
+        if atom.is_equality:
+            values[atom.attribute] = atom.term
+    return values
+
+
+def _apply_create(update: Create, instance: DatabaseInstance) -> DatabaseInstance:
+    if not update.values.is_satisfiable():
+        return instance
+    schema = instance.schema
+    new_object = instance.next_object
+    extent = {name: set(objects) for name, objects in instance.extent.items()}
+    extent[update.class_name].add(new_object)
+    values = dict(instance.values)
+    for attribute, constant in _condition_values(update.values).items():
+        values[(new_object, attribute)] = constant
+    return instance.replace(
+        extent=extent,
+        values=values,
+        next_object=new_object.successor(),
+    )
+
+
+def _remove_objects_below(
+    instance: DatabaseInstance,
+    class_name: ClassName,
+    objects: Iterable[ObjectId],
+    drop_all_values: bool,
+) -> DatabaseInstance:
+    """Shared removal logic for ``delete`` and ``generalize``.
+
+    Removes ``objects`` from ``class_name`` and all of its isa-descendants.
+    With ``drop_all_values`` the objects' values for *every* attribute are
+    dropped (delete); otherwise only values for attributes introduced at the
+    affected classes are dropped (generalize).
+    """
+    schema = instance.schema
+    doomed = set(objects)
+    if not doomed:
+        return instance
+    affected_classes = schema.descendants(class_name)
+    extent = {name: set(existing) for name, existing in instance.extent.items()}
+    for name in affected_classes:
+        extent[name] -= doomed
+    values = dict(instance.values)
+    if drop_all_values:
+        for (obj, attribute) in list(values):
+            if obj in doomed:
+                del values[(obj, attribute)]
+    else:
+        dropped_attributes: Set[AttributeName] = set()
+        for name in affected_classes:
+            dropped_attributes |= schema.attributes_of(name)
+        for (obj, attribute) in list(values):
+            if obj in doomed and attribute in dropped_attributes:
+                del values[(obj, attribute)]
+    return instance.replace(extent=extent, values=values)
+
+
+def _apply_delete(update: Delete, instance: DatabaseInstance) -> DatabaseInstance:
+    if not update.selection.is_satisfiable():
+        return instance
+    selected = instance.satisfying_objects(update.selection, update.class_name)
+    return _remove_objects_below(instance, update.class_name, selected, drop_all_values=True)
+
+
+def _apply_modify(update: Modify, instance: DatabaseInstance) -> DatabaseInstance:
+    if not update.selection.is_satisfiable() or not update.changes.is_satisfiable():
+        return instance
+    selected = instance.satisfying_objects(update.selection, update.class_name)
+    if not selected:
+        return instance
+    values = dict(instance.values)
+    changed_attributes = update.changes.referenced_attributes()
+    new_values = _condition_values(update.changes)
+    for obj in selected:
+        for attribute in changed_attributes:
+            values.pop((obj, attribute), None)
+        for attribute, constant in new_values.items():
+            values[(obj, attribute)] = constant
+    return instance.replace(values=values)
+
+
+def _apply_generalize(update: Generalize, instance: DatabaseInstance) -> DatabaseInstance:
+    if not update.selection.is_satisfiable():
+        return instance
+    selected = instance.satisfying_objects(update.selection, update.class_name)
+    return _remove_objects_below(instance, update.class_name, selected, drop_all_values=False)
+
+
+def _apply_specialize(update: Specialize, instance: DatabaseInstance) -> DatabaseInstance:
+    if not update.selection.is_satisfiable() or not update.new_values.is_satisfiable():
+        return instance
+    schema = instance.schema
+    candidates = instance.satisfying_objects(update.selection, update.parent_class)
+    migrating = candidates - instance.objects_in(update.child_class)
+    if not migrating:
+        return instance
+    extent = {name: set(existing) for name, existing in instance.extent.items()}
+    for name in schema.ancestors(update.child_class):
+        extent[name] |= migrating
+    values = dict(instance.values)
+    new_values = _condition_values(update.new_values)
+    for obj in migrating:
+        for attribute in update.new_values.referenced_attributes():
+            values.pop((obj, attribute), None)
+        for attribute, constant in new_values.items():
+            values[(obj, attribute)] = constant
+    return instance.replace(extent=extent, values=values)
+
+
+_DISPATCH = {
+    Create: _apply_create,
+    Delete: _apply_delete,
+    Modify: _apply_modify,
+    Generalize: _apply_generalize,
+    Specialize: _apply_specialize,
+}
+
+
+def apply_update(update: AtomicUpdate, instance: DatabaseInstance) -> DatabaseInstance:
+    """Apply one *ground* atomic update to ``instance``.
+
+    Raises :class:`UpdateError` if the update still contains variables.
+    """
+    if not update.is_ground:
+        raise UpdateError(f"cannot execute the non-ground update {update!r}; bind its variables first")
+    handler = _DISPATCH.get(type(update))
+    if handler is None:
+        raise UpdateError(f"unknown update type {type(update).__name__}")
+    return handler(update, instance)
+
+
+def apply_transaction(
+    transaction: Transaction,
+    instance: DatabaseInstance,
+    assignment: Optional[Assignment] = None,
+) -> DatabaseInstance:
+    """Apply a transaction (ground, or parameterized plus an assignment).
+
+    ``[T[α]](d)``: the updates are executed in sequence; the empty
+    transaction is the identity.
+    """
+    ground = transaction if assignment is None else transaction.substituted(assignment)
+    if not ground.is_ground:
+        raise UpdateError(
+            f"transaction {transaction.name!r} has unbound variables "
+            f"{sorted(v.name for v in ground.variables())}; provide an assignment"
+        )
+    current = instance
+    for update in ground.updates:
+        current = apply_update(update, current)
+    return current
+
+
+def run_sequence(
+    instance: DatabaseInstance,
+    steps: Sequence[Tuple[Transaction, Optional[Assignment]]],
+) -> Tuple[DatabaseInstance, Tuple[DatabaseInstance, ...]]:
+    """Apply a sequence of (transaction, assignment) steps.
+
+    Returns the final instance and the tuple of all intermediate instances
+    ``d_1, ..., d_n`` (excluding the starting one), which is exactly the data
+    from which migration patterns are read off (Definition 3.4).
+    """
+    current = instance
+    trace = []
+    for transaction, assignment in steps:
+        current = apply_transaction(transaction, current, assignment)
+        trace.append(current)
+    return current, tuple(trace)
+
+
+__all__ = ["apply_update", "apply_transaction", "run_sequence"]

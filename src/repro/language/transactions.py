@@ -1,0 +1,200 @@
+"""Transactions and transaction schemas (Definition 2.4).
+
+A *transaction* is a finite sequence of atomic updates; it is *ground* when
+every update is ground and *parameterized* otherwise.  A *transaction
+schema* is a finite set of transactions -- the unit of analysis for all the
+migration-pattern results (Theorems 3.2, 4.2-4.8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.language.updates import AtomicUpdate
+from repro.model.errors import UpdateError
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Assignment, Constant, Variable
+
+
+class Transaction:
+    """An SL transaction: a named sequence of atomic updates.
+
+    The name is not part of the paper's formalism but makes transaction
+    schemas, inflow schemas and reports far easier to read; two transactions
+    with the same updates but different names compare unequal on purpose,
+    because inflow/script schemas (Section 5) relate transactions by
+    identity.
+    """
+
+    __slots__ = ("_name", "_updates")
+
+    def __init__(self, name: str, updates: Iterable[AtomicUpdate]) -> None:
+        self._name = name
+        self._updates: Tuple[AtomicUpdate, ...] = tuple(updates)
+
+    # -- structure --------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        """The transaction's display name."""
+        return self._name
+
+    @property
+    def updates(self) -> Tuple[AtomicUpdate, ...]:
+        """The atomic updates, in execution order."""
+        return self._updates
+
+    def __iter__(self) -> Iterator[AtomicUpdate]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    @property
+    def is_empty(self) -> bool:
+        """Return ``True`` for the empty transaction (identity semantics)."""
+        return not self._updates
+
+    @property
+    def is_atomic(self) -> bool:
+        """Return ``True`` if the transaction consists of a single update."""
+        return len(self._updates) == 1
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if every update is ground."""
+        return all(update.is_ground for update in self._updates)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the transaction."""
+        result: Set[Variable] = set()
+        for update in self._updates:
+            result |= update.variables()
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in the transaction."""
+        result: Set[Constant] = set()
+        for update in self._updates:
+            result |= update.constants()
+        return frozenset(result)
+
+    def classes(self) -> FrozenSet[str]:
+        """All classes named by the transaction."""
+        result: Set[str] = set()
+        for update in self._updates:
+            result |= set(update.classes())
+        return frozenset(result)
+
+    # -- transformation ----------------------------------------------------- #
+    def substituted(self, assignment: Assignment) -> "Transaction":
+        """``T[α]``: the ground transaction obtained by substituting variables."""
+        return Transaction(self._name, (update.substituted(assignment) for update in self._updates))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Validate every update against ``schema``."""
+        for position, update in enumerate(self._updates):
+            try:
+                update.validate(schema)
+            except UpdateError as error:
+                raise UpdateError(f"transaction {self._name!r}, update #{position + 1}: {error}") from error
+
+    # -- identity ------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Transaction)
+            and self._name == other._name
+            and self._updates == other._updates
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._updates))
+
+    def __repr__(self) -> str:
+        return f"Transaction({self._name!r}, {len(self._updates)} updates)"
+
+    def describe(self) -> str:
+        """A multi-line rendering listing every update."""
+        lines = [f"{self._name}:"]
+        for update in self._updates:
+            lines.append(f"  {update!r}")
+        if not self._updates:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+class TransactionSchema:
+    """A finite set of (parameterized) transactions over one database schema."""
+
+    __slots__ = ("_schema", "_transactions")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        transactions: Iterable[Transaction],
+        validate: bool = True,
+    ) -> None:
+        self._schema = schema
+        ordered: Dict[str, Transaction] = {}
+        for transaction in transactions:
+            if transaction.name in ordered:
+                raise UpdateError(f"duplicate transaction name {transaction.name!r}")
+            ordered[transaction.name] = transaction
+        self._transactions: Tuple[Transaction, ...] = tuple(ordered.values())
+        if validate:
+            for transaction in self._transactions:
+                transaction.validate(schema)
+
+    # -- structure --------------------------------------------------------- #
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema the transactions are written against."""
+        return self._schema
+
+    @property
+    def transactions(self) -> Tuple[Transaction, ...]:
+        """The transactions, in declaration order."""
+        return self._transactions
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __getitem__(self, name: str) -> Transaction:
+        for transaction in self._transactions:
+            if transaction.name == name:
+                return transaction
+        raise KeyError(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """The transaction names, in declaration order."""
+        return tuple(transaction.name for transaction in self._transactions)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """``C_Σ``: all constants occurring in the schema's transactions.
+
+        This is the constant set used to build hyperplanes and separators in
+        the proof of Theorem 3.2 (and in :mod:`repro.core.hyperplanes`).
+        """
+        result: Set[Constant] = set()
+        for transaction in self._transactions:
+            result |= transaction.constants()
+        return frozenset(result)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in any transaction."""
+        result: Set[Variable] = set()
+        for transaction in self._transactions:
+            result |= transaction.variables()
+        return frozenset(result)
+
+    def describe(self) -> str:
+        """A multi-line rendering of every transaction."""
+        return "\n".join(transaction.describe() for transaction in self._transactions)
+
+    def __repr__(self) -> str:
+        return f"TransactionSchema({[t.name for t in self._transactions]})"
+
+
+__all__ = ["Transaction", "TransactionSchema"]

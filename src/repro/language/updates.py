@@ -1,0 +1,290 @@
+"""The five atomic updates of SL (Definition 2.3).
+
+Each update is an immutable value object.  Static well-formedness against a
+schema is checked by :meth:`AtomicUpdate.validate`:
+
+* ``create(P, Γ)`` -- ``P`` is an isa-root and ``Γ`` defines (by equalities)
+  exactly the attributes ``A(P)``;
+* ``delete(P, Γ)`` -- ``P`` is an isa-root and ``Γ`` references only ``A(P)``;
+* ``modify(P, Γ, Γ')`` -- both conditions reference only ``A*(P)`` and ``Γ'``
+  consists solely of equalities;
+* ``generalize(P, Γ)`` -- ``P`` is not an isa-root and ``Γ`` references only
+  ``A*(P)``;
+* ``specialize(P, Q, Γ, Γ')`` -- ``Q isa P`` and ``Γ'`` defines exactly
+  ``A*(Q) - A*(P)``.
+
+Updates may contain variables; :meth:`AtomicUpdate.substituted` instantiates
+them under an :class:`repro.model.values.Assignment`, producing a *ground*
+update that :mod:`repro.language.semantics` can execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.schema import ClassName, DatabaseSchema
+from repro.model.values import Assignment, Constant, Variable
+
+
+class AtomicUpdate:
+    """Base class of the five SL atomic updates."""
+
+    #: Short operator name ("create", "delete", ...), set by subclasses.
+    operator: str = "?"
+
+    # -- structure --------------------------------------------------------- #
+    def conditions(self) -> Tuple[Condition, ...]:
+        """The conditions carried by the update, in positional order."""
+        raise NotImplementedError
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        """The classes named by the update."""
+        raise NotImplementedError
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if no condition mentions a variable."""
+        return all(condition.is_ground for condition in self.conditions())
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in the update."""
+        result: Set[Variable] = set()
+        for condition in self.conditions():
+            result |= condition.variables()
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """The constants occurring in the update."""
+        result: Set[Constant] = set()
+        for condition in self.conditions():
+            result |= condition.constants()
+        return frozenset(result)
+
+    # -- transformation ----------------------------------------------------- #
+    def substituted(self, assignment: Assignment) -> "AtomicUpdate":
+        """Replace variables using ``assignment`` (returns a ground update)."""
+        raise NotImplementedError
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise :class:`UpdateError` if the update is not well formed for ``schema``."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ---------------------------------------------- #
+    @staticmethod
+    def _check_attributes_within(
+        condition: Condition,
+        allowed: FrozenSet[str],
+        what: str,
+        where: str,
+    ) -> None:
+        unknown = condition.referenced_attributes() - allowed
+        if unknown:
+            raise UpdateError(f"{what} references attributes {sorted(unknown)!r} outside {where}")
+
+    @staticmethod
+    def _check_defines_exactly(condition: Condition, required: FrozenSet[str], what: str) -> None:
+        if condition.referenced_attributes() != required or condition.defined_attributes() != required:
+            raise UpdateError(
+                f"{what} must define exactly the attributes {sorted(required)!r} by equalities; "
+                f"it references {sorted(condition.referenced_attributes())!r} and defines "
+                f"{sorted(condition.defined_attributes())!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Create(AtomicUpdate):
+    """``create(P, Γ)``: create a fresh object in isa-root ``P`` with values from ``Γ``."""
+
+    class_name: ClassName
+    values: Condition
+
+    operator = "create"
+
+    def conditions(self) -> Tuple[Condition, ...]:
+        return (self.values,)
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        return (self.class_name,)
+
+    def substituted(self, assignment: Assignment) -> "Create":
+        return Create(self.class_name, self.values.substituted(assignment))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        schema.require_class(self.class_name)
+        if not schema.is_isa_root(self.class_name):
+            raise UpdateError(f"create targets {self.class_name!r}, which is not an isa-root")
+        self._check_defines_exactly(
+            self.values, schema.attributes_of(self.class_name), f"create({self.class_name})"
+        )
+
+    def __repr__(self) -> str:
+        return f"create({self.class_name}, {self.values!r})"
+
+
+@dataclass(frozen=True)
+class Delete(AtomicUpdate):
+    """``delete(P, Γ)``: remove every object of isa-root ``P`` satisfying ``Γ``."""
+
+    class_name: ClassName
+    selection: Condition
+
+    operator = "delete"
+
+    def conditions(self) -> Tuple[Condition, ...]:
+        return (self.selection,)
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        return (self.class_name,)
+
+    def substituted(self, assignment: Assignment) -> "Delete":
+        return Delete(self.class_name, self.selection.substituted(assignment))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        schema.require_class(self.class_name)
+        if not schema.is_isa_root(self.class_name):
+            raise UpdateError(f"delete targets {self.class_name!r}, which is not an isa-root")
+        self._check_attributes_within(
+            self.selection,
+            schema.attributes_of(self.class_name),
+            f"delete({self.class_name})",
+            f"A({self.class_name})",
+        )
+
+    def __repr__(self) -> str:
+        return f"delete({self.class_name}, {self.selection!r})"
+
+
+@dataclass(frozen=True)
+class Modify(AtomicUpdate):
+    """``modify(P, Γ, Γ')``: change attributes of objects of ``P`` satisfying ``Γ``."""
+
+    class_name: ClassName
+    selection: Condition
+    changes: Condition
+
+    operator = "modify"
+
+    def conditions(self) -> Tuple[Condition, ...]:
+        return (self.selection, self.changes)
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        return (self.class_name,)
+
+    def substituted(self, assignment: Assignment) -> "Modify":
+        return Modify(
+            self.class_name,
+            self.selection.substituted(assignment),
+            self.changes.substituted(assignment),
+        )
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        schema.require_class(self.class_name)
+        defined = schema.all_attributes_of(self.class_name)
+        self._check_attributes_within(
+            self.selection, defined, f"modify({self.class_name}) selection", f"A*({self.class_name})"
+        )
+        self._check_attributes_within(
+            self.changes, defined, f"modify({self.class_name}) changes", f"A*({self.class_name})"
+        )
+        if self.changes.defined_attributes() != self.changes.referenced_attributes():
+            raise UpdateError(
+                f"modify({self.class_name}) changes must consist of equalities only"
+            )
+
+    def __repr__(self) -> str:
+        return f"modify({self.class_name}, {self.selection!r}, {self.changes!r})"
+
+
+@dataclass(frozen=True)
+class Generalize(AtomicUpdate):
+    """``generalize(P, Γ)``: cancel membership of ``P`` (and descendants) for matching objects."""
+
+    class_name: ClassName
+    selection: Condition
+
+    operator = "generalize"
+
+    def conditions(self) -> Tuple[Condition, ...]:
+        return (self.selection,)
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        return (self.class_name,)
+
+    def substituted(self, assignment: Assignment) -> "Generalize":
+        return Generalize(self.class_name, self.selection.substituted(assignment))
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        schema.require_class(self.class_name)
+        if schema.is_isa_root(self.class_name):
+            raise UpdateError(
+                f"generalize cannot be applied to the isa-root {self.class_name!r} "
+                "(objects cannot be removed from root classes this way)"
+            )
+        self._check_attributes_within(
+            self.selection,
+            schema.all_attributes_of(self.class_name),
+            f"generalize({self.class_name})",
+            f"A*({self.class_name})",
+        )
+
+    def __repr__(self) -> str:
+        return f"generalize({self.class_name}, {self.selection!r})"
+
+
+@dataclass(frozen=True)
+class Specialize(AtomicUpdate):
+    """``specialize(P, Q, Γ, Γ')``: add matching objects of ``P`` into the subclass ``Q``."""
+
+    parent_class: ClassName
+    child_class: ClassName
+    selection: Condition
+    new_values: Condition
+
+    operator = "specialize"
+
+    def conditions(self) -> Tuple[Condition, ...]:
+        return (self.selection, self.new_values)
+
+    def classes(self) -> Tuple[ClassName, ...]:
+        return (self.parent_class, self.child_class)
+
+    def substituted(self, assignment: Assignment) -> "Specialize":
+        return Specialize(
+            self.parent_class,
+            self.child_class,
+            self.selection.substituted(assignment),
+            self.new_values.substituted(assignment),
+        )
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        schema.require_class(self.parent_class)
+        schema.require_class(self.child_class)
+        if (self.child_class, self.parent_class) not in schema.isa_edges:
+            raise UpdateError(
+                f"specialize requires {self.child_class!r} isa {self.parent_class!r} "
+                "(an immediate subclass edge)"
+            )
+        self._check_attributes_within(
+            self.selection,
+            schema.all_attributes_of(self.parent_class),
+            f"specialize({self.parent_class}->{self.child_class}) selection",
+            f"A*({self.parent_class})",
+        )
+        required = schema.all_attributes_of(self.child_class) - schema.all_attributes_of(self.parent_class)
+        self._check_defines_exactly(
+            self.new_values,
+            required,
+            f"specialize({self.parent_class}->{self.child_class}) new values",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"specialize({self.parent_class}, {self.child_class}, "
+            f"{self.selection!r}, {self.new_values!r})"
+        )
+
+
+__all__ = ["AtomicUpdate", "Create", "Delete", "Modify", "Generalize", "Specialize"]

@@ -1,0 +1,53 @@
+"""The object-based data model of Section 2 of the paper.
+
+A *database schema* is a triple ``D = (C, isa, A)`` where ``(C, isa)`` is a
+specialization graph (an acyclic class hierarchy whose weakly-connected
+components are rooted DAGs) and ``A`` assigns pairwise-disjoint attribute
+sets to classes.  A *database instance* assigns to each class a finite set of
+abstract objects (respecting the hierarchy), to each object a value for each
+attribute defined on its classes, and records the next fresh object
+identifier.
+
+This subpackage is the substrate every other part of the reproduction is
+built on: the update languages of :mod:`repro.language` transform instances,
+and the migration-pattern machinery of :mod:`repro.core` observes the role
+sets of objects across sequences of such transformations.
+"""
+
+from repro.model.errors import (
+    BindingError,
+    ConditionError,
+    InstanceError,
+    ReproError,
+    SchemaError,
+    UpdateError,
+)
+from repro.model.values import Assignment, ObjectId, Variable
+from repro.model.schema import DatabaseSchema
+from repro.model.conditions import (
+    AtomicCondition,
+    Condition,
+    EQ,
+    NEQ,
+    UNSATISFIABLE,
+)
+from repro.model.instance import DatabaseInstance
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "InstanceError",
+    "UpdateError",
+    "ConditionError",
+    "BindingError",
+    "Variable",
+    "Assignment",
+    "ObjectId",
+    "DatabaseSchema",
+    "DatabaseInstance",
+    "AtomicCondition",
+    "Condition",
+    "EQ",
+    "NEQ",
+    "UNSATISFIABLE",
+]

@@ -1,0 +1,239 @@
+"""Selection conditions: ``A = a``, ``A ≠ a``, ``A = x``, ``A ≠ x``.
+
+Objects in SL/CSL cannot be "grasped" by their identifiers; every operation
+selects the objects it affects through a *condition*, a set of atomic
+(in)equalities between attributes and constants or variables (Section 2 of
+the paper).  This module implements:
+
+* :class:`AtomicCondition` and :class:`Condition` (sets of atomics),
+* groundness, the referenced (``Att``) and defined (``Att_def``) attributes,
+* substitution of variables under an :class:`repro.model.values.Assignment`,
+* satisfiability of ground conditions and the distinguished unsatisfiable
+  condition ``E`` (:data:`UNSATISFIABLE`),
+* tuple and object satisfaction, and the selection ``Sat(Γ, d, P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.model.errors import ConditionError
+from repro.model.values import Assignment, Constant, Term, Variable
+
+AttributeName = str
+
+#: Comparison operators of atomic conditions.
+EQ = "="
+NEQ = "!="
+
+_OPERATORS = (EQ, NEQ)
+
+
+@dataclass(frozen=True)
+class AtomicCondition:
+    """An atomic condition ``attribute op term`` with ``op`` in ``{=, !=}``."""
+
+    attribute: AttributeName
+    operator: str
+    term: Term
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ConditionError(f"operator must be one of {_OPERATORS}, got {self.operator!r}")
+
+    # -- properties --------------------------------------------------------- #
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if the right-hand side is a constant."""
+        return not isinstance(self.term, Variable)
+
+    @property
+    def is_equality(self) -> bool:
+        """Return ``True`` for ``A = s`` atoms (which *define* ``A``)."""
+        return self.operator == EQ
+
+    def substituted(self, assignment: Assignment) -> "AtomicCondition":
+        """Replace a variable right-hand side using ``assignment``."""
+        if self.is_ground:
+            return self
+        return AtomicCondition(self.attribute, self.operator, assignment.resolve(self.term))
+
+    def satisfied_by_value(self, value: Constant) -> bool:
+        """Ground satisfaction against a single attribute value."""
+        if not self.is_ground:
+            raise ConditionError(f"cannot evaluate the non-ground atom {self!r}")
+        if self.operator == EQ:
+            return value == self.term
+        return value != self.term
+
+    def __repr__(self) -> str:
+        op = "=" if self.operator == EQ else "≠"
+        return f"{self.attribute}{op}{self.term!r}"
+
+
+class Condition:
+    """A condition: a finite set of atomic conditions (conjunctive).
+
+    The empty condition is satisfied by every tuple.  The distinguished
+    non-satisfiable condition ``E`` of the paper is available as
+    :data:`UNSATISFIABLE` and answers ``False`` to :meth:`is_satisfiable`.
+    """
+
+    __slots__ = ("_atoms", "_unsatisfiable_marker")
+
+    def __init__(self, atoms: Iterable[AtomicCondition] = (), _unsatisfiable: bool = False) -> None:
+        self._atoms: FrozenSet[AtomicCondition] = frozenset(atoms)
+        self._unsatisfiable_marker = _unsatisfiable
+
+    # ------------------------------------------------------------------ #
+    # Convenient constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(cls, **equalities: Term) -> "Condition":
+        """Build an all-equalities condition: ``Condition.of(SSN=s, Name=n)``."""
+        return cls(AtomicCondition(attribute, EQ, term) for attribute, term in equalities.items())
+
+    @classmethod
+    def parse(cls, pairs: Mapping[AttributeName, Term]) -> "Condition":
+        """Build an all-equalities condition from a mapping."""
+        return cls(AtomicCondition(attribute, EQ, term) for attribute, term in pairs.items())
+
+    def and_equal(self, attribute: AttributeName, term: Term) -> "Condition":
+        """A new condition with an extra ``attribute = term`` atom."""
+        return Condition(self._atoms | {AtomicCondition(attribute, EQ, term)}, self._unsatisfiable_marker)
+
+    def and_not_equal(self, attribute: AttributeName, term: Term) -> "Condition":
+        """A new condition with an extra ``attribute != term`` atom."""
+        return Condition(self._atoms | {AtomicCondition(attribute, NEQ, term)}, self._unsatisfiable_marker)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def atoms(self) -> FrozenSet[AtomicCondition]:
+        """The atomic conditions."""
+        return self._atoms
+
+    def __iter__(self) -> Iterator[AtomicCondition]:
+        return iter(sorted(self._atoms, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __bool__(self) -> bool:
+        return bool(self._atoms) or self._unsatisfiable_marker
+
+    @property
+    def is_ground(self) -> bool:
+        """Return ``True`` if no atom mentions a variable."""
+        return all(atom.is_ground for atom in self._atoms)
+
+    def referenced_attributes(self) -> FrozenSet[AttributeName]:
+        """``Att(Γ)``: every attribute mentioned."""
+        return frozenset(atom.attribute for atom in self._atoms)
+
+    def defined_attributes(self) -> FrozenSet[AttributeName]:
+        """``Att_def(Γ)``: attributes occurring in an equality atom."""
+        return frozenset(atom.attribute for atom in self._atoms if atom.is_equality)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring on right-hand sides."""
+        return frozenset(atom.term for atom in self._atoms if isinstance(atom.term, Variable))
+
+    def constants(self) -> FrozenSet[Constant]:
+        """The constants occurring on right-hand sides."""
+        return frozenset(atom.term for atom in self._atoms if not isinstance(atom.term, Variable))
+
+    # ------------------------------------------------------------------ #
+    # Substitution and satisfiability
+    # ------------------------------------------------------------------ #
+    def substituted(self, assignment: Assignment) -> "Condition":
+        """Replace every variable using ``assignment`` (yielding a ground condition)."""
+        if self._unsatisfiable_marker:
+            return self
+        return Condition(atom.substituted(assignment) for atom in self._atoms)
+
+    def is_satisfiable(self) -> bool:
+        """Return ``True`` if some tuple satisfies this (ground) condition.
+
+        A ground condition is unsatisfiable exactly when, for some attribute,
+        it requires equality with two distinct constants or both equality and
+        inequality with the same constant.  Non-ground conditions raise.
+        """
+        if self._unsatisfiable_marker:
+            return False
+        if not self.is_ground:
+            raise ConditionError("satisfiability is defined for ground conditions only")
+        required: Dict[AttributeName, Set[Constant]] = {}
+        excluded: Dict[AttributeName, Set[Constant]] = {}
+        for atom in self._atoms:
+            bucket = required if atom.is_equality else excluded
+            bucket.setdefault(atom.attribute, set()).add(atom.term)
+        for attribute, values in required.items():
+            if len(values) > 1:
+                return False
+            value = next(iter(values))
+            if value in excluded.get(attribute, ()):  # pragma: no branch
+                return False
+        return True
+
+    def satisfied_by_tuple(self, row: Mapping[AttributeName, Constant]) -> bool:
+        """Ground satisfaction against a tuple (total mapping over its attributes).
+
+        Attributes mentioned by the condition must be present in ``row``
+        (``Att(Γ) ⊆ S`` in the paper); a missing attribute raises.
+        """
+        if self._unsatisfiable_marker:
+            return False
+        for atom in self._atoms:
+            if not atom.is_ground:
+                raise ConditionError(f"cannot evaluate the non-ground atom {atom!r}")
+            if atom.attribute not in row:
+                raise ConditionError(f"tuple is missing attribute {atom.attribute!r}")
+            if not atom.satisfied_by_value(row[atom.attribute]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Condition)
+            and self._atoms == other._atoms
+            and self._unsatisfiable_marker == other._unsatisfiable_marker
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._atoms, self._unsatisfiable_marker))
+
+    def __repr__(self) -> str:
+        if self._unsatisfiable_marker:
+            return "Condition(E)"
+        if not self._atoms:
+            return "Condition(∅)"
+        return "Condition({" + ", ".join(repr(atom) for atom in self) + "})"
+
+
+#: The distinguished non-satisfiable condition ``E`` of the paper.
+UNSATISFIABLE = Condition(_unsatisfiable=True)
+
+#: The empty condition (satisfied by every tuple).
+EMPTY_CONDITION = Condition()
+
+
+def equalities(pairs: Mapping[AttributeName, Term]) -> Condition:
+    """Shorthand for a condition consisting solely of equalities."""
+    return Condition.parse(pairs)
+
+
+__all__ = [
+    "AtomicCondition",
+    "Condition",
+    "EQ",
+    "NEQ",
+    "UNSATISFIABLE",
+    "EMPTY_CONDITION",
+    "equalities",
+]

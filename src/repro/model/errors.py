@@ -1,0 +1,48 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch library failures with a single ``except`` clause
+while still being able to distinguish schema problems from runtime update
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """An invalid database schema (violates Definition 2.1)."""
+
+
+class InstanceError(ReproError):
+    """An invalid database instance (violates Definition 2.2)."""
+
+
+class ConditionError(ReproError):
+    """A malformed selection condition (Section 2)."""
+
+
+class UpdateError(ReproError):
+    """A malformed atomic update or transaction (Definitions 2.3, 2.4, 4.1, 4.2)."""
+
+
+class BindingError(ReproError):
+    """A parameterized transaction was applied without binding all its variables."""
+
+
+class AnalysisError(ReproError):
+    """The migration-pattern analysis was asked something it cannot answer."""
+
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "InstanceError",
+    "ConditionError",
+    "UpdateError",
+    "BindingError",
+    "AnalysisError",
+]

@@ -1,0 +1,318 @@
+"""Database instances: object extents, attribute values, the next fresh object.
+
+Implements Definition 2.2 of the paper.  An instance ``d = (o, a, ō)`` of a
+schema ``D`` consists of
+
+* ``o``  -- a finite extent ``o(P)`` of abstract objects for each class,
+  closed upwards along ``isa`` and disjoint across weakly-connected
+  components,
+* ``a``  -- a total attribute-value assignment on ``∪_P o(P) × A(P)``, and
+* ``ō``  -- the next unused abstract object (every occurring object precedes
+  it in the total order ``<_O``).
+
+Instances are immutable; the update semantics in
+:mod:`repro.language.semantics` produces new instances.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.model.conditions import Condition
+from repro.model.errors import InstanceError
+from repro.model.schema import AttributeName, ClassName, DatabaseSchema
+from repro.model.values import Constant, ObjectId
+
+#: Global default for instance validation.  The static analyses in
+#: :mod:`repro.core` apply very many updates to tiny instances; they switch
+#: this off (restoring it afterwards) because every update is produced by the
+#: checked semantics and re-validating each intermediate instance only costs
+#: time.  User-facing code paths leave it on.
+VALIDATE_INSTANCES = True
+
+
+@contextmanager
+def validation_disabled():
+    """Temporarily disable instance validation (used by the static analyses)."""
+    global VALIDATE_INSTANCES
+    previous = VALIDATE_INSTANCES
+    VALIDATE_INSTANCES = False
+    try:
+        yield
+    finally:
+        VALIDATE_INSTANCES = previous
+
+
+class DatabaseInstance:
+    """An immutable database instance of a :class:`DatabaseSchema`.
+
+    Use :meth:`empty` to obtain the empty instance ``d_0 = (∅, ∅, o_1)`` that
+    all migration patterns in the paper start from, and the ``with_*``
+    methods (or :mod:`repro.language.semantics`) to derive updated instances.
+    """
+
+    __slots__ = ("_schema", "_extent", "_values", "_next_object")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        extent: Mapping[ClassName, Iterable[ObjectId]],
+        values: Mapping[Tuple[ObjectId, AttributeName], Constant],
+        next_object: ObjectId,
+        validate: Optional[bool] = None,
+    ) -> None:
+        self._schema = schema
+        self._extent: Dict[ClassName, FrozenSet[ObjectId]] = {
+            name: frozenset(extent.get(name, ())) for name in schema.classes
+        }
+        self._values: Dict[Tuple[ObjectId, AttributeName], Constant] = dict(values)
+        self._next_object = next_object
+        if validate is None:
+            validate = VALIDATE_INSTANCES
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "DatabaseInstance":
+        """The empty instance ``(∅, ∅, o_1)``."""
+        return cls(schema, {}, {}, ObjectId(1), validate=False)
+
+    def replace(
+        self,
+        extent: Optional[Mapping[ClassName, Iterable[ObjectId]]] = None,
+        values: Optional[Mapping[Tuple[ObjectId, AttributeName], Constant]] = None,
+        next_object: Optional[ObjectId] = None,
+        validate: Optional[bool] = None,
+    ) -> "DatabaseInstance":
+        """A copy with the given components replaced."""
+        return DatabaseInstance(
+            self._schema,
+            extent if extent is not None else self._extent,
+            values if values is not None else self._values,
+            next_object if next_object is not None else self._next_object,
+            validate=validate,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        schema = self._schema
+        # 1(a): upward closure along isa.
+        for name in schema.classes:
+            for parent in schema.parents(name):
+                missing = self._extent[name] - self._extent[parent]
+                if missing:
+                    raise InstanceError(
+                        f"objects {sorted(o.index for o in missing)} are in {name!r} "
+                        f"but not in its superclass {parent!r}"
+                    )
+        # 1(b): disjointness across weakly-connected components.
+        component_objects: Dict[FrozenSet[ClassName], Set[ObjectId]] = {}
+        for name in schema.classes:
+            component_objects.setdefault(schema.component_of(name), set()).update(self._extent[name])
+        components = list(component_objects.items())
+        for i, (_, left) in enumerate(components):
+            for _, right in components[i + 1 :]:
+                overlap = left & right
+                if overlap:
+                    raise InstanceError(
+                        f"objects {sorted(o.index for o in overlap)} occur in two "
+                        "non-weakly-connected components"
+                    )
+        # 2: totality of the attribute assignment on ∪ o(P) × A(P).
+        for name in schema.classes:
+            for attribute in schema.attributes_of(name):
+                for obj in self._extent[name]:
+                    if (obj, attribute) not in self._values:
+                        raise InstanceError(
+                            f"object {obj!r} in class {name!r} has no value for attribute {attribute!r}"
+                        )
+        # No dangling values for objects that do not occur (keeps instances canonical).
+        occurring = self.all_objects()
+        for (obj, attribute) in self._values:
+            if obj not in occurring:
+                raise InstanceError(
+                    f"value recorded for {obj!r}.{attribute} but the object occurs in no class"
+                )
+        # 3: every occurring object precedes the next-object marker.
+        for obj in occurring:
+            if not obj < self._next_object:
+                raise InstanceError(
+                    f"object {obj!r} does not precede the next-object marker {self._next_object!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The schema this instance belongs to."""
+        return self._schema
+
+    @property
+    def next_object(self) -> ObjectId:
+        """The next fresh abstract object ``ō``."""
+        return self._next_object
+
+    @property
+    def extent(self) -> Mapping[ClassName, FrozenSet[ObjectId]]:
+        """The class extents ``o`` as a read-only mapping."""
+        return dict(self._extent)
+
+    @property
+    def values(self) -> Mapping[Tuple[ObjectId, AttributeName], Constant]:
+        """The attribute assignment ``a`` as a read-only mapping."""
+        return dict(self._values)
+
+    def objects_in(self, name: ClassName) -> FrozenSet[ObjectId]:
+        """``o(P)``: the objects currently in class ``name``."""
+        self._schema.require_class(name)
+        return self._extent[name]
+
+    def all_objects(self) -> FrozenSet[ObjectId]:
+        """All objects occurring in some class."""
+        result: Set[ObjectId] = set()
+        for objects in self._extent.values():
+            result |= objects
+        return frozenset(result)
+
+    def occurs(self, obj: ObjectId) -> bool:
+        """Return ``True`` if ``obj`` occurs in some class."""
+        return any(obj in objects for objects in self._extent.values())
+
+    def role_set(self, obj: ObjectId) -> FrozenSet[ClassName]:
+        """``Rs(o, d)``: the set of classes the object currently belongs to."""
+        return frozenset(name for name, objects in self._extent.items() if obj in objects)
+
+    def value(self, obj: ObjectId, attribute: AttributeName) -> Constant:
+        """``a(o, A)``: the attribute value (raises if undefined)."""
+        try:
+            return self._values[(obj, attribute)]
+        except KeyError:
+            raise InstanceError(f"{obj!r} has no value for attribute {attribute!r}") from None
+
+    def has_value(self, obj: ObjectId, attribute: AttributeName) -> bool:
+        """Return ``True`` if the object has a value for ``attribute``."""
+        return (obj, attribute) in self._values
+
+    def tuple_of(self, obj: ObjectId, attributes: Optional[Iterable[AttributeName]] = None) -> Dict[AttributeName, Constant]:
+        """The tuple yielded by ``obj`` over ``attributes`` (default: all defined).
+
+        For an object in class ``P`` the paper defines the tuple over
+        ``A*(P)``; passing no attribute set returns the values over all
+        attributes defined on the object's role set.
+        """
+        if attributes is None:
+            attributes = self._schema.attributes_of_role_set(self.role_set(obj))
+        row: Dict[AttributeName, Constant] = {}
+        for attribute in attributes:
+            row[attribute] = self.value(obj, attribute)
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Selection
+    # ------------------------------------------------------------------ #
+    def satisfying_objects(self, condition: Condition, name: ClassName) -> FrozenSet[ObjectId]:
+        """``Sat(Γ, d, P)``: the objects of class ``name`` satisfying ``condition``.
+
+        ``condition`` must be ground and reference only attributes defined on
+        ``name`` (``Att(Γ) ⊆ A*(P)``).
+        """
+        self._schema.require_class(name)
+        if not condition.is_satisfiable():
+            return frozenset()
+        defined = self._schema.all_attributes_of(name)
+        unknown = condition.referenced_attributes() - defined
+        if unknown:
+            raise InstanceError(
+                f"condition references attributes {sorted(unknown)!r} not defined on class {name!r}"
+            )
+        selected: Set[ObjectId] = set()
+        for obj in self._extent[name]:
+            row = {attribute: self._values[(obj, attribute)] for attribute in defined if (obj, attribute) in self._values}
+            if condition.satisfied_by_tuple(row):
+                selected.add(obj)
+        return frozenset(selected)
+
+    def object_satisfies(self, obj: ObjectId, condition: Condition) -> bool:
+        """Ground satisfaction of ``condition`` by ``obj`` over its defined attributes."""
+        if not condition.is_satisfiable():
+            return False
+        row = self.tuple_of(obj)
+        return condition.satisfied_by_tuple(row)
+
+    # ------------------------------------------------------------------ #
+    # Restriction (Lemma 3.5)
+    # ------------------------------------------------------------------ #
+    def restricted_to(self, objects: AbstractSet[ObjectId]) -> "DatabaseInstance":
+        """``d|_I``: the restriction of the instance onto a set of objects."""
+        keep = frozenset(objects)
+        extent = {name: self._extent[name] & keep for name in self._schema.classes}
+        values = {
+            (obj, attribute): value
+            for (obj, attribute), value in self._values.items()
+            if obj in keep
+        }
+        return DatabaseInstance(self._schema, extent, values, self._next_object, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Identity and reporting
+    # ------------------------------------------------------------------ #
+    def _key(self) -> Tuple:
+        return (
+            tuple(sorted((name, tuple(sorted(objects))) for name, objects in self._extent.items())),
+            tuple(sorted(self._values.items(), key=repr)),
+            self._next_object,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseInstance)
+            and self._schema == other._schema
+            and self._key() == other._key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        populated = {
+            name: sorted(obj.index for obj in objects)
+            for name, objects in self._extent.items()
+            if objects
+        }
+        return f"DatabaseInstance(extent={populated}, next={self._next_object!r})"
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering (used by examples)."""
+        lines = []
+        for name in sorted(self._schema.classes):
+            objects = sorted(self._extent[name], key=lambda o: o.index)
+            if not objects:
+                continue
+            lines.append(f"{name}:")
+            for obj in objects:
+                attributes = sorted(self._schema.all_attributes_of(name))
+                row = ", ".join(
+                    f"{attribute}={self._values.get((obj, attribute), '?')!r}" for attribute in attributes
+                )
+                lines.append(f"  {obj!r}: {row}")
+        lines.append(f"next object: {self._next_object!r}")
+        return "\n".join(lines)
+
+
+__all__ = ["DatabaseInstance"]

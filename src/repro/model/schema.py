@@ -1,0 +1,346 @@
+"""Database schemas: classes, the ``isa`` specialization graph, attributes.
+
+Implements Definition 2.1 of the paper: a schema is ``D = (C, isa, A)``
+where ``(C, isa)`` is a *specialization graph* -- an acyclic directed graph
+in which every pair of weakly connected classes has a common ``isa``-ancestor
+(so every weakly-connected component is a rooted DAG, its root being the
+unique *isa-root*) -- and ``A`` maps classes to pairwise disjoint attribute
+sets.  The attributes *defined on* a class are those of the class and all of
+its ancestors (``A*``), modelling inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.model.errors import SchemaError
+
+ClassName = str
+AttributeName = str
+
+
+class DatabaseSchema:
+    """An object-base schema ``D = (C, isa, A)``.
+
+    Parameters
+    ----------
+    classes:
+        The class names ``C``.
+    isa:
+        Pairs ``(P, Q)`` meaning ``P isa Q`` (``P`` is a subclass of ``Q``);
+        edges are directed from subclass to superclass, as in the paper's
+        Figure 1 where ``GRAD-ASSIST isa EMPLOYEE``.
+    attributes:
+        Mapping from class name to the attributes introduced *at* that class
+        (``A``); attribute sets must be pairwise disjoint.
+
+    Raises
+    ------
+    SchemaError
+        If the hierarchy is not a specialization graph or the attribute sets
+        overlap.
+    """
+
+    def __init__(
+        self,
+        classes: Iterable[ClassName],
+        isa: Iterable[Tuple[ClassName, ClassName]],
+        attributes: Mapping[ClassName, Iterable[AttributeName]],
+    ) -> None:
+        self._classes: FrozenSet[ClassName] = frozenset(classes)
+        if not self._classes:
+            raise SchemaError("a schema needs at least one class")
+        self._isa: FrozenSet[Tuple[ClassName, ClassName]] = frozenset(isa)
+        for sub, sup in self._isa:
+            if sub not in self._classes or sup not in self._classes:
+                raise SchemaError(f"isa edge ({sub!r}, {sup!r}) mentions an unknown class")
+            if sub == sup:
+                raise SchemaError(f"isa edge ({sub!r}, {sup!r}) is a self-loop")
+        self._attributes: Dict[ClassName, FrozenSet[AttributeName]] = {
+            name: frozenset(attributes.get(name, ())) for name in self._classes
+        }
+        unknown = set(attributes) - set(self._classes)
+        if unknown:
+            raise SchemaError(f"attributes declared for unknown classes: {sorted(unknown)!r}")
+        self._validate_disjoint_attributes()
+        self._parents: Dict[ClassName, FrozenSet[ClassName]] = {
+            name: frozenset(sup for sub, sup in self._isa if sub == name) for name in self._classes
+        }
+        self._children: Dict[ClassName, FrozenSet[ClassName]] = {
+            name: frozenset(sub for sub, sup in self._isa if sup == name) for name in self._classes
+        }
+        self._validate_acyclic()
+        self._ancestors: Dict[ClassName, FrozenSet[ClassName]] = {
+            name: self._closure(name, self._parents) for name in self._classes
+        }
+        self._descendants: Dict[ClassName, FrozenSet[ClassName]] = {
+            name: self._closure(name, self._children) for name in self._classes
+        }
+        self._components: Tuple[FrozenSet[ClassName], ...] = self._compute_components()
+        self._component_of: Dict[ClassName, FrozenSet[ClassName]] = {}
+        for component in self._components:
+            for name in component:
+                self._component_of[name] = component
+        self._validate_specialization_graph()
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def _validate_disjoint_attributes(self) -> None:
+        seen: Dict[AttributeName, ClassName] = {}
+        for name in sorted(self._classes):
+            for attribute in self._attributes[name]:
+                if attribute in seen:
+                    raise SchemaError(
+                        f"attribute {attribute!r} is declared on both {seen[attribute]!r} and {name!r}; "
+                        "attribute sets must be pairwise disjoint (Definition 2.1)"
+                    )
+                seen[attribute] = name
+
+    def _validate_acyclic(self) -> None:
+        visiting: Set[ClassName] = set()
+        finished: Set[ClassName] = set()
+
+        def visit(node: ClassName, path: List[ClassName]) -> None:
+            if node in finished:
+                return
+            if node in visiting:
+                cycle = " -> ".join(path + [node])
+                raise SchemaError(f"the isa hierarchy contains a cycle: {cycle}")
+            visiting.add(node)
+            for parent in self._parents[node]:
+                visit(parent, path + [node])
+            visiting.discard(node)
+            finished.add(node)
+
+        for name in self._classes:
+            visit(name, [])
+
+    def _closure(self, start: ClassName, edges: Mapping[ClassName, FrozenSet[ClassName]]) -> FrozenSet[ClassName]:
+        result: Set[ClassName] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in edges[node]:
+                if neighbour not in result:
+                    result.add(neighbour)
+                    stack.append(neighbour)
+        return frozenset(result)
+
+    def _compute_components(self) -> Tuple[FrozenSet[ClassName], ...]:
+        neighbours: Dict[ClassName, Set[ClassName]] = {name: set() for name in self._classes}
+        for sub, sup in self._isa:
+            neighbours[sub].add(sup)
+            neighbours[sup].add(sub)
+        components: List[FrozenSet[ClassName]] = []
+        remaining = set(self._classes)
+        while remaining:
+            seed = sorted(remaining)[0]
+            component: Set[ClassName] = {seed}
+            stack = [seed]
+            while stack:
+                node = stack.pop()
+                for neighbour in neighbours[node]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        stack.append(neighbour)
+            components.append(frozenset(component))
+            remaining -= component
+        return tuple(sorted(components, key=lambda c: sorted(c)))
+
+    def _validate_specialization_graph(self) -> None:
+        for component in self._components:
+            ordered = sorted(component)
+            for i, left in enumerate(ordered):
+                for right in ordered[i + 1 :]:
+                    if not (self._ancestors[left] & self._ancestors[right]):
+                        raise SchemaError(
+                            f"classes {left!r} and {right!r} are weakly connected but have no "
+                            "common isa-ancestor; the hierarchy is not a specialization graph"
+                        )
+            roots = [name for name in component if not self._parents[name]]
+            if len(roots) != 1:
+                raise SchemaError(
+                    f"component {sorted(component)!r} has {len(roots)} isa-roots; expected exactly one"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def classes(self) -> FrozenSet[ClassName]:
+        """The class names ``C``."""
+        return self._classes
+
+    @property
+    def isa_edges(self) -> FrozenSet[Tuple[ClassName, ClassName]]:
+        """The ``isa`` relation as (subclass, superclass) pairs."""
+        return self._isa
+
+    def has_class(self, name: ClassName) -> bool:
+        """Return ``True`` if ``name`` is a class of this schema."""
+        return name in self._classes
+
+    def require_class(self, name: ClassName) -> None:
+        """Raise :class:`SchemaError` unless ``name`` is a class."""
+        if name not in self._classes:
+            raise SchemaError(f"unknown class {name!r}")
+
+    def attributes_of(self, name: ClassName) -> FrozenSet[AttributeName]:
+        """``A(P)``: the attributes introduced at class ``name``."""
+        self.require_class(name)
+        return self._attributes[name]
+
+    def all_attributes_of(self, name: ClassName) -> FrozenSet[AttributeName]:
+        """``A*(P)``: the attributes defined on ``name`` including inherited ones."""
+        self.require_class(name)
+        result: Set[AttributeName] = set()
+        for ancestor in self._ancestors[name]:
+            result |= self._attributes[ancestor]
+        return frozenset(result)
+
+    def attributes_of_role_set(self, classes: Iterable[ClassName]) -> FrozenSet[AttributeName]:
+        """``A_w``: the union of ``A*(Q)`` over the classes of a role set."""
+        result: Set[AttributeName] = set()
+        for name in classes:
+            result |= self.all_attributes_of(name)
+        return frozenset(result)
+
+    def owner_of_attribute(self, attribute: AttributeName) -> Optional[ClassName]:
+        """The class that introduces ``attribute``, or ``None``."""
+        for name, attributes in self._attributes.items():
+            if attribute in attributes:
+                return name
+        return None
+
+    # -- hierarchy -------------------------------------------------------- #
+    def parents(self, name: ClassName) -> FrozenSet[ClassName]:
+        """Immediate superclasses of ``name``."""
+        self.require_class(name)
+        return self._parents[name]
+
+    def children(self, name: ClassName) -> FrozenSet[ClassName]:
+        """Immediate subclasses of ``name``."""
+        self.require_class(name)
+        return self._children[name]
+
+    def ancestors(self, name: ClassName) -> FrozenSet[ClassName]:
+        """``isa*`` ancestors of ``name`` (reflexive)."""
+        self.require_class(name)
+        return self._ancestors[name]
+
+    def descendants(self, name: ClassName) -> FrozenSet[ClassName]:
+        """``isa*`` descendants of ``name`` (reflexive)."""
+        self.require_class(name)
+        return self._descendants[name]
+
+    def isa_star(self, sub: ClassName, sup: ClassName) -> bool:
+        """``sub isa* sup``: reflexive-transitive subclass test."""
+        self.require_class(sub)
+        self.require_class(sup)
+        return sup in self._ancestors[sub]
+
+    def is_isa_root(self, name: ClassName) -> bool:
+        """Return ``True`` if ``name`` has no superclass."""
+        self.require_class(name)
+        return not self._parents[name]
+
+    def isa_roots(self) -> FrozenSet[ClassName]:
+        """All isa-roots (one per weakly-connected component)."""
+        return frozenset(name for name in self._classes if not self._parents[name])
+
+    def root_of(self, name: ClassName) -> ClassName:
+        """The isa-root of the component containing ``name``."""
+        self.require_class(name)
+        component = self._component_of[name]
+        for candidate in component:
+            if not self._parents[candidate]:
+                return candidate
+        raise SchemaError(f"component of {name!r} has no root")  # pragma: no cover - excluded by validation
+
+    # -- connectivity ------------------------------------------------------ #
+    def weakly_connected_components(self) -> Tuple[FrozenSet[ClassName], ...]:
+        """The maximal weakly-connected components of the hierarchy."""
+        return self._components
+
+    def component_of(self, name: ClassName) -> FrozenSet[ClassName]:
+        """The component containing ``name``."""
+        self.require_class(name)
+        return self._component_of[name]
+
+    def weakly_connected(self, left: ClassName, right: ClassName) -> bool:
+        """Return ``True`` if the two classes are in the same component."""
+        self.require_class(left)
+        self.require_class(right)
+        return self._component_of[left] is self._component_of[right]
+
+    def is_weakly_connected_schema(self) -> bool:
+        """Return ``True`` if the whole hierarchy is one component."""
+        return len(self._components) == 1
+
+    def restrict_to_component(self, component: AbstractSet[ClassName]) -> "DatabaseSchema":
+        """The sub-schema induced by one weakly-connected component."""
+        names = frozenset(component)
+        if names not in set(self._components):
+            raise SchemaError("restrict_to_component expects one of the schema's components")
+        return DatabaseSchema(
+            names,
+            {(sub, sup) for (sub, sup) in self._isa if sub in names and sup in names},
+            {name: self._attributes[name] for name in names},
+        )
+
+    # -- role sets ---------------------------------------------------------- #
+    def role_set_closure(self, classes: Iterable[ClassName]) -> FrozenSet[ClassName]:
+        """The isa* closure of a set of classes (upward closure)."""
+        result: Set[ClassName] = set()
+        for name in classes:
+            result |= self._ancestors[name]
+        return frozenset(result)
+
+    def is_role_set(self, classes: AbstractSet[ClassName]) -> bool:
+        """Return ``True`` if ``classes`` is closed under isa* and pairwise weakly connected."""
+        names = frozenset(classes)
+        if not names:
+            return True
+        if not names <= self._classes:
+            return False
+        if self.role_set_closure(names) != names:
+            return False
+        ordered = sorted(names)
+        return all(self.weakly_connected(ordered[0], other) for other in ordered[1:])
+
+    # -- misc ---------------------------------------------------------------- #
+    def __contains__(self, name: object) -> bool:
+        return name in self._classes
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseSchema)
+            and self._classes == other._classes
+            and self._isa == other._isa
+            and self._attributes == other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._classes, self._isa, tuple(sorted(self._attributes.items()))))
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseSchema(classes={sorted(self._classes)}, "
+            f"isa={sorted(self._isa)}, "
+            f"attributes={{ {', '.join(f'{k}: {sorted(v)}' for k, v in sorted(self._attributes.items()))} }})"
+        )
+
+
+__all__ = ["DatabaseSchema", "ClassName", "AttributeName"]

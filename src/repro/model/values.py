@@ -1,0 +1,149 @@
+"""Constants, variables, assignments and abstract object identifiers.
+
+The paper assumes pairwise disjoint countably infinite sets of constants
+(``U``), class names, attribute names, abstract objects (``O``, totally
+ordered) and variables (``V``).  In this implementation:
+
+* constants are arbitrary hashable Python values (strings, numbers, ...);
+* variables are :class:`Variable` instances, created explicitly so that a
+  string constant ``"x"`` can never be confused with the variable ``x``;
+* abstract objects are :class:`ObjectId` values carrying their index in the
+  total order ``o_1 <_O o_2 <_O ...`` (Definition 2.2 uses the order to hand
+  out fresh identifiers deterministically);
+* assignments (total mappings from variables to constants, Section 2) are
+  :class:`Assignment` objects, which also provide the substitution helpers
+  used by the transaction semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.model.errors import BindingError
+
+Constant = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A transaction parameter, e.g. the ``x`` in ``create(P, {A = x})``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A term is either a constant or a variable.
+Term = Union[Constant, Variable]
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """An abstract object ``o_i`` from the ordered set ``O``.
+
+    Ordering follows the index, matching the total order ``<_O`` of the
+    paper; the "next object" component of an instance is simply the smallest
+    index never used.
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("object indices start at 1, following the paper's o_1, o_2, ...")
+
+    def successor(self) -> "ObjectId":
+        """The next abstract object in the total order."""
+        return ObjectId(self.index + 1)
+
+    def __repr__(self) -> str:
+        return f"o{self.index}"
+
+
+class Assignment(Mapping[Variable, Constant]):
+    """A total mapping from variables to constants (an ``alpha`` of the paper).
+
+    Only the variables relevant to the transaction at hand need to be
+    provided; applying a transaction whose variables are not all bound raises
+    :class:`repro.model.errors.BindingError`.
+
+    The mapping is immutable and hashable so that assignments can be used as
+    dictionary keys (e.g. when memoizing simulation states).
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Union[Variable, str], Constant]] = None, **kwargs: Constant) -> None:
+        merged: Dict[Variable, Constant] = {}
+        source: Dict[Union[Variable, str], Constant] = dict(bindings or {})
+        source.update(kwargs)
+        for key, value in source.items():
+            variable = key if isinstance(key, Variable) else Variable(str(key))
+            if isinstance(value, Variable):
+                raise BindingError(f"cannot bind {variable!r} to another variable {value!r}")
+            merged[variable] = value
+        self._bindings: Dict[Variable, Constant] = merged
+
+    # -- Mapping protocol -------------------------------------------------- #
+    def __getitem__(self, key: Union[Variable, str]) -> Constant:
+        variable = key if isinstance(key, Variable) else Variable(str(key))
+        return self._bindings[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, str):
+            key = Variable(key)
+        return key in self._bindings
+
+    # -- substitution ------------------------------------------------------- #
+    def resolve(self, term: Term) -> Constant:
+        """Replace ``term`` by its value if it is a variable, else return it.
+
+        Raises :class:`BindingError` for unbound variables, mirroring the
+        paper's requirement that assignments be total on the variables that
+        occur in a transaction.
+        """
+        if isinstance(term, Variable):
+            if term not in self._bindings:
+                raise BindingError(f"variable {term!r} is not bound by this assignment")
+            return self._bindings[term]
+        return term
+
+    def extended(self, more: Mapping[Union[Variable, str], Constant]) -> "Assignment":
+        """A new assignment with additional bindings (existing ones win)."""
+        merged: Dict[Union[Variable, str], Constant] = dict(more)
+        merged.update(self._bindings)
+        return Assignment(merged)
+
+    # -- identity ------------------------------------------------------------ #
+    def _key(self) -> Tuple[Tuple[Variable, Constant], ...]:
+        return tuple(sorted(self._bindings.items(), key=lambda kv: kv[0].name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Assignment) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var.name}={value!r}" for var, value in self._key())
+        return f"Assignment({inner})"
+
+
+def variables_in(terms: Iterable[Term]) -> Tuple[Variable, ...]:
+    """The variables occurring in an iterable of terms, in first-seen order."""
+    seen: Dict[Variable, None] = {}
+    for term in terms:
+        if isinstance(term, Variable):
+            seen.setdefault(term)
+    return tuple(seen)
+
+
+__all__ = ["Constant", "Variable", "Term", "ObjectId", "Assignment", "variables_in"]

@@ -1,0 +1,29 @@
+"""Workloads: the paper's example schemas plus random generators.
+
+Each module rebuilds one of the paper's figures/examples as ready-to-use
+schema + transaction-schema objects:
+
+* :mod:`repro.workloads.university` -- Figure 1 / Figure 2 / Examples 2.1,
+  3.1, 3.2, 3.4 (PERSON / EMPLOYEE / STUDENT / GRAD-ASSIST).
+* :mod:`repro.workloads.phd` -- Figure 4 / Example 3.5 (PhD student phases).
+* :mod:`repro.workloads.path_expressions` -- Figure 3 / Example 3.3 (path
+  expressions as migration inventories).
+* :mod:`repro.workloads.three_class` -- Figure 5 / Example 3.6 (the
+  hand-built transactions generating ``P(QQP)*`` and ``∅*(PQ* ∪ QP*)∅*``).
+* :mod:`repro.workloads.banking` -- the checking-account example from the
+  introduction.
+* :mod:`repro.workloads.immigration` -- Example 5.1 (visa-status
+  reachability).
+* :mod:`repro.workloads.generators` -- random schemas, transactions and
+  regular expressions for the scaling benchmarks.
+"""
+
+__all__ = [
+    "university",
+    "phd",
+    "path_expressions",
+    "three_class",
+    "banking",
+    "immigration",
+    "generators",
+]

@@ -1,0 +1,146 @@
+"""The checking-account example from the paper's introduction.
+
+"When an interest checking account is changed into a regular checking
+(without interest), the object representing the account stops playing the
+role of INTEREST-CHECKING and starts a new role of REGULAR-CHECKING."
+
+The workload models an ``ACCOUNT`` root with the two checking subclasses,
+transactions for opening, converting and closing accounts, and the dynamic
+constraint that an account always plays exactly one of the two checking
+roles until it is closed.  It is used by the quickstart example and by the
+satisfiability benchmarks as a second, independent SL workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Variable
+
+ACCOUNT = "ACCOUNT"
+INTEREST_CHECKING = "INTEREST_CHECKING"
+REGULAR_CHECKING = "REGULAR_CHECKING"
+
+
+def schema() -> DatabaseSchema:
+    """Accounts with two checking subclasses."""
+    return DatabaseSchema(
+        classes={ACCOUNT, INTEREST_CHECKING, REGULAR_CHECKING},
+        isa={(INTEREST_CHECKING, ACCOUNT), (REGULAR_CHECKING, ACCOUNT)},
+        attributes={
+            ACCOUNT: {"Number", "Owner"},
+            INTEREST_CHECKING: {"Rate"},
+            REGULAR_CHECKING: {"FeePlan"},
+        },
+    )
+
+
+ROLE_ACCOUNT = RoleSet({ACCOUNT})
+ROLE_INTEREST = RoleSet({ACCOUNT, INTEREST_CHECKING})
+ROLE_REGULAR = RoleSet({ACCOUNT, REGULAR_CHECKING})
+ROLE_BOTH = RoleSet({ACCOUNT, INTEREST_CHECKING, REGULAR_CHECKING})
+
+ROLE_SETS = (EMPTY_ROLE_SET, ROLE_ACCOUNT, ROLE_INTEREST, ROLE_REGULAR, ROLE_BOTH)
+
+SYMBOLS: Dict[str, RoleSet] = {
+    "0": EMPTY_ROLE_SET,
+    "[A]": ROLE_ACCOUNT,
+    "[IC]": ROLE_INTEREST,
+    "[RC]": ROLE_REGULAR,
+    "[BOTH]": ROLE_BOTH,
+}
+
+
+def transactions() -> TransactionSchema:
+    """Open / convert / close transactions for checking accounts."""
+    d = schema()
+    number, owner, rate, fee = (
+        Variable("number"),
+        Variable("owner"),
+        Variable("rate"),
+        Variable("fee"),
+    )
+    open_interest = Transaction(
+        "open_interest_checking",
+        [
+            Create(ACCOUNT, Condition.of(Number=number, Owner=owner)),
+            Specialize(ACCOUNT, INTEREST_CHECKING, Condition.of(Number=number), Condition.of(Rate=rate)),
+        ],
+    )
+    open_regular = Transaction(
+        "open_regular_checking",
+        [
+            Create(ACCOUNT, Condition.of(Number=number, Owner=owner)),
+            Specialize(ACCOUNT, REGULAR_CHECKING, Condition.of(Number=number), Condition.of(FeePlan=fee)),
+        ],
+    )
+    to_regular = Transaction(
+        "convert_to_regular",
+        [
+            Generalize(INTEREST_CHECKING, Condition.of(Number=number)),
+            Specialize(ACCOUNT, REGULAR_CHECKING, Condition.of(Number=number), Condition.of(FeePlan=fee)),
+        ],
+    )
+    to_interest = Transaction(
+        "convert_to_interest",
+        [
+            Generalize(REGULAR_CHECKING, Condition.of(Number=number)),
+            Specialize(ACCOUNT, INTEREST_CHECKING, Condition.of(Number=number), Condition.of(Rate=rate)),
+        ],
+    )
+    close = Transaction("close_account", [Delete(ACCOUNT, Condition.of(Number=number))])
+    return TransactionSchema(d, [open_interest, open_regular, to_regular, to_interest, close])
+
+
+def checking_role_inventory() -> MigrationInventory:
+    """"An account always plays at least one checking role until it is closed."
+
+    ``Init(∅* ([IC] ∪ [RC] ∪ [BOTH])+ ∅*)`` -- the account never sits in the
+    bare ACCOUNT role.  The transaction schema above satisfies it for every
+    pattern kind (checked in the tests and reported by the benchmarks).
+    The combined role set ``[BOTH]`` has to be permitted because SL cannot
+    enforce the uniqueness of account numbers: opening a regular account
+    that reuses an existing interest account's number adds the second role
+    to the old account.
+    """
+    return MigrationInventory.from_text(
+        "0* ([IC]|[RC]|[BOTH]) ([IC]|[RC]|[BOTH])* 0*",
+        SYMBOLS,
+        alphabet=ROLE_SETS,
+        prefix_close=True,
+    )
+
+
+def no_downgrade_inventory() -> MigrationInventory:
+    """A stricter constraint the schema violates: interest accounts are never downgraded.
+
+    ``Init(∅* [RC]* [IC]* ∅*)`` forbids returning to REGULAR_CHECKING after
+    having held INTEREST_CHECKING; ``convert_to_regular`` violates it, and
+    the satisfiability checker produces a concrete counterexample pattern.
+    """
+    return MigrationInventory.from_text(
+        "0* [RC]* [IC]* 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+__all__ = [
+    "ACCOUNT",
+    "INTEREST_CHECKING",
+    "REGULAR_CHECKING",
+    "ROLE_ACCOUNT",
+    "ROLE_INTEREST",
+    "ROLE_REGULAR",
+    "ROLE_BOTH",
+    "ROLE_SETS",
+    "SYMBOLS",
+    "schema",
+    "transactions",
+    "checking_role_inventory",
+    "no_downgrade_inventory",
+]

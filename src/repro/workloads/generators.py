@@ -1,0 +1,152 @@
+"""Random workload generators for the scaling experiments (E18/E19).
+
+The paper has no experimental evaluation, so the reproduction adds two
+scaling studies: how the migration-graph construction and the decision
+procedures behave as schemas, transaction schemas and inventories grow.
+Everything here is deterministic given the seed, so benchmark numbers are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rolesets import RoleSet, enumerate_role_sets
+from repro.formal import regex as rx
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Variable
+
+
+def random_schema(
+    seed: int,
+    classes: int = 5,
+    attributes_per_class: int = 1,
+    root_attributes: int = 2,
+) -> DatabaseSchema:
+    """A random weakly-connected schema with a single isa-root.
+
+    Class ``C0`` is the root; every other class picks one or two parents
+    among the previously generated classes, producing a rooted DAG with some
+    multiple inheritance.
+    """
+    rng = random.Random(seed)
+    names = [f"C{i}" for i in range(classes)]
+    isa = set()
+    for index in range(1, classes):
+        parents = {names[rng.randrange(0, index)]}
+        if index >= 2 and rng.random() < 0.3:
+            parents.add(names[rng.randrange(0, index)])
+        for parent in parents:
+            isa.add((names[index], parent))
+    attribute_map: Dict[str, set] = {}
+    counter = 0
+    for index, name in enumerate(names):
+        count = root_attributes if index == 0 else attributes_per_class
+        attribute_map[name] = {f"A{counter + offset}" for offset in range(count)}
+        counter += count
+    return DatabaseSchema(names, isa, attribute_map)
+
+
+def random_transactions(
+    schema: DatabaseSchema,
+    seed: int,
+    transactions: int = 4,
+    updates_per_transaction: int = 3,
+    constants: Sequence[object] = ("k1", "k2"),
+) -> TransactionSchema:
+    """A random SL transaction schema over ``schema``.
+
+    Each transaction starts with a ``create`` on the root (so objects exist
+    to migrate) followed by a mix of specialize / generalize / modify /
+    delete steps whose selections test a root attribute against either a
+    constant or the transaction's parameter.
+    """
+    rng = random.Random(seed)
+    root = sorted(schema.isa_roots())[0]
+    root_attributes = sorted(schema.attributes_of(root))
+    key = root_attributes[0]
+    non_roots = sorted(schema.classes - {root})
+    members: List[Transaction] = []
+    for t_index in range(transactions):
+        x = Variable("x")
+        values = Condition()
+        for attribute in root_attributes:
+            values = values.and_equal(attribute, x)
+        updates: List = [Create(root, values)]
+        for _ in range(updates_per_transaction):
+            pick = rng.random()
+            term = x if rng.random() < 0.6 else constants[rng.randrange(len(constants))]
+            selection = Condition.of(**{key: term})
+            if pick < 0.45 and non_roots:
+                child = non_roots[rng.randrange(len(non_roots))]
+                parent = sorted(schema.parents(child))[0]
+                new_values = Condition()
+                for attribute in sorted(
+                    schema.all_attributes_of(child) - schema.all_attributes_of(parent)
+                ):
+                    new_values = new_values.and_equal(attribute, x)
+                updates.append(Specialize(parent, child, selection, new_values))
+            elif pick < 0.7 and non_roots:
+                child = non_roots[rng.randrange(len(non_roots))]
+                updates.append(Generalize(child, selection))
+            elif pick < 0.9:
+                target = rng.choice(root_attributes)
+                updates.append(Modify(root, selection, Condition.of(**{target: term})))
+            else:
+                updates.append(Delete(root, selection))
+        members.append(Transaction(f"T{t_index}", updates))
+    return TransactionSchema(schema, members)
+
+
+def random_role_set_regex(
+    schema: DatabaseSchema,
+    seed: int,
+    size: int = 6,
+) -> rx.Regex:
+    """A random regular expression over the non-empty role sets of ``schema``.
+
+    ``size`` controls the number of symbol occurrences; the shape mixes
+    concatenation, union and star so that the synthesized migration graphs
+    have branching and loops.
+    """
+    rng = random.Random(seed)
+    role_sets = [rs for rs in enumerate_role_sets(schema) if rs]
+
+    def leaf() -> rx.Regex:
+        return rx.Symbol(role_sets[rng.randrange(len(role_sets))])
+
+    def build(budget: int) -> rx.Regex:
+        if budget <= 1:
+            return leaf()
+        choice = rng.random()
+        left_budget = max(1, budget // 2)
+        right_budget = max(1, budget - left_budget)
+        if choice < 0.45:
+            return rx.Concat(build(left_budget), build(right_budget))
+        if choice < 0.75:
+            return rx.Union(build(left_budget), build(right_budget))
+        return rx.Concat(leaf(), rx.Star(build(budget - 1)))
+
+    return build(size).simplify()
+
+
+def random_words(alphabet: Sequence[object], seed: int, count: int, max_length: int) -> List[Tuple]:
+    """Random words over an alphabet, used by the decision-procedure benchmarks."""
+    rng = random.Random(seed)
+    words = []
+    for _ in range(count):
+        length = rng.randrange(0, max_length + 1)
+        words.append(tuple(alphabet[rng.randrange(len(alphabet))] for _ in range(length)))
+    return words
+
+
+__all__ = [
+    "random_schema",
+    "random_transactions",
+    "random_role_set_regex",
+    "random_words",
+]

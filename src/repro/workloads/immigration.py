@@ -1,0 +1,215 @@
+"""The immigration-office reachability scenario of Example 5.1 (Section 5).
+
+A person holding a type-C visa may not change status directly to immigrant:
+she must first leave the country and stay abroad before becoming eligible.
+The statuses are subclasses of ``PERSON``; a ``Status`` attribute mirrors the
+current phase so that ``grant_immigrant_status`` is only *semantically*
+applicable to eligible returnees, and the ordering rules of the office are
+expressed as an inflow schema / script schema (Definitions 5.1 and 5.3).
+
+The workload exposes three orderings used by the reachability experiments
+(E16/E17):
+
+* :func:`inflow_schema` -- the lawful ordering: granting immigrant status
+  may only follow recording a return; reachability holds and the analyzer's
+  witness is exactly the mandated departure / return / grant sequence.
+* :func:`corrupt_inflow_schema` -- a deliberately broken ordering in which
+  ``grant_immigrant_status`` may only follow ``enter_with_visa_c``.  Under
+  *inflow* semantics the target is still reachable, because unrelated
+  "filler" transactions may be interleaved to satisfy the consecutive-pair
+  constraint -- a behaviour of Definition 5.1 the paper's Section 5
+  discussion motivates scripts with.
+* :func:`corrupt_script_schema` -- the same ordering under *script*
+  semantics (the order constrains the transactions updating the person
+  herself): the target becomes unreachable, demonstrating the difference
+  between the two constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.inflow import Assertion, InflowSchema, ScriptSchema
+from repro.core.rolesets import RoleSet
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Variable
+
+PERSON = "PERSON"
+VISA_C = "VISA_C_HOLDER"
+ABROAD = "ABROAD"
+ELIGIBLE = "ELIGIBLE_RETURNEE"
+IMMIGRANT = "IMMIGRANT"
+
+STATUS_VISA = "status:visa-c"
+STATUS_ABROAD = "status:abroad"
+STATUS_ELIGIBLE = "status:eligible"
+STATUS_IMMIGRANT = "status:immigrant"
+
+
+def schema() -> DatabaseSchema:
+    """Statuses of a person known to the immigration office."""
+    return DatabaseSchema(
+        classes={PERSON, VISA_C, ABROAD, ELIGIBLE, IMMIGRANT},
+        isa={
+            (VISA_C, PERSON),
+            (ABROAD, PERSON),
+            (ELIGIBLE, PERSON),
+            (IMMIGRANT, PERSON),
+        },
+        attributes={
+            PERSON: {"Passport", "Status"},
+            VISA_C: {"VisaNumber"},
+            ABROAD: {"DepartureYear"},
+            ELIGIBLE: {"ReturnYear"},
+            IMMIGRANT: {"GreenCard"},
+        },
+    )
+
+
+ROLE_PERSON = RoleSet({PERSON})
+ROLE_VISA_C = RoleSet({PERSON, VISA_C})
+ROLE_ABROAD = RoleSet({PERSON, ABROAD})
+ROLE_ELIGIBLE = RoleSet({PERSON, ELIGIBLE})
+ROLE_IMMIGRANT = RoleSet({PERSON, IMMIGRANT})
+
+
+def transactions() -> TransactionSchema:
+    """The office's transactions, each guarded by the ``Status`` attribute."""
+    d = schema()
+    passport, visa = Variable("passport"), Variable("visa")
+    year, card = Variable("year"), Variable("card")
+    enter = Transaction(
+        "enter_with_visa_c",
+        [
+            Create(PERSON, Condition.of(Passport=passport, Status=STATUS_VISA)),
+            Specialize(
+                PERSON,
+                VISA_C,
+                Condition.of(Passport=passport, Status=STATUS_VISA),
+                Condition.of(VisaNumber=visa),
+            ),
+        ],
+    )
+    depart = Transaction(
+        "record_departure",
+        [
+            Generalize(VISA_C, Condition.of(Passport=passport, Status=STATUS_VISA)),
+            Specialize(
+                PERSON,
+                ABROAD,
+                Condition.of(Passport=passport, Status=STATUS_VISA),
+                Condition.of(DepartureYear=year),
+            ),
+            Modify(
+                PERSON,
+                Condition.of(Passport=passport, Status=STATUS_VISA),
+                Condition.of(Status=STATUS_ABROAD),
+            ),
+        ],
+    )
+    come_back = Transaction(
+        "record_return",
+        [
+            Generalize(ABROAD, Condition.of(Passport=passport, Status=STATUS_ABROAD)),
+            Specialize(
+                PERSON,
+                ELIGIBLE,
+                Condition.of(Passport=passport, Status=STATUS_ABROAD),
+                Condition.of(ReturnYear=year),
+            ),
+            Modify(
+                PERSON,
+                Condition.of(Passport=passport, Status=STATUS_ABROAD),
+                Condition.of(Status=STATUS_ELIGIBLE),
+            ),
+        ],
+    )
+    grant = Transaction(
+        "grant_immigrant_status",
+        [
+            Generalize(ELIGIBLE, Condition.of(Passport=passport, Status=STATUS_ELIGIBLE)),
+            Specialize(
+                PERSON,
+                IMMIGRANT,
+                Condition.of(Passport=passport, Status=STATUS_ELIGIBLE),
+                Condition.of(GreenCard=card),
+            ),
+            Modify(
+                PERSON,
+                Condition.of(Passport=passport, Status=STATUS_ELIGIBLE),
+                Condition.of(Status=STATUS_IMMIGRANT),
+            ),
+        ],
+    )
+    close_file = Transaction("close_file", [Delete(PERSON, Condition.of(Passport=passport))])
+    return TransactionSchema(d, [enter, depart, come_back, grant, close_file])
+
+
+def _precedence(grant_predecessors: Tuple[str, ...]) -> set:
+    tx_names = transactions().names()
+    edges = set()
+    for before in tx_names:
+        for after in tx_names:
+            if after == "grant_immigrant_status" and before not in grant_predecessors:
+                continue
+            edges.add((before, after))
+    return edges
+
+
+def inflow_schema() -> InflowSchema:
+    """The lawful ordering: granting immigrant status follows recording a return."""
+    return InflowSchema(transactions(), _precedence(("record_return",)))
+
+
+def corrupt_inflow_schema() -> InflowSchema:
+    """A broken ordering: granting may only follow registering a new arrival."""
+    return InflowSchema(transactions(), _precedence(("enter_with_visa_c",)))
+
+
+def script_schema() -> ScriptSchema:
+    """The lawful ordering under per-object (script) semantics."""
+    return ScriptSchema(transactions(), _precedence(("record_return",)))
+
+
+def corrupt_script_schema() -> ScriptSchema:
+    """The broken ordering under script semantics: the upgrade becomes impossible."""
+    return ScriptSchema(transactions(), _precedence(("enter_with_visa_c",)))
+
+
+def visa_holder_assertion() -> Assertion:
+    """"The person currently holds a type-C visa"."""
+    return Assertion.over(VISA_C, Status=STATUS_VISA)
+
+
+def immigrant_assertion() -> Assertion:
+    """"The person is an immigrant"."""
+    return Assertion.over(IMMIGRANT, Status=STATUS_IMMIGRANT)
+
+
+__all__ = [
+    "PERSON",
+    "VISA_C",
+    "ABROAD",
+    "ELIGIBLE",
+    "IMMIGRANT",
+    "STATUS_VISA",
+    "STATUS_ABROAD",
+    "STATUS_ELIGIBLE",
+    "STATUS_IMMIGRANT",
+    "ROLE_PERSON",
+    "ROLE_VISA_C",
+    "ROLE_ABROAD",
+    "ROLE_ELIGIBLE",
+    "ROLE_IMMIGRANT",
+    "schema",
+    "transactions",
+    "inflow_schema",
+    "corrupt_inflow_schema",
+    "script_schema",
+    "corrupt_script_schema",
+    "visa_holder_assertion",
+    "immigrant_assertion",
+]

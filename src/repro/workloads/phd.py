@@ -1,0 +1,217 @@
+"""The Ph.D. student life cycle of Figure 4 / Example 3.5.
+
+A graduate student passes sequentially through the phases *unscreened*,
+*screened* and *candidate*; the schema has a class per phase under the root
+``G_STUDENT`` and the transactions preserve the sequential order, so the
+proper pattern family is ``(λ ∪ ∅) · Init([U][S][C] ∅?)`` (the paper writes
+``L_pro = (λ∪∅)·Init(U S C ∅)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Variable
+
+G_STUDENT = "G_STUDENT"
+UNSCREENED = "UNSCREENED"
+SCREENED = "SCREENED"
+CANDIDATE = "CANDIDATE"
+
+
+def schema() -> DatabaseSchema:
+    """The database schema of Figure 4(b)."""
+    return DatabaseSchema(
+        classes={G_STUDENT, UNSCREENED, SCREENED, CANDIDATE},
+        isa={
+            (UNSCREENED, G_STUDENT),
+            (SCREENED, G_STUDENT),
+            (CANDIDATE, G_STUDENT),
+        },
+        attributes={
+            G_STUDENT: {"ID"},
+            UNSCREENED: set(),
+            SCREENED: set(),
+            CANDIDATE: set(),
+        },
+    )
+
+
+ROLE_G = RoleSet({G_STUDENT})
+ROLE_U = RoleSet({G_STUDENT, UNSCREENED})
+ROLE_S = RoleSet({G_STUDENT, SCREENED})
+ROLE_C = RoleSet({G_STUDENT, CANDIDATE})
+
+ROLE_SETS = (EMPTY_ROLE_SET, ROLE_G, ROLE_U, ROLE_S, ROLE_C)
+
+SYMBOLS: Dict[str, RoleSet] = {
+    "0": EMPTY_ROLE_SET,
+    "[G]": ROLE_G,
+    "[U]": ROLE_U,
+    "[S]": ROLE_S,
+    "[C]": ROLE_C,
+}
+
+
+def transactions(include_graduation: bool = True) -> TransactionSchema:
+    """The transaction schema of Example 3.5 (T1-T3, plus an optional delete).
+
+    ``T1`` admits a student (create + specialize to UNSCREENED), ``T2``
+    records passing the screening exam, ``T3`` records advancing to
+    candidacy.  The paper's example stops there; ``include_graduation`` adds
+    a ``T4`` deleting the student so that full life cycles terminate, which
+    the example's pattern family ``Init(U S C ∅*)`` presumes.
+    """
+    d = schema()
+    sid = Variable("sid")
+    admit = Transaction(
+        "T1_admit",
+        [
+            Create(G_STUDENT, Condition.of(ID=sid)),
+            Specialize(G_STUDENT, UNSCREENED, Condition.of(ID=sid), Condition()),
+        ],
+    )
+    pass_screening = Transaction(
+        "T2_pass_screening",
+        [
+            Generalize(UNSCREENED, Condition.of(ID=sid)),
+            Specialize(G_STUDENT, SCREENED, Condition.of(ID=sid), Condition()),
+        ],
+    )
+    advance = Transaction(
+        "T3_advance_to_candidacy",
+        [
+            Generalize(SCREENED, Condition.of(ID=sid)),
+            Specialize(G_STUDENT, CANDIDATE, Condition.of(ID=sid), Condition()),
+        ],
+    )
+    members = [admit, pass_screening, advance]
+    if include_graduation:
+        members.append(Transaction("T4_graduate", [Delete(G_STUDENT, Condition.of(ID=sid))]))
+    return TransactionSchema(d, members)
+
+
+def guarded_transactions(include_graduation: bool = True) -> TransactionSchema:
+    """A corrected variant of Example 3.5 whose phases really are sequential.
+
+    The transactions printed in the paper allow one surprising behaviour:
+    applying ``T2`` to a student who is already a candidate *adds* the
+    SCREENED role (``specialize`` has no way to test "not already past that
+    phase"), producing role sets such as ``{G, SCREENED, CANDIDATE}``.  This
+    variant records the phase in an attribute and guards every step with it,
+    so the analysed proper family matches the paper's stated
+    ``(λ∪∅)·Init([U][S][C]∅?)`` exactly.  The comparison between the two
+    variants is one of the reproduction's experiments (EXPERIMENTS.md, E6).
+    """
+    d = DatabaseSchema(
+        classes={G_STUDENT, UNSCREENED, SCREENED, CANDIDATE},
+        isa={
+            (UNSCREENED, G_STUDENT),
+            (SCREENED, G_STUDENT),
+            (CANDIDATE, G_STUDENT),
+        },
+        attributes={
+            G_STUDENT: {"ID", "Phase"},
+            UNSCREENED: set(),
+            SCREENED: set(),
+            CANDIDATE: set(),
+        },
+    )
+    sid = Variable("sid")
+    admit = Transaction(
+        "T1_admit",
+        [
+            Create(G_STUDENT, Condition.of(ID=sid, Phase="unscreened")),
+            Specialize(G_STUDENT, UNSCREENED, Condition.of(ID=sid, Phase="unscreened"), Condition()),
+        ],
+    )
+    pass_screening = Transaction(
+        "T2_pass_screening",
+        [
+            Generalize(UNSCREENED, Condition.of(ID=sid, Phase="unscreened")),
+            Specialize(
+                G_STUDENT,
+                SCREENED,
+                Condition.of(ID=sid, Phase="unscreened"),
+                Condition(),
+            ),
+            # The phase flips only after the membership change so both steps
+            # see a consistent selection.
+            Modify(
+                G_STUDENT,
+                Condition.of(ID=sid, Phase="unscreened"),
+                Condition.of(Phase="screened"),
+            ),
+        ],
+    )
+    advance = Transaction(
+        "T3_advance_to_candidacy",
+        [
+            Generalize(SCREENED, Condition.of(ID=sid, Phase="screened")),
+            Specialize(G_STUDENT, CANDIDATE, Condition.of(ID=sid, Phase="screened"), Condition()),
+            Modify(
+                G_STUDENT,
+                Condition.of(ID=sid, Phase="screened"),
+                Condition.of(Phase="candidate"),
+            ),
+        ],
+    )
+    members = [admit, pass_screening, advance]
+    if include_graduation:
+        members.append(
+            Transaction("T4_graduate", [Delete(G_STUDENT, Condition.of(ID=sid))])
+        )
+    return TransactionSchema(d, members)
+
+
+def expected_proper_family(include_graduation: bool = True) -> MigrationInventory:
+    """The proper family of the sequential PhD life cycle.
+
+    The paper states ``(λ∪∅)·Init([U][S][C]∅)`` for its three transactions.
+    This is the family of the *guarded* variant; the transactions exactly as
+    printed in the paper additionally allow the role set ``{G, SCREENED,
+    CANDIDATE}`` (see :func:`guarded_transactions`).  With the optional
+    graduation transaction a student may also be deleted after any phase,
+    so the trailing ``∅`` may follow ``[U]`` or ``[S]`` as well.
+    """
+    if include_graduation:
+        text = "(0?) ([U] ([S] ([C])?)? (0?))"
+    else:
+        text = "(0?) ([U] ([S] ([C])?)?)"
+    return MigrationInventory.from_text(text, SYMBOLS, alphabet=ROLE_SETS, prefix_close=True)
+
+
+def sequential_order_inventory() -> MigrationInventory:
+    """The dynamic constraint "phases are traversed in order, each at most once".
+
+    ``Init(∅* [U]* [S]* [C]* ∅*)`` -- the transactions of Example 3.5 satisfy
+    it for every pattern kind.
+    """
+    return MigrationInventory.from_text(
+        "0* [U]* [S]* [C]* 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+__all__ = [
+    "G_STUDENT",
+    "UNSCREENED",
+    "SCREENED",
+    "CANDIDATE",
+    "ROLE_G",
+    "ROLE_U",
+    "ROLE_S",
+    "ROLE_C",
+    "ROLE_SETS",
+    "SYMBOLS",
+    "schema",
+    "transactions",
+    "guarded_transactions",
+    "expected_proper_family",
+    "sequential_order_inventory",
+]

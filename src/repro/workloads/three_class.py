@@ -1,0 +1,185 @@
+"""The three-class control schema of Figure 5 and the transactions of Example 3.6.
+
+The schema has a root ``R`` with two printable attributes ``A`` and ``B``
+and two subclasses ``P`` and ``Q``.  Example 3.6 hand-builds transaction
+schemas that *characterize* two regular inventories using only the two
+attributes (the general synthesis of Lemma 3.4 needs three):
+
+* :func:`cycle_transactions` -- a single transaction ``T(x)`` whose pattern
+  family is ``Init(∅* P(QQP)* ∅*)`` where ``P`` denotes the role set
+  ``{R, P}`` and ``Q`` the role set ``{R, Q}``;
+* :func:`branch_transactions` -- a single transaction generating
+  ``Init(∅* (PQ* ∪ QP*) ∅*)``.
+
+Both follow the constant-driven control style of the paper: attribute ``A``
+records where in the cycle the object is and attribute ``B`` is used to
+"randomly" (via the transaction parameter) decide whether to keep migrating
+or be deleted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Variable
+
+R = "R"
+P = "P"
+Q = "Q"
+
+
+def schema() -> DatabaseSchema:
+    """The database schema of Figure 5."""
+    return DatabaseSchema(
+        classes={R, P, Q},
+        isa={(P, R), (Q, R)},
+        attributes={R: {"A", "B"}, P: set(), Q: set()},
+    )
+
+
+ROLE_R = RoleSet({R})
+ROLE_P = RoleSet({R, P})
+ROLE_Q = RoleSet({R, Q})
+
+ROLE_SETS = (EMPTY_ROLE_SET, ROLE_R, ROLE_P, ROLE_Q)
+
+SYMBOLS: Dict[str, RoleSet] = {
+    "0": EMPTY_ROLE_SET,
+    "R": ROLE_R,
+    "P": ROLE_P,
+    "Q": ROLE_Q,
+}
+
+
+def cycle_transactions() -> TransactionSchema:
+    """Example 3.6, first schema: ``T(x) = T0(x); T1(x); T2; T3; T4(x)``.
+
+    The constants ``a, a', b, c, d`` drive the P -> Q -> Q -> P cycle; the
+    parameter ``x`` decides (against attribute ``B``) whether an object that
+    has completed a cycle is deleted or re-enters it.
+    """
+    d = schema()
+    x = Variable("x")
+
+    # T0: delete the objects whose B value equals x once they are back in Q
+    #     with A = c (i.e. they just finished the QQ stretch).
+    t0 = [
+        Modify(Q, Condition.of(A="c", B=x), Condition.of(A="d")),
+        Delete(R, Condition.of(A="d")),
+    ]
+    # T1: objects in Q with A = c and B != x go back to P to start a new cycle.
+    t1 = [
+        Generalize(Q, Condition().and_equal("A", "c").and_not_equal("B", x)),
+        Modify(R, Condition.of(A="c"), Condition.of(A="a_prime")),
+        Specialize(R, P, Condition.of(A="a_prime"), Condition()),
+    ]
+    # T2: objects sitting in Q with A = b take their second Q step (A becomes c).
+    t2 = [Modify(Q, Condition.of(A="b"), Condition.of(A="c"))]
+    # T3: objects in P with A = a move to Q (first Q step, A becomes b).
+    t3 = [
+        Generalize(P, Condition.of(A="a")),
+        Specialize(R, Q, Condition.of(A="a"), Condition()),
+        Modify(Q, Condition.of(A="a"), Condition.of(A="b")),
+    ]
+    # T4: create a fresh object in P with A = a; objects left with A = a_prime
+    #     (those re-entering the cycle) also get A reset to a.
+    t4 = [
+        Create(R, Condition.of(A="a", B=x)),
+        Specialize(R, P, Condition.of(A="a"), Condition()),
+        Modify(P, Condition.of(A="a_prime"), Condition.of(A="a")),
+    ]
+    transaction = Transaction("T_cycle", [*t0, *t1, *t2, *t3, *t4])
+    return TransactionSchema(d, [transaction])
+
+
+def cycle_inventory() -> MigrationInventory:
+    """``Init(∅* P(QQP)* ∅*)``: the inventory the paper states for :func:`cycle_transactions`."""
+    return MigrationInventory.from_text(
+        "0* P(QQP)* 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+def cycle_inventory_exact() -> MigrationInventory:
+    """The family :func:`cycle_transactions` actually characterizes.
+
+    ``Init(∅* P (QQP)* (QQ ∅ ∅*)?)`` -- it differs from the paper's stated
+    ``Init(∅* P(QQP)* ∅*)`` only in where deletions may occur: the
+    transaction ``T0`` deletes an object right after its second ``Q`` step
+    (before it would re-enter ``P``), and a live object always has a
+    non-empty role set, so the trailing ``∅`` block can only follow ``QQ``.
+    The analysis verifies the characterization exactly (see the tests and
+    EXPERIMENTS.md, E7).
+    """
+    return MigrationInventory.from_text(
+        "0* P (QQP)* ((QQ 0 0*)?)", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+def branch_transactions() -> TransactionSchema:
+    """Example 3.6, second schema: one transaction generating ``Init(∅*(PQ* ∪ QP*)∅*)``.
+
+    The created object's first role set is decided by whether the parameter
+    equals the constant ``1``; afterwards it keeps migrating to the other
+    class, and it is deleted when the parameter matches its ``B`` value.
+    """
+    d = schema()
+    x = Variable("x")
+    updates = [
+        Delete(R, Condition.of(B=x)),
+        Generalize(Q, Condition.of(A=1)),
+        Specialize(R, P, Condition.of(A=1), Condition()),
+        Generalize(P, Condition().and_not_equal("A", 1)),
+        Specialize(R, Q, Condition().and_not_equal("A", 1), Condition()),
+        Create(R, Condition.of(A=x, B=x)),
+        Specialize(R, P, Condition().and_not_equal("A", 1), Condition()),
+        Specialize(R, Q, Condition.of(A=1), Condition()),
+    ]
+    transaction = Transaction("T_branch", updates)
+    return TransactionSchema(d, [transaction])
+
+
+def branch_inventory() -> MigrationInventory:
+    """``Init(∅* (PQ* ∪ QP*) ∅*)``: the inventory generated by :func:`branch_transactions`."""
+    return MigrationInventory.from_text(
+        "0* (P Q* | Q P*) 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+def synthesis_schema() -> DatabaseSchema:
+    """A three-attribute variant of Figure 5 usable with the general synthesis.
+
+    Lemma 3.4 requires the isa-root to have at least three attributes; this
+    schema adds a third attribute ``C`` to ``R`` so that arbitrary regular
+    inventories over ``{P, Q, R}`` role sets can be synthesized and compared
+    against the hand-built transactions above.
+    """
+    return DatabaseSchema(
+        classes={R, P, Q},
+        isa={(P, R), (Q, R)},
+        attributes={R: {"A", "B", "C"}, P: set(), Q: set()},
+    )
+
+
+__all__ = [
+    "R",
+    "P",
+    "Q",
+    "ROLE_R",
+    "ROLE_P",
+    "ROLE_Q",
+    "ROLE_SETS",
+    "SYMBOLS",
+    "schema",
+    "synthesis_schema",
+    "cycle_transactions",
+    "cycle_inventory",
+    "cycle_inventory_exact",
+    "branch_transactions",
+    "branch_inventory",
+]

@@ -1,0 +1,211 @@
+"""The university schema of Figure 1 and its transactions (Example 3.4).
+
+* :func:`schema` -- the four-class hierarchy PERSON / EMPLOYEE / STUDENT /
+  GRAD-ASSIST with the attributes of Figure 1.
+* :func:`sample_instance` -- the five-object instance of Figure 2.
+* :func:`transactions` -- the four transactions T1-T4 of Example 3.4
+  (enroll a student, grant an assistantship, cancel it, delete the person).
+* :func:`expected_families` -- the pattern families the paper states for
+  Example 3.4, as :class:`repro.core.inventory.MigrationInventory` objects,
+  used by tests and benchmarks to compare against the analysis output.
+* Role-set shorthands ``[P]``, ``[S]``, ``[E]``, ``[SE]``, ``[G]`` matching
+  Example 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete, Generalize, Specialize
+from repro.model.conditions import Condition
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import DatabaseSchema
+from repro.model.values import ObjectId, Variable
+
+PERSON = "PERSON"
+EMPLOYEE = "EMPLOYEE"
+STUDENT = "STUDENT"
+GRAD_ASSIST = "GRAD_ASSIST"
+
+
+def schema() -> DatabaseSchema:
+    """The database schema of Figure 1."""
+    return DatabaseSchema(
+        classes={PERSON, EMPLOYEE, STUDENT, GRAD_ASSIST},
+        isa={
+            (GRAD_ASSIST, EMPLOYEE),
+            (GRAD_ASSIST, STUDENT),
+            (EMPLOYEE, PERSON),
+            (STUDENT, PERSON),
+        },
+        attributes={
+            PERSON: {"SSN", "Name"},
+            EMPLOYEE: {"Salary", "WorksIn"},
+            STUDENT: {"Major", "FirstEnroll"},
+            GRAD_ASSIST: {"PctAppoint"},
+        },
+    )
+
+
+# Role sets of Example 3.1, closed under isa*.
+ROLE_P = RoleSet({PERSON})
+ROLE_S = RoleSet({PERSON, STUDENT})
+ROLE_E = RoleSet({PERSON, EMPLOYEE})
+ROLE_SE = RoleSet({PERSON, STUDENT, EMPLOYEE})
+ROLE_G = RoleSet({PERSON, STUDENT, EMPLOYEE, GRAD_ASSIST})
+
+ROLE_SETS: Tuple[RoleSet, ...] = (EMPTY_ROLE_SET, ROLE_P, ROLE_S, ROLE_E, ROLE_SE, ROLE_G)
+
+#: Identifier map usable with regular-expression parsing: "[P]", "[S]", ...
+SYMBOLS: Dict[str, RoleSet] = {
+    "0": EMPTY_ROLE_SET,
+    "[P]": ROLE_P,
+    "[S]": ROLE_S,
+    "[E]": ROLE_E,
+    "[SE]": ROLE_SE,
+    "[G]": ROLE_G,
+}
+
+
+def sample_instance() -> DatabaseInstance:
+    """The instance of Figure 2 (five objects, next object ``o6``)."""
+    d = schema()
+    o1, o2, o3, o4, o5 = (ObjectId(i) for i in range(1, 6))
+    extent = {
+        PERSON: {o1, o2, o3, o4, o5},
+        EMPLOYEE: {o1, o3, o4},
+        STUDENT: {o1, o2, o4},
+        GRAD_ASSIST: {o1},
+    }
+    values = {
+        (o1, "SSN"): "0001",
+        (o1, "Name"): "John",
+        (o1, "Salary"): 1500,
+        (o1, "WorksIn"): "CS",
+        (o1, "Major"): "CS",
+        (o1, "FirstEnroll"): 1989,
+        (o1, "PctAppoint"): 50,
+        (o2, "SSN"): "0011",
+        (o2, "Name"): "Mary",
+        (o2, "Major"): "EE",
+        (o2, "FirstEnroll"): 1990,
+        (o3, "SSN"): "0111",
+        (o3, "Name"): "Pat",
+        (o3, "Salary"): 3000,
+        (o3, "WorksIn"): "Math",
+        (o4, "SSN"): "0101",
+        (o4, "Name"): "Jane",
+        (o4, "Salary"): 2000,
+        (o4, "WorksIn"): "Physics",
+        (o4, "Major"): "Physics",
+        (o4, "FirstEnroll"): 1988,
+        (o5, "SSN"): "0067",
+        (o5, "Name"): "Michelle",
+    }
+    return DatabaseInstance(d, extent, values, ObjectId(6))
+
+
+def transactions() -> TransactionSchema:
+    """The transaction schema of Example 3.4 (T1-T4)."""
+    d = schema()
+    n, s, t, m = Variable("n"), Variable("s"), Variable("t"), Variable("m")
+    p, x, dept = Variable("p"), Variable("x"), Variable("d")
+
+    enroll = Transaction(
+        "T1_enroll_student",
+        [
+            Create(PERSON, Condition.of(SSN=s, Name=n)),
+            Specialize(PERSON, STUDENT, Condition.of(SSN=s), Condition.of(Major=m, FirstEnroll=t)),
+        ],
+    )
+    grant_assistantship = Transaction(
+        "T2_grant_assistantship",
+        [
+            Specialize(
+                STUDENT,
+                GRAD_ASSIST,
+                Condition.of(SSN=s),
+                Condition.of(PctAppoint=p, Salary=x, WorksIn=dept),
+            ),
+        ],
+    )
+    cancel_assistantship = Transaction(
+        "T3_cancel_assistantship",
+        [Generalize(EMPLOYEE, Condition.of(SSN=s))],
+    )
+    remove_person = Transaction(
+        "T4_delete_person",
+        [Delete(PERSON, Condition.of(SSN=s))],
+    )
+    return TransactionSchema(d, [enroll, grant_assistantship, cancel_assistantship, remove_person])
+
+
+def expected_families() -> Dict[str, MigrationInventory]:
+    """The pattern families of Example 3.4 under the Definition 2.5 semantics.
+
+    * all:              ``Init(∅* ([S]+[G]*)* ∅*)``
+    * immediate-start:  ``Init(([S]+[G]*)* ∅*)``
+    * proper:           ``(λ ∪ ∅) · Init([S]([G][S])* [G]? ∅?)``
+    * lazy:             ``(λ ∪ ∅) · Init([S]([G][S])* [G]? ∅?)``
+
+    The "all" and "immediate-start" families match the expressions printed in
+    the paper.  For the proper family the paper prints
+    ``(λ ∪ ∅)·Init(([S][G]*)*∅)``, which allows repeated role sets such as
+    ``[G][G]``; under the ``specialize`` semantics of Definition 2.5 (objects
+    already in the target class are left untouched, so re-granting an
+    assistantship does not update the object) those steps do not properly
+    update the object, and the proper family coincides with the lazy one.
+    The discrepancy is recorded in ``EXPERIMENTS.md``.
+    """
+    alternating = "(0?) ([S]([G][S])* ([G]?) (0?))"
+    return {
+        "all": MigrationInventory.from_text(
+            "0* ([S]+[G]*)* 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+        ),
+        # The paper prints Init(([S]+[G]*)* ∅*), whose prefix closure also
+        # contains words of empty role sets only; Definition 3.4 requires the
+        # first role set of an immediate-start pattern to be non-empty, so the
+        # padding-only words are excluded here.
+        "immediate_start": MigrationInventory.from_text(
+            "([S] ([S]|[G])* 0*)?", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+        ),
+        "proper": MigrationInventory.from_text(
+            alternating, SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+        ),
+        "lazy": MigrationInventory.from_text(
+            alternating, SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+        ),
+    }
+
+
+def life_cycle_inventory() -> MigrationInventory:
+    """The Example 3.2 constraint: student, then perhaps assistant, then employee.
+
+    ``Init(∅* [P]* [S]* [G]* [E]+ [P]* ∅*)``.
+    """
+    return MigrationInventory.from_text(
+        "0* [P]* [S]* [G]* [E]+ [P]* 0*", SYMBOLS, alphabet=ROLE_SETS, prefix_close=True
+    )
+
+
+__all__ = [
+    "PERSON",
+    "EMPLOYEE",
+    "STUDENT",
+    "GRAD_ASSIST",
+    "ROLE_P",
+    "ROLE_S",
+    "ROLE_E",
+    "ROLE_SE",
+    "ROLE_G",
+    "ROLE_SETS",
+    "SYMBOLS",
+    "schema",
+    "sample_instance",
+    "transactions",
+    "expected_families",
+    "life_cycle_inventory",
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+The static analyses are deterministic but not free (a few seconds for the
+richer schemas), so they are computed once per test session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.workloads import banking, immigration, phd, three_class, university
+
+
+@pytest.fixture(scope="session")
+def university_transactions():
+    return university.transactions()
+
+
+@pytest.fixture(scope="session")
+def university_analysis(university_transactions):
+    return SLMigrationAnalysis(university_transactions)
+
+
+@pytest.fixture(scope="session")
+def university_families(university_analysis):
+    return university_analysis.pattern_families()
+
+
+@pytest.fixture(scope="session")
+def banking_analysis():
+    return SLMigrationAnalysis(banking.transactions())
+
+
+@pytest.fixture(scope="session")
+def phd_analysis():
+    return SLMigrationAnalysis(phd.transactions())
+
+
+@pytest.fixture(scope="session")
+def phd_guarded_analysis():
+    return SLMigrationAnalysis(phd.guarded_transactions())
+
+
+@pytest.fixture(scope="session")
+def cycle_analysis():
+    return SLMigrationAnalysis(three_class.cycle_transactions())
+
+
+@pytest.fixture(scope="session")
+def branch_analysis():
+    return SLMigrationAnalysis(three_class.branch_transactions())

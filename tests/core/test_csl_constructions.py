@@ -1,0 +1,212 @@
+"""Tests for the CSL+ constructions of Theorems 4.3, 4.4 and 4.8."""
+
+import pytest
+
+from repro.core.csl_constructions import (
+    cfg_to_csl,
+    equal_pairs_grammar,
+    reachability_reduction,
+    turing_to_csl,
+)
+from repro.core.patterns import pattern_of_run
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.core.simulation import explore_patterns
+from repro.formal.turing import TuringMachine
+from repro.model.errors import AnalysisError
+from repro.model.instance import DatabaseInstance
+
+
+def run_driver(simulation, steps):
+    """Apply driver steps and return the migration patterns of the pattern-component objects."""
+    instance = DatabaseInstance.empty(simulation.schema)
+    trace = []
+    for name, assignment in steps:
+        instance = simulation.transactions[name].apply(instance, assignment)
+        trace.append(instance)
+    objects = set()
+    for snapshot in trace:
+        objects |= snapshot.all_objects()
+    pattern_objects = [
+        obj
+        for obj in sorted(objects)
+        if any(simulation.pattern_root in snapshot.role_set(obj) for snapshot in trace)
+    ]
+    return [pattern_of_run(obj, trace) for obj in pattern_objects]
+
+
+def strip_padding(pattern):
+    """Drop leading/trailing empty role sets."""
+    word = list(pattern.word)
+    while word and not word[0]:
+        word.pop(0)
+    while word and not word[-1]:
+        word.pop()
+    return tuple(word)
+
+
+@pytest.fixture(scope="module")
+def a_plus_simulation():
+    return turing_to_csl(TuringMachine.accepting_regular_sample(["a", "b"]))
+
+
+@pytest.fixture(scope="module")
+def anbn_simulation():
+    machine = TuringMachine.accepting_equal_pairs("a", "b")
+    return turing_to_csl(machine, accept_projection={("tm", "Xa"): "a", ("tm", "Xb"): "b"})
+
+
+class TestTuringConstruction:
+    """Experiment E13: r.e. inventories as CSL+ migration patterns (Theorem 4.3)."""
+
+    def test_schema_is_csl_plus(self, a_plus_simulation):
+        assert a_plus_simulation.transactions.is_positive
+
+    @pytest.mark.parametrize("word", [["a"], ["a", "a"], ["a", "a", "a", "a"]])
+    def test_accepted_words_become_patterns(self, a_plus_simulation, word):
+        patterns = run_driver(a_plus_simulation, a_plus_simulation.accepting_run_steps(word))
+        assert len(patterns) == 1
+        core = strip_padding(patterns[0])
+        expected = tuple(a_plus_simulation.symbol_roles[symbol] for symbol in word)
+        assert core == expected
+
+    def test_pattern_is_padded_with_empty_role_sets(self, a_plus_simulation):
+        patterns = run_driver(a_plus_simulation, a_plus_simulation.accepting_run_steps(["a"]))
+        word = patterns[0].word
+        assert not word[0] and not word[-1]  # ∅ prefix (generation/simulation) and ∅ suffix (deletion)
+
+    def test_non_erasing_projection(self, anbn_simulation):
+        patterns = run_driver(anbn_simulation, anbn_simulation.accepting_run_steps(["a", "a", "b", "b"]))
+        core = strip_padding(patterns[0])
+        roles = anbn_simulation.symbol_roles
+        assert core == (roles["a"], roles["a"], roles["b"], roles["b"])
+
+    def test_rejected_words_have_no_driver(self, a_plus_simulation, anbn_simulation):
+        with pytest.raises(AnalysisError):
+            a_plus_simulation.accepting_run_steps(["b"])
+        with pytest.raises(AnalysisError):
+            anbn_simulation.accepting_run_steps(["a", "b", "b"])
+
+    def test_unknown_symbols_rejected(self, a_plus_simulation):
+        with pytest.raises(AnalysisError):
+            a_plus_simulation.accepting_run_steps(["z"])
+
+    def test_adversarial_exploration_is_sound(self, a_plus_simulation):
+        """Bounded exhaustive exploration produces no pattern outside ∅*·Init(L·∅*)."""
+        observation = explore_patterns(
+            a_plus_simulation.transactions,
+            component=a_plus_simulation.pattern_component,
+            max_depth=3,
+            value_pool=["id:left", "cell:0", "id:flag"],
+            max_states=4000,
+        )
+        role_a = a_plus_simulation.symbol_roles["a"]
+        role_b = a_plus_simulation.symbol_roles["b"]
+        for word in observation.observed("all"):
+            core = list(word)
+            while core and not core[0]:
+                core.pop(0)
+            while core and not core[-1]:
+                core.pop()
+            # Within the bound, only prefixes of a+ (never a b) can appear.
+            assert role_b not in core
+            assert all(symbol == role_a for symbol in core)
+
+
+class TestPaddedConstruction:
+    """Experiment E13b: Theorem 4.4 (left quotient by a regular padding)."""
+
+    def test_padding_shape(self):
+        machine = TuringMachine.accepting_regular_sample(["a", "b"])
+        simulation = turing_to_csl(machine, immediate_padding=True)
+        omega1, omega2 = simulation.padding
+        patterns = run_driver(simulation, simulation.accepting_run_steps(["a", "a"]))
+        word = patterns[0].word
+        assert word[0] == omega1  # the padding object exists from the very first update
+        # The pattern is ω1+ ω2 followed by the accepted word and a final ∅.
+        index = 0
+        while index < len(word) and word[index] == omega1:
+            index += 1
+        assert word[index] == omega2
+        role_a = simulation.symbol_roles["a"]
+        assert tuple(word[index + 1 : index + 3]) == (role_a, role_a)
+        assert not word[-1]
+
+    def test_padding_needs_two_symbols(self):
+        machine = TuringMachine.accepting_regular_sample(["a"])
+        with pytest.raises(AnalysisError):
+            turing_to_csl(machine, immediate_padding=True)
+
+
+class TestGrammarConstruction:
+    """Experiments E14/E15: context-free inventories (Example 4.1 via Theorem 4.8)."""
+
+    @pytest.fixture(scope="class")
+    def simulation(self):
+        return cfg_to_csl(equal_pairs_grammar())
+
+    def test_schema_is_csl_plus(self, simulation):
+        assert simulation.transactions.is_positive
+
+    @pytest.mark.parametrize("count", [1, 2, 3])
+    def test_equal_pairs_patterns(self, simulation, count):
+        word = ["a"] * count + ["b"] * count
+        patterns = run_driver(simulation, simulation.derivation_steps(word))
+        assert len(patterns) == 1
+        roles = simulation.symbol_roles
+        expected = tuple(roles[symbol] for symbol in word) + (EMPTY_ROLE_SET,)
+        assert patterns[0].word == expected
+
+    def test_patterns_are_immediate_start_and_proper(self, simulation):
+        from repro.core.patterns import run_is_proper_for
+
+        steps = simulation.derivation_steps(["a", "a", "b", "b"])
+        instance = DatabaseInstance.empty(simulation.schema)
+        trace = []
+        for name, assignment in steps:
+            instance = simulation.transactions[name].apply(instance, assignment)
+            trace.append(instance)
+        pattern_object = sorted(
+            obj
+            for obj in trace[0].all_objects()
+            if simulation.pattern_root in trace[0].role_set(obj)
+        )[0]
+        pattern = pattern_of_run(pattern_object, trace)
+        assert pattern.is_immediate_start
+        assert run_is_proper_for(pattern_object, DatabaseInstance.empty(simulation.schema), trace)
+
+    def test_unbalanced_words_rejected(self, simulation):
+        with pytest.raises(AnalysisError):
+            simulation.derivation_steps(["a", "b", "b"])
+        with pytest.raises(AnalysisError):
+            simulation.derivation_steps(["b", "a"])
+
+    def test_adversarial_exploration_is_sound(self, simulation):
+        roles = simulation.symbol_roles
+        observation = explore_patterns(
+            simulation.transactions,
+            component=simulation.pattern_component,
+            max_depth=3,
+            value_pool=["stk:0", "id:bottom", "flip:0"],
+            max_states=4000,
+        )
+        for word in observation.observed("all"):
+            core = [symbol for symbol in word if symbol]
+            # Any observed emission is a prefix of some a^n b^n word: the b's
+            # never precede the a's and never outnumber them.
+            a_count = sum(1 for symbol in core if symbol == roles["a"])
+            b_count = sum(1 for symbol in core if symbol == roles["b"])
+            assert b_count <= a_count
+            if roles["b"] in core and roles["a"] in core:
+                assert core.index(roles["b"]) > core.index(roles["a"])
+
+
+class TestReachabilityReduction:
+    def test_reduction_packaging(self):
+        machine = TuringMachine.accepting_regular_sample(["a", "b"])
+        inflow, source, target, simulation = reachability_reduction(machine)
+        assert not inflow.is_sl
+        assert source.class_name in simulation.padding[0]
+        assert target.class_name in simulation.padding[1]
+        # Every consecutive pair is allowed (the reduction restricts nothing).
+        names = simulation.transactions.names()
+        assert inflow.is_applicable([names[0], names[-1]])

@@ -1,0 +1,93 @@
+"""Unit tests for migration inventories (Definition 3.3, Examples 3.2/3.3)."""
+
+import pytest
+
+from repro.core.inventory import MigrationInventory
+from repro.core.patterns import MigrationPattern
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.formal.regex import parse_regex
+from repro.workloads import university
+
+
+class TestConstruction:
+    def test_from_text_and_membership(self):
+        inventory = university.life_cycle_inventory()
+        assert inventory.contains([university.ROLE_S, university.ROLE_G, university.ROLE_E])
+        assert inventory.contains([])
+        assert inventory.contains([EMPTY_ROLE_SET, university.ROLE_P])
+        assert not inventory.contains([university.ROLE_E, university.ROLE_S])
+        assert [university.ROLE_P] in inventory  # __contains__
+
+    def test_from_patterns(self):
+        inventory = MigrationInventory.from_patterns([[university.ROLE_S, university.ROLE_G]])
+        assert inventory.contains([university.ROLE_S])  # prefixes are closed in
+        assert not inventory.contains([university.ROLE_G])
+
+    def test_universe(self):
+        universe = MigrationInventory.universe(university.schema())
+        assert universe.contains([EMPTY_ROLE_SET, university.ROLE_G, EMPTY_ROLE_SET])
+        assert not universe.contains([university.ROLE_G, EMPTY_ROLE_SET, university.ROLE_S])
+
+    def test_alphabet_always_contains_empty(self):
+        inventory = MigrationInventory.from_regex(parse_regex("[S]", university.SYMBOLS))
+        assert EMPTY_ROLE_SET in inventory.alphabet
+
+
+class TestLanguageQueries:
+    def test_prefix_closedness(self):
+        closed = university.life_cycle_inventory()
+        assert closed.is_prefix_closed()
+        not_closed = MigrationInventory.from_text("[S][G]", university.SYMBOLS)
+        assert not not_closed.is_prefix_closed()
+        assert not_closed.prefix_closure().is_prefix_closed()
+
+    def test_well_formedness(self):
+        assert university.life_cycle_inventory().is_well_formed(university.schema())
+        bad_shape = MigrationInventory.from_text("[S] 0 [G]", university.SYMBOLS, prefix_close=True)
+        assert not bad_shape.is_well_formed()
+
+    def test_sample_and_emptiness(self):
+        inventory = university.life_cycle_inventory()
+        sample = inventory.sample(max_length=3, limit=5)
+        assert len(sample) == 5
+        assert all(isinstance(p, MigrationPattern) for p in sample)
+        assert not inventory.is_empty()
+
+    def test_comparisons_and_counterexample(self):
+        big = university.expected_families()["all"]
+        small = university.expected_families()["lazy"]
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        assert not big.equals(small)
+        witness = big.counterexample_against(small)
+        assert witness is not None and big.contains(witness) and not small.contains(witness)
+        assert small.counterexample_against(big) is None
+
+
+class TestOperations:
+    def test_union_intersection_concat(self):
+        s_only = MigrationInventory.from_text("[S]", university.SYMBOLS)
+        g_only = MigrationInventory.from_text("[G]", university.SYMBOLS)
+        union = s_only.union(g_only)
+        assert union.contains([university.ROLE_S]) and union.contains([university.ROLE_G])
+        assert s_only.intersection(g_only).is_empty()
+        assert s_only.concat(g_only).contains([university.ROLE_S, university.ROLE_G])
+
+    def test_left_quotient(self):
+        word = MigrationInventory.from_text("[S][G][E]", university.SYMBOLS)
+        prefix = MigrationInventory.from_text("[S]", university.SYMBOLS)
+        quotient = word.left_quotient_by(prefix)
+        assert quotient.contains([university.ROLE_G, university.ROLE_E])
+        assert not quotient.contains([university.ROLE_S, university.ROLE_G, university.ROLE_E])
+
+    def test_remove_repeats_and_empty_initial(self):
+        noisy = MigrationInventory.from_text("0 0 [S] [S] [G]", university.SYMBOLS)
+        assert noisy.remove_repeats().contains([EMPTY_ROLE_SET, university.ROLE_S, university.ROLE_G])
+        assert noisy.remove_empty_initial().contains(
+            [university.ROLE_S, university.ROLE_S, university.ROLE_G]
+        )
+
+    def test_to_regex_round_trip(self):
+        inventory = MigrationInventory.from_text("[S]([G][S])*", university.SYMBOLS)
+        back = MigrationInventory.from_regex(inventory.to_regex(), alphabet=inventory.alphabet)
+        assert back.equals(inventory)

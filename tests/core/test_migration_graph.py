@@ -1,0 +1,77 @@
+"""Unit tests for regex migration graphs (Definition 3.6, Figure 6, Example 3.7)."""
+
+import pytest
+
+from repro.core.migration_graph import SINK_VERTEX, SOURCE_VERTEX, build_migration_graph
+from repro.core.rolesets import RoleSet
+from repro.formal import regex as rx
+from repro.formal.decision import are_equivalent
+from repro.model.errors import AnalysisError
+
+P = RoleSet({"R", "P"})
+Q = RoleSet({"R", "Q"})
+
+
+def pqqp_star():
+    """The Figure 6 expression P(QQP)*."""
+    return rx.Concat(
+        rx.Symbol(P),
+        rx.Star(rx.Concat(rx.Concat(rx.Symbol(Q), rx.Symbol(Q)), rx.Symbol(P))),
+    )
+
+
+class TestConstruction:
+    def test_figure_6_shape(self):
+        graph = build_migration_graph(pqqp_star())
+        # One inner vertex per symbol occurrence: P, Q, Q, P.
+        assert len(graph.inner_vertices()) == 4
+        labels = sorted(label.label() for label in graph.label_map().values())
+        assert labels.count("[P+R]") == 2 and labels.count("[Q+R]") == 2
+        assert SOURCE_VERTEX in graph.vertices and SINK_VERTEX in graph.vertices
+        # Every vertex except the sink has at least one outgoing edge.
+        for vertex in graph.vertices:
+            if vertex != SINK_VERTEX:
+                assert graph.out_degree(vertex) >= 1
+
+    def test_stats(self):
+        stats = build_migration_graph(pqqp_star()).stats()
+        assert stats["inner_vertices"] == 4
+        assert stats["edges"] >= 5
+
+    def test_rejects_empty_language_and_empty_role_sets(self):
+        with pytest.raises(AnalysisError):
+            build_migration_graph(rx.EmptySet())
+        with pytest.raises(AnalysisError):
+            build_migration_graph(rx.Symbol(RoleSet()))
+
+
+class TestLanguages:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            rx.Symbol(P),
+            pqqp_star(),
+            rx.Union(rx.Symbol(P), rx.Concat(rx.Symbol(Q), rx.Symbol(Q))),
+            rx.Plus(rx.Symbol(Q)),
+            rx.Optional(rx.Symbol(P)),
+            rx.Concat(rx.Star(rx.Symbol(P)), rx.Symbol(Q)),
+        ],
+    )
+    def test_path_language_equals_the_expression(self, expression):
+        graph = build_migration_graph(expression)
+        assert are_equivalent(graph.path_language(), expression.to_nfa({P, Q}))
+
+    def test_walk_language_is_the_prefix_closure(self):
+        from repro.formal.operations import prefix_closure
+
+        graph = build_migration_graph(pqqp_star())
+        walks = graph.walk_language()
+        assert are_equivalent(walks, prefix_closure(pqqp_star().to_nfa({P, Q})))
+
+    def test_lazy_variant_collapses_repeats(self):
+        from repro.formal.operations import prefix_closure, remove_repeats
+
+        graph = build_migration_graph(pqqp_star()).lazy_variant()
+        walks = graph.walk_language()
+        expected = remove_repeats(prefix_closure(pqqp_star().to_nfa({P, Q})))
+        assert are_equivalent(walks, expected)

@@ -1,0 +1,100 @@
+"""Unit tests for migration patterns and the f_rr / f_rei word functions."""
+
+import pytest
+
+from repro.core.patterns import (
+    MigrationPattern,
+    pattern_of_run,
+    remove_empty_initial_word,
+    remove_repeats_word,
+    run_is_lazy_for,
+    run_is_proper_for,
+)
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.language.semantics import run_sequence
+from repro.model.instance import DatabaseInstance
+from repro.model.values import Assignment, ObjectId
+from repro.workloads import university
+
+A = RoleSet({"A"})
+B = RoleSet({"A", "B"})
+E = EMPTY_ROLE_SET
+
+
+class TestMigrationPattern:
+    def test_word_access_and_equality(self):
+        pattern = MigrationPattern([A, B])
+        assert len(pattern) == 2
+        assert pattern[0] == A
+        assert pattern == (A, B)
+        assert pattern[0:1] == MigrationPattern([A])
+        assert hash(pattern) == hash(MigrationPattern([A, B]))
+
+    def test_repr(self):
+        assert repr(MigrationPattern([])) == "λ"
+        assert "·" in repr(MigrationPattern([A, B]))
+
+    def test_well_formedness(self):
+        assert MigrationPattern([E, A, B, E, E]).is_well_formed()
+        assert MigrationPattern([]).is_well_formed()
+        assert not MigrationPattern([A, E, B]).is_well_formed()
+
+    def test_immediate_start(self):
+        assert MigrationPattern([A, E]).is_immediate_start
+        assert not MigrationPattern([E, A]).is_immediate_start
+        assert not MigrationPattern([]).is_immediate_start
+
+    def test_lazy(self):
+        assert MigrationPattern([A, B, A]).is_lazy()
+        assert not MigrationPattern([A, A]).is_lazy()
+
+    def test_prefixes(self):
+        prefixes = MigrationPattern([A, B]).prefixes()
+        assert prefixes == (MigrationPattern([]), MigrationPattern([A]), MigrationPattern([A, B]))
+
+    def test_remove_repeats_and_empty_initial(self):
+        assert MigrationPattern([A, A, B, B, A]).remove_repeats() == MigrationPattern([A, B, A])
+        assert MigrationPattern([E, E, A, E]).remove_empty_initial() == MigrationPattern([A, E])
+
+
+class TestWordFunctions:
+    def test_remove_repeats_word(self):
+        assert remove_repeats_word([A, A, A]) == (A,)
+        assert remove_repeats_word([]) == ()
+        assert remove_repeats_word([A, B, B, A]) == (A, B, A)
+
+    def test_remove_empty_initial_word(self):
+        assert remove_empty_initial_word([E, E, A, E]) == (A, E)
+        assert remove_empty_initial_word([A]) == (A,)
+        assert remove_empty_initial_word([E, E]) == ()
+
+
+class TestRunClassification:
+    @pytest.fixture
+    def university_run(self):
+        schema = university.transactions()
+        empty = DatabaseInstance.empty(university.schema())
+        steps = [
+            (schema["T1_enroll_student"], Assignment(s="1", n="A", m="CS", t=1990)),
+            (schema["T2_grant_assistantship"], Assignment(s="1", p=50, x=100, d="CS")),
+            (schema["T3_cancel_assistantship"], Assignment(s="9")),  # does not touch o1
+            (schema["T4_delete_person"], Assignment(s="1")),
+        ]
+        final, trace = run_sequence(empty, steps)
+        return empty, trace
+
+    def test_pattern_of_run(self, university_run):
+        empty, trace = university_run
+        pattern = pattern_of_run(ObjectId(1), trace)
+        assert pattern == MigrationPattern(
+            [university.ROLE_S, university.ROLE_G, university.ROLE_G, EMPTY_ROLE_SET]
+        )
+
+    def test_properness_and_laziness(self, university_run):
+        empty, trace = university_run
+        # Step 3 leaves o1 untouched, so the run is neither proper nor lazy for it.
+        assert not run_is_proper_for(ObjectId(1), empty, trace)
+        assert not run_is_lazy_for(ObjectId(1), empty, trace)
+        # Restricted to the first two steps the run is both.
+        assert run_is_proper_for(ObjectId(1), empty, trace[:2])
+        assert run_is_lazy_for(ObjectId(1), empty, trace[:2])

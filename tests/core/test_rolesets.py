@@ -1,0 +1,59 @@
+"""Unit tests for role sets (Definition 3.1 / Example 3.1)."""
+
+import pytest
+
+from repro.core.rolesets import (
+    EMPTY_ROLE_SET,
+    RoleSet,
+    count_role_sets,
+    enumerate_role_sets,
+    role_set_of,
+    symbol_map,
+)
+from repro.model.errors import SchemaError
+from repro.workloads import phd, university
+
+
+class TestRoleSet:
+    def test_label_and_repr(self):
+        assert EMPTY_ROLE_SET.label() == "∅"
+        assert RoleSet({"B", "A"}).label() == "[A+B]"
+        assert repr(RoleSet({"A"})) == "[A]"
+
+    def test_is_a_frozenset(self):
+        assert RoleSet({"A"}) == frozenset({"A"})
+        assert hash(RoleSet({"A"})) == hash(frozenset({"A"}))
+
+    def test_role_set_of_closes_upwards(self):
+        schema = university.schema()
+        assert role_set_of(schema, {university.GRAD_ASSIST}) == university.ROLE_G
+        assert role_set_of(schema, {university.STUDENT}) == university.ROLE_S
+
+
+class TestEnumeration:
+    def test_figure_1_has_the_example_3_1_role_sets(self):
+        role_sets = set(enumerate_role_sets(university.schema()))
+        assert role_sets == set(university.ROLE_SETS)
+
+    def test_without_empty(self):
+        role_sets = enumerate_role_sets(university.schema(), include_empty=False)
+        assert EMPTY_ROLE_SET not in role_sets
+        assert len(role_sets) == 5
+
+    def test_phd_schema(self):
+        # Root plus any subset of the three sibling phases: 8 non-empty role sets.
+        assert count_role_sets(phd.schema(), include_empty=False) == 8
+
+    def test_component_argument(self):
+        from repro.model.schema import DatabaseSchema
+
+        schema = DatabaseSchema({"A", "B"}, set(), {"A": set(), "B": set()})
+        only_a = enumerate_role_sets(schema, component={"A"})
+        assert set(only_a) == {EMPTY_ROLE_SET, RoleSet({"A"})}
+        both = enumerate_role_sets(schema)
+        assert RoleSet({"B"}) in both
+
+    def test_symbol_map(self):
+        mapping = symbol_map(university.ROLE_SETS)
+        assert mapping["[PERSON]"] == university.ROLE_P
+        assert mapping["0"] == EMPTY_ROLE_SET

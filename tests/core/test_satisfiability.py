@@ -1,0 +1,73 @@
+"""Tests for the inventory satisfaction / generation decision procedures (Corollary 3.3)."""
+
+import pytest
+
+from repro.core.inventory import MigrationInventory
+from repro.core.satisfiability import (
+    characterizes,
+    check_all_kinds,
+    check_constraint,
+    generates,
+    satisfies,
+)
+from repro.model.errors import AnalysisError
+from repro.workloads import banking, university
+
+
+class TestCheckConstraint:
+    def test_satisfied_and_generated(self, university_analysis):
+        own_family = university_analysis.pattern_family("all")
+        verdict = check_constraint(university_analysis, own_family)
+        assert verdict.satisfies and verdict.generates and verdict.characterizes
+        assert verdict.violation is None and verdict.missing is None
+        assert "satisfies" in verdict.summary()
+
+    def test_violation_witness(self, university_analysis):
+        lazy_only = university.expected_families()["lazy"]
+        verdict = check_constraint(university_analysis, lazy_only, kind="all")
+        assert not verdict.satisfies
+        assert verdict.violation is not None
+        assert university_analysis.pattern_family("all").contains(verdict.violation)
+        assert not lazy_only.contains(verdict.violation)
+
+    def test_missing_witness(self, university_analysis):
+        universe = MigrationInventory.universe(university.schema())
+        verdict = check_constraint(university_analysis, universe)
+        assert verdict.satisfies and not verdict.generates
+        assert verdict.missing is not None
+        assert universe.contains(verdict.missing)
+
+    def test_life_cycle_inventory_is_neither_satisfied_nor_generated(self, university_analysis):
+        # Example 3.2's constraint allows at most one student phase and requires
+        # eventual employment; the Example 3.4 transactions oscillate between
+        # [S] and [G] (violating it) and never produce [E] (so they do not
+        # generate it either).
+        inventory = university.life_cycle_inventory()
+        verdict = check_constraint(university_analysis, inventory)
+        assert not verdict.satisfies
+        assert not verdict.generates
+        assert verdict.violation is not None and verdict.missing is not None
+
+    def test_accepts_transaction_schema_directly(self):
+        verdict = check_constraint(banking.transactions(), banking.checking_role_inventory())
+        assert verdict.satisfies
+
+    def test_rejects_unexpected_input(self):
+        with pytest.raises(AnalysisError):
+            check_constraint("not a schema", banking.checking_role_inventory())
+
+
+class TestConvenienceWrappers:
+    def test_boolean_helpers(self, university_analysis):
+        universe = MigrationInventory.universe(university.schema())
+        assert satisfies(university_analysis, universe)
+        assert not generates(university_analysis, universe)
+        assert not characterizes(university_analysis, universe)
+        own = university_analysis.pattern_family("lazy")
+        assert characterizes(university_analysis, own, kind="lazy")
+
+    def test_check_all_kinds(self, university_analysis):
+        results = check_all_kinds(university_analysis, MigrationInventory.universe(university.schema()))
+        assert set(results) == {"all", "immediate_start", "proper", "lazy"}
+        assert all(result.satisfies for result in results.values())
+        assert not any(result.generates for result in results.values())

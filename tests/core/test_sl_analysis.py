@@ -1,0 +1,132 @@
+"""Tests for the SL migration-pattern analysis (Theorem 3.2, part 1)."""
+
+import pytest
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET
+from repro.core.sl_analysis import DELETED, PATTERN_KINDS, SOURCE, SLMigrationAnalysis
+from repro.language.transactions import TransactionSchema
+from repro.model.errors import AnalysisError
+from repro.workloads import banking, phd, three_class, university
+
+
+class TestExample34:
+    """Experiment E5: the pattern families of the university transactions."""
+
+    def test_migration_graph_shape(self, university_analysis):
+        graph = university_analysis.migration_graph()
+        stats = graph.stats()
+        # Only the [S] and [G] abstraction cells are reachable.
+        assert stats["vertices"] == 2
+        assert stats["creation_edges"] >= 1
+        assert stats["deletion_edges"] >= 1
+        labels = {vertex.role_set for vertex in graph.vertices}
+        assert labels == {university.ROLE_S, university.ROLE_G}
+
+    @pytest.mark.parametrize("kind", PATTERN_KINDS)
+    def test_families_match_the_paper(self, university_analysis, kind):
+        family = university_analysis.pattern_family(kind)
+        expected = university.expected_families()[kind]
+        assert family.equals(expected), kind
+
+    def test_family_inclusions(self, university_families):
+        # L_lazy ⊆ L_pro ⊆ L and L_imm ⊆ L (Section 3).
+        assert university_families["lazy"].is_subset_of(university_families["proper"])
+        assert university_families["proper"].is_subset_of(university_families["all"])
+        assert university_families["immediate_start"].is_subset_of(university_families["all"])
+
+    def test_satisfies_and_generates_helpers(self, university_analysis):
+        everything = MigrationInventory.universe(university.schema())
+        assert university_analysis.satisfies(everything)
+        assert not university_analysis.generates(everything)
+        own = university_analysis.pattern_family("all")
+        assert university_analysis.characterizes(own)
+
+    def test_sample_patterns(self, university_analysis):
+        sample = university_analysis.sample_patterns("immediate_start", max_length=3, limit=5)
+        assert sample and all(p.is_immediate_start or len(p) == 0 for p in sample)
+
+
+class TestOtherWorkloads:
+    def test_banking_families_satisfy_the_checking_constraint(self, banking_analysis):
+        inventory = banking.checking_role_inventory()
+        for kind in PATTERN_KINDS:
+            assert banking_analysis.pattern_family(kind).is_subset_of(inventory), kind
+
+    def test_banking_violates_the_no_downgrade_constraint(self, banking_analysis):
+        inventory = banking.no_downgrade_inventory()
+        assert not banking_analysis.pattern_family("all").is_subset_of(inventory)
+
+    def test_phd_guarded_matches_paper_proper_family(self, phd_guarded_analysis):
+        expected = phd.expected_proper_family()
+        assert phd_guarded_analysis.pattern_family("proper").equals(expected)
+
+    def test_phd_as_printed_allows_the_extra_role_set(self, phd_analysis):
+        family = phd_analysis.pattern_family("proper")
+        surprising = [phd.ROLE_U, phd.ROLE_U | {phd.CANDIDATE}]
+        # The unguarded transactions can stack SCREENED/CANDIDATE roles.
+        assert not family.equals(phd.expected_proper_family())
+
+    def test_cycle_transactions_characterize_example_36(self, cycle_analysis):
+        # The hand-built transactions characterize the P(QQP)* inventory
+        # exactly, up to the position of deletions (EXPERIMENTS.md, E7).
+        exact = three_class.cycle_inventory_exact()
+        assert cycle_analysis.pattern_family("all").equals(exact)
+        # Every pattern without a deletion obeys the paper's stated inventory.
+        stated = three_class.cycle_inventory()
+        family = cycle_analysis.pattern_family("all")
+        for pattern in family.sample(max_length=5, limit=30):
+            if all(role for role in pattern):
+                assert stated.contains(pattern)
+
+    def test_branch_transactions_first_steps_match_example_36(self, branch_analysis):
+        family = branch_analysis.pattern_family("all")
+        # Both branches of ∅*(PQ* ∪ QP*)∅* start as promised ...
+        assert family.contains([three_class.ROLE_P])
+        assert family.contains([three_class.ROLE_Q])
+        # ... but under the Definition 2.5 specialize semantics the printed
+        # transaction re-adds the other role on the next application, so the
+        # schema does not generate the full inventory (EXPERIMENTS.md, E7).
+        assert not three_class.branch_inventory().is_subset_of(family)
+
+
+class TestMechanics:
+    def test_empty_transaction_schema_only_produces_the_empty_pattern(self):
+        schema = TransactionSchema(university.schema(), [])
+        analysis = SLMigrationAnalysis(schema)
+        for kind in PATTERN_KINDS:
+            family = analysis.pattern_family(kind)
+            assert family.contains([])
+            assert not family.contains([EMPTY_ROLE_SET])
+
+    def test_unknown_kind_rejected(self, university_analysis):
+        with pytest.raises(AnalysisError):
+            university_analysis.pattern_family("bogus")
+
+    def test_multi_component_schema_requires_component(self):
+        from repro.model.schema import DatabaseSchema
+        from repro.language.transactions import Transaction
+
+        schema = DatabaseSchema({"A", "B"}, set(), {"A": {"X"}, "B": {"Y"}})
+        transactions = TransactionSchema(schema, [Transaction("noop", [])])
+        with pytest.raises(AnalysisError):
+            SLMigrationAnalysis(transactions)
+        analysis = SLMigrationAnalysis(transactions, component={"A"})
+        assert analysis.component == frozenset({"A"})
+        with pytest.raises(AnalysisError):
+            SLMigrationAnalysis(transactions, component={"A", "B"})
+
+    def test_expand_vertex_is_cached(self, university_analysis):
+        graph = university_analysis.migration_graph()
+        vertex = graph.vertices[0]
+        first = university_analysis.expand_vertex(vertex)
+        second = university_analysis.expand_vertex(vertex)
+        assert first is second
+
+    def test_edges_refer_to_known_endpoints(self, university_analysis):
+        graph = university_analysis.migration_graph()
+        vertices = set(graph.vertices) | {SOURCE, DELETED}
+        for edge in graph.edges:
+            assert edge.source in vertices
+            assert edge.target in vertices
+            assert edge.transaction in university.transactions().names()

@@ -1,0 +1,79 @@
+"""Tests for the synthesis of SL schemas from regular inventories (Lemma 3.4 / Theorem 3.2(2))."""
+
+import pytest
+
+from repro.core.rolesets import RoleSet
+from repro.core.sl_analysis import SLMigrationAnalysis
+from repro.core.synthesis import synthesize_sl_schema
+from repro.formal import regex as rx
+from repro.model.errors import AnalysisError
+from repro.model.schema import DatabaseSchema
+from repro.workloads import three_class
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return three_class.synthesis_schema()
+
+
+ROLE_P = RoleSet({"R", "P"})
+ROLE_Q = RoleSet({"R", "Q"})
+
+
+class TestConstruction:
+    def test_single_driver_transaction(self, schema):
+        result = synthesize_sl_schema(schema, rx.Concat(rx.Symbol(ROLE_P), rx.Symbol(ROLE_Q)))
+        assert len(result.transactions) == 1
+        assert len(result.lazy_transactions) == 1
+        driver = result.transactions.transactions[0]
+        assert driver.updates[0].operator == "create"
+        # Two parameters: the edge choice and the end-of-round rewrite.
+        assert len(driver.variables()) == 2
+
+    def test_control_attribute_selection(self, schema):
+        result = synthesize_sl_schema(schema, rx.Symbol(ROLE_P), control_attributes=("A", "B", "C"))
+        assert result.control_attributes == ("A", "B", "C")
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(schema, rx.Symbol(ROLE_P), control_attributes=("A", "B"))
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(schema, rx.Symbol(ROLE_P), control_attributes=("A", "B", "Nope"))
+
+    def test_requires_three_root_attributes(self):
+        small = DatabaseSchema({"R", "P"}, {("P", "R")}, {"R": {"A", "B"}, "P": set()})
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(small, rx.Symbol(RoleSet({"R", "P"})))
+
+    def test_rejects_foreign_or_empty_role_sets(self, schema):
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(schema, rx.Symbol(RoleSet({"R", "Z"})))
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(schema, rx.EmptySet())
+
+    def test_requires_weakly_connected_schema(self):
+        split = DatabaseSchema({"R", "S"}, set(), {"R": {"A", "B", "C"}, "S": set()})
+        with pytest.raises(AnalysisError):
+            synthesize_sl_schema(split, rx.Symbol(RoleSet({"R"})))
+
+
+class TestRoundTrip:
+    """Experiment E10: analyse the synthesized schema and compare with the target families."""
+
+    @pytest.fixture(scope="class")
+    def round_trip(self, schema):
+        expression = rx.Concat(rx.Symbol(ROLE_P), rx.Star(rx.Symbol(ROLE_Q)))  # P Q*
+        result = synthesize_sl_schema(schema, expression)
+        analysis = SLMigrationAnalysis(result.transactions)
+        expected = result.expected_families(expression)
+        return result, analysis, expected
+
+    @pytest.mark.parametrize("kind", ["all", "immediate_start", "proper"])
+    def test_families_match_theorem_3_2(self, round_trip, kind):
+        _result, analysis, expected = round_trip
+        assert analysis.pattern_family(kind).equals(expected[kind]), kind
+
+    def test_lazy_schema_matches_f_rr(self, schema):
+        expression = rx.Concat(rx.Symbol(ROLE_P), rx.Star(rx.Symbol(ROLE_Q)))
+        result = synthesize_sl_schema(schema, expression)
+        analysis = SLMigrationAnalysis(result.lazy_transactions)
+        expected = result.expected_families(expression)
+        assert analysis.pattern_family("lazy").equals(expected["lazy"])

@@ -1,0 +1,57 @@
+"""Unit tests for the regular-language decision procedures."""
+
+from repro.formal import decision
+from repro.formal.nfa import NFA
+from repro.formal.regex import parse_regex
+
+SYM = {"a": "a", "b": "b"}
+
+
+def lang(text):
+    return parse_regex(text, SYM).to_nfa({"a", "b"})
+
+
+class TestEmptinessAndMembership:
+    def test_is_empty(self):
+        assert decision.is_empty(NFA.empty_language({"a"}))
+        assert not decision.is_empty(lang("a"))
+
+    def test_accepts(self):
+        assert decision.accepts(lang("a b*"), ("a", "b"))
+        assert not decision.accepts(lang("a b*"), ("b",))
+
+
+class TestContainmentAndEquivalence:
+    def test_containment_holds(self):
+        assert decision.is_contained_in(lang("a a"), lang("a*"))
+        assert decision.is_contained_in(lang("(a|b) b"), lang("(a|b)(a|b)"))
+
+    def test_containment_fails(self):
+        assert not decision.is_contained_in(lang("a*"), lang("a a"))
+
+    def test_containment_with_different_alphabets(self):
+        assert decision.is_contained_in(lang("a"), parse_regex("a|b", SYM).to_nfa())
+
+    def test_equivalence(self):
+        assert decision.are_equivalent(lang("a a*"), lang("a* a"))
+        assert not decision.are_equivalent(lang("a*"), lang("a+"))
+
+    def test_counterexample(self):
+        witness = decision.counterexample(lang("a*"), lang("a a"))
+        assert witness is not None
+        assert decision.accepts(lang("a*"), witness)
+        assert not decision.accepts(lang("a a"), witness)
+
+    def test_counterexample_none_when_contained(self):
+        assert decision.counterexample(lang("a a"), lang("a*")) is None
+
+
+class TestEnumerationHelpers:
+    def test_enumerate_words(self):
+        words = list(decision.enumerate_words(lang("a b*"), 2))
+        assert ("a",) in words and ("a", "b") in words and ("b",) not in words
+
+    def test_sample_language(self):
+        sample = decision.sample_language(lang("(a|b)*"), 2, limit=4)
+        assert len(sample) == 4
+        assert () in sample

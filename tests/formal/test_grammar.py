@@ -1,0 +1,117 @@
+"""Unit tests for grammars: left-linear, context-free, CNF/CYK, Greibach."""
+
+import pytest
+
+from repro.formal.grammar import ContextFreeGrammar, LeftLinearGrammar, Production
+
+
+@pytest.fixture
+def anbn():
+    """S -> a S b | epsilon."""
+    return ContextFreeGrammar(
+        nonterminals={"S"},
+        terminals={"a", "b"},
+        productions=[Production("S", ("a", "S", "b")), Production("S", ())],
+        start="S",
+    )
+
+
+class TestProduction:
+    def test_repr(self):
+        assert "ε" in repr(Production("S", ()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContextFreeGrammar({"S"}, {"a"}, [Production("X", ("a",))], "S")
+        with pytest.raises(ValueError):
+            ContextFreeGrammar({"S"}, {"a"}, [Production("S", ("z",))], "S")
+        with pytest.raises(ValueError):
+            ContextFreeGrammar({"S"}, {"S"}, [], "S")  # overlap
+        with pytest.raises(ValueError):
+            ContextFreeGrammar({"S"}, {"a"}, [], "X")  # unknown start
+
+
+class TestLeftLinear:
+    def test_to_nfa(self):
+        grammar = LeftLinearGrammar(
+            nonterminals={"A", "B"},
+            terminals={"x", "y"},
+            productions=[
+                Production("A", ("x", "B")),
+                Production("B", ("x", "B")),
+                Production("B", ("y",)),
+            ],
+            start="A",
+        )
+        nfa = grammar.to_nfa()
+        assert nfa.accepts(("x", "y"))
+        assert nfa.accepts(("x", "x", "x", "y"))
+        assert not nfa.accepts(("x",))
+        assert not nfa.accepts(("y",))
+
+    def test_epsilon_production_makes_nonterminal_accepting(self):
+        grammar = LeftLinearGrammar(
+            {"A"}, {"x"}, [Production("A", ("x", "A")), Production("A", ())], "A"
+        )
+        nfa = grammar.to_nfa()
+        assert nfa.accepts(())
+        assert nfa.accepts(("x", "x"))
+
+    def test_rejects_long_bodies(self):
+        with pytest.raises(ValueError):
+            LeftLinearGrammar({"A"}, {"x"}, [Production("A", ("x", "x", "A"))], "A")
+
+
+class TestContextFree:
+    def test_membership(self, anbn):
+        assert anbn.accepts(())
+        assert anbn.accepts(("a", "b"))
+        assert anbn.accepts(("a", "a", "b", "b"))
+        assert not anbn.accepts(("a", "b", "b"))
+        assert not anbn.accepts(("b", "a"))
+
+    def test_nullable_and_empty(self, anbn):
+        assert anbn.generates_empty_word()
+        assert not anbn.is_empty()
+        dead = ContextFreeGrammar({"S"}, {"a"}, [Production("S", ("a", "S"))], "S")
+        assert dead.is_empty()
+
+    def test_enumerate_words(self, anbn):
+        words = set(anbn.enumerate_words(4))
+        assert words == {(), ("a", "b"), ("a", "a", "b", "b")}
+
+    def test_cnf_preserves_language(self, anbn):
+        cnf = anbn.to_cnf()
+        for word in [(), ("a", "b"), ("a", "a", "b", "b"), ("a", "a", "b")]:
+            assert cnf.accepts(word) == anbn.accepts(word)
+
+    def test_greibach_form_and_language(self, anbn):
+        gnf = anbn.to_greibach()
+        assert gnf.is_greibach()
+        assert set(gnf.enumerate_words(4)) == set(anbn.enumerate_words(4))
+
+    def test_greibach_on_already_greibach_grammar(self):
+        grammar = ContextFreeGrammar(
+            {"S", "B"},
+            {"a", "b"},
+            [Production("S", ("a", "S", "B")), Production("S", ("a", "B")), Production("B", ("b",))],
+            "S",
+        )
+        assert grammar.is_greibach()
+        assert grammar.to_greibach() is grammar
+
+    def test_greibach_with_left_recursion(self):
+        # S -> S a | b  (language: b a*)
+        grammar = ContextFreeGrammar(
+            {"S"}, {"a", "b"}, [Production("S", ("S", "a")), Production("S", ("b",))], "S"
+        )
+        gnf = grammar.to_greibach()
+        assert gnf.is_greibach()
+        expected = {("b",), ("b", "a"), ("b", "a", "a")}
+        assert expected <= set(gnf.enumerate_words(3))
+        assert ("a",) not in set(gnf.enumerate_words(3))
+
+    def test_productions_for(self, anbn):
+        assert len(anbn.productions_for("S")) == 2
+        assert anbn.is_terminal("a")
+        assert not anbn.is_terminal("S")

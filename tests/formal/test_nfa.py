@@ -1,0 +1,153 @@
+"""Unit tests for the NFA substrate."""
+
+import pytest
+
+from repro.formal.nfa import EPSILON, NFA
+
+
+@pytest.fixture
+def ab_automaton():
+    """Accepts the language a b* over {a, b}."""
+    return NFA(
+        states={"q0", "q1"},
+        alphabet={"a", "b"},
+        transitions={("q0", "a"): {"q1"}, ("q1", "b"): {"q1"}},
+        initial_states={"q0"},
+        accepting_states={"q1"},
+    )
+
+
+class TestConstruction:
+    def test_rejects_epsilon_in_alphabet(self):
+        with pytest.raises(ValueError):
+            NFA({"q"}, {EPSILON}, {}, {"q"}, set())
+
+    def test_rejects_unknown_transition_source(self):
+        with pytest.raises(ValueError):
+            NFA({"q"}, {"a"}, {("r", "a"): {"q"}}, {"q"}, set())
+
+    def test_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            NFA({"q"}, {"a"}, {("q", "b"): {"q"}}, {"q"}, set())
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            NFA({"q"}, {"a"}, {("q", "a"): {"r"}}, {"q"}, set())
+
+    def test_rejects_bad_initial_and_accepting(self):
+        with pytest.raises(ValueError):
+            NFA({"q"}, {"a"}, {}, {"r"}, set())
+        with pytest.raises(ValueError):
+            NFA({"q"}, {"a"}, {}, {"q"}, {"r"})
+
+    def test_empty_transition_sets_are_dropped(self):
+        nfa = NFA({"q"}, {"a"}, {("q", "a"): set()}, {"q"}, {"q"})
+        assert ("q", "a") not in nfa.transitions
+
+
+class TestSemantics:
+    def test_accepts_and_rejects(self, ab_automaton):
+        assert ab_automaton.accepts(("a",))
+        assert ab_automaton.accepts(("a", "b", "b"))
+        assert not ab_automaton.accepts(())
+        assert not ab_automaton.accepts(("b",))
+        assert not ab_automaton.accepts(("a", "a"))
+
+    def test_epsilon_closure(self):
+        nfa = NFA(
+            {"q0", "q1", "q2"},
+            {"a"},
+            {("q0", EPSILON): {"q1"}, ("q1", EPSILON): {"q2"}},
+            {"q0"},
+            {"q2"},
+        )
+        assert nfa.epsilon_closure({"q0"}) == {"q0", "q1", "q2"}
+        assert nfa.accepts(())
+
+    def test_factories(self):
+        assert NFA.empty_language({"a"}).is_empty()
+        assert NFA.epsilon_language({"a"}).accepts(())
+        assert not NFA.epsilon_language({"a"}).accepts(("a",))
+        single = NFA.single_symbol("x", {"x"})
+        assert single.accepts(("x",)) and not single.accepts(())
+
+    def test_from_words(self):
+        words = [("a",), ("a", "b"), ()]
+        nfa = NFA.from_words(words)
+        for word in words:
+            assert nfa.accepts(word)
+        assert not nfa.accepts(("b",))
+        assert not nfa.accepts(("a", "b", "a"))
+
+    def test_reachability_and_trim(self, ab_automaton):
+        bigger = NFA(
+            set(ab_automaton.states) | {"junk"},
+            ab_automaton.alphabet,
+            dict(ab_automaton.transitions),
+            ab_automaton.initial_states,
+            ab_automaton.accepting_states,
+        )
+        trimmed = bigger.trim()
+        assert "junk" not in trimmed.states
+        assert trimmed.accepts(("a", "b"))
+
+    def test_is_empty(self):
+        assert NFA.empty_language({"a"}).is_empty()
+        assert not NFA.single_symbol("a", {"a"}).is_empty()
+
+    def test_enumerate_words(self, ab_automaton):
+        words = list(ab_automaton.enumerate_words(3))
+        assert ("a",) in words
+        assert ("a", "b") in words
+        assert ("a", "b", "b") in words
+        assert () not in words
+        limited = list(ab_automaton.enumerate_words(3, limit=2))
+        assert len(limited) == 2
+
+
+class TestCombinators:
+    def test_union(self, ab_automaton):
+        other = NFA.single_symbol("b", {"a", "b"})
+        union = ab_automaton.union_with(other)
+        assert union.accepts(("a", "b"))
+        assert union.accepts(("b",))
+        assert not union.accepts(("b", "b"))
+
+    def test_concat(self):
+        left = NFA.single_symbol("a", {"a", "b"})
+        right = NFA.single_symbol("b", {"a", "b"})
+        cat = left.concat_with(right)
+        assert cat.accepts(("a", "b"))
+        assert not cat.accepts(("a",))
+
+    def test_star_and_plus_and_optional(self):
+        a = NFA.single_symbol("a", {"a"})
+        star = a.star()
+        assert star.accepts(()) and star.accepts(("a", "a", "a"))
+        plus = a.plus()
+        assert not plus.accepts(()) and plus.accepts(("a",))
+        opt = a.optional()
+        assert opt.accepts(()) and opt.accepts(("a",)) and not opt.accepts(("a", "a"))
+
+
+class TestDeterminizationAndRegex:
+    def test_determinize_preserves_language(self, ab_automaton):
+        dfa = ab_automaton.determinize()
+        for word in [(), ("a",), ("b",), ("a", "b"), ("a", "b", "b"), ("a", "a")]:
+            assert dfa.accepts(word) == ab_automaton.accepts(word)
+
+    def test_minimize_preserves_language(self, ab_automaton):
+        dfa = ab_automaton.determinize().minimize()
+        for word in [(), ("a",), ("a", "b"), ("b", "a")]:
+            assert dfa.accepts(word) == ab_automaton.accepts(word)
+
+    def test_to_regex_round_trip(self, ab_automaton):
+        from repro.formal.decision import are_equivalent
+
+        regex = ab_automaton.to_regex()
+        assert are_equivalent(regex.to_nfa(ab_automaton.alphabet), ab_automaton)
+
+    def test_to_regex_of_empty_language(self):
+        from repro.formal.regex import EmptySet
+
+        assert isinstance(NFA.empty_language({"a"}).to_regex(), EmptySet)

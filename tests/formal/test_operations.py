@@ -1,0 +1,117 @@
+"""Unit tests for regular-language operations."""
+
+import pytest
+
+from repro.formal import operations as ops
+from repro.formal.decision import are_equivalent, is_contained_in
+from repro.formal.nfa import NFA
+from repro.formal.regex import parse_regex
+
+SYM = {"a": "a", "b": "b", "c": "c"}
+
+
+def lang(text):
+    return parse_regex(text, SYM).to_nfa({"a", "b", "c"})
+
+
+class TestBooleanOperations:
+    def test_union(self):
+        result = ops.union(lang("a"), lang("b b"))
+        assert result.accepts(("a",))
+        assert result.accepts(("b", "b"))
+        assert not result.accepts(("b",))
+
+    def test_concat(self):
+        result = ops.concat(lang("a*"), lang("b"))
+        assert result.accepts(("b",))
+        assert result.accepts(("a", "a", "b"))
+        assert not result.accepts(("a",))
+
+    def test_star(self):
+        result = ops.star(lang("a b"))
+        assert result.accepts(())
+        assert result.accepts(("a", "b", "a", "b"))
+        assert not result.accepts(("a",))
+
+    def test_intersection(self):
+        result = ops.intersection(lang("a* b*"), lang("(a|b) (a|b)"))
+        assert result.accepts(("a", "b"))
+        assert result.accepts(("a", "a"))
+        assert not result.accepts(("b", "a"))
+        assert not result.accepts(("a",))
+
+    def test_complement(self):
+        result = ops.complement(lang("a*"))
+        assert not result.accepts(())
+        assert not result.accepts(("a", "a"))
+        assert result.accepts(("b",))
+        assert result.accepts(("a", "b"))
+
+    def test_difference(self):
+        result = ops.difference(lang("a*"), lang("a a"))
+        assert result.accepts(("a",))
+        assert result.accepts(())
+        assert not result.accepts(("a", "a"))
+
+    def test_reverse(self):
+        result = ops.reverse(lang("a b c"))
+        assert result.accepts(("c", "b", "a"))
+        assert not result.accepts(("a", "b", "c"))
+
+
+class TestPrefixAndQuotient:
+    def test_prefix_closure(self):
+        init = ops.prefix_closure(lang("a b c"))
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "c")]:
+            assert init.accepts(word)
+        assert not init.accepts(("b",))
+        assert not init.accepts(("a", "b", "c", "c"))
+
+    def test_prefix_closure_of_empty_language(self):
+        assert ops.prefix_closure(NFA.empty_language({"a"})).is_empty()
+
+    def test_prefix_closure_is_idempotent(self):
+        once = ops.prefix_closure(lang("a (b|c)*"))
+        twice = ops.prefix_closure(once)
+        assert are_equivalent(once, twice)
+
+    def test_left_quotient(self):
+        # (a b)^{-1} (a b c*) = c*
+        quotient = ops.left_quotient(lang("a b"), lang("a b c*"))
+        assert are_equivalent(quotient, lang("c*"))
+
+    def test_left_quotient_by_language_with_choices(self):
+        quotient = ops.left_quotient(lang("a | a b"), lang("a b c"))
+        assert quotient.accepts(("b", "c"))
+        assert quotient.accepts(("c",))
+        assert not quotient.accepts(("a", "b", "c"))
+
+    def test_left_quotient_empty_when_no_prefix_matches(self):
+        assert ops.left_quotient(lang("c"), lang("a b")).is_empty()
+
+
+class TestWordFunctions:
+    def test_remove_repeats(self):
+        image = ops.remove_repeats(lang("a a a b b a"))
+        assert are_equivalent(image, lang("a b a"))
+
+    def test_remove_repeats_star(self):
+        image = ops.remove_repeats(lang("a* b"))
+        # f_rr(a^n b) is b (n = 0) or a b (n >= 1).
+        assert image.accepts(("b",))
+        assert image.accepts(("a", "b"))
+        assert not image.accepts(("a", "a", "b"))
+
+    def test_remove_empty_initial(self):
+        empty = "0"
+        mapping = {"0": empty, "a": "a"}
+        language = parse_regex("0* a 0*", mapping).to_nfa()
+        image = ops.remove_empty_initial(language, empty)
+        assert image.accepts(("a",))
+        assert image.accepts(("a", empty))
+        assert not image.accepts((empty, "a"))
+
+    def test_homomorphic_image(self):
+        image = ops.homomorphic_image(lang("a b"), {"a": ("x", "y"), "b": ()})
+        assert image.accepts(("x", "y"))
+        assert not image.accepts(("x", "y", "b"))

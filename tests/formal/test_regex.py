@@ -1,0 +1,124 @@
+"""Unit tests for regular-expression ASTs and the parser."""
+
+import pytest
+
+from repro.formal.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    RegexSyntaxError,
+    Star,
+    Symbol,
+    Union,
+    concat_of,
+    literal_word,
+    parse_regex,
+    union_of,
+)
+
+SYMBOLS = {"a": "a", "b": "b", "ab": "AB"}
+
+
+class TestAst:
+    def test_equality_is_structural(self):
+        assert Concat(Symbol("a"), Symbol("b")) == Concat(Symbol("a"), Symbol("b"))
+        assert Union(Symbol("a"), Symbol("b")) != Union(Symbol("b"), Symbol("a"))
+        assert hash(Star(Symbol("a"))) == hash(Star(Symbol("a")))
+
+    def test_symbols_and_size(self):
+        expression = Union(Concat(Symbol("a"), Star(Symbol("b"))), Epsilon())
+        assert expression.symbols() == {"a", "b"}
+        assert expression.size() == 6
+
+    def test_matches_empty(self):
+        assert Star(Symbol("a")).matches_empty()
+        assert Optional(Symbol("a")).matches_empty()
+        assert not Plus(Symbol("a")).matches_empty()
+        assert not Concat(Symbol("a"), Epsilon()).matches_empty()
+        assert Union(Epsilon(), Symbol("a")).matches_empty()
+        assert not EmptySet().matches_empty()
+
+    def test_simplify(self):
+        assert Concat(EmptySet(), Symbol("a")).simplify() == EmptySet()
+        assert Concat(Epsilon(), Symbol("a")).simplify() == Symbol("a")
+        assert Union(EmptySet(), Symbol("a")).simplify() == Symbol("a")
+        assert Union(Symbol("a"), Symbol("a")).simplify() == Symbol("a")
+        assert Star(EmptySet()).simplify() == Epsilon()
+        assert Star(Star(Symbol("a"))).simplify() == Star(Symbol("a"))
+        assert Plus(Epsilon()).simplify() == Epsilon()
+        assert Optional(EmptySet()).simplify() == Epsilon()
+
+    def test_immutability(self):
+        node = Symbol("a")
+        with pytest.raises(AttributeError):
+            node.value = "b"
+
+    def test_helpers(self):
+        assert literal_word([]) == Epsilon()
+        assert literal_word(["a", "b"]) == Concat(Symbol("a"), Symbol("b"))
+        assert union_of([]) == EmptySet()
+        assert concat_of([]) == Epsilon()
+        assert union_of([Symbol("a")]) == Symbol("a")
+
+
+class TestToNfa:
+    @pytest.mark.parametrize(
+        "expression, accepted, rejected",
+        [
+            (Symbol("a"), [("a",)], [(), ("b",), ("a", "a")]),
+            (Concat(Symbol("a"), Symbol("b")), [("a", "b")], [("a",), ("b", "a")]),
+            (Union(Symbol("a"), Symbol("b")), [("a",), ("b",)], [("a", "b")]),
+            (Star(Symbol("a")), [(), ("a", "a", "a")], [("b",)]),
+            (Plus(Symbol("a")), [("a",), ("a", "a")], [()]),
+            (Optional(Symbol("a")), [(), ("a",)], [("a", "a")]),
+            (EmptySet(), [], [(), ("a",)]),
+            (Epsilon(), [()], [("a",)]),
+        ],
+    )
+    def test_language(self, expression, accepted, rejected):
+        nfa = expression.to_nfa({"a", "b"})
+        for word in accepted:
+            assert nfa.accepts(word), word
+        for word in rejected:
+            assert not nfa.accepts(word), word
+
+
+class TestParser:
+    def test_basic_expression(self):
+        expression = parse_regex("a(b|a)*", SYMBOLS)
+        nfa = expression.to_nfa()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("b",))
+
+    def test_plus_and_optional(self):
+        nfa = parse_regex("a+ b?", SYMBOLS).to_nfa()
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "a", "b"))
+        assert not nfa.accepts(("b",))
+
+    def test_juxtaposition_decomposition(self):
+        # "ab" is a registered multi-character name; "ba" is decomposed.
+        assert parse_regex("ab", SYMBOLS) == Symbol("AB")
+        assert parse_regex("ba", SYMBOLS) == Concat(Symbol("b"), Symbol("a"))
+
+    def test_bracketed_names(self):
+        mapping = {"[SE]": "se", "0": "empty"}
+        expression = parse_regex("0* [SE]+", mapping)
+        nfa = expression.to_nfa()
+        assert nfa.accepts(("empty", "se"))
+        assert nfa.accepts(("se", "se"))
+        assert not nfa.accepts(("empty",))
+
+    def test_explicit_concatenation_dot(self):
+        assert parse_regex("a.b", SYMBOLS) == parse_regex("a b", SYMBOLS)
+
+    def test_empty_input_is_epsilon(self):
+        assert parse_regex("", SYMBOLS) == Epsilon()
+
+    @pytest.mark.parametrize("text", ["a|*", "(a", "a)", "[unterminated", "unknownname*"])
+    def test_syntax_errors(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(text, SYMBOLS)

@@ -1,0 +1,79 @@
+"""Unit tests for the Turing machine simulator."""
+
+import pytest
+
+from repro.formal.turing import LEFT, RIGHT, STAY, TMConfiguration, TMTransition, TuringMachine
+
+
+class TestTransitionsAndConfigurations:
+    def test_transition_validates_move(self):
+        with pytest.raises(ValueError):
+            TMTransition("q", "a", "q", "a", "X")
+
+    def test_configuration_reading_and_pretty(self):
+        configuration = TMConfiguration("q", ("a", "b"), 1)
+        assert configuration.reading("_") == "b"
+        assert TMConfiguration("q", (), 0).reading("_") == "_"
+        assert "[b]" in configuration.pretty("_")
+
+    def test_machine_validation(self):
+        blank = "_"
+        with pytest.raises(ValueError):
+            TuringMachine({"q"}, {"_"}, {"_"}, blank, [], "q", "q")  # blank in input alphabet
+        with pytest.raises(ValueError):
+            TuringMachine({"q"}, {"a"}, {"a", blank}, blank, [], "missing", "q")
+        with pytest.raises(ValueError):
+            TuringMachine(
+                {"q"},
+                {"a"},
+                {"a", blank},
+                blank,
+                [TMTransition("q", "z", "q", "a", STAY)],
+                "q",
+                "q",
+            )
+
+
+class TestBundledMachines:
+    def test_a_plus_machine(self):
+        machine = TuringMachine.accepting_regular_sample(["a", "b"])
+        assert machine.is_deterministic()
+        assert machine.accepts(("a",))
+        assert machine.accepts(("a", "a", "a"))
+        assert not machine.accepts(())
+        assert not machine.accepts(("b",))
+        assert not machine.accepts(("a", "b"))
+
+    def test_equal_pairs_machine(self):
+        machine = TuringMachine.accepting_equal_pairs("a", "b")
+        assert machine.accepts(("a", "b"))
+        assert machine.accepts(("a", "a", "b", "b"))
+        assert machine.accepts(("a", "a", "a", "b", "b", "b"))
+        assert not machine.accepts(("a", "b", "b"))
+        assert not machine.accepts(("b", "a"))
+        assert not machine.accepts(("a",))
+
+    def test_never_halting_machine_times_out(self):
+        machine = TuringMachine.never_halting("a")
+        verdict, _, steps = machine.run(("a",), max_steps=50)
+        assert verdict == "timeout"
+        assert steps == 50
+
+    def test_accepted_words_enumeration(self):
+        machine = TuringMachine.accepting_equal_pairs("a", "b")
+        words = list(machine.accepted_words(max_length=4))
+        assert ("a", "b") in words
+        assert ("a", "a", "b", "b") in words
+        assert all(word.count("a") == word.count("b") for word in words)
+
+    def test_rejection_by_stuck_state(self):
+        machine = TuringMachine.accepting_regular_sample(["a"])
+        verdict, _, _ = machine.run(("a", "a"), max_steps=100)
+        assert verdict == "accept"
+        verdict, _, _ = machine.run((), max_steps=100)
+        assert verdict == "reject"
+
+    def test_input_validation(self):
+        machine = TuringMachine.accepting_regular_sample(["a"])
+        with pytest.raises(ValueError):
+            machine.initial_configuration(("z",))

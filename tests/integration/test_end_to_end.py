@@ -1,0 +1,65 @@
+"""End-to-end integration tests combining the analysis, synthesis and execution layers."""
+
+import pytest
+
+from repro import (
+    Assignment,
+    DatabaseInstance,
+    SLMigrationAnalysis,
+    check_constraint,
+    pattern_of_run,
+    synthesize_sl_schema,
+)
+from repro.core.simulation import explore_patterns, observed_within
+from repro.formal import regex as rx
+from repro.core.rolesets import RoleSet
+from repro.language.semantics import run_sequence
+from repro.workloads import banking, path_expressions, three_class, university
+
+
+class TestExecutionMatchesAnalysis:
+    def test_a_concrete_run_produces_an_analysed_pattern(self, university_analysis):
+        transactions = university.transactions()
+        empty = DatabaseInstance.empty(university.schema())
+        steps = [
+            (transactions["T1_enroll_student"], Assignment(s="1", n="A", m="CS", t=1990)),
+            (transactions["T2_grant_assistantship"], Assignment(s="1", p=50, x=1, d="CS")),
+            (transactions["T3_cancel_assistantship"], Assignment(s="1")),
+            (transactions["T2_grant_assistantship"], Assignment(s="1", p=25, x=2, d="EE")),
+            (transactions["T4_delete_person"], Assignment(s="1")),
+        ]
+        _, trace = run_sequence(empty, steps)
+        pattern = pattern_of_run(sorted(trace[0].all_objects())[0], trace)
+        assert university_analysis.pattern_family("all").contains(pattern)
+        assert university_analysis.pattern_family("immediate_start").contains(pattern)
+
+    def test_banking_simulation_stays_within_the_analysed_family(self, banking_analysis):
+        observation = explore_patterns(banking.transactions(), max_depth=2, extra_values=1)
+        ok, witness = observed_within(observation, banking_analysis.pattern_family("all"), "all")
+        assert ok, witness
+
+
+class TestSynthesisEnforcesConstraints:
+    def test_synthesized_schema_enforces_the_path_expression_at_run_time(self):
+        synthesis = path_expressions.enforcing_transactions("(p q)*")
+        inventory = path_expressions.path_expression_inventory("(p q)*")
+        observation = explore_patterns(synthesis.transactions, max_depth=3, extra_values=1)
+        ok, witness = observed_within(observation, inventory, "all")
+        assert ok, witness
+
+    def test_round_trip_on_a_union_expression(self):
+        schema = three_class.synthesis_schema()
+        expression = rx.Union(
+            rx.Symbol(RoleSet({"R", "P"})),
+            rx.Concat(rx.Symbol(RoleSet({"R", "Q"})), rx.Symbol(RoleSet({"R", "P"}))),
+        )
+        result = synthesize_sl_schema(schema, expression)
+        analysis = SLMigrationAnalysis(result.transactions)
+        expected = result.expected_families(expression)
+        assert analysis.pattern_family("immediate_start").equals(expected["immediate_start"])
+
+    def test_constraint_check_round_trip(self):
+        synthesis = path_expressions.enforcing_transactions("p q")
+        inventory = path_expressions.path_expression_inventory("p q")
+        verdict = check_constraint(synthesis.transactions, inventory, kind="all")
+        assert verdict.satisfies and verdict.generates

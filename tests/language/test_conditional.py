@@ -1,0 +1,148 @@
+"""Unit tests for CSL+/CSL literals, conditional updates and transactions (Section 4)."""
+
+import pytest
+
+from repro.language.conditional import (
+    ConditionalTransaction,
+    ConditionalTransactionSchema,
+    ConditionalUpdate,
+    Literal,
+)
+from repro.language.updates import Create, Delete, Modify
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import DatabaseSchema
+from repro.model.values import Assignment, ObjectId, Variable
+
+
+@pytest.fixture
+def schema():
+    # Two weakly-connected components, as Section 4 allows.
+    return DatabaseSchema(
+        {"P", "Q"},
+        set(),
+        {"P": {"A"}, "Q": {"B"}},
+    )
+
+
+@pytest.fixture
+def with_p_object(schema):
+    d = DatabaseInstance.empty(schema)
+    return ConditionalUpdate((), Create("P", Condition.of(A=1))).apply(d)
+
+
+class TestLiteral:
+    def test_holds_in(self, with_p_object):
+        assert Literal("P", Condition.of(A=1)).holds_in(with_p_object)
+        assert not Literal("P", Condition.of(A=2)).holds_in(with_p_object)
+        assert Literal("P", Condition.of(A=2), positive=False).holds_in(with_p_object)
+        assert not Literal("Q", Condition()).holds_in(with_p_object)
+        assert Literal("Q", Condition(), positive=False).holds_in(with_p_object)
+
+    def test_negated(self):
+        literal = Literal("P", Condition())
+        assert literal.negated().positive is False
+        assert literal.negated().negated() == literal
+
+    def test_validation(self, schema):
+        with pytest.raises(UpdateError):
+            Literal("P", Condition.of(B=1)).validate(schema)
+        Literal("P", Condition.of(A=1)).validate(schema)
+
+    def test_non_ground_literal_cannot_be_evaluated(self, with_p_object):
+        with pytest.raises(UpdateError):
+            Literal("P", Condition.of(A=Variable("x"))).holds_in(with_p_object)
+
+
+class TestConditionalUpdate:
+    def test_guard_controls_execution(self, with_p_object):
+        guarded = ConditionalUpdate(
+            (Literal("Q", Condition()),), Modify("P", Condition(), Condition.of(A=9))
+        )
+        assert guarded.apply(with_p_object) == with_p_object  # guard fails: no Q objects
+        enabled = ConditionalUpdate(
+            (Literal("P", Condition.of(A=1)),), Modify("P", Condition(), Condition.of(A=9))
+        )
+        result = enabled.apply(with_p_object)
+        assert result.value(ObjectId(1), "A") == 9
+
+    def test_positivity_classification(self):
+        positive = ConditionalUpdate((Literal("P", Condition()),), Delete("P", Condition()))
+        negative = ConditionalUpdate((Literal("P", Condition(), positive=False),), Delete("P", Condition()))
+        assert positive.is_positive
+        assert not negative.is_positive
+
+    def test_cross_component_test(self, schema):
+        # Delete objects of Q only if some P object exists: the "communication"
+        # between components that plain SL cannot express.
+        d = DatabaseInstance.empty(schema)
+        d = ConditionalUpdate((), Create("Q", Condition.of(B=1))).apply(d)
+        guarded = ConditionalUpdate((Literal("P", Condition()),), Delete("Q", Condition()))
+        assert guarded.apply(d) == d
+        d2 = ConditionalUpdate((), Create("P", Condition.of(A=1))).apply(d)
+        assert not guarded.apply(d2).objects_in("Q")
+
+
+class TestConditionalTransaction:
+    def test_plain_updates_are_normalized(self, schema):
+        tx = ConditionalTransaction("t", [Create("P", Condition.of(A=1))])
+        assert len(tx) == 1
+        assert tx.is_positive and isinstance(tx.steps[0], ConditionalUpdate)
+
+    def test_apply_with_assignment(self, schema):
+        x = Variable("x")
+        tx = ConditionalTransaction(
+            "t",
+            [
+                Create("P", Condition.of(A=x)),
+                ConditionalUpdate((Literal("P", Condition.of(A=x)),), Create("Q", Condition.of(B=x))),
+            ],
+        )
+        tx.validate(schema)
+        d = tx.apply(DatabaseInstance.empty(schema), Assignment(x=5))
+        assert len(d.objects_in("Q")) == 1
+        with pytest.raises(UpdateError):
+            tx.apply(DatabaseInstance.empty(schema))
+
+    def test_from_plain(self):
+        from repro.workloads import university
+
+        plain = university.transactions()["T4_delete_person"]
+        lifted = ConditionalTransaction.from_plain(plain)
+        assert lifted.name == plain.name
+        assert lifted.is_positive
+
+    def test_validation_reports_step(self, schema):
+        tx = ConditionalTransaction("broken", [Create("P", Condition.of(B=1))])
+        with pytest.raises(UpdateError, match="broken"):
+            tx.validate(schema)
+
+
+class TestConditionalSchema:
+    def test_positivity_and_lookup(self, schema):
+        csl_plus = ConditionalTransactionSchema(
+            schema, [ConditionalTransaction("t", [Create("P", Condition.of(A=1))])]
+        )
+        assert csl_plus.is_positive
+        assert csl_plus["t"].name == "t"
+        with pytest.raises(KeyError):
+            csl_plus["missing"]
+        negative = ConditionalTransactionSchema(
+            schema,
+            [
+                ConditionalTransaction(
+                    "neg",
+                    [ConditionalUpdate((Literal("P", Condition(), positive=False),), Create("P", Condition.of(A=1)))],
+                )
+            ],
+        )
+        assert not negative.is_positive
+        assert "CSL" in repr(negative)
+
+    def test_duplicate_names_rejected(self, schema):
+        with pytest.raises(UpdateError):
+            ConditionalTransactionSchema(
+                schema,
+                [ConditionalTransaction("t", []), ConditionalTransaction("t", [])],
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for the mig / migto macro sequences (Proposition 3.1)."""
+
+import pytest
+
+from repro.language.migration_ops import migrate_to_role_set, migration_sequence
+from repro.language.semantics import apply_update
+from repro.language.updates import Create, Specialize
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.instance import DatabaseInstance
+from repro.model.values import ObjectId
+from repro.workloads import university
+
+SCHEMA = university.schema()
+P, S, E, G = university.PERSON, university.STUDENT, university.EMPLOYEE, university.GRAD_ASSIST
+
+
+def make_object(role_classes):
+    d = DatabaseInstance.empty(SCHEMA)
+    d = apply_update(Create(P, Condition.of(SSN="1", Name="A")), d)
+    if S in role_classes:
+        d = apply_update(Specialize(P, S, Condition.of(SSN="1"), Condition.of(Major="m", FirstEnroll=1)), d)
+    if E in role_classes:
+        d = apply_update(Specialize(P, E, Condition.of(SSN="1"), Condition.of(Salary=1, WorksIn="w")), d)
+    if G in role_classes:
+        d = apply_update(Specialize(S, G, Condition.of(SSN="1"), Condition.of(PctAppoint=1, Salary=1, WorksIn="w")), d)
+    return d
+
+
+def run(updates, instance):
+    for update in updates:
+        instance = apply_update(update, instance)
+    return instance
+
+
+@pytest.mark.parametrize(
+    "source, target",
+    [
+        ({P, S}, {P, E}),
+        ({P, E}, {P, S}),
+        ({P, S}, {P, S, E, G}),
+        ({P, S, E, G}, {P}),
+        ({P}, {P, S, E}),
+        ({P, S, E}, {P, S, E}),
+    ],
+)
+def test_migration_sequence_between_role_sets(source, target):
+    d = make_object(source)
+    updates = migration_sequence(SCHEMA, source, target, Condition.of(SSN="1"), {"Major": "m", "FirstEnroll": 1, "Salary": 2, "WorksIn": "w", "PctAppoint": 3})
+    result = run(updates, d)
+    assert result.role_set(ObjectId(1)) == frozenset(target)
+    # Root attributes survive the migration.
+    assert result.value(ObjectId(1), "SSN") == "1"
+
+
+@pytest.mark.parametrize("target", [{P}, {P, S}, {P, S, E, G}])
+def test_migrate_to_role_set_from_any_source(target):
+    for source in [{P}, {P, S}, {P, E}, {P, S, E, G}]:
+        d = make_object(source)
+        updates = migrate_to_role_set(SCHEMA, target, Condition.of(SSN="1"), {"Major": "m", "FirstEnroll": 1, "Salary": 2, "WorksIn": "w", "PctAppoint": 3})
+        result = run(updates, d)
+        assert result.role_set(ObjectId(1)) == frozenset(target), (source, target)
+
+
+def test_selection_filters_objects():
+    d = make_object({P, S})
+    d = apply_update(Create(P, Condition.of(SSN="2", Name="B")), d)
+    updates = migrate_to_role_set(SCHEMA, {P, E}, Condition.of(SSN="1"), {"Salary": 1, "WorksIn": "w"})
+    result = run(updates, d)
+    assert result.role_set(ObjectId(1)) == {P, E}
+    assert result.role_set(ObjectId(2)) == {P}
+
+
+class TestErrors:
+    def test_rejects_empty_role_sets(self):
+        with pytest.raises(UpdateError):
+            migration_sequence(SCHEMA, set(), {P}, Condition())
+        with pytest.raises(UpdateError):
+            migrate_to_role_set(SCHEMA, set(), Condition())
+
+    def test_rejects_non_role_sets(self):
+        with pytest.raises(UpdateError):
+            migration_sequence(SCHEMA, {P}, {S}, Condition())
+
+    def test_rejects_non_root_selection_attributes(self):
+        with pytest.raises(UpdateError):
+            migration_sequence(SCHEMA, {P, S}, {P}, Condition.of(Major="CS"))
+        with pytest.raises(UpdateError):
+            migrate_to_role_set(SCHEMA, {P, S}, Condition.of(Major="CS"))

@@ -1,0 +1,144 @@
+"""Unit tests for the operational semantics of SL (Definition 2.5)."""
+
+import pytest
+
+from repro.language.semantics import apply_transaction, apply_update, run_sequence
+from repro.language.transactions import Transaction
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition, UNSATISFIABLE
+from repro.model.errors import UpdateError
+from repro.model.instance import DatabaseInstance
+from repro.model.values import Assignment, ObjectId, Variable
+from repro.workloads import university
+
+SCHEMA = university.schema()
+P, S, E, G = university.PERSON, university.STUDENT, university.EMPLOYEE, university.GRAD_ASSIST
+
+
+@pytest.fixture
+def empty():
+    return DatabaseInstance.empty(SCHEMA)
+
+
+@pytest.fixture
+def one_student(empty):
+    d = apply_update(Create(P, Condition.of(SSN="1", Name="Ada")), empty)
+    return apply_update(
+        Specialize(P, S, Condition.of(SSN="1"), Condition.of(Major="CS", FirstEnroll=1990)), d
+    )
+
+
+class TestCreate:
+    def test_creates_fresh_object_with_values(self, empty):
+        d = apply_update(Create(P, Condition.of(SSN="1", Name="Ada")), empty)
+        o1 = ObjectId(1)
+        assert d.role_set(o1) == {P}
+        assert d.value(o1, "SSN") == "1"
+        assert d.next_object == ObjectId(2)
+
+    def test_always_allocates_a_new_identifier(self, empty):
+        update = Create(P, Condition.of(SSN="1", Name="Ada"))
+        d = apply_update(update, apply_update(update, empty))
+        assert len(d.all_objects()) == 2
+
+    def test_unsatisfiable_condition_is_a_no_op(self, empty):
+        d = apply_update(Create(P, UNSATISFIABLE), empty)
+        assert d == empty
+
+    def test_rejects_non_ground_update(self, empty):
+        with pytest.raises(UpdateError):
+            apply_update(Create(P, Condition.of(SSN=Variable("s"), Name="n")), empty)
+
+
+class TestSpecializeAndGeneralize:
+    def test_specialize_adds_membership_and_values(self, one_student):
+        o1 = ObjectId(1)
+        assert one_student.role_set(o1) == {P, S}
+        assert one_student.value(o1, "Major") == "CS"
+
+    def test_specialize_adds_all_ancestors(self, one_student):
+        d = apply_update(
+            Specialize(S, G, Condition.of(SSN="1"), Condition.of(PctAppoint=50, Salary=1, WorksIn="CS")),
+            one_student,
+        )
+        assert d.role_set(ObjectId(1)) == {P, S, E, G}
+
+    def test_specialize_leaves_existing_members_untouched(self, one_student):
+        again = apply_update(
+            Specialize(P, S, Condition.of(SSN="1"), Condition.of(Major="EE", FirstEnroll=2000)),
+            one_student,
+        )
+        # Already a student: values must not be overwritten (Definition 2.5).
+        assert again.value(ObjectId(1), "Major") == "CS"
+        assert again == one_student
+
+    def test_generalize_removes_class_and_descendants(self, one_student):
+        d = apply_update(
+            Specialize(S, G, Condition.of(SSN="1"), Condition.of(PctAppoint=50, Salary=1, WorksIn="CS")),
+            one_student,
+        )
+        d = apply_update(Generalize(E, Condition.of(SSN="1")), d)
+        assert d.role_set(ObjectId(1)) == {P, S}
+        # The attribute values introduced at EMPLOYEE and GRAD_ASSIST are gone.
+        assert not d.has_value(ObjectId(1), "Salary")
+        assert not d.has_value(ObjectId(1), "PctAppoint")
+        assert d.has_value(ObjectId(1), "Major")
+
+    def test_generalize_without_matches_is_a_no_op(self, one_student):
+        assert apply_update(Generalize(E, Condition.of(SSN="1")), one_student) == one_student
+
+
+class TestModifyAndDelete:
+    def test_modify_changes_selected_objects_only(self, one_student):
+        d = apply_update(Create(P, Condition.of(SSN="2", Name="Bob")), one_student)
+        d = apply_update(Modify(P, Condition.of(SSN="2"), Condition.of(Name="Robert")), d)
+        assert d.value(ObjectId(2), "Name") == "Robert"
+        assert d.value(ObjectId(1), "Name") == "Ada"
+
+    def test_modify_with_unsatisfiable_parts_is_a_no_op(self, one_student):
+        assert apply_update(Modify(P, UNSATISFIABLE, Condition.of(Name="X")), one_student) == one_student
+        assert apply_update(Modify(P, Condition(), UNSATISFIABLE), one_student) == one_student
+
+    def test_delete_removes_object_everywhere(self, one_student):
+        d = apply_update(Delete(P, Condition.of(SSN="1")), one_student)
+        assert not d.occurs(ObjectId(1))
+        assert d.values == {}
+        # The identifier is not reused.
+        assert d.next_object == ObjectId(2)
+
+    def test_delete_with_empty_condition_clears_the_component(self, one_student):
+        d = apply_update(Delete(P, Condition()), one_student)
+        assert not d.all_objects()
+
+
+class TestTransactions:
+    def test_parameterized_transaction_application(self, empty):
+        tx = university.transactions()["T1_enroll_student"]
+        d = apply_transaction(tx, empty, Assignment(s="7", n="Eve", m="Math", t=1991))
+        assert d.role_set(ObjectId(1)) == {P, S}
+
+    def test_unbound_variables_raise(self, empty):
+        from repro.model.errors import BindingError
+
+        tx = university.transactions()["T1_enroll_student"]
+        with pytest.raises(BindingError):
+            apply_transaction(tx, empty, Assignment(s="7"))
+        with pytest.raises(UpdateError):
+            apply_transaction(tx, empty)  # no assignment at all
+
+    def test_empty_transaction_is_identity(self, one_student):
+        assert apply_transaction(Transaction("noop", []), one_student) == one_student
+
+    def test_run_sequence_returns_trace(self, empty):
+        schema = university.transactions()
+        steps = [
+            (schema["T1_enroll_student"], Assignment(s="1", n="A", m="CS", t=1990)),
+            (schema["T2_grant_assistantship"], Assignment(s="1", p=50, x=100, d="CS")),
+            (schema["T3_cancel_assistantship"], Assignment(s="1")),
+            (schema["T4_delete_person"], Assignment(s="1")),
+        ]
+        final, trace = run_sequence(empty, steps)
+        assert len(trace) == 4
+        roles = [trace[i].role_set(ObjectId(1)) for i in range(4)]
+        assert roles == [{P, S}, {P, S, E, G}, {P, S}, frozenset()]
+        assert final == trace[-1]

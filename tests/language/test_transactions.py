@@ -1,0 +1,74 @@
+"""Unit tests for transactions and transaction schemas (Definition 2.4)."""
+
+import pytest
+
+from repro.language.transactions import Transaction, TransactionSchema
+from repro.language.updates import Create, Delete
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.values import Assignment, Variable
+from repro.workloads import university
+
+SCHEMA = university.schema()
+
+
+class TestTransaction:
+    def test_basic_properties(self):
+        tx = Transaction("t", [Create(university.PERSON, Condition.of(SSN=Variable("s"), Name="n"))])
+        assert not tx.is_empty
+        assert tx.is_atomic
+        assert not tx.is_ground
+        assert tx.variables() == {Variable("s")}
+        assert tx.constants() == {"n"}
+        assert tx.classes() == {university.PERSON}
+        assert len(tx) == 1
+
+    def test_empty_transaction(self):
+        tx = Transaction("empty", [])
+        assert tx.is_empty and tx.is_ground
+        assert "empty" in tx.describe()
+
+    def test_substitution_produces_ground_transaction(self):
+        tx = Transaction("t", [Delete(university.PERSON, Condition.of(SSN=Variable("s")))])
+        ground = tx.substituted(Assignment(s="1"))
+        assert ground.is_ground
+        assert ground.name == "t"
+
+    def test_validate_reports_the_offending_update(self):
+        tx = Transaction("broken", [Create(university.STUDENT, Condition.of(Major="CS", FirstEnroll=1))])
+        with pytest.raises(UpdateError, match="broken"):
+            tx.validate(SCHEMA)
+
+    def test_equality_includes_the_name(self):
+        a = Transaction("a", [])
+        b = Transaction("b", [])
+        assert a != b
+        assert a == Transaction("a", [])
+
+
+class TestTransactionSchema:
+    def test_lookup_and_names(self):
+        schema = university.transactions()
+        assert schema["T1_enroll_student"].name == "T1_enroll_student"
+        assert len(schema) == 4
+        assert set(schema.names()) == {t.name for t in schema}
+        with pytest.raises(KeyError):
+            schema["missing"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(UpdateError):
+            TransactionSchema(SCHEMA, [Transaction("t", []), Transaction("t", [])])
+
+    def test_validation_happens_on_construction(self):
+        broken = Transaction("bad", [Create(university.STUDENT, Condition.of(Major="CS", FirstEnroll=1))])
+        with pytest.raises(UpdateError):
+            TransactionSchema(SCHEMA, [broken])
+        TransactionSchema(SCHEMA, [broken], validate=False)  # explicit opt-out
+
+    def test_constants_and_variables(self):
+        schema = university.transactions()
+        assert schema.constants() == frozenset()
+        assert Variable("s") in schema.variables()
+
+    def test_describe(self):
+        assert "T1_enroll_student" in university.transactions().describe()

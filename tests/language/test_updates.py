@@ -1,0 +1,113 @@
+"""Unit tests for the static well-formedness rules of SL atomic updates (Definition 2.3)."""
+
+import pytest
+
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.errors import UpdateError
+from repro.model.values import Assignment, Variable
+from repro.workloads import university
+
+SCHEMA = university.schema()
+P, S, E, G = university.PERSON, university.STUDENT, university.EMPLOYEE, university.GRAD_ASSIST
+
+
+class TestCreate:
+    def test_valid(self):
+        Create(P, Condition.of(SSN=Variable("s"), Name="n")).validate(SCHEMA)
+
+    def test_requires_isa_root(self):
+        with pytest.raises(UpdateError):
+            Create(S, Condition.of(Major="CS", FirstEnroll=1)).validate(SCHEMA)
+
+    def test_requires_exactly_the_root_attributes(self):
+        with pytest.raises(UpdateError):
+            Create(P, Condition.of(SSN="1")).validate(SCHEMA)
+        with pytest.raises(UpdateError):
+            Create(P, Condition.of(SSN="1", Name="n", Major="CS")).validate(SCHEMA)
+
+    def test_requires_equalities(self):
+        with pytest.raises(UpdateError):
+            Create(P, Condition.of(Name="n").and_not_equal("SSN", "1")).validate(SCHEMA)
+
+    def test_variables_and_substitution(self):
+        update = Create(P, Condition.of(SSN=Variable("s"), Name=Variable("n")))
+        assert update.variables() == {Variable("s"), Variable("n")}
+        assert not update.is_ground
+        ground = update.substituted(Assignment(s="1", n="Ada"))
+        assert ground.is_ground
+        assert ground.constants() == {"1", "Ada"}
+
+
+class TestDelete:
+    def test_valid(self):
+        Delete(P, Condition.of(SSN="1")).validate(SCHEMA)
+        Delete(P, Condition()).validate(SCHEMA)
+
+    def test_requires_isa_root(self):
+        with pytest.raises(UpdateError):
+            Delete(G, Condition()).validate(SCHEMA)
+
+    def test_selection_restricted_to_root_attributes(self):
+        with pytest.raises(UpdateError):
+            Delete(P, Condition.of(Major="CS")).validate(SCHEMA)
+
+
+class TestModify:
+    def test_valid(self):
+        Modify(S, Condition.of(SSN="1"), Condition.of(Major="EE")).validate(SCHEMA)
+
+    def test_changes_must_be_equalities(self):
+        with pytest.raises(UpdateError):
+            Modify(S, Condition(), Condition().and_not_equal("Major", "CS")).validate(SCHEMA)
+
+    def test_attributes_must_be_defined_on_class(self):
+        with pytest.raises(UpdateError):
+            Modify(S, Condition.of(Salary=1), Condition.of(Major="CS")).validate(SCHEMA)
+        with pytest.raises(UpdateError):
+            Modify(S, Condition(), Condition.of(Salary=1)).validate(SCHEMA)
+
+    def test_inherited_attributes_are_allowed(self):
+        Modify(G, Condition.of(SSN="1"), Condition.of(Salary=10)).validate(SCHEMA)
+
+
+class TestGeneralize:
+    def test_valid(self):
+        Generalize(E, Condition.of(SSN="1")).validate(SCHEMA)
+
+    def test_rejects_isa_root(self):
+        with pytest.raises(UpdateError):
+            Generalize(P, Condition()).validate(SCHEMA)
+
+    def test_selection_over_inherited_attributes(self):
+        Generalize(G, Condition.of(Name="x", PctAppoint=1)).validate(SCHEMA)
+        with pytest.raises(UpdateError):
+            Generalize(E, Condition.of(Major="CS")).validate(SCHEMA)
+
+
+class TestSpecialize:
+    def test_valid(self):
+        Specialize(P, S, Condition.of(SSN="1"), Condition.of(Major="CS", FirstEnroll=1)).validate(SCHEMA)
+        Specialize(
+            S, G, Condition.of(SSN="1"), Condition.of(PctAppoint=1, Salary=2, WorksIn="d")
+        ).validate(SCHEMA)
+
+    def test_requires_immediate_isa_edge(self):
+        with pytest.raises(UpdateError):
+            Specialize(P, G, Condition(), Condition.of(PctAppoint=1, Salary=2, WorksIn="d", Major="m", FirstEnroll=1)).validate(SCHEMA)
+
+    def test_new_values_must_cover_exactly_the_gap(self):
+        with pytest.raises(UpdateError):
+            Specialize(P, S, Condition(), Condition.of(Major="CS")).validate(SCHEMA)
+        with pytest.raises(UpdateError):
+            Specialize(P, S, Condition(), Condition.of(Major="CS", FirstEnroll=1, Name="x")).validate(SCHEMA)
+
+    def test_selection_restricted_to_parent_attributes(self):
+        with pytest.raises(UpdateError):
+            Specialize(P, S, Condition.of(Major="CS"), Condition.of(Major="CS", FirstEnroll=1)).validate(SCHEMA)
+
+    def test_classes_and_conditions_accessors(self):
+        update = Specialize(P, S, Condition.of(SSN="1"), Condition.of(Major="CS", FirstEnroll=1))
+        assert update.classes() == (P, S)
+        assert len(update.conditions()) == 2
+        assert update.operator == "specialize"

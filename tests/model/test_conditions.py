@@ -1,0 +1,95 @@
+"""Unit tests for selection conditions."""
+
+import pytest
+
+from repro.model.conditions import (
+    EMPTY_CONDITION,
+    EQ,
+    NEQ,
+    UNSATISFIABLE,
+    AtomicCondition,
+    Condition,
+    equalities,
+)
+from repro.model.errors import ConditionError
+from repro.model.values import Assignment, Variable
+
+
+class TestAtomicCondition:
+    def test_operator_validation(self):
+        with pytest.raises(ConditionError):
+            AtomicCondition("A", "<", 1)
+
+    def test_groundness(self):
+        assert AtomicCondition("A", EQ, 1).is_ground
+        assert not AtomicCondition("A", EQ, Variable("x")).is_ground
+
+    def test_substitution(self):
+        atom = AtomicCondition("A", NEQ, Variable("x"))
+        assert atom.substituted(Assignment(x=3)) == AtomicCondition("A", NEQ, 3)
+
+    def test_satisfied_by_value(self):
+        assert AtomicCondition("A", EQ, 1).satisfied_by_value(1)
+        assert not AtomicCondition("A", EQ, 1).satisfied_by_value(2)
+        assert AtomicCondition("A", NEQ, 1).satisfied_by_value(2)
+        with pytest.raises(ConditionError):
+            AtomicCondition("A", EQ, Variable("x")).satisfied_by_value(1)
+
+
+class TestCondition:
+    def test_of_and_parse(self):
+        condition = Condition.of(A=1, B=Variable("x"))
+        assert condition.referenced_attributes() == {"A", "B"}
+        assert condition.defined_attributes() == {"A", "B"}
+        assert condition.variables() == {Variable("x")}
+        assert condition.constants() == {1}
+        assert Condition.parse({"A": 1}) == Condition.of(A=1)
+        assert equalities({"A": 1}) == Condition.of(A=1)
+
+    def test_and_not_equal(self):
+        condition = Condition.of(A=1).and_not_equal("B", 2)
+        assert condition.defined_attributes() == {"A"}
+        assert condition.referenced_attributes() == {"A", "B"}
+
+    def test_groundness_and_substitution(self):
+        condition = Condition.of(A=Variable("x"))
+        assert not condition.is_ground
+        ground = condition.substituted(Assignment(x="v"))
+        assert ground.is_ground
+        assert ground == Condition.of(A="v")
+
+    def test_satisfiability(self):
+        assert Condition.of(A=1, B=2).is_satisfiable()
+        assert not Condition.of(A=1).and_equal("A", 2).is_satisfiable()
+        assert not Condition.of(A=1).and_not_equal("A", 1).is_satisfiable()
+        assert Condition.of(A=1).and_not_equal("A", 2).is_satisfiable()
+        assert Condition().is_satisfiable()
+        assert not UNSATISFIABLE.is_satisfiable()
+        with pytest.raises(ConditionError):
+            Condition.of(A=Variable("x")).is_satisfiable()
+
+    def test_tuple_satisfaction(self):
+        condition = Condition.of(A=1).and_not_equal("B", 5)
+        assert condition.satisfied_by_tuple({"A": 1, "B": 2})
+        assert not condition.satisfied_by_tuple({"A": 1, "B": 5})
+        assert not condition.satisfied_by_tuple({"A": 2, "B": 2})
+        assert EMPTY_CONDITION.satisfied_by_tuple({})
+        assert not UNSATISFIABLE.satisfied_by_tuple({"A": 1})
+        with pytest.raises(ConditionError):
+            condition.satisfied_by_tuple({"A": 1})
+
+    def test_unsatisfiable_marker_survives_substitution(self):
+        assert UNSATISFIABLE.substituted(Assignment(x=1)) == UNSATISFIABLE
+
+    def test_equality_and_iteration(self):
+        condition = Condition.of(A=1, B=2)
+        assert condition == Condition.of(B=2, A=1)
+        assert len(condition) == 2
+        assert len(list(condition)) == 2
+        assert bool(condition)
+        assert not bool(Condition())
+        assert bool(UNSATISFIABLE)
+
+    def test_repr(self):
+        assert "E" in repr(UNSATISFIABLE)
+        assert "∅" in repr(Condition())

@@ -1,0 +1,149 @@
+"""Unit tests for database instances (Definition 2.2), using the Figure 2 instance."""
+
+import pytest
+
+from repro.model.conditions import Condition, UNSATISFIABLE
+from repro.model.errors import InstanceError
+from repro.model.instance import DatabaseInstance, validation_disabled
+from repro.model.values import ObjectId
+from repro.workloads import university
+
+
+@pytest.fixture
+def figure2():
+    return university.sample_instance()
+
+
+class TestValidation:
+    def test_figure_2_is_valid(self, figure2):
+        assert len(figure2.all_objects()) == 5
+        assert figure2.next_object == ObjectId(6)
+
+    def test_upward_closure_violation(self):
+        schema = university.schema()
+        with pytest.raises(InstanceError):
+            DatabaseInstance(
+                schema,
+                {university.STUDENT: {ObjectId(1)}},  # not in PERSON
+                {(ObjectId(1), a): 0 for a in ("SSN", "Name", "Major", "FirstEnroll")},
+                ObjectId(2),
+            )
+
+    def test_totality_violation(self):
+        schema = university.schema()
+        with pytest.raises(InstanceError):
+            DatabaseInstance(
+                schema,
+                {university.PERSON: {ObjectId(1)}},
+                {(ObjectId(1), "SSN"): "1"},  # Name missing
+                ObjectId(2),
+            )
+
+    def test_next_object_violation(self):
+        schema = university.schema()
+        with pytest.raises(InstanceError):
+            DatabaseInstance(
+                schema,
+                {university.PERSON: {ObjectId(5)}},
+                {(ObjectId(5), "SSN"): "1", (ObjectId(5), "Name"): "n"},
+                ObjectId(3),
+            )
+
+    def test_dangling_value_violation(self):
+        schema = university.schema()
+        with pytest.raises(InstanceError):
+            DatabaseInstance(
+                schema,
+                {},
+                {(ObjectId(1), "SSN"): "1"},
+                ObjectId(2),
+            )
+
+    def test_component_disjointness_violation(self):
+        from repro.model.schema import DatabaseSchema
+
+        schema = DatabaseSchema({"A", "B"}, set(), {"A": set(), "B": set()})
+        with pytest.raises(InstanceError):
+            DatabaseInstance(schema, {"A": {ObjectId(1)}, "B": {ObjectId(1)}}, {}, ObjectId(2))
+
+    def test_validation_can_be_disabled(self):
+        schema = university.schema()
+        with validation_disabled():
+            instance = DatabaseInstance(
+                schema, {university.PERSON: {ObjectId(9)}}, {}, ObjectId(1)
+            )
+        assert instance.occurs(ObjectId(9))
+
+
+class TestAccessors:
+    def test_role_sets_match_example_3_1(self, figure2):
+        assert figure2.role_set(ObjectId(1)) == {
+            university.PERSON,
+            university.EMPLOYEE,
+            university.STUDENT,
+            university.GRAD_ASSIST,
+        }
+        assert figure2.role_set(ObjectId(4)) == {
+            university.PERSON,
+            university.EMPLOYEE,
+            university.STUDENT,
+        }
+        assert figure2.role_set(ObjectId(5)) == {university.PERSON}
+        assert figure2.role_set(ObjectId(6)) == frozenset()
+
+    def test_values_and_tuples(self, figure2):
+        assert figure2.value(ObjectId(1), "Name") == "John"
+        assert figure2.has_value(ObjectId(1), "PctAppoint")
+        assert not figure2.has_value(ObjectId(5), "Salary")
+        with pytest.raises(InstanceError):
+            figure2.value(ObjectId(5), "Salary")
+        row = figure2.tuple_of(ObjectId(2))
+        assert row["Major"] == "EE"
+        assert set(row) == {"SSN", "Name", "Major", "FirstEnroll"}
+
+    def test_objects_in_and_occurs(self, figure2):
+        assert ObjectId(2) in figure2.objects_in(university.STUDENT)
+        assert ObjectId(2) not in figure2.objects_in(university.EMPLOYEE)
+        assert figure2.occurs(ObjectId(3))
+        assert not figure2.occurs(ObjectId(7))
+
+    def test_describe_mentions_objects(self, figure2):
+        text = figure2.describe()
+        assert "o1" in text and "PERSON" in text
+
+
+class TestSelection:
+    def test_satisfying_objects(self, figure2):
+        selected = figure2.satisfying_objects(Condition.of(Major="CS"), university.STUDENT)
+        assert selected == {ObjectId(1)}
+        everyone = figure2.satisfying_objects(Condition(), university.PERSON)
+        assert len(everyone) == 5
+
+    def test_satisfying_objects_with_unsatisfiable_condition(self, figure2):
+        assert figure2.satisfying_objects(UNSATISFIABLE, university.PERSON) == frozenset()
+
+    def test_satisfying_objects_rejects_foreign_attributes(self, figure2):
+        with pytest.raises(InstanceError):
+            figure2.satisfying_objects(Condition.of(Salary=1), university.STUDENT)
+
+    def test_object_satisfies(self, figure2):
+        assert figure2.object_satisfies(ObjectId(1), Condition.of(Major="CS"))
+        assert not figure2.object_satisfies(ObjectId(1), Condition.of(Major="EE"))
+
+
+class TestRestrictionAndIdentity:
+    def test_restriction(self, figure2):
+        restricted = figure2.restricted_to({ObjectId(1), ObjectId(5)})
+        assert restricted.all_objects() == {ObjectId(1), ObjectId(5)}
+        assert restricted.role_set(ObjectId(1)) == figure2.role_set(ObjectId(1))
+        assert not restricted.occurs(ObjectId(2))
+
+    def test_equality(self, figure2):
+        assert figure2 == university.sample_instance()
+        assert figure2 != DatabaseInstance.empty(university.schema())
+        assert hash(figure2) == hash(university.sample_instance())
+
+    def test_empty_instance(self):
+        empty = DatabaseInstance.empty(university.schema())
+        assert not empty.all_objects()
+        assert empty.next_object == ObjectId(1)

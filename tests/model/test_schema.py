@@ -1,0 +1,140 @@
+"""Unit tests for database schemas and specialization graphs (Definition 2.1)."""
+
+import pytest
+
+from repro.model.errors import SchemaError
+from repro.model.schema import DatabaseSchema
+from repro.workloads import university
+
+
+@pytest.fixture
+def figure1():
+    return university.schema()
+
+
+class TestValidation:
+    def test_requires_at_least_one_class(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(set(), set(), {})
+
+    def test_rejects_unknown_classes_in_isa(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A"}, {("A", "B")}, {"A": set()})
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A"}, {("A", "A")}, {"A": set()})
+
+    def test_rejects_cycle(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A", "B"}, {("A", "B"), ("B", "A")}, {})
+
+    def test_rejects_overlapping_attribute_sets(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A", "B"}, {("B", "A")}, {"A": {"X"}, "B": {"X"}})
+
+    def test_rejects_attributes_for_unknown_class(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A"}, set(), {"A": set(), "B": {"X"}})
+
+    def test_rejects_weakly_connected_pair_without_common_ancestor(self):
+        # A <- C -> B: A and B are weakly connected but have no common ancestor.
+        with pytest.raises(SchemaError):
+            DatabaseSchema({"A", "B", "C"}, {("C", "A"), ("C", "B")}, {})
+
+    def test_accepts_figure_1(self, figure1):
+        assert figure1.is_weakly_connected_schema()
+
+    def test_accepts_multiple_components(self):
+        schema = DatabaseSchema({"A", "B"}, set(), {"A": {"X"}, "B": {"Y"}})
+        assert len(schema.weakly_connected_components()) == 2
+
+
+class TestHierarchyAccessors:
+    def test_isa_roots(self, figure1):
+        assert figure1.isa_roots() == {university.PERSON}
+        assert figure1.is_isa_root(university.PERSON)
+        assert not figure1.is_isa_root(university.STUDENT)
+
+    def test_parents_children(self, figure1):
+        assert figure1.parents(university.GRAD_ASSIST) == {university.EMPLOYEE, university.STUDENT}
+        assert figure1.children(university.PERSON) == {university.EMPLOYEE, university.STUDENT}
+
+    def test_ancestors_descendants(self, figure1):
+        assert figure1.ancestors(university.GRAD_ASSIST) == {
+            university.GRAD_ASSIST,
+            university.EMPLOYEE,
+            university.STUDENT,
+            university.PERSON,
+        }
+        assert figure1.descendants(university.PERSON) == figure1.classes
+
+    def test_isa_star(self, figure1):
+        assert figure1.isa_star(university.GRAD_ASSIST, university.PERSON)
+        assert figure1.isa_star(university.PERSON, university.PERSON)
+        assert not figure1.isa_star(university.PERSON, university.STUDENT)
+
+    def test_root_of(self, figure1):
+        assert figure1.root_of(university.GRAD_ASSIST) == university.PERSON
+
+    def test_require_class(self, figure1):
+        with pytest.raises(SchemaError):
+            figure1.require_class("NOPE")
+        assert "NOPE" not in figure1
+        assert university.PERSON in figure1
+
+
+class TestAttributes:
+    def test_direct_attributes(self, figure1):
+        assert figure1.attributes_of(university.PERSON) == {"SSN", "Name"}
+        assert figure1.attributes_of(university.GRAD_ASSIST) == {"PctAppoint"}
+
+    def test_inherited_attributes(self, figure1):
+        assert figure1.all_attributes_of(university.GRAD_ASSIST) == {
+            "SSN",
+            "Name",
+            "Salary",
+            "WorksIn",
+            "Major",
+            "FirstEnroll",
+            "PctAppoint",
+        }
+
+    def test_attributes_of_role_set(self, figure1):
+        attrs = figure1.attributes_of_role_set({university.PERSON, university.STUDENT})
+        assert attrs == {"SSN", "Name", "Major", "FirstEnroll"}
+
+    def test_owner_of_attribute(self, figure1):
+        assert figure1.owner_of_attribute("Salary") == university.EMPLOYEE
+        assert figure1.owner_of_attribute("Nope") is None
+
+
+class TestConnectivityAndRoleSets:
+    def test_weakly_connected(self, figure1):
+        assert figure1.weakly_connected(university.STUDENT, university.EMPLOYEE)
+
+    def test_component_of(self, figure1):
+        assert figure1.component_of(university.STUDENT) == figure1.classes
+
+    def test_restrict_to_component(self):
+        schema = DatabaseSchema({"A", "B"}, set(), {"A": {"X"}, "B": {"Y"}})
+        component = schema.component_of("A")
+        restricted = schema.restrict_to_component(component)
+        assert restricted.classes == {"A"}
+        with pytest.raises(SchemaError):
+            schema.restrict_to_component({"A", "B"})
+
+    def test_role_set_closure(self, figure1):
+        closure = figure1.role_set_closure({university.GRAD_ASSIST})
+        assert closure == figure1.classes
+
+    def test_is_role_set(self, figure1):
+        assert figure1.is_role_set(frozenset())
+        assert figure1.is_role_set({university.PERSON, university.STUDENT})
+        assert not figure1.is_role_set({university.STUDENT})  # not isa-closed
+        assert not figure1.is_role_set({"NOPE"})
+
+    def test_equality_and_hash(self, figure1):
+        assert figure1 == university.schema()
+        assert hash(figure1) == hash(university.schema())
+        assert figure1 != DatabaseSchema({"A"}, set(), {"A": set()})

@@ -1,0 +1,58 @@
+"""Unit tests for variables, object identifiers and assignments."""
+
+import pytest
+
+from repro.model.errors import BindingError
+from repro.model.values import Assignment, ObjectId, Variable, variables_in
+
+
+class TestVariableAndObjectId:
+    def test_variable_identity(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert repr(Variable("x")) == "?x"
+
+    def test_object_id_ordering(self):
+        assert ObjectId(1) < ObjectId(2)
+        assert ObjectId(3).successor() == ObjectId(4)
+        assert repr(ObjectId(5)) == "o5"
+        with pytest.raises(ValueError):
+            ObjectId(0)
+
+    def test_variables_in(self):
+        terms = [Variable("x"), 1, Variable("y"), Variable("x")]
+        assert variables_in(terms) == (Variable("x"), Variable("y"))
+
+
+class TestAssignment:
+    def test_lookup_by_name_or_variable(self):
+        assignment = Assignment(x=1, y="two")
+        assert assignment[Variable("x")] == 1
+        assert assignment["y"] == "two"
+        assert Variable("x") in assignment
+        assert "z" not in assignment
+        assert len(assignment) == 2
+
+    def test_resolve(self):
+        assignment = Assignment(x=1)
+        assert assignment.resolve(Variable("x")) == 1
+        assert assignment.resolve("constant") == "constant"
+        with pytest.raises(BindingError):
+            assignment.resolve(Variable("missing"))
+
+    def test_cannot_bind_variable_to_variable(self):
+        with pytest.raises(BindingError):
+            Assignment(x=Variable("y"))
+
+    def test_extended_keeps_existing_bindings(self):
+        extended = Assignment(x=1).extended({"x": 99, "y": 2})
+        assert extended["x"] == 1
+        assert extended["y"] == 2
+
+    def test_equality_and_hash(self):
+        assert Assignment(x=1, y=2) == Assignment(y=2, x=1)
+        assert hash(Assignment(x=1)) == hash(Assignment(x=1))
+        assert Assignment(x=1) != Assignment(x=2)
+
+    def test_repr(self):
+        assert "x=1" in repr(Assignment(x=1))

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the formal-language substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.formal import operations as ops
+from repro.formal import regex as rx
+from repro.formal.decision import are_equivalent, is_contained_in
+
+ALPHABET = ("a", "b")
+
+
+def regexes(max_leaves: int = 4):
+    """A strategy producing small regular expressions over {a, b}."""
+    leaves = st.sampled_from([rx.Symbol("a"), rx.Symbol("b"), rx.Epsilon()])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: rx.Concat(*pair)),
+            st.tuples(children, children).map(lambda pair: rx.Union(*pair)),
+            children.map(rx.Star),
+            children.map(rx.Optional),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=5).map(tuple)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), words)
+def test_simplify_preserves_membership(expression, word):
+    original = expression.to_nfa(ALPHABET)
+    simplified = expression.simplify().to_nfa(ALPHABET)
+    assert original.accepts(word) == simplified.accepts(word)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), words)
+def test_determinization_preserves_membership(expression, word):
+    nfa = expression.to_nfa(ALPHABET)
+    dfa = nfa.determinize()
+    assert nfa.accepts(word) == dfa.accepts(word)
+    assert dfa.minimize().accepts(word) == nfa.accepts(word)
+
+
+@settings(max_examples=25, deadline=None)
+@given(regexes(max_leaves=3))
+def test_state_elimination_round_trip(expression):
+    nfa = expression.to_nfa(ALPHABET)
+    assert are_equivalent(nfa, nfa.to_regex().to_nfa(ALPHABET))
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes(), words)
+def test_union_and_concat_membership(left, right, word):
+    union = ops.union(left.to_nfa(ALPHABET), right.to_nfa(ALPHABET))
+    assert union.accepts(word) == (left.to_nfa(ALPHABET).accepts(word) or right.to_nfa(ALPHABET).accepts(word))
+    concat = ops.concat(left.to_nfa(ALPHABET), right.to_nfa(ALPHABET))
+    expected = any(
+        left.to_nfa(ALPHABET).accepts(word[:index]) and right.to_nfa(ALPHABET).accepts(word[index:])
+        for index in range(len(word) + 1)
+    )
+    assert concat.accepts(word) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), words)
+def test_complement_membership(expression, word):
+    nfa = expression.to_nfa(ALPHABET)
+    complement = ops.complement(nfa, ALPHABET)
+    assert complement.accepts(word) == (not nfa.accepts(word))
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes())
+def test_prefix_closure_contains_language_and_is_idempotent(expression):
+    nfa = expression.to_nfa(ALPHABET)
+    closed = ops.prefix_closure(nfa)
+    assert is_contained_in(nfa, closed)
+    assert are_equivalent(closed, ops.prefix_closure(closed))
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), words)
+def test_prefix_closure_membership(expression, word):
+    nfa = expression.to_nfa(ALPHABET)
+    closed = ops.prefix_closure(nfa)
+    if nfa.accepts(word):
+        for index in range(len(word) + 1):
+            assert closed.accepts(word[:index])
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), words)
+def test_remove_repeats_membership(expression, word):
+    nfa = expression.to_nfa(ALPHABET)
+    image = ops.remove_repeats(nfa)
+    if nfa.accepts(word):
+        squeezed = tuple(
+            symbol for index, symbol in enumerate(word) if index == 0 or word[index - 1] != symbol
+        )
+        assert image.accepts(squeezed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes())
+def test_containment_is_consistent_with_sampled_words(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    if is_contained_in(left_nfa, right_nfa):
+        for word in left_nfa.enumerate_words(4, limit=10):
+            assert right_nfa.accepts(word)

@@ -1,0 +1,90 @@
+"""Property-based tests for conditions, role sets and patterns."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.patterns import remove_empty_initial_word, remove_repeats_word
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
+from repro.model.conditions import EQ, NEQ, AtomicCondition, Condition
+from repro.workloads import university
+
+ATTRIBUTES = ("A", "B", "C")
+VALUES = (0, 1, 2)
+
+atoms = st.builds(
+    AtomicCondition,
+    attribute=st.sampled_from(ATTRIBUTES),
+    operator=st.sampled_from((EQ, NEQ)),
+    term=st.sampled_from(VALUES),
+)
+conditions = st.lists(atoms, max_size=5).map(Condition)
+tuples = st.fixed_dictionaries({name: st.sampled_from(VALUES) for name in ATTRIBUTES})
+
+
+@settings(max_examples=100, deadline=None)
+@given(conditions)
+def test_satisfiability_agrees_with_brute_force(condition):
+    """A ground condition is satisfiable iff some tuple over a sufficient domain satisfies it."""
+    import itertools
+
+    domain = set(VALUES) | {"fresh"}  # one value outside every constant in the condition
+    brute_force = any(
+        condition.satisfied_by_tuple(dict(zip(ATTRIBUTES, values)))
+        for values in itertools.product(domain, repeat=len(ATTRIBUTES))
+    )
+    assert condition.is_satisfiable() == brute_force
+
+
+@settings(max_examples=100, deadline=None)
+@given(conditions, tuples)
+def test_satisfaction_is_conjunctive(condition, row):
+    expected = all(atom.satisfied_by_value(row[atom.attribute]) for atom in condition)
+    assert condition.satisfied_by_tuple(row) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.sampled_from(sorted(university.schema().classes)), max_size=4))
+def test_role_set_closure_is_idempotent_and_upward_closed(classes):
+    schema = university.schema()
+    closed = schema.role_set_closure(classes)
+    assert schema.role_set_closure(closed) == closed
+    assert schema.is_role_set(closed)
+    for name in closed:
+        assert schema.ancestors(name) <= closed
+
+
+def test_enumerated_role_sets_are_exactly_the_closed_sets():
+    schema = university.schema()
+    enumerated = set(enumerate_role_sets(schema))
+    import itertools
+
+    brute = {EMPTY_ROLE_SET}
+    for size in range(1, len(schema.classes) + 1):
+        for combo in itertools.combinations(sorted(schema.classes), size):
+            closed = RoleSet(schema.role_set_closure(combo))
+            brute.add(closed)
+    assert enumerated == brute
+
+
+role_words = st.lists(
+    st.sampled_from([EMPTY_ROLE_SET, RoleSet({"A"}), RoleSet({"A", "B"})]), max_size=8
+).map(tuple)
+
+
+@settings(max_examples=100, deadline=None)
+@given(role_words)
+def test_remove_repeats_is_idempotent_and_shortening(word):
+    once = remove_repeats_word(word)
+    assert remove_repeats_word(once) == once
+    assert len(once) <= len(word)
+    # No two consecutive symbols remain equal.
+    assert all(once[i] != once[i + 1] for i in range(len(once) - 1))
+
+
+@settings(max_examples=100, deadline=None)
+@given(role_words)
+def test_remove_empty_initial_strips_exactly_the_leading_block(word):
+    stripped = remove_empty_initial_word(word)
+    assert not stripped or stripped[0]
+    # The stripped word is a suffix of the original.
+    assert tuple(word[len(word) - len(stripped):]) == stripped

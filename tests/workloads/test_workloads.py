@@ -1,0 +1,118 @@
+"""Sanity tests for the bundled workloads (the paper's figures and examples)."""
+
+import pytest
+
+from repro.core.rolesets import EMPTY_ROLE_SET
+from repro.workloads import banking, generators, immigration, path_expressions, phd, three_class, university
+
+
+class TestUniversity:
+    def test_schema_and_instance(self):
+        schema = university.schema()
+        assert schema.is_weakly_connected_schema()
+        instance = university.sample_instance()
+        assert len(instance.all_objects()) == 5
+
+    def test_transactions_validate(self):
+        assert len(university.transactions()) == 4
+
+    def test_symbols_cover_all_role_sets(self):
+        assert set(university.SYMBOLS.values()) == set(university.ROLE_SETS)
+
+    def test_expected_families_are_well_formed(self):
+        for family in university.expected_families().values():
+            assert family.is_prefix_closed()
+
+    def test_life_cycle_inventory_contains_the_motivating_pattern(self):
+        inventory = university.life_cycle_inventory()
+        assert inventory.contains(
+            [university.ROLE_P, university.ROLE_S, university.ROLE_G, university.ROLE_E]
+        )
+
+
+class TestPhd:
+    def test_both_variants_validate(self):
+        assert len(phd.transactions()) == 4
+        assert len(phd.transactions(include_graduation=False)) == 3
+        assert len(phd.guarded_transactions()) == 4
+
+    def test_inventories(self):
+        assert phd.expected_proper_family().contains([phd.ROLE_U, phd.ROLE_S, phd.ROLE_C])
+        assert phd.sequential_order_inventory().contains([phd.ROLE_U, phd.ROLE_S])
+        assert not phd.sequential_order_inventory().contains([phd.ROLE_S, phd.ROLE_U])
+
+
+class TestThreeClass:
+    def test_schemas(self):
+        assert three_class.schema().attributes_of("R") == {"A", "B"}
+        assert three_class.synthesis_schema().attributes_of("R") == {"A", "B", "C"}
+
+    def test_transactions_validate(self):
+        assert len(three_class.cycle_transactions()) == 1
+        assert len(three_class.branch_transactions()) == 1
+
+    def test_inventories(self):
+        assert three_class.cycle_inventory().contains(
+            [three_class.ROLE_P, three_class.ROLE_Q, three_class.ROLE_Q, three_class.ROLE_P]
+        )
+        assert three_class.branch_inventory().contains([three_class.ROLE_Q, three_class.ROLE_P])
+        assert not three_class.cycle_inventory().contains([three_class.ROLE_Q])
+
+
+class TestPathExpressions:
+    def test_schema_per_operation(self):
+        schema = path_expressions.schema(("p", "q"))
+        assert schema.classes == {"RESOURCE", "p", "q"}
+
+    def test_inventory(self):
+        inventory = path_expressions.path_expression_inventory("(p(q|r)s)*")
+        roles = path_expressions.role_sets()
+        assert inventory.contains([roles["p"], roles["q"], roles["s"]])
+        assert inventory.contains([EMPTY_ROLE_SET, roles["p"], roles["r"]])
+        assert not inventory.contains([roles["q"]])
+
+    def test_enforcing_transactions_build(self):
+        result = path_expressions.enforcing_transactions("p (q|r)")
+        assert len(result.transactions) == 1
+
+
+class TestBankingAndImmigration:
+    def test_banking_transactions(self):
+        assert len(banking.transactions()) == 5
+        assert banking.checking_role_inventory().contains([banking.ROLE_INTEREST, banking.ROLE_REGULAR])
+        assert not banking.no_downgrade_inventory().contains(
+            [banking.ROLE_INTEREST, banking.ROLE_REGULAR]
+        )
+
+    def test_immigration_schemas(self):
+        assert len(immigration.transactions()) == 5
+        lawful = immigration.inflow_schema()
+        assert ("record_return", "grant_immigrant_status") in lawful.precedence
+        assert ("close_file", "grant_immigrant_status") not in lawful.precedence
+
+
+class TestGenerators:
+    def test_random_schema_is_valid_and_deterministic(self):
+        schema_a = generators.random_schema(seed=7, classes=6)
+        schema_b = generators.random_schema(seed=7, classes=6)
+        assert schema_a == schema_b
+        assert schema_a.is_weakly_connected_schema()
+        assert len(schema_a.classes) == 6
+
+    def test_random_transactions_validate(self):
+        schema = generators.random_schema(seed=3, classes=5)
+        transactions = generators.random_transactions(schema, seed=3, transactions=3)
+        assert len(transactions) == 3  # validation happens in the constructor
+
+    def test_random_regex_uses_schema_role_sets(self):
+        schema = generators.random_schema(seed=5, classes=4)
+        expression = generators.random_role_set_regex(schema, seed=5, size=5)
+        role_sets = set(symbol for symbol in expression.symbols())
+        from repro.core.rolesets import enumerate_role_sets
+
+        assert role_sets <= set(enumerate_role_sets(schema))
+
+    def test_random_words(self):
+        words = generators.random_words(["a", "b"], seed=1, count=10, max_length=4)
+        assert len(words) == 10
+        assert all(len(word) <= 4 for word in words)
