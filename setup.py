@@ -1,0 +1,7 @@
+"""Setup shim: keeps `pip install -e .` working on environments whose
+setuptools lacks PEP 660 support (no `wheel` package available offline).
+Metadata lives in setup.cfg; pytest configuration in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

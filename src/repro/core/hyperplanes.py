@@ -197,14 +197,19 @@ class AbstractionContext:
         self.tracked: Optional[FrozenSet[AttributeName]] = (
             None if tracked is None else frozenset(tracked)
         )
+        self._tracked_cache: Dict[RoleSet, Tuple[AttributeName, ...]] = {}
 
     # -- helpers ------------------------------------------------------------ #
     def tracked_attributes(self, role_set: RoleSet) -> Tuple[AttributeName, ...]:
-        """The tracked attributes defined on ``role_set``, sorted."""
-        defined = self.schema.attributes_of_role_set(role_set)
-        if self.tracked is not None:
-            defined = defined & self.tracked
-        return tuple(sorted(defined))
+        """The tracked attributes defined on ``role_set``, sorted (memoized)."""
+        cached = self._tracked_cache.get(role_set)
+        if cached is None:
+            defined = self.schema.attributes_of_role_set(role_set)
+            if self.tracked is not None:
+                defined = defined & self.tracked
+            cached = tuple(sorted(defined))
+            self._tracked_cache[role_set] = cached
+        return cached
 
     def match(self, instance: DatabaseInstance, obj: ObjectId) -> Optional[AbstractionVertex]:
         """The unique vertex matched by ``obj`` in ``instance`` (``None`` if absent)."""
@@ -213,8 +218,12 @@ class AbstractionContext:
             return None
         coordinates: Dict[AttributeName, Tuple] = {}
         free_values: Dict[AttributeName, Constant] = {}
+        row = instance.value_row(obj)
         for attribute in self.tracked_attributes(role_set):
-            value = instance.value(obj, attribute)
+            if attribute in row:
+                value = row[attribute]
+            else:
+                value = instance.value(obj, attribute)  # raises InstanceError
             if value in self.constants:
                 coordinates[attribute] = _eq(value)
             else:

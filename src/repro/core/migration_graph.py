@@ -111,6 +111,10 @@ class RegexMigrationGraph:
         patterns.
         """
         labels = self.label_map()
+        # One adjacency pass instead of an O(edges) scan per visited vertex.
+        adjacency: Dict[Vertex, List[Vertex]] = {}
+        for source, target in sorted(self.edges, key=repr):
+            adjacency.setdefault(source, []).append(target)
         new_edges: Set[Tuple[Vertex, Vertex]] = set()
         for start in self.vertices:
             if start == SINK_VERTEX:
@@ -121,7 +125,7 @@ class RegexMigrationGraph:
             visited: Set[Vertex] = {start}
             while frontier:
                 current = frontier.pop()
-                for target in self.successors(current):
+                for target in adjacency.get(current, ()):
                     if target == SINK_VERTEX:
                         new_edges.add((start, SINK_VERTEX))
                         continue

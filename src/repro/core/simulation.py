@@ -15,6 +15,12 @@ tracks the role-set history of every object, and classifies the resulting
 patterns into the four families of Definition 3.4.  For conditional schemas
 it follows Definition 4.6 and only counts applications that actually change
 the database.
+
+The frontier is *hash-consed*: every reached instance is interned against a
+canonical table, so isomorphic states discovered along different runs are
+the same Python object, and the expensive part of a step -- firing every
+(transaction, assignment) pair -- is memoized per interned state instead of
+being re-derived once per run prefix that reaches it.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.core.patterns import MigrationPattern
 from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.formal.alphabet import canonical_word_key
 from repro.language.conditional import ConditionalTransaction, ConditionalTransactionSchema
 from repro.language.semantics import apply_transaction
 from repro.language.transactions import Transaction, TransactionSchema
@@ -46,8 +53,14 @@ class SimulationResult:
     truncated: bool
 
     def as_migration_patterns(self, kind: str = "all") -> List[MigrationPattern]:
-        """The observed patterns of one kind, deterministically ordered."""
-        return [MigrationPattern(word) for word in sorted(self.patterns[kind], key=repr)]
+        """The observed patterns of one kind, deterministically ordered.
+
+        Ordering follows :func:`repro.formal.alphabet.canonical_word_key`
+        (length, then structural role-set order) -- the same canonical key
+        the interned alphabet uses -- rather than the ``repr`` strings the
+        seed sorted by.
+        """
+        return [MigrationPattern(word) for word in sorted(self.patterns[kind], key=canonical_word_key)]
 
     def observed(self, kind: str = "all") -> Set[Tuple[RoleSet, ...]]:
         """The raw set of observed words for one kind."""
@@ -102,8 +115,13 @@ def explore_patterns(
     value_pool:
         Overrides the assignment pool entirely.
     max_states:
-        Cap on the number of explored run nodes; exceeding it sets
-        ``truncated`` in the result instead of raising.
+        Cap on the number of (state, transaction, assignment) triples
+        visited; exceeding it sets ``truncated`` in the result instead of
+        raising.  Memoization only avoids re-*firing* the transactions when
+        a run revisits a state -- revisits still consume this budget, so the
+        cap bounds total exploration work like the seed explorer's did (the
+        reported count may overshoot the cap by one state's firing cost,
+        since a cache hit charges its whole expansion at once).
     require_database_change:
         Only count applications that change the database (Definition 4.6).
         Defaults to ``True`` for conditional schemas and ``False`` for SL.
@@ -136,11 +154,85 @@ def explore_patterns(
     }
     counters = {"runs": 0, "states": 0, "truncated": False}
 
+    # Hash-consing table: canonical representative of every reached instance.
+    # It keeps every interned instance alive, which is also what makes the
+    # id()-keyed per-state caches below safe (ids cannot be recycled).
+    interned: Dict[DatabaseInstance, DatabaseInstance] = {}
+    initial_instance = DatabaseInstance.empty(schema)
+    # Memoized firing: interned state -> distinct child states (also interned),
+    # plus the number of (transaction, assignment) triples the expansion fired
+    # -- charged to the counter again on every cache hit so ``max_states``
+    # still bounds total exploration work like it did for the seed explorer.
+    expansions: Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]] = {}
+    expansion_cost: Dict[DatabaseInstance, int] = {}
+    # Memoized per-state observations, keyed by (interned state, object).
+    role_cache: Dict[Tuple[int, ObjectId], RoleSet] = {}
+    tuple_cache: Dict[Tuple[int, ObjectId], object] = {}
+
+    def intern(instance: DatabaseInstance) -> DatabaseInstance:
+        canonical = interned.get(instance)
+        if canonical is None:
+            interned[instance] = canonical = instance
+        return canonical
+
     def role_of(instance: DatabaseInstance, obj: ObjectId) -> RoleSet:
-        role = RoleSet(instance.role_set(obj))
-        if component_set is not None and not role <= component_set:
-            return EMPTY_ROLE_SET if not (role & component_set) else RoleSet(role & component_set)
+        key = (id(instance), obj)
+        role = role_cache.get(key)
+        if role is None:
+            role = RoleSet(instance.role_set(obj))
+            if component_set is not None and not role <= component_set:
+                role = EMPTY_ROLE_SET if not (role & component_set) else RoleSet(role & component_set)
+            role_cache[key] = role
         return role
+
+    def tuple_of(instance: DatabaseInstance, obj: ObjectId):
+        key = (id(instance), obj)
+        if key in tuple_cache:
+            return tuple_cache[key]
+        value = _object_tuple(instance, obj)
+        tuple_cache[key] = value
+        return value
+
+    def expand(instance: DatabaseInstance) -> Tuple[DatabaseInstance, ...]:
+        """Distinct successor states of ``instance`` (memoized, interned).
+
+        The successor set only depends on the state itself, never on the
+        run prefix that reached it, so runs sharing a state share the full
+        firing work.
+        """
+        cached = expansions.get(instance)
+        if cached is not None:
+            # Charge the skipped firings so repeat visits still consume the
+            # ``max_states`` work budget (only the *work* is memoized).
+            counters["states"] += expansion_cost[instance]
+            if counters["states"] >= max_states:
+                counters["truncated"] = True
+            return cached
+        children: List[DatabaseInstance] = []
+        seen_children: Set[DatabaseInstance] = set()
+        fired = 0
+        for transaction in transactions:
+            for assignment in _assignments(transaction, pool):
+                counters["states"] += 1
+                fired += 1
+                if counters["states"] >= max_states:
+                    counters["truncated"] = True
+                    break
+                result = _apply(transaction, instance, assignment)
+                if require_database_change and result == instance:
+                    continue
+                result = intern(result)
+                if result in seen_children:
+                    continue
+                seen_children.add(result)
+                children.append(result)
+            if counters["truncated"]:
+                break
+        result_children = tuple(children)
+        if not counters["truncated"]:
+            expansions[instance] = result_children
+            expansion_cost[instance] = fired
+        return result_children
 
     def record(trace: List[DatabaseInstance]) -> None:
         counters["runs"] += 1
@@ -152,8 +244,7 @@ def explore_patterns(
         # plus one that never was (for the all-empty patterns).
         highest = max(instance.next_object.index for instance in trace)
         candidates = [ObjectId(index) for index in range(1, highest + 1)]
-        initial = DatabaseInstance.empty(schema)
-        states = [initial, *trace]
+        states = [initial_instance, *trace]
         for obj in candidates:
             word = tuple(role_of(instance, obj) for instance in trace)
             if component_set is not None and any(
@@ -168,7 +259,7 @@ def explore_patterns(
             for index in range(2, len(states)):
                 before, after = states[index - 1], states[index]
                 role_changed = before.role_set(obj) != after.role_set(obj)
-                tuple_changed = _object_tuple(before, obj) != _object_tuple(after, obj)
+                tuple_changed = tuple_of(before, obj) != tuple_of(after, obj)
                 if not role_changed:
                     lazy = False
                 if not (role_changed or tuple_changed):
@@ -185,25 +276,14 @@ def explore_patterns(
         if counters["states"] >= max_states:
             counters["truncated"] = True
             return
-        # Siblings producing the same instance lead to identical subtrees
-        # (the prior trace is shared), so they are explored only once.
-        seen_children: Set[DatabaseInstance] = set()
-        for transaction in transactions:
-            for assignment in _assignments(transaction, pool):
-                counters["states"] += 1
-                if counters["states"] >= max_states:
-                    counters["truncated"] = True
-                    return
-                result = _apply(transaction, instance, assignment)
-                if require_database_change and result == instance:
-                    continue
-                if result in seen_children:
-                    continue
-                seen_children.add(result)
-                explore(result, trace + [result])
+        children = expand(instance)
+        if counters["truncated"]:
+            return
+        for child in children:
+            explore(child, trace + [child])
 
     with validation_disabled():
-        explore(DatabaseInstance.empty(schema), [])
+        explore(intern(initial_instance), [])
 
     return SimulationResult(
         patterns=observed,
@@ -223,7 +303,7 @@ def observed_within(
     Returns ``(ok, first_counterexample)``; used by the cross-validation
     tests (observed ⊆ analysed family) and by the CSL soundness checks.
     """
-    for word in sorted(result.patterns[kind], key=repr):
+    for word in sorted(result.patterns[kind], key=canonical_word_key):
         if not inventory.contains(word):
             return False, MigrationPattern(word)
     return True, None

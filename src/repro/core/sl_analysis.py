@@ -145,6 +145,7 @@ class SLMigrationAnalysis:
         self._graph: Optional[MigrationGraph] = None
         self._families: Dict[str, MigrationInventory] = {}
         self._expansion_cache: Dict[AbstractionVertex, Tuple[MigrationEdge, ...]] = {}
+        self._assignment_pools: Dict[Tuple[str, Tuple[Constant, ...]], Tuple[Assignment, ...]] = {}
         self._assignments_tried = 0
 
     # ------------------------------------------------------------------ #
@@ -190,10 +191,22 @@ class SLMigrationAnalysis:
     def _assignments(
         self, transaction: Transaction, extra_values: Tuple[Constant, ...]
     ) -> Iterable[Assignment]:
+        """The candidate assignments for one transaction (memoized).
+
+        The same pool is enumerated once per (vertex, transaction) pair,
+        over the whole graph construction, so the assignments -- and their
+        cached hashes feeding the ground-transaction memo -- are built once
+        and reused.
+        """
+        key = (transaction.name, tuple(sorted(extra_values, key=repr)))
+        pool = self._assignment_pools.get(key)
+        if pool is not None:
+            return pool
         variables = sorted(transaction.variables(), key=lambda v: v.name)
         if not variables:
-            yield Assignment()
-            return
+            pool = (Assignment(),)
+            self._assignment_pools[key] = pool
+            return pool
         candidates: List[Constant] = sorted(
             set(self._context.constants) | set(extra_values), key=repr
         )
@@ -205,8 +218,12 @@ class SLMigrationAnalysis:
                 f"above the limit of {self._max_assignments}; reduce the number of variables "
                 "or constants, or raise max_assignments"
             )
-        for values in itertools.product(candidates, repeat=len(variables)):
-            yield Assignment({variable: value for variable, value in zip(variables, values)})
+        pool = tuple(
+            Assignment({variable: value for variable, value in zip(variables, values)})
+            for values in itertools.product(candidates, repeat=len(variables))
+        )
+        self._assignment_pools[key] = pool
+        return pool
 
     def _tuple_of(self, instance: DatabaseInstance, obj: ObjectId) -> Tuple:
         return tuple(sorted(instance.tuple_of(obj).items(), key=lambda kv: kv[0]))
@@ -261,7 +278,7 @@ class SLMigrationAnalysis:
 
         with validation_disabled():
             canonical, obj, extras = self._context.canonical_instance(vertex)
-            before_tuple = self._tuple_of(canonical, obj)
+            before_row = dict(canonical.value_row(obj))
             for transaction in self._transactions:
                 for assignment in self._assignments(transaction, extras):
                     self._assignments_tried += 1
@@ -271,7 +288,7 @@ class SLMigrationAnalysis:
                         continue
                     target = self._context.match(result, obj)
                     role_changed = target.role_set != vertex.role_set
-                    tuple_changed = role_changed or self._tuple_of(result, obj) != before_tuple
+                    tuple_changed = role_changed or result.value_row(obj) != before_row
                     record(target, transaction.name, tuple_changed, role_changed)
         result_edges = tuple(edges.values())
         self._expansion_cache[vertex] = result_edges

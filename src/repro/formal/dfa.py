@@ -14,11 +14,15 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
+    List,
     Mapping,
+    Optional,
     Sequence,
     Set,
     Tuple,
 )
+
+from repro.formal.alphabet import sort_alphabet
 
 State = Hashable
 Symbol = Hashable
@@ -32,7 +36,7 @@ class DFA:
     a sink state.
     """
 
-    __slots__ = ("_states", "_alphabet", "_transitions", "_initial", "_accepting")
+    __slots__ = ("_states", "_alphabet", "_transitions", "_initial", "_accepting", "_sorted_alphabet")
 
     def __init__(
         self,
@@ -47,6 +51,7 @@ class DFA:
         self._transitions: Dict[Tuple[State, Symbol], State] = dict(transitions)
         self._initial: State = initial_state
         self._accepting: FrozenSet[State] = frozenset(accepting_states)
+        self._sorted_alphabet: Optional[Tuple[Symbol, ...]] = None
         if self._initial not in self._states:
             raise ValueError("the initial state must be a state")
         if not self._accepting <= self._states:
@@ -89,6 +94,14 @@ class DFA:
     def delta(self, state: State, symbol: Symbol) -> State:
         """The transition function."""
         return self._transitions[(state, symbol)]
+
+    def sorted_alphabet(self) -> Tuple[Symbol, ...]:
+        """The alphabet in the canonical deterministic order (cached)."""
+        cached = self._sorted_alphabet
+        if cached is None:
+            cached = sort_alphabet(self._alphabet)
+            self._sorted_alphabet = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self._states)
@@ -175,34 +188,64 @@ class DFA:
         return DFA(states, self._alphabet, transitions, start, accepting)
 
     def minimize(self) -> "DFA":
-        """Hopcroft-style partition refinement restricted to reachable states."""
+        """Hopcroft's algorithm restricted to reachable states.
+
+        Classic worklist refinement over preimages: split every block against
+        the smaller half, giving ``O(|Σ| · n log n)`` instead of the seed's
+        quadratic fixed-point iteration (which also re-sorted the alphabet by
+        ``repr`` inside the innermost loop).
+        """
         reachable = self.reachable_states()
+        alphabet = self.sorted_alphabet()
+        # Preimage map: symbol -> target -> set of sources.
+        preimages: Dict[Symbol, Dict[State, Set[State]]] = {symbol: {} for symbol in alphabet}
+        for state in reachable:
+            for symbol in alphabet:
+                target = self._transitions[(state, symbol)]
+                preimages[symbol].setdefault(target, set()).add(state)
+
         accepting = reachable & self._accepting
         rejecting = reachable - accepting
-        partition: list[Set[State]] = [block for block in (accepting, rejecting) if block]
-        changed = True
-        while changed:
-            changed = False
-            new_partition: list[Set[State]] = []
-            index_of: Dict[State, int] = {}
-            for index, block in enumerate(partition):
-                for state in block:
-                    index_of[state] = index
-            for block in partition:
-                buckets: Dict[Tuple[int, ...], Set[State]] = {}
-                for state in block:
-                    signature = tuple(
-                        index_of[self._transitions[(state, symbol)]]
-                        for symbol in sorted(self._alphabet, key=repr)
-                    )
-                    buckets.setdefault(signature, set()).add(state)
-                if len(buckets) > 1:
-                    changed = True
-                new_partition.extend(buckets.values())
-            partition = new_partition
+        partition: List[Set[State]] = [block for block in (accepting, rejecting) if block]
+        block_of: Dict[State, int] = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+        worklist: Set[int] = set(range(len(partition)))
+
+        while worklist:
+            splitter_index = worklist.pop()
+            splitter = frozenset(partition[splitter_index])
+            for symbol in alphabet:
+                inverse = preimages[symbol]
+                incoming: Set[State] = set()
+                for target in splitter:
+                    sources = inverse.get(target)
+                    if sources:
+                        incoming |= sources
+                if not incoming:
+                    continue
+                touched: Dict[int, Set[State]] = {}
+                for state in incoming:
+                    touched.setdefault(block_of[state], set()).add(state)
+                for index, hit in touched.items():
+                    block = partition[index]
+                    if len(hit) == len(block):
+                        continue
+                    remainder = block - hit
+                    partition[index] = hit
+                    new_index = len(partition)
+                    partition.append(remainder)
+                    for state in remainder:
+                        block_of[state] = new_index
+                    if index in worklist:
+                        worklist.add(new_index)
+                    else:
+                        worklist.add(new_index if len(remainder) < len(hit) else index)
+
         representative: Dict[State, State] = {}
         for block in partition:
-            canon = sorted(block, key=repr)[0]
+            canon = min(block, key=repr)
             for state in block:
                 representative[state] = canon
         states = {representative[state] for state in reachable}

@@ -26,6 +26,8 @@ from typing import (
     Tuple,
 )
 
+from repro.formal.alphabet import canonical_word_key, sort_alphabet
+
 
 class _Epsilon:
     """Sentinel for the empty-word transition label."""
@@ -70,7 +72,16 @@ class NFA:
         Iterable of accepting states (a subset of ``states``).
     """
 
-    __slots__ = ("_states", "_alphabet", "_transitions", "_initial", "_accepting")
+    __slots__ = (
+        "_states",
+        "_alphabet",
+        "_transitions",
+        "_initial",
+        "_accepting",
+        "_closure_cache",
+        "_adjacency",
+        "_sorted_alphabet",
+    )
 
     def __init__(
         self,
@@ -104,6 +115,10 @@ class NFA:
             raise ValueError("initial states must be a subset of the states")
         if not self._accepting <= self._states:
             raise ValueError("accepting states must be a subset of the states")
+        # Lazily built caches; the automaton is immutable so they stay valid.
+        self._closure_cache: Optional[Dict[State, FrozenSet[State]]] = None
+        self._adjacency: Optional[Dict[State, Tuple[State, ...]]] = None
+        self._sorted_alphabet: Optional[Tuple[Symbol, ...]] = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -209,24 +224,59 @@ class NFA:
     # ------------------------------------------------------------------ #
     # Semantics
     # ------------------------------------------------------------------ #
+    def sorted_alphabet(self) -> Tuple[Symbol, ...]:
+        """The alphabet in the canonical deterministic order (cached)."""
+        cached = self._sorted_alphabet
+        if cached is None:
+            cached = sort_alphabet(self._alphabet)
+            self._sorted_alphabet = cached
+        return cached
+
+    def _state_closure(self, state: State) -> FrozenSet[State]:
+        """The epsilon closure of one state, memoized per automaton."""
+        cache = self._closure_cache
+        if cache is None:
+            cache = {}
+            self._closure_cache = cache
+        closure = cache.get(state)
+        if closure is None:
+            reached: Set[State] = {state}
+            stack: List[State] = [state]
+            while stack:
+                current = stack.pop()
+                for target in self._transitions.get((current, EPSILON), ()):
+                    if target not in reached:
+                        reached.add(target)
+                        stack.append(target)
+            closure = frozenset(reached)
+            cache[state] = closure
+        return closure
+
     def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
         """Return the epsilon closure of a set of states."""
-        closure: Set[State] = set(states)
-        stack: List[State] = list(closure)
-        while stack:
-            state = stack.pop()
-            for target in self._transitions.get((state, EPSILON), frozenset()):
-                if target not in closure:
-                    closure.add(target)
-                    stack.append(target)
+        states = list(states)
+        if len(states) == 1:
+            return self._state_closure(states[0])
+        closure: Set[State] = set()
+        for state in states:
+            closure |= self._state_closure(state)
         return frozenset(closure)
 
     def step(self, states: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
         """One symbol step (including the epsilon closure of the result)."""
+        transitions = self._transitions
         moved: Set[State] = set()
         for state in states:
-            moved |= self._transitions.get((state, symbol), frozenset())
-        return self.epsilon_closure(moved)
+            targets = transitions.get((state, symbol))
+            if targets:
+                moved |= targets
+        if not moved:
+            return frozenset()
+        closure: Set[State] = set()
+        state_closure = self._state_closure
+        for state in moved:
+            closure |= state_closure(state)
+        return frozenset(closure)
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
         """Return ``True`` if the automaton accepts ``word``."""
@@ -237,19 +287,28 @@ class NFA:
             current = self.step(current, symbol)
         return bool(current & self._accepting)
 
+    def _successor_map(self) -> Dict[State, Tuple[State, ...]]:
+        """Source -> all successor states over any label (cached)."""
+        adjacency = self._adjacency
+        if adjacency is None:
+            collected: Dict[State, Set[State]] = {}
+            for (source, _symbol), targets in self._transitions.items():
+                collected.setdefault(source, set()).update(targets)
+            adjacency = {source: tuple(targets) for source, targets in collected.items()}
+            self._adjacency = adjacency
+        return adjacency
+
     def reachable_states(self) -> FrozenSet[State]:
         """States reachable from an initial state (by any labels)."""
+        successors = self._successor_map()
         seen: Set[State] = set(self.epsilon_closure(self._initial))
         queue = deque(seen)
         while queue:
             state = queue.popleft()
-            for (source, _symbol), targets in self._transitions.items():
-                if source != state:
-                    continue
-                for target in targets:
-                    if target not in seen:
-                        seen.add(target)
-                        queue.append(target)
+            for target in successors.get(state, ()):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
         return frozenset(seen)
 
     def coreachable_states(self) -> FrozenSet[State]:
@@ -319,14 +378,17 @@ class NFA:
                         return
             if length == max_length:
                 return
-            symbols = sorted(self._alphabet, key=repr)
+            symbols = self.sorted_alphabet()
             combined: Dict[Word, Set[State]] = {}
             for states, word in frontier:
                 for symbol in symbols:
                     target = self.step(states, symbol)
                     if target:
                         combined.setdefault(word + (symbol,), set()).update(target)
-            next_frontier = [(frozenset(states), word) for word, states in sorted(combined.items(), key=lambda kv: repr(kv[0]))]
+            next_frontier = [
+                (frozenset(states), word)
+                for word, states in sorted(combined.items(), key=lambda kv: canonical_word_key(kv[0]))
+            ]
             frontier = next_frontier
 
     # ------------------------------------------------------------------ #
@@ -341,7 +403,7 @@ class NFA:
         states: Set[FrozenSet[State]] = {start, sink}
         transitions: Dict[Tuple[FrozenSet[State], Symbol], FrozenSet[State]] = {}
         queue = deque([start])
-        alphabet = sorted(self._alphabet, key=repr)
+        alphabet = self.sorted_alphabet()
         while queue:
             current = queue.popleft()
             for symbol in alphabet:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
+from repro.formal.alphabet import RoleSetAlphabet, intern_nfa, restore_nfa
 from repro.formal.dfa import DFA
 from repro.formal.nfa import EPSILON, NFA
 
@@ -54,17 +55,28 @@ def star(automaton: NFA) -> NFA:
 
 
 def intersection(left: NFA, right: NFA) -> NFA:
-    """Language intersection (product of the determinizations)."""
+    """Language intersection (product of the determinizations).
+
+    The product runs over an interned integer alphabet shared by both
+    operands -- role-set symbols are mapped to small ints before the subset
+    construction and restored on the result -- so the hot product loop
+    hashes and orders integers instead of frozensets.
+    """
     left, right = _aligned(left, right)
-    product = left.determinize().product(right.determinize(), accept_both=True)
-    return product.to_nfa()
+    interner = RoleSetAlphabet()
+    left_coded = intern_nfa(left, interner)
+    right_coded = intern_nfa(right, interner)
+    product = left_coded.determinize().product(right_coded.determinize(), accept_both=True)
+    return restore_nfa(product.to_nfa(), interner)
 
 
 def complement(automaton: NFA, alphabet: Optional[Iterable[Symbol]] = None) -> NFA:
     """Complement with respect to ``alphabet`` (defaults to the automaton's)."""
     if alphabet is not None:
         automaton = automaton.with_alphabet(alphabet)
-    return automaton.determinize().complement().to_nfa()
+    interner = RoleSetAlphabet()
+    coded = intern_nfa(automaton, interner)
+    return restore_nfa(coded.determinize().complement().to_nfa(), interner)
 
 
 def difference(left: NFA, right: NFA) -> NFA:
@@ -162,17 +174,18 @@ def remove_repeats(automaton: NFA) -> NFA:
     initial: Set[State] = set()
     accepting: Set[State] = set()
 
+    lasts = [None, *automaton.sorted_alphabet()]
     for state in automaton.states:
-        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+        for last in lasts:
             states.add((state, last))
     for state in automaton.initial_states:
         initial.add((state, None))
     for state in automaton.accepting_states:
-        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+        for last in lasts:
             accepting.add((state, last))
 
     for (source, symbol), targets in automaton.transitions.items():
-        for last in [None, *sorted(automaton.alphabet, key=repr)]:
+        for last in lasts:
             for target in targets:
                 if symbol is EPSILON:
                     transitions.setdefault(((source, last), EPSILON), set()).add((target, last))

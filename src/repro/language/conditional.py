@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Set, Tuple, Union
 
-from repro.language.semantics import apply_update
+from repro.language.semantics import apply_update, compute_update_delta
 from repro.language.transactions import Transaction
 from repro.language.updates import AtomicUpdate
 from repro.model.conditions import Condition
@@ -57,6 +57,8 @@ class Literal:
 
     def substituted(self, assignment: Assignment) -> "Literal":
         """Instantiate the condition's variables."""
+        if self.is_ground:
+            return self
         return Literal(self.class_name, self.condition.substituted(assignment), self.positive)
 
     def validate(self, schema: DatabaseSchema) -> None:
@@ -74,10 +76,10 @@ class Literal:
         if not self.is_ground:
             raise UpdateError(f"cannot evaluate the non-ground literal {self!r}")
         if not self.condition.is_satisfiable():
-            witnesses = frozenset()
+            witnessed = False
         else:
-            witnesses = instance.satisfying_objects(self.condition, self.class_name)
-        return bool(witnesses) if self.positive else not witnesses
+            witnessed = instance.has_satisfying_object(self.condition, self.class_name)
+        return witnessed if self.positive else not witnessed
 
     def __repr__(self) -> str:
         sign = "" if self.positive else "¬"
@@ -121,6 +123,8 @@ class ConditionalUpdate:
 
     def substituted(self, assignment: Assignment) -> "ConditionalUpdate":
         """Instantiate all variables."""
+        if self.is_ground:
+            return self
         return ConditionalUpdate(
             (literal.substituted(assignment) for literal in self.literals),
             self.update.substituted(assignment),
@@ -135,7 +139,7 @@ class ConditionalUpdate:
     def apply(self, instance: DatabaseInstance) -> DatabaseInstance:
         """Definition 4.3: execute the update iff every literal holds."""
         if all(literal.holds_in(instance) for literal in self.literals):
-            return apply_update(self.update, instance)
+            return instance.apply_delta(compute_update_delta(self.update, instance))
         return instance
 
     def __repr__(self) -> str:
@@ -152,10 +156,13 @@ ConditionalStep = Union[ConditionalUpdate, AtomicUpdate]
 class ConditionalTransaction:
     """A CSL/CSL+ transaction: a named sequence of (conditional) atomic updates."""
 
-    __slots__ = ("_name", "_steps")
+    __slots__ = ("_name", "_steps", "_variables", "_ground_cache", "_is_ground")
 
     def __init__(self, name: str, steps: Iterable[ConditionalStep]) -> None:
         self._name = name
+        self._variables: Optional[FrozenSet[Variable]] = None
+        self._ground_cache: Optional[Dict[Assignment, "ConditionalTransaction"]] = None
+        self._is_ground: Optional[bool] = None
         normalized = []
         for step in steps:
             if isinstance(step, AtomicUpdate):
@@ -195,15 +202,23 @@ class ConditionalTransaction:
 
     @property
     def is_ground(self) -> bool:
-        """Return ``True`` if every step is ground."""
-        return all(step.is_ground for step in self._steps)
+        """Return ``True`` if every step is ground (cached)."""
+        ground = self._is_ground
+        if ground is None:
+            ground = all(step.is_ground for step in self._steps)
+            self._is_ground = ground
+        return ground
 
     def variables(self) -> FrozenSet[Variable]:
         """All variables of the transaction."""
-        result: Set[Variable] = set()
-        for step in self._steps:
-            result |= step.variables()
-        return frozenset(result)
+        variables = self._variables
+        if variables is None:
+            result: Set[Variable] = set()
+            for step in self._steps:
+                result |= step.variables()
+            variables = frozenset(result)
+            self._variables = variables
+        return variables
 
     def constants(self) -> FrozenSet[Constant]:
         """All constants of the transaction."""
@@ -214,8 +229,18 @@ class ConditionalTransaction:
 
     # -- transformation ----------------------------------------------------- #
     def substituted(self, assignment: Assignment) -> "ConditionalTransaction":
-        """``T[α]``: instantiate all variables."""
-        return ConditionalTransaction(self._name, (step.substituted(assignment) for step in self._steps))
+        """``T[α]``: instantiate all variables (memoized per assignment)."""
+        if not self.variables():
+            return self
+        cache = self._ground_cache
+        if cache is None:
+            cache = {}
+            self._ground_cache = cache
+        ground = cache.get(assignment)
+        if ground is None:
+            ground = ConditionalTransaction(self._name, (step.substituted(assignment) for step in self._steps))
+            cache[assignment] = ground
+        return ground
 
     def validate(self, schema: DatabaseSchema) -> None:
         """Validate every step against ``schema``."""
@@ -271,7 +296,7 @@ class ConditionalTransaction:
 class ConditionalTransactionSchema:
     """A finite set of CSL/CSL+ transactions over one database schema."""
 
-    __slots__ = ("_schema", "_transactions")
+    __slots__ = ("_schema", "_transactions", "_by_name")
 
     def __init__(
         self,
@@ -286,6 +311,7 @@ class ConditionalTransactionSchema:
                 raise UpdateError(f"duplicate transaction name {transaction.name!r}")
             ordered[transaction.name] = transaction
         self._transactions: Tuple[ConditionalTransaction, ...] = tuple(ordered.values())
+        self._by_name: Dict[str, ConditionalTransaction] = ordered
         if validate:
             for transaction in self._transactions:
                 transaction.validate(schema)
@@ -307,10 +333,10 @@ class ConditionalTransactionSchema:
         return len(self._transactions)
 
     def __getitem__(self, name: str) -> ConditionalTransaction:
-        for transaction in self._transactions:
-            if transaction.name == name:
-                return transaction
-        raise KeyError(name)
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     @property
     def is_positive(self) -> bool:

@@ -14,11 +14,18 @@ the corner cases the paper calls out:
 * ``specialize`` leaves objects that are already members of the target class
   untouched, and adds new members to the target class and all of its
   ancestors.
+
+Instead of rebuilding the full attribute dict per update (the seed-era
+implementation), every update is first described as an
+:class:`repro.model.store.InstanceDelta` and then applied through the
+persistent store, so each application costs O(touched values), not
+O(instance size).  :func:`compute_update_delta` exposes the delta itself;
+:func:`transaction_delta` batches a whole transaction into one delta.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.language.transactions import Transaction
 from repro.language.updates import (
@@ -33,7 +40,11 @@ from repro.model.conditions import Condition
 from repro.model.errors import UpdateError
 from repro.model.instance import DatabaseInstance
 from repro.model.schema import AttributeName, ClassName
+from repro.model.store import InstanceDelta
 from repro.model.values import Assignment, Constant, ObjectId
+
+#: The identity delta shared by every no-op update.
+_IDENTITY = InstanceDelta()
 
 
 def _condition_values(condition: Condition) -> Dict[AttributeName, Constant]:
@@ -45,29 +56,27 @@ def _condition_values(condition: Condition) -> Dict[AttributeName, Constant]:
     return values
 
 
-def _apply_create(update: Create, instance: DatabaseInstance) -> DatabaseInstance:
+def _create_delta(update: Create, instance: DatabaseInstance) -> InstanceDelta:
     if not update.values.is_satisfiable():
-        return instance
-    schema = instance.schema
+        return _IDENTITY
     new_object = instance.next_object
-    extent = {name: set(objects) for name, objects in instance.extent.items()}
-    extent[update.class_name].add(new_object)
-    values = dict(instance.values)
-    for attribute, constant in _condition_values(update.values).items():
-        values[(new_object, attribute)] = constant
-    return instance.replace(
-        extent=extent,
-        values=values,
+    value_sets = {
+        (new_object, attribute): constant
+        for attribute, constant in _condition_values(update.values).items()
+    }
+    return InstanceDelta.raw(
+        extent_add={update.class_name: frozenset((new_object,))},
+        value_sets=value_sets,
         next_object=new_object.successor(),
     )
 
 
-def _remove_objects_below(
+def _removal_delta(
     instance: DatabaseInstance,
     class_name: ClassName,
     objects: Iterable[ObjectId],
     drop_all_values: bool,
-) -> DatabaseInstance:
+) -> InstanceDelta:
     """Shared removal logic for ``delete`` and ``generalize``.
 
     Removes ``objects`` from ``class_name`` and all of its isa-descendants.
@@ -76,91 +85,91 @@ def _remove_objects_below(
     affected classes are dropped (generalize).
     """
     schema = instance.schema
-    doomed = set(objects)
+    doomed = frozenset(objects)
     if not doomed:
-        return instance
+        return _IDENTITY
     affected_classes = schema.descendants(class_name)
-    extent = {name: set(existing) for name, existing in instance.extent.items()}
-    for name in affected_classes:
-        extent[name] -= doomed
-    values = dict(instance.values)
+    extent_remove = {
+        name: doomed for name in affected_classes if instance.objects_in(name) & doomed
+    }
     if drop_all_values:
-        for (obj, attribute) in list(values):
-            if obj in doomed:
-                del values[(obj, attribute)]
-    else:
-        dropped_attributes: Set[AttributeName] = set()
-        for name in affected_classes:
-            dropped_attributes |= schema.attributes_of(name)
-        for (obj, attribute) in list(values):
-            if obj in doomed and attribute in dropped_attributes:
-                del values[(obj, attribute)]
-    return instance.replace(extent=extent, values=values)
+        return InstanceDelta.raw(extent_remove=extent_remove, dropped_objects=doomed)
+    dropped_attributes: Set[AttributeName] = set()
+    for name in affected_classes:
+        dropped_attributes |= schema.attributes_of(name)
+    value_dels = [
+        (obj, attribute)
+        for obj in doomed
+        for attribute in instance.value_row(obj).keys() & dropped_attributes
+    ]
+    return InstanceDelta.raw(extent_remove=extent_remove, value_dels=value_dels)
 
 
-def _apply_delete(update: Delete, instance: DatabaseInstance) -> DatabaseInstance:
+def _delete_delta(update: Delete, instance: DatabaseInstance) -> InstanceDelta:
     if not update.selection.is_satisfiable():
-        return instance
+        return _IDENTITY
     selected = instance.satisfying_objects(update.selection, update.class_name)
-    return _remove_objects_below(instance, update.class_name, selected, drop_all_values=True)
+    return _removal_delta(instance, update.class_name, selected, drop_all_values=True)
 
 
-def _apply_modify(update: Modify, instance: DatabaseInstance) -> DatabaseInstance:
+def _modify_delta(update: Modify, instance: DatabaseInstance) -> InstanceDelta:
     if not update.selection.is_satisfiable() or not update.changes.is_satisfiable():
-        return instance
+        return _IDENTITY
     selected = instance.satisfying_objects(update.selection, update.class_name)
     if not selected:
-        return instance
-    values = dict(instance.values)
+        return _IDENTITY
     changed_attributes = update.changes.referenced_attributes()
     new_values = _condition_values(update.changes)
+    cleared = changed_attributes - frozenset(new_values)
+    value_sets = {}
+    value_dels = []
     for obj in selected:
-        for attribute in changed_attributes:
-            values.pop((obj, attribute), None)
+        for attribute in cleared:
+            value_dels.append((obj, attribute))
         for attribute, constant in new_values.items():
-            values[(obj, attribute)] = constant
-    return instance.replace(values=values)
+            value_sets[(obj, attribute)] = constant
+    return InstanceDelta.raw(value_sets=value_sets, value_dels=value_dels)
 
 
-def _apply_generalize(update: Generalize, instance: DatabaseInstance) -> DatabaseInstance:
+def _generalize_delta(update: Generalize, instance: DatabaseInstance) -> InstanceDelta:
     if not update.selection.is_satisfiable():
-        return instance
+        return _IDENTITY
     selected = instance.satisfying_objects(update.selection, update.class_name)
-    return _remove_objects_below(instance, update.class_name, selected, drop_all_values=False)
+    return _removal_delta(instance, update.class_name, selected, drop_all_values=False)
 
 
-def _apply_specialize(update: Specialize, instance: DatabaseInstance) -> DatabaseInstance:
+def _specialize_delta(update: Specialize, instance: DatabaseInstance) -> InstanceDelta:
     if not update.selection.is_satisfiable() or not update.new_values.is_satisfiable():
-        return instance
+        return _IDENTITY
     schema = instance.schema
     candidates = instance.satisfying_objects(update.selection, update.parent_class)
     migrating = candidates - instance.objects_in(update.child_class)
     if not migrating:
-        return instance
-    extent = {name: set(existing) for name, existing in instance.extent.items()}
-    for name in schema.ancestors(update.child_class):
-        extent[name] |= migrating
-    values = dict(instance.values)
+        return _IDENTITY
+    extent_add = {name: migrating for name in schema.ancestors(update.child_class)}
     new_values = _condition_values(update.new_values)
+    cleared = update.new_values.referenced_attributes() - frozenset(new_values)
+    value_sets = {}
+    value_dels = []
     for obj in migrating:
-        for attribute in update.new_values.referenced_attributes():
-            values.pop((obj, attribute), None)
+        for attribute in cleared:
+            value_dels.append((obj, attribute))
         for attribute, constant in new_values.items():
-            values[(obj, attribute)] = constant
-    return instance.replace(extent=extent, values=values)
+            value_sets[(obj, attribute)] = constant
+    return InstanceDelta.raw(extent_add=extent_add, value_sets=value_sets, value_dels=value_dels)
 
 
 _DISPATCH = {
-    Create: _apply_create,
-    Delete: _apply_delete,
-    Modify: _apply_modify,
-    Generalize: _apply_generalize,
-    Specialize: _apply_specialize,
+    Create: _create_delta,
+    Delete: _delete_delta,
+    Modify: _modify_delta,
+    Generalize: _generalize_delta,
+    Specialize: _specialize_delta,
 }
 
 
-def apply_update(update: AtomicUpdate, instance: DatabaseInstance) -> DatabaseInstance:
-    """Apply one *ground* atomic update to ``instance``.
+def compute_update_delta(update: AtomicUpdate, instance: DatabaseInstance) -> InstanceDelta:
+    """The :class:`InstanceDelta` one *ground* atomic update causes on ``instance``.
 
     Raises :class:`UpdateError` if the update still contains variables.
     """
@@ -170,6 +179,14 @@ def apply_update(update: AtomicUpdate, instance: DatabaseInstance) -> DatabaseIn
     if handler is None:
         raise UpdateError(f"unknown update type {type(update).__name__}")
     return handler(update, instance)
+
+
+def apply_update(update: AtomicUpdate, instance: DatabaseInstance) -> DatabaseInstance:
+    """Apply one *ground* atomic update to ``instance``.
+
+    Raises :class:`UpdateError` if the update still contains variables.
+    """
+    return instance.apply_delta(compute_update_delta(update, instance))
 
 
 def apply_transaction(
@@ -190,8 +207,25 @@ def apply_transaction(
         )
     current = instance
     for update in ground.updates:
-        current = apply_update(update, current)
+        current = current.apply_delta(compute_update_delta(update, current))
     return current
+
+
+def transaction_delta(
+    transaction: Transaction,
+    instance: DatabaseInstance,
+    assignment: Optional[Assignment] = None,
+) -> InstanceDelta:
+    """The single batched delta a whole transaction causes on ``instance``.
+
+    The updates are still evaluated sequentially (later updates observe
+    earlier effects, exactly as in Definition 2.5); the result folds the
+    chain into one :class:`InstanceDelta` from ``instance`` to the final
+    state, which callers can store or replay far more cheaply than the full
+    final instance.
+    """
+    result = apply_transaction(transaction, instance, assignment)
+    return instance.diff(result)
 
 
 def run_sequence(
@@ -212,4 +246,10 @@ def run_sequence(
     return current, tuple(trace)
 
 
-__all__ = ["apply_update", "apply_transaction", "run_sequence"]
+__all__ = [
+    "apply_update",
+    "apply_transaction",
+    "compute_update_delta",
+    "transaction_delta",
+    "run_sequence",
+]

@@ -26,11 +26,14 @@ class Transaction:
     identity.
     """
 
-    __slots__ = ("_name", "_updates")
+    __slots__ = ("_name", "_updates", "_variables", "_ground_cache", "_is_ground")
 
     def __init__(self, name: str, updates: Iterable[AtomicUpdate]) -> None:
         self._name = name
         self._updates: Tuple[AtomicUpdate, ...] = tuple(updates)
+        self._variables: Optional[FrozenSet[Variable]] = None
+        self._ground_cache: Optional[Dict[Assignment, "Transaction"]] = None
+        self._is_ground: Optional[bool] = None
 
     # -- structure --------------------------------------------------------- #
     @property
@@ -61,15 +64,23 @@ class Transaction:
 
     @property
     def is_ground(self) -> bool:
-        """Return ``True`` if every update is ground."""
-        return all(update.is_ground for update in self._updates)
+        """Return ``True`` if every update is ground (cached)."""
+        ground = self._is_ground
+        if ground is None:
+            ground = all(update.is_ground for update in self._updates)
+            self._is_ground = ground
+        return ground
 
     def variables(self) -> FrozenSet[Variable]:
         """All variables occurring in the transaction."""
-        result: Set[Variable] = set()
-        for update in self._updates:
-            result |= update.variables()
-        return frozenset(result)
+        variables = self._variables
+        if variables is None:
+            result: Set[Variable] = set()
+            for update in self._updates:
+                result |= update.variables()
+            variables = frozenset(result)
+            self._variables = variables
+        return variables
 
     def constants(self) -> FrozenSet[Constant]:
         """All constants occurring in the transaction."""
@@ -87,8 +98,23 @@ class Transaction:
 
     # -- transformation ----------------------------------------------------- #
     def substituted(self, assignment: Assignment) -> "Transaction":
-        """``T[α]``: the ground transaction obtained by substituting variables."""
-        return Transaction(self._name, (update.substituted(assignment) for update in self._updates))
+        """``T[α]``: the ground transaction obtained by substituting variables.
+
+        The static analyses re-instantiate the same transaction under the
+        same small assignment pool for every explored vertex/state, so the
+        ground transactions are memoized per assignment.
+        """
+        if not self.variables():
+            return self
+        cache = self._ground_cache
+        if cache is None:
+            cache = {}
+            self._ground_cache = cache
+        ground = cache.get(assignment)
+        if ground is None:
+            ground = Transaction(self._name, (update.substituted(assignment) for update in self._updates))
+            cache[assignment] = ground
+        return ground
 
     def validate(self, schema: DatabaseSchema) -> None:
         """Validate every update against ``schema``."""
@@ -125,7 +151,7 @@ class Transaction:
 class TransactionSchema:
     """A finite set of (parameterized) transactions over one database schema."""
 
-    __slots__ = ("_schema", "_transactions")
+    __slots__ = ("_schema", "_transactions", "_by_name")
 
     def __init__(
         self,
@@ -140,6 +166,7 @@ class TransactionSchema:
                 raise UpdateError(f"duplicate transaction name {transaction.name!r}")
             ordered[transaction.name] = transaction
         self._transactions: Tuple[Transaction, ...] = tuple(ordered.values())
+        self._by_name: Dict[str, Transaction] = ordered
         if validate:
             for transaction in self._transactions:
                 transaction.validate(schema)
@@ -162,10 +189,10 @@ class TransactionSchema:
         return len(self._transactions)
 
     def __getitem__(self, name: str) -> Transaction:
-        for transaction in self._transactions:
-            if transaction.name == name:
-                return transaction
-        raise KeyError(name)
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     def names(self) -> Tuple[str, ...]:
         """The transaction names, in declaration order."""

@@ -21,6 +21,7 @@ update that :mod:`repro.language.semantics` can execute.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import FrozenSet, Iterable, Set, Tuple
 
 from repro.model.conditions import Condition
@@ -44,9 +45,9 @@ class AtomicUpdate:
         """The classes named by the update."""
         raise NotImplementedError
 
-    @property
+    @cached_property
     def is_ground(self) -> bool:
-        """Return ``True`` if no condition mentions a variable."""
+        """Return ``True`` if no condition mentions a variable (cached)."""
         return all(condition.is_ground for condition in self.conditions())
 
     def variables(self) -> FrozenSet[Variable]:
@@ -110,6 +111,8 @@ class Create(AtomicUpdate):
         return (self.class_name,)
 
     def substituted(self, assignment: Assignment) -> "Create":
+        if self.is_ground:
+            return self
         return Create(self.class_name, self.values.substituted(assignment))
 
     def validate(self, schema: DatabaseSchema) -> None:
@@ -140,6 +143,8 @@ class Delete(AtomicUpdate):
         return (self.class_name,)
 
     def substituted(self, assignment: Assignment) -> "Delete":
+        if self.is_ground:
+            return self
         return Delete(self.class_name, self.selection.substituted(assignment))
 
     def validate(self, schema: DatabaseSchema) -> None:
@@ -174,6 +179,8 @@ class Modify(AtomicUpdate):
         return (self.class_name,)
 
     def substituted(self, assignment: Assignment) -> "Modify":
+        if self.is_ground:
+            return self
         return Modify(
             self.class_name,
             self.selection.substituted(assignment),
@@ -214,6 +221,8 @@ class Generalize(AtomicUpdate):
         return (self.class_name,)
 
     def substituted(self, assignment: Assignment) -> "Generalize":
+        if self.is_ground:
+            return self
         return Generalize(self.class_name, self.selection.substituted(assignment))
 
     def validate(self, schema: DatabaseSchema) -> None:
@@ -252,6 +261,8 @@ class Specialize(AtomicUpdate):
         return (self.parent_class, self.child_class)
 
     def substituted(self, assignment: Assignment) -> "Specialize":
+        if self.is_ground:
+            return self
         return Specialize(
             self.parent_class,
             self.child_class,

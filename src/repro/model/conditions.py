@@ -80,11 +80,26 @@ class Condition:
     :data:`UNSATISFIABLE` and answers ``False`` to :meth:`is_satisfiable`.
     """
 
-    __slots__ = ("_atoms", "_unsatisfiable_marker")
+    __slots__ = (
+        "_atoms",
+        "_unsatisfiable_marker",
+        "_is_ground",
+        "_satisfiable",
+        "_referenced",
+        "_sorted_atoms",
+        "_compiled",
+    )
 
     def __init__(self, atoms: Iterable[AtomicCondition] = (), _unsatisfiable: bool = False) -> None:
         self._atoms: FrozenSet[AtomicCondition] = frozenset(atoms)
         self._unsatisfiable_marker = _unsatisfiable
+        # Lazily computed properties; conditions are immutable so the answers
+        # never change and the analyses ask for them very many times.
+        self._is_ground: Optional[bool] = None
+        self._satisfiable: Optional[bool] = None
+        self._referenced: Optional[FrozenSet[AttributeName]] = None
+        self._sorted_atoms: Optional[Tuple[AtomicCondition, ...]] = None
+        self._compiled: Optional[Tuple[Tuple[AttributeName, bool, Term], ...]] = None
 
     # ------------------------------------------------------------------ #
     # Convenient constructors
@@ -116,7 +131,11 @@ class Condition:
         return self._atoms
 
     def __iter__(self) -> Iterator[AtomicCondition]:
-        return iter(sorted(self._atoms, key=repr))
+        ordered = self._sorted_atoms
+        if ordered is None:
+            ordered = tuple(sorted(self._atoms, key=repr))
+            self._sorted_atoms = ordered
+        return iter(ordered)
 
     def __len__(self) -> int:
         return len(self._atoms)
@@ -127,11 +146,19 @@ class Condition:
     @property
     def is_ground(self) -> bool:
         """Return ``True`` if no atom mentions a variable."""
-        return all(atom.is_ground for atom in self._atoms)
+        ground = self._is_ground
+        if ground is None:
+            ground = all(atom.is_ground for atom in self._atoms)
+            self._is_ground = ground
+        return ground
 
     def referenced_attributes(self) -> FrozenSet[AttributeName]:
         """``Att(Γ)``: every attribute mentioned."""
-        return frozenset(atom.attribute for atom in self._atoms)
+        referenced = self._referenced
+        if referenced is None:
+            referenced = frozenset(atom.attribute for atom in self._atoms)
+            self._referenced = referenced
+        return referenced
 
     def defined_attributes(self) -> FrozenSet[AttributeName]:
         """``Att_def(Γ)``: attributes occurring in an equality atom."""
@@ -150,7 +177,7 @@ class Condition:
     # ------------------------------------------------------------------ #
     def substituted(self, assignment: Assignment) -> "Condition":
         """Replace every variable using ``assignment`` (yielding a ground condition)."""
-        if self._unsatisfiable_marker:
+        if self._unsatisfiable_marker or self.is_ground:
             return self
         return Condition(atom.substituted(assignment) for atom in self._atoms)
 
@@ -163,6 +190,13 @@ class Condition:
         """
         if self._unsatisfiable_marker:
             return False
+        cached = self._satisfiable
+        if cached is not None:
+            return cached
+        self._satisfiable = cached = self._compute_satisfiable()
+        return cached
+
+    def _compute_satisfiable(self) -> bool:
         if not self.is_ground:
             raise ConditionError("satisfiability is defined for ground conditions only")
         required: Dict[AttributeName, Set[Constant]] = {}
@@ -178,6 +212,20 @@ class Condition:
                 return False
         return True
 
+    def _compile(self) -> Tuple[Tuple[AttributeName, bool, Term], ...]:
+        """Flatten the (ground) atoms to ``(attribute, is_equality, constant)``.
+
+        Selection evaluates the same condition against very many rows; the
+        compiled form is computed once and skips per-row property lookups.
+        Raises on the first non-ground atom, like evaluation used to.
+        """
+        compiled = []
+        for atom in self._atoms:
+            if not atom.is_ground:
+                raise ConditionError(f"cannot evaluate the non-ground atom {atom!r}")
+            compiled.append((atom.attribute, atom.is_equality, atom.term))
+        return tuple(compiled)
+
     def satisfied_by_tuple(self, row: Mapping[AttributeName, Constant]) -> bool:
         """Ground satisfaction against a tuple (total mapping over its attributes).
 
@@ -186,12 +234,19 @@ class Condition:
         """
         if self._unsatisfiable_marker:
             return False
-        for atom in self._atoms:
-            if not atom.is_ground:
-                raise ConditionError(f"cannot evaluate the non-ground atom {atom!r}")
-            if atom.attribute not in row:
-                raise ConditionError(f"tuple is missing attribute {atom.attribute!r}")
-            if not atom.satisfied_by_value(row[atom.attribute]):
+        compiled = self._compiled
+        if compiled is None:
+            compiled = self._compile()
+            self._compiled = compiled
+        get = row.get
+        for attribute, is_equality, term in compiled:
+            value = get(attribute, _NO_VALUE)
+            if value is _NO_VALUE:
+                raise ConditionError(f"tuple is missing attribute {attribute!r}")
+            if is_equality:
+                if value != term:
+                    return False
+            elif value == term:
                 return False
         return True
 
@@ -215,6 +270,9 @@ class Condition:
             return "Condition(∅)"
         return "Condition({" + ", ".join(repr(atom) for atom in self) + "})"
 
+
+#: Sentinel distinguishing "attribute absent" from any stored value.
+_NO_VALUE = object()
 
 #: The distinguished non-satisfiable condition ``E`` of the paper.
 UNSATISFIABLE = Condition(_unsatisfiable=True)

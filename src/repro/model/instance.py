@@ -11,7 +11,11 @@ schema ``D`` consists of
   it in the total order ``<_O``).
 
 Instances are immutable; the update semantics in
-:mod:`repro.language.semantics` produces new instances.
+:mod:`repro.language.semantics` produces new instances.  Internally the
+attribute assignment lives in a persistent
+:class:`repro.model.store.AttributeStore`, so deriving an updated instance
+via :meth:`DatabaseInstance.apply_delta` shares all untouched rows with its
+parent instead of copying the whole assignment.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from typing import (
 from repro.model.conditions import Condition
 from repro.model.errors import InstanceError
 from repro.model.schema import AttributeName, ClassName, DatabaseSchema
+from repro.model.store import AttributeStore, InstanceDelta
 from repro.model.values import Constant, ObjectId
 
 #: Global default for instance validation.  The static analyses in
@@ -61,7 +66,7 @@ class DatabaseInstance:
     methods (or :mod:`repro.language.semantics`) to derive updated instances.
     """
 
-    __slots__ = ("_schema", "_extent", "_values", "_next_object")
+    __slots__ = ("_schema", "_extent", "_values", "_next_object", "_cached_key", "_cached_hash")
 
     def __init__(
         self,
@@ -75,12 +80,39 @@ class DatabaseInstance:
         self._extent: Dict[ClassName, FrozenSet[ObjectId]] = {
             name: frozenset(extent.get(name, ())) for name in schema.classes
         }
-        self._values: Dict[Tuple[ObjectId, AttributeName], Constant] = dict(values)
+        self._values: AttributeStore = (
+            values if isinstance(values, AttributeStore) else AttributeStore(values)
+        )
         self._next_object = next_object
+        self._cached_key: Optional[Tuple] = None
+        self._cached_hash: Optional[int] = None
         if validate is None:
             validate = VALIDATE_INSTANCES
         if validate:
             self._validate()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        schema: DatabaseSchema,
+        extent: Dict[ClassName, FrozenSet[ObjectId]],
+        values: AttributeStore,
+        next_object: ObjectId,
+        validate: Optional[bool] = None,
+    ) -> "DatabaseInstance":
+        """Internal fast constructor: trusts that ``extent`` is normalized."""
+        instance = cls.__new__(cls)
+        instance._schema = schema
+        instance._extent = extent
+        instance._values = values
+        instance._next_object = next_object
+        instance._cached_key = None
+        instance._cached_hash = None
+        if validate is None:
+            validate = VALIDATE_INSTANCES
+        if validate:
+            instance._validate()
+        return instance
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -104,6 +136,86 @@ class DatabaseInstance:
             values if values is not None else self._values,
             next_object if next_object is not None else self._next_object,
             validate=validate,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Deltas (persistent derivation)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: InstanceDelta, validate: Optional[bool] = None) -> "DatabaseInstance":
+        """The instance obtained by applying ``delta``, sharing untouched state.
+
+        This is the fast path used by the update semantics: extents are
+        copied per touched class only and attribute rows are shared through
+        the persistent store.
+        """
+        if delta.is_empty:
+            return self
+        if delta.extent_add or delta.extent_remove:
+            extent = dict(self._extent)
+            for name, objects in delta.extent_add.items():
+                extent[name] = extent[name] | objects
+            for name, objects in delta.extent_remove.items():
+                extent[name] = extent[name] - objects
+        else:
+            # Extent dicts are never mutated after construction, so a
+            # value-only delta can share the parent's dict outright.
+            extent = self._extent
+        values = self._values
+        if delta.value_sets or delta.value_dels or delta.dropped_objects:
+            values = values.updated(
+                sets=delta.value_sets.items(),
+                deletions=delta.value_dels,
+                dropped_objects=delta.dropped_objects,
+            )
+        next_object = delta.next_object if delta.next_object is not None else self._next_object
+        return DatabaseInstance._from_parts(self._schema, extent, values, next_object, validate)
+
+    def diff(self, other: "DatabaseInstance") -> InstanceDelta:
+        """The delta transforming this instance into ``other``.
+
+        ``self.apply_delta(self.diff(other)) == other`` whenever both
+        instances belong to the same schema.
+        """
+        if self._schema != other._schema:
+            raise InstanceError("diff requires two instances of the same schema")
+        extent_add: Dict[ClassName, FrozenSet[ObjectId]] = {}
+        extent_remove: Dict[ClassName, FrozenSet[ObjectId]] = {}
+        for name in self._schema.classes:
+            mine, theirs = self._extent[name], other._extent[name]
+            if mine is theirs or mine == theirs:
+                continue
+            added = theirs - mine
+            removed = mine - theirs
+            if added:
+                extent_add[name] = added
+            if removed:
+                extent_remove[name] = removed
+        value_sets: Dict[Tuple[ObjectId, AttributeName], Constant] = {}
+        value_dels = []
+        dropped: Set[ObjectId] = set()
+        seen: Set[ObjectId] = set()
+        for obj, their_row in other._values.rows():
+            seen.add(obj)
+            my_row = self._values.row(obj)
+            if my_row is their_row:
+                continue
+            for attribute, value in their_row.items():
+                if my_row.get(attribute, _MISSING) != value:
+                    value_sets[(obj, attribute)] = value
+            for attribute in my_row:
+                if attribute not in their_row:
+                    value_dels.append((obj, attribute))
+        for obj, _row in self._values.rows():
+            if obj not in seen:
+                dropped.add(obj)
+        next_object = other._next_object if other._next_object != self._next_object else None
+        return InstanceDelta(
+            extent_add=extent_add,
+            extent_remove=extent_remove,
+            value_sets=value_sets,
+            value_dels=value_dels,
+            dropped_objects=dropped,
+            next_object=next_object,
         )
 
     # ------------------------------------------------------------------ #
@@ -135,16 +247,21 @@ class DatabaseInstance:
                     )
         # 2: totality of the attribute assignment on ∪ o(P) × A(P).
         for name in schema.classes:
-            for attribute in schema.attributes_of(name):
-                for obj in self._extent[name]:
-                    if (obj, attribute) not in self._values:
+            attributes = schema.attributes_of(name)
+            if not attributes:
+                continue
+            for obj in self._extent[name]:
+                row = self._values.row(obj)
+                for attribute in attributes:
+                    if attribute not in row:
                         raise InstanceError(
                             f"object {obj!r} in class {name!r} has no value for attribute {attribute!r}"
                         )
         # No dangling values for objects that do not occur (keeps instances canonical).
         occurring = self.all_objects()
-        for (obj, attribute) in self._values:
+        for obj, row in self._values.rows():
             if obj not in occurring:
+                attribute = next(iter(row))
                 raise InstanceError(
                     f"value recorded for {obj!r}.{attribute} but the object occurs in no class"
                 )
@@ -176,7 +293,7 @@ class DatabaseInstance:
     @property
     def values(self) -> Mapping[Tuple[ObjectId, AttributeName], Constant]:
         """The attribute assignment ``a`` as a read-only mapping."""
-        return dict(self._values)
+        return self._values
 
     def objects_in(self, name: ClassName) -> FrozenSet[ObjectId]:
         """``o(P)``: the objects currently in class ``name``."""
@@ -201,13 +318,17 @@ class DatabaseInstance:
     def value(self, obj: ObjectId, attribute: AttributeName) -> Constant:
         """``a(o, A)``: the attribute value (raises if undefined)."""
         try:
-            return self._values[(obj, attribute)]
+            return self._values.row(obj)[attribute]
         except KeyError:
             raise InstanceError(f"{obj!r} has no value for attribute {attribute!r}") from None
 
     def has_value(self, obj: ObjectId, attribute: AttributeName) -> bool:
         """Return ``True`` if the object has a value for ``attribute``."""
-        return (obj, attribute) in self._values
+        return attribute in self._values.row(obj)
+
+    def value_row(self, obj: ObjectId) -> Mapping[AttributeName, Constant]:
+        """The complete attribute row of ``obj`` (read-only, may be shared)."""
+        return self._values.row(obj)
 
     def tuple_of(self, obj: ObjectId, attributes: Optional[Iterable[AttributeName]] = None) -> Dict[AttributeName, Constant]:
         """The tuple yielded by ``obj`` over ``attributes`` (default: all defined).
@@ -218,14 +339,24 @@ class DatabaseInstance:
         """
         if attributes is None:
             attributes = self._schema.attributes_of_role_set(self.role_set(obj))
+        source = self._values.row(obj)
         row: Dict[AttributeName, Constant] = {}
         for attribute in attributes:
-            row[attribute] = self.value(obj, attribute)
+            if attribute not in source:
+                raise InstanceError(f"{obj!r} has no value for attribute {attribute!r}")
+            row[attribute] = source[attribute]
         return row
 
     # ------------------------------------------------------------------ #
     # Selection
     # ------------------------------------------------------------------ #
+    def _check_condition_attributes(self, condition: Condition, name: ClassName) -> None:
+        unknown = condition.referenced_attributes() - self._schema.all_attributes_of(name)
+        if unknown:
+            raise InstanceError(
+                f"condition references attributes {sorted(unknown)!r} not defined on class {name!r}"
+            )
+
     def satisfying_objects(self, condition: Condition, name: ClassName) -> FrozenSet[ObjectId]:
         """``Sat(Γ, d, P)``: the objects of class ``name`` satisfying ``condition``.
 
@@ -235,18 +366,24 @@ class DatabaseInstance:
         self._schema.require_class(name)
         if not condition.is_satisfiable():
             return frozenset()
-        defined = self._schema.all_attributes_of(name)
-        unknown = condition.referenced_attributes() - defined
-        if unknown:
-            raise InstanceError(
-                f"condition references attributes {sorted(unknown)!r} not defined on class {name!r}"
-            )
-        selected: Set[ObjectId] = set()
-        for obj in self._extent[name]:
-            row = {attribute: self._values[(obj, attribute)] for attribute in defined if (obj, attribute) in self._values}
-            if condition.satisfied_by_tuple(row):
-                selected.add(obj)
-        return frozenset(selected)
+        self._check_condition_attributes(condition, name)
+        row_of = self._values.row
+        satisfied = condition.satisfied_by_tuple
+        return frozenset(obj for obj in self._extent[name] if satisfied(row_of(obj)))
+
+    def has_satisfying_object(self, condition: Condition, name: ClassName) -> bool:
+        """Whether ``Sat(Γ, d, P)`` is non-empty, stopping at the first witness.
+
+        This is the work a CSL literal ``P(Γ)`` actually needs; it avoids
+        materializing the full satisfying set.
+        """
+        self._schema.require_class(name)
+        if not condition.is_satisfiable():
+            return False
+        self._check_condition_attributes(condition, name)
+        row_of = self._values.row
+        satisfied = condition.satisfied_by_tuple
+        return any(satisfied(row_of(obj)) for obj in self._extent[name])
 
     def object_satisfies(self, obj: ObjectId, condition: Condition) -> bool:
         """Ground satisfaction of ``condition`` by ``obj`` over its defined attributes."""
@@ -262,24 +399,26 @@ class DatabaseInstance:
         """``d|_I``: the restriction of the instance onto a set of objects."""
         keep = frozenset(objects)
         extent = {name: self._extent[name] & keep for name in self._schema.classes}
-        values = {
-            (obj, attribute): value
-            for (obj, attribute), value in self._values.items()
-            if obj in keep
-        }
-        return DatabaseInstance(self._schema, extent, values, self._next_object, validate=False)
+        values = self._values.restricted_to(keep)
+        return DatabaseInstance._from_parts(self._schema, extent, values, self._next_object, validate=False)
 
     # ------------------------------------------------------------------ #
     # Identity and reporting
     # ------------------------------------------------------------------ #
     def _key(self) -> Tuple:
-        return (
-            tuple(sorted((name, tuple(sorted(objects))) for name, objects in self._extent.items())),
-            tuple(sorted(self._values.items(), key=repr)),
-            self._next_object,
-        )
+        key = self._cached_key
+        if key is None:
+            key = (
+                tuple(sorted((name, tuple(sorted(objects))) for name, objects in self._extent.items())),
+                tuple(sorted((obj, tuple(sorted(row.items()))) for obj, row in self._values.rows())),
+                self._next_object,
+            )
+            self._cached_key = key
+        return key
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, DatabaseInstance)
             and self._schema == other._schema
@@ -287,7 +426,11 @@ class DatabaseInstance:
         )
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        cached = self._cached_hash
+        if cached is None:
+            cached = hash(self._key())
+            self._cached_hash = cached
+        return cached
 
     def __repr__(self) -> str:
         populated = {
@@ -307,12 +450,13 @@ class DatabaseInstance:
             lines.append(f"{name}:")
             for obj in objects:
                 attributes = sorted(self._schema.all_attributes_of(name))
-                row = ", ".join(
-                    f"{attribute}={self._values.get((obj, attribute), '?')!r}" for attribute in attributes
-                )
-                lines.append(f"  {obj!r}: {row}")
+                row = self._values.row(obj)
+                rendering = ", ".join(f"{attribute}={row.get(attribute, '?')!r}" for attribute in attributes)
+                lines.append(f"  {obj!r}: {rendering}")
         lines.append(f"next object: {self._next_object!r}")
         return "\n".join(lines)
 
+
+_MISSING = object()
 
 __all__ = ["DatabaseInstance"]

@@ -93,6 +93,13 @@ class DatabaseSchema:
             for name in component:
                 self._component_of[name] = component
         self._validate_specialization_graph()
+        # ``A*`` is asked for constantly by selection and validation; the
+        # schema is immutable, so precompute it once per class.
+        self._all_attributes: Dict[ClassName, FrozenSet[AttributeName]] = {
+            name: frozenset().union(*(self._attributes[a] for a in self._ancestors[name]))
+            for name in self._classes
+        }
+        self._role_set_attributes: Dict[FrozenSet[ClassName], FrozenSet[AttributeName]] = {}
 
     # ------------------------------------------------------------------ #
     # Validation helpers
@@ -205,17 +212,19 @@ class DatabaseSchema:
     def all_attributes_of(self, name: ClassName) -> FrozenSet[AttributeName]:
         """``A*(P)``: the attributes defined on ``name`` including inherited ones."""
         self.require_class(name)
-        result: Set[AttributeName] = set()
-        for ancestor in self._ancestors[name]:
-            result |= self._attributes[ancestor]
-        return frozenset(result)
+        return self._all_attributes[name]
 
     def attributes_of_role_set(self, classes: Iterable[ClassName]) -> FrozenSet[AttributeName]:
-        """``A_w``: the union of ``A*(Q)`` over the classes of a role set."""
-        result: Set[AttributeName] = set()
-        for name in classes:
-            result |= self.all_attributes_of(name)
-        return frozenset(result)
+        """``A_w``: the union of ``A*(Q)`` over the classes of a role set (memoized)."""
+        names = classes if isinstance(classes, frozenset) else frozenset(classes)
+        cached = self._role_set_attributes.get(names)
+        if cached is None:
+            result: Set[AttributeName] = set()
+            for name in names:
+                result |= self.all_attributes_of(name)
+            cached = frozenset(result)
+            self._role_set_attributes[names] = cached
+        return cached
 
     def owner_of_attribute(self, attribute: AttributeName) -> Optional[ClassName]:
         """The class that introduces ``attribute``, or ``None``."""

@@ -1,0 +1,349 @@
+"""Persistent, structurally-shared storage for instance components.
+
+The update semantics of the paper is purely functional: every update maps an
+instance to a *new* instance.  The seed implementation realized this by
+copying the full attribute-value dict on every update, which made each
+update O(instance size).  This module provides the persistent replacement:
+
+* :class:`AttributeStore` -- an immutable mapping ``(object, attribute) ->
+  constant`` organized as per-object *rows* with a shared base layer and a
+  small private overlay (added/replaced rows plus tombstones).  Deriving an
+  updated store copies only the touched rows; the overlay is folded into a
+  fresh base layer once it grows past a fraction of the base, so chains of
+  updates stay O(delta) amortized and lookups stay O(1).
+* :class:`InstanceDelta` -- a first-class description of "what one update
+  did": per-class extent additions/removals, attribute writes/deletions,
+  wholesale object drops and the next-object bump.  Deltas are produced by
+  :mod:`repro.language.semantics` and consumed by
+  :meth:`repro.model.instance.DatabaseInstance.apply_delta`.
+
+Both classes are value objects; nothing here mutates shared state.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    ItemsView,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.model.schema import AttributeName, ClassName
+from repro.model.values import Constant, ObjectId
+
+#: An attribute-value key as exposed by the mapping interface.
+ValueKey = Tuple[ObjectId, AttributeName]
+
+#: Overlay entries tolerated before the store folds them into a new base.
+_FLATTEN_SLACK = 8
+
+
+class AttributeStore(Mapping[ValueKey, Constant]):
+    """An immutable ``(object, attribute) -> constant`` mapping with sharing.
+
+    The store behaves exactly like a read-only dict keyed by ``(ObjectId,
+    AttributeName)`` pairs (so legacy callers that did ``dict(instance.values)``
+    keep working), but internally groups values into per-object rows and
+    shares unchanged rows between derived stores.
+    """
+
+    __slots__ = ("_base", "_adds", "_dels", "_size")
+
+    def __init__(self, values: Optional[Mapping[ValueKey, Constant]] = None) -> None:
+        base: Dict[ObjectId, Dict[AttributeName, Constant]] = {}
+        size = 0
+        if values:
+            for (obj, attribute), value in values.items():
+                base.setdefault(obj, {})[attribute] = value
+                size += 1
+        self._base = base
+        self._adds: Dict[ObjectId, Dict[AttributeName, Constant]] = {}
+        self._dels: FrozenSet[ObjectId] = frozenset()
+        self._size = size
+
+    @classmethod
+    def _make(
+        cls,
+        base: Dict[ObjectId, Dict[AttributeName, Constant]],
+        adds: Dict[ObjectId, Dict[AttributeName, Constant]],
+        dels: FrozenSet[ObjectId],
+        size: int,
+    ) -> "AttributeStore":
+        store = cls.__new__(cls)
+        store._base = base
+        store._adds = adds
+        store._dels = dels
+        store._size = size
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Row access (the fast paths used by the semantics and analyses)
+    # ------------------------------------------------------------------ #
+    def row(self, obj: ObjectId) -> Mapping[AttributeName, Constant]:
+        """The complete attribute row of ``obj`` (empty mapping if absent).
+
+        The returned mapping is shared internal state; callers must not
+        mutate it.
+        """
+        found = self._adds.get(obj)
+        if found is not None:
+            return found
+        if obj in self._dels:
+            return _EMPTY_ROW
+        return self._base.get(obj, _EMPTY_ROW)
+
+    def rows(self) -> Iterator[Tuple[ObjectId, Mapping[AttributeName, Constant]]]:
+        """Iterate ``(object, row)`` pairs for every object holding a value."""
+        adds = self._adds
+        for obj, row in adds.items():
+            yield obj, row
+        dels = self._dels
+        for obj, row in self._base.items():
+            if obj not in adds and obj not in dels:
+                yield obj, row
+
+    def objects(self) -> Iterator[ObjectId]:
+        """Iterate the objects holding at least one value."""
+        for obj, _row in self.rows():
+            yield obj
+
+    # ------------------------------------------------------------------ #
+    # Mapping protocol over (object, attribute) keys
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key: ValueKey) -> Constant:
+        obj, attribute = key
+        return self.row(obj)[attribute]
+
+    def get(self, key: ValueKey, default: Optional[Constant] = None) -> Optional[Constant]:
+        obj, attribute = key
+        return self.row(obj).get(attribute, default)
+
+    def __contains__(self, key: object) -> bool:
+        try:
+            obj, attribute = key  # type: ignore[misc]
+        except (TypeError, ValueError):
+            return False
+        return attribute in self.row(obj)
+
+    def __iter__(self) -> Iterator[ValueKey]:
+        for obj, row in self.rows():
+            for attribute in row:
+                yield (obj, attribute)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> "ItemsView[ValueKey, Constant]":  # type: ignore[override]
+        return _StoreItemsView(self)
+
+    def to_dict(self) -> Dict[ValueKey, Constant]:
+        """Materialize as a plain dict (compat helper)."""
+        return {key: value for key, value in self.items()}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttributeStore):
+            if self._size != other._size:
+                return False
+            other_row = other.row
+            return all(row == other_row(obj) for obj, row in self.rows())
+        if isinstance(other, Mapping):
+            if len(other) != self._size:
+                return False
+            return all(other.get(key, _MISSING) == value for key, value in self.items())
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment]  # mutable-dict parity: unhashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttributeStore({self._size} values, {len(self._base)} base rows, {len(self._adds)} overlay rows)"
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def updated(
+        self,
+        sets: Iterable[Tuple[ValueKey, Constant]] = (),
+        deletions: Iterable[ValueKey] = (),
+        dropped_objects: Iterable[ObjectId] = (),
+    ) -> "AttributeStore":
+        """A derived store with the given writes applied, sharing untouched rows.
+
+        ``dropped_objects`` removes every value of the listed objects (the
+        ``delete`` semantics); ``deletions`` removes single attribute values;
+        ``sets`` writes values.  Deletions are applied before sets, matching
+        the update semantics (a modify pops then re-assigns).
+        """
+        work: Dict[ObjectId, Dict[AttributeName, Constant]] = {}
+        size = self._size
+
+        def fetch(obj: ObjectId) -> Dict[AttributeName, Constant]:
+            row = work.get(obj)
+            if row is None:
+                row = dict(self.row(obj))
+                work[obj] = row
+            return row
+
+        for obj in dropped_objects:
+            row = fetch(obj)
+            size -= len(row)
+            row.clear()
+        for obj, attribute in deletions:
+            row = fetch(obj)
+            if attribute in row:
+                del row[attribute]
+                size -= 1
+        for (obj, attribute), value in sets:
+            row = fetch(obj)
+            if attribute not in row:
+                size += 1
+            row[attribute] = value
+
+        if not work:
+            return self
+
+        adds = dict(self._adds)
+        dels: Set[ObjectId] = set(self._dels)
+        base = self._base
+        for obj, row in work.items():
+            if row:
+                adds[obj] = row
+                dels.discard(obj)
+            else:
+                adds.pop(obj, None)
+                if obj in base:
+                    dels.add(obj)
+
+        if len(adds) + len(dels) > _FLATTEN_SLACK + len(base) // 2:
+            flattened: Dict[ObjectId, Dict[AttributeName, Constant]] = {
+                obj: row for obj, row in base.items() if obj not in dels and obj not in adds
+            }
+            flattened.update(adds)
+            return AttributeStore._make(flattened, {}, frozenset(), size)
+        return AttributeStore._make(base, adds, frozenset(dels), size)
+
+    def restricted_to(self, keep: FrozenSet[ObjectId]) -> "AttributeStore":
+        """A store holding only the rows of objects in ``keep``."""
+        doomed = [obj for obj, _row in self.rows() if obj not in keep]
+        return self.updated(dropped_objects=doomed) if doomed else self
+
+
+#: Shared empty row (never mutated).
+_EMPTY_ROW: Dict[AttributeName, Constant] = {}
+_MISSING = object()
+
+
+class _StoreItemsView(ItemsView):
+    """Items view iterating rows directly instead of per-key lookups."""
+
+    __slots__ = ()
+
+    def __iter__(self) -> Iterator[Tuple[ValueKey, Constant]]:
+        for obj, row in self._mapping.rows():  # type: ignore[attr-defined]
+            for attribute, value in row.items():
+                yield (obj, attribute), value
+
+
+class InstanceDelta:
+    """The difference between two instances, as produced by one update.
+
+    Components (all optional / defaulting to empty):
+
+    * ``extent_add`` / ``extent_remove`` -- per-class object additions and
+      removals,
+    * ``value_sets`` -- attribute writes ``(object, attribute) -> constant``,
+    * ``value_dels`` -- single attribute-value deletions,
+    * ``dropped_objects`` -- objects whose *entire* row is removed (delete),
+    * ``next_object`` -- the new next-object marker (``None`` keeps the old).
+
+    A delta with no components is the identity
+    (:attr:`is_empty` is ``True`` and applying it returns the instance
+    unchanged).
+    """
+
+    __slots__ = ("extent_add", "extent_remove", "value_sets", "value_dels", "dropped_objects", "next_object")
+
+    def __init__(
+        self,
+        extent_add: Optional[Mapping[ClassName, FrozenSet[ObjectId]]] = None,
+        extent_remove: Optional[Mapping[ClassName, FrozenSet[ObjectId]]] = None,
+        value_sets: Optional[Mapping[ValueKey, Constant]] = None,
+        value_dels: Iterable[ValueKey] = (),
+        dropped_objects: Iterable[ObjectId] = (),
+        next_object: Optional[ObjectId] = None,
+    ) -> None:
+        self.extent_add: Dict[ClassName, FrozenSet[ObjectId]] = dict(extent_add or {})
+        self.extent_remove: Dict[ClassName, FrozenSet[ObjectId]] = dict(extent_remove or {})
+        self.value_sets: Dict[ValueKey, Constant] = dict(value_sets or {})
+        self.value_dels: Tuple[ValueKey, ...] = tuple(value_dels)
+        self.dropped_objects: FrozenSet[ObjectId] = frozenset(dropped_objects)
+        self.next_object = next_object
+
+    @classmethod
+    def raw(
+        cls,
+        extent_add: Optional[Dict[ClassName, FrozenSet[ObjectId]]] = None,
+        extent_remove: Optional[Dict[ClassName, FrozenSet[ObjectId]]] = None,
+        value_sets: Optional[Dict[ValueKey, Constant]] = None,
+        value_dels: Tuple[ValueKey, ...] = (),
+        dropped_objects: FrozenSet[ObjectId] = frozenset(),
+        next_object: Optional[ObjectId] = None,
+    ) -> "InstanceDelta":
+        """Adopt already-normalized components without copying.
+
+        The update semantics builds fresh dicts/sets per delta anyway; this
+        skips the defensive re-normalization of ``__init__``.  Callers must
+        hand over ownership of the passed containers.
+        """
+        delta = cls.__new__(cls)
+        delta.extent_add = extent_add if extent_add is not None else {}
+        delta.extent_remove = extent_remove if extent_remove is not None else {}
+        delta.value_sets = value_sets if value_sets is not None else {}
+        delta.value_dels = value_dels if isinstance(value_dels, tuple) else tuple(value_dels)
+        delta.dropped_objects = dropped_objects
+        delta.next_object = next_object
+        return delta
+
+    @property
+    def is_empty(self) -> bool:
+        """Return ``True`` if applying this delta is the identity."""
+        return not (
+            self.extent_add
+            or self.extent_remove
+            or self.value_sets
+            or self.value_dels
+            or self.dropped_objects
+            or self.next_object is not None
+        )
+
+    def touched_classes(self) -> FrozenSet[ClassName]:
+        """The classes whose extent this delta changes."""
+        return frozenset(self.extent_add) | frozenset(self.extent_remove)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.extent_add:
+            parts.append(f"+extent {sorted(self.extent_add)}")
+        if self.extent_remove:
+            parts.append(f"-extent {sorted(self.extent_remove)}")
+        if self.value_sets:
+            parts.append(f"{len(self.value_sets)} writes")
+        if self.value_dels:
+            parts.append(f"{len(self.value_dels)} value dels")
+        if self.dropped_objects:
+            parts.append(f"{len(self.dropped_objects)} drops")
+        if self.next_object is not None:
+            parts.append(f"next={self.next_object!r}")
+        return "InstanceDelta(" + (", ".join(parts) or "identity") + ")"
+
+
+__all__ = ["AttributeStore", "InstanceDelta", "ValueKey"]

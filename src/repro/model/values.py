@@ -58,6 +58,11 @@ class ObjectId:
         """The next abstract object in the total order."""
         return ObjectId(self.index + 1)
 
+    def __hash__(self) -> int:
+        # Object identifiers key every attribute row and every hash-consed
+        # state; hashing the bare index skips the generated tuple round-trip.
+        return hash(self.index)
+
     def __repr__(self) -> str:
         return f"o{self.index}"
 
@@ -73,7 +78,7 @@ class Assignment(Mapping[Variable, Constant]):
     dictionary keys (e.g. when memoizing simulation states).
     """
 
-    __slots__ = ("_bindings",)
+    __slots__ = ("_bindings", "_cached_key", "_cached_hash")
 
     def __init__(self, bindings: Optional[Mapping[Union[Variable, str], Constant]] = None, **kwargs: Constant) -> None:
         merged: Dict[Variable, Constant] = {}
@@ -85,6 +90,8 @@ class Assignment(Mapping[Variable, Constant]):
                 raise BindingError(f"cannot bind {variable!r} to another variable {value!r}")
             merged[variable] = value
         self._bindings: Dict[Variable, Constant] = merged
+        self._cached_key: Optional[Tuple[Tuple[Variable, Constant], ...]] = None
+        self._cached_hash: Optional[int] = None
 
     # -- Mapping protocol -------------------------------------------------- #
     def __getitem__(self, key: Union[Variable, str]) -> Constant:
@@ -124,13 +131,21 @@ class Assignment(Mapping[Variable, Constant]):
 
     # -- identity ------------------------------------------------------------ #
     def _key(self) -> Tuple[Tuple[Variable, Constant], ...]:
-        return tuple(sorted(self._bindings.items(), key=lambda kv: kv[0].name))
+        key = self._cached_key
+        if key is None:
+            key = tuple(sorted(self._bindings.items(), key=lambda kv: kv[0].name))
+            self._cached_key = key
+        return key
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Assignment) and self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        cached = self._cached_hash
+        if cached is None:
+            cached = hash(self._key())
+            self._cached_hash = cached
+        return cached
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{var.name}={value!r}" for var, value in self._key())

@@ -1,0 +1,216 @@
+"""Equivalence properties for the persistent instance engine and interned automata.
+
+Two families of properties guard the PR-1 refactor:
+
+* the delta-based persistent engine (:mod:`repro.model.store` +
+  :meth:`DatabaseInstance.apply_delta`) agrees with a straightforward
+  copy-everything reference implementation of Definition 2.5 on random
+  update sequences, and ``diff``/``apply_delta`` round-trip;
+* automata whose symbols are interned to integer codes
+  (:mod:`repro.formal.alphabet`) accept exactly the same languages as the
+  originals, through determinization, minimization and the boolean
+  operations.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.rolesets import RoleSet
+from repro.formal import decision, operations
+from repro.formal.alphabet import (
+    RoleSetAlphabet,
+    canonical_word_key,
+    intern_nfa,
+    restore_nfa,
+)
+from repro.formal.nfa import NFA
+from repro.language.semantics import apply_update, transaction_delta
+from repro.language.transactions import Transaction
+from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.model.conditions import Condition
+from repro.model.instance import DatabaseInstance
+from repro.model.schema import DatabaseSchema
+
+# --------------------------------------------------------------------------- #
+# A compact two-class schema: Q isa P, A introduced at P, B at Q.
+# --------------------------------------------------------------------------- #
+SCHEMA = DatabaseSchema(["P", "Q"], [("Q", "P")], {"P": ["A"], "Q": ["B"]})
+VALUES = (0, 1, 2)
+
+selections = st.builds(
+    lambda pairs: Condition.parse(dict(pairs)),
+    st.lists(st.tuples(st.just("A"), st.sampled_from(VALUES)), max_size=1),
+)
+
+updates = st.one_of(
+    st.builds(lambda v: Create("P", Condition.of(A=v)), st.sampled_from(VALUES)),
+    st.builds(lambda s: Delete("P", s), selections),
+    st.builds(lambda s, v: Modify("P", s, Condition.of(A=v)), selections, st.sampled_from(VALUES)),
+    st.builds(lambda s, v: Specialize("P", "Q", s, Condition.of(B=v)), selections, st.sampled_from(VALUES)),
+    st.builds(lambda s: Generalize("Q", s), selections),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Reference semantics: the seed-era copy-everything implementation.
+# --------------------------------------------------------------------------- #
+def _reference_apply(update, instance):
+    """Definition 2.5 implemented with full dict copies (the seed semantics)."""
+    schema = instance.schema
+    extent = {name: set(objects) for name, objects in instance.extent.items()}
+    values = dict(instance.values)
+    next_object = instance.next_object
+
+    if isinstance(update, Create):
+        if not update.values.is_satisfiable():
+            return instance
+        new_object = next_object
+        extent[update.class_name].add(new_object)
+        for atom in update.values:
+            if atom.is_equality:
+                values[(new_object, atom.attribute)] = atom.term
+        next_object = new_object.successor()
+    elif isinstance(update, (Delete, Generalize)):
+        if not update.selection.is_satisfiable():
+            return instance
+        doomed = instance.satisfying_objects(update.selection, update.class_name)
+        affected = schema.descendants(update.class_name)
+        for name in affected:
+            extent[name] -= doomed
+        if isinstance(update, Delete):
+            for key in list(values):
+                if key[0] in doomed:
+                    del values[key]
+        else:
+            dropped = set()
+            for name in affected:
+                dropped |= schema.attributes_of(name)
+            for key in list(values):
+                if key[0] in doomed and key[1] in dropped:
+                    del values[key]
+    elif isinstance(update, Modify):
+        if not update.selection.is_satisfiable() or not update.changes.is_satisfiable():
+            return instance
+        selected = instance.satisfying_objects(update.selection, update.class_name)
+        for obj in selected:
+            for attribute in update.changes.referenced_attributes():
+                values.pop((obj, attribute), None)
+            for atom in update.changes:
+                if atom.is_equality:
+                    values[(obj, atom.attribute)] = atom.term
+    elif isinstance(update, Specialize):
+        if not update.selection.is_satisfiable() or not update.new_values.is_satisfiable():
+            return instance
+        candidates = instance.satisfying_objects(update.selection, update.parent_class)
+        migrating = candidates - instance.objects_in(update.child_class)
+        if not migrating:
+            return instance
+        for name in schema.ancestors(update.child_class):
+            extent[name] |= migrating
+        for obj in migrating:
+            for attribute in update.new_values.referenced_attributes():
+                values.pop((obj, attribute), None)
+            for atom in update.new_values:
+                if atom.is_equality:
+                    values[(obj, atom.attribute)] = atom.term
+    else:  # pragma: no cover - exhaustive above
+        raise AssertionError(update)
+
+    return DatabaseInstance(schema, extent, values, next_object, validate=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(updates, max_size=12))
+def test_persistent_engine_agrees_with_reference_semantics(sequence):
+    fast = DatabaseInstance.empty(SCHEMA)
+    reference = DatabaseInstance.empty(SCHEMA)
+    for update in sequence:
+        fast = apply_update(update, fast)
+        reference = _reference_apply(update, reference)
+        assert fast == reference
+        assert dict(fast.values) == dict(reference.values)
+        assert fast.extent == reference.extent
+        assert fast.next_object == reference.next_object
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(updates, max_size=8), st.lists(updates, max_size=8))
+def test_diff_apply_delta_roundtrip(prefix, suffix):
+    start = DatabaseInstance.empty(SCHEMA)
+    for update in prefix:
+        start = apply_update(update, start)
+    end = start
+    for update in suffix:
+        end = apply_update(update, end)
+    delta = start.diff(end)
+    assert start.apply_delta(delta) == end
+    # Identity deltas short-circuit to the very same object.
+    assert start.apply_delta(start.diff(start)) is start
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(updates, min_size=1, max_size=6))
+def test_transaction_delta_matches_sequential_application(sequence):
+    transaction = Transaction("t", sequence)
+    start = DatabaseInstance.empty(SCHEMA)
+    expected = start
+    for update in sequence:
+        expected = apply_update(update, expected)
+    assert start.apply_delta(transaction_delta(transaction, start)) == expected
+
+
+# --------------------------------------------------------------------------- #
+# Interned automata accept exactly the seed languages.
+# --------------------------------------------------------------------------- #
+ROLE_SYMBOLS = (RoleSet(), RoleSet({"P"}), RoleSet({"P", "Q"}))
+
+words = st.lists(st.sampled_from(ROLE_SYMBOLS), max_size=4).map(tuple)
+word_sets = st.lists(words, min_size=0, max_size=6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(word_sets)
+def test_interned_automaton_round_trips_the_language(word_list):
+    automaton = NFA.from_words(word_list, alphabet=ROLE_SYMBOLS)
+    interner = RoleSetAlphabet()
+    coded = intern_nfa(automaton, interner)
+    for word in word_list:
+        assert coded.accepts(interner.intern_word(word))
+    restored = restore_nfa(coded, interner)
+    assert decision.are_equivalent(automaton, restored)
+
+
+@settings(max_examples=75, deadline=None)
+@given(word_sets, word_sets)
+def test_interned_boolean_operations_match_brute_force(left_words, right_words):
+    left = NFA.from_words(left_words, alphabet=ROLE_SYMBOLS)
+    right = NFA.from_words(right_words, alphabet=ROLE_SYMBOLS)
+    both = operations.intersection(left, right)
+    diff = operations.difference(left, right)
+    left_set, right_set = set(left_words), set(right_words)
+    universe = {w for w in left_set | right_set}
+    for word in universe:
+        assert both.accepts(word) == (word in left_set and word in right_set)
+        assert diff.accepts(word) == (word in left_set and word not in right_set)
+    assert set(both.enumerate_words(4)) == left_set & right_set
+    assert set(diff.enumerate_words(4)) == left_set - right_set
+
+
+@settings(max_examples=75, deadline=None)
+@given(word_sets)
+def test_minimized_dfa_preserves_the_language(word_list):
+    automaton = NFA.from_words(word_list, alphabet=ROLE_SYMBOLS)
+    minimized = automaton.determinize().minimize()
+    assert decision.are_equivalent(automaton, minimized.to_nfa())
+    assert {w for w in minimized.to_nfa().enumerate_words(4)} == set(word_list)
+
+
+@settings(max_examples=50, deadline=None)
+@given(word_sets)
+def test_canonical_word_key_orders_by_length_then_structure(word_list):
+    ordered = sorted(set(word_list), key=canonical_word_key)
+    lengths = [len(word) for word in ordered]
+    assert lengths == sorted(lengths)
+    # The key is total: equal keys imply equal words.
+    keys = [canonical_word_key(word) for word in ordered]
+    assert len(set(keys)) == len(ordered)
