@@ -15,7 +15,9 @@ provides
   CSL+ constructions for r.e. and context-free inventories, and the
   reachability analysis for inflow/script schemas (:mod:`repro.core`),
 * the paper's worked examples as ready-made workloads plus random
-  generators for scaling studies (:mod:`repro.workloads`).
+  generators and event streams for scaling studies (:mod:`repro.workloads`),
+* a streaming history-checker engine for checking millions of object
+  histories against compiled specifications (:mod:`repro.engine`).
 
 Quickstart::
 
@@ -81,6 +83,7 @@ from repro.core import (
     synthesize_sl_schema,
     turing_to_csl,
 )
+from repro.engine import HistoryCheckerEngine
 
 __version__ = "1.0.0"
 
@@ -136,4 +139,6 @@ __all__ = [
     "InflowSchema",
     "ScriptSchema",
     "ReachabilityAnalyzer",
+    # engine
+    "HistoryCheckerEngine",
 ]

@@ -36,12 +36,12 @@ pattern outside the target inventory is produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.inflow import Assertion, InflowSchema
 from repro.core.rolesets import RoleSet
 from repro.formal.grammar import ContextFreeGrammar, Production
-from repro.formal.turing import LEFT, RIGHT, STAY, TMConfiguration, TMTransition, TuringMachine
+from repro.formal.turing import LEFT, RIGHT, TMTransition, TuringMachine
 from repro.language.conditional import (
     ConditionalTransaction,
     ConditionalTransactionSchema,
@@ -663,7 +663,6 @@ def cfg_to_csl(grammar: ContextFreeGrammar) -> GrammarSimulation:
     pattern_root = "G_ROOT"
     pattern_isa = {(name, pattern_root) for name in pattern_classes if name != pattern_root}
     schema = _build_schema(pattern_classes, pattern_isa)
-    pattern_selection = Condition.of(Tag=PATTERN_TAG)
 
     def nonterminal_constant(nonterminal) -> str:
         return f"nt:{nonterminal!r}"

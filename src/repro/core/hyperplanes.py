@@ -28,12 +28,9 @@ vertex space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.rolesets import RoleSet
-from repro.language.conditional import ConditionalTransactionSchema
-from repro.language.transactions import TransactionSchema
 from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
 from repro.model.conditions import Condition
 from repro.model.instance import DatabaseInstance

@@ -11,14 +11,13 @@ sampling, and the paper's word functions at the language level.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.patterns import MigrationPattern
-from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets, symbol_map
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
 from repro.formal import decision, operations
 from repro.formal.nfa import NFA
 from repro.formal.regex import Regex, parse_regex
-from repro.model.errors import AnalysisError
 from repro.model.schema import DatabaseSchema
 
 PatternLike = Union[MigrationPattern, Sequence[RoleSet]]
@@ -209,8 +208,20 @@ class MigrationInventory:
     # Comparisons
     # ------------------------------------------------------------------ #
     def is_subset_of(self, other: "MigrationInventory") -> bool:
-        """Language containment."""
+        """Language containment (lazy product search, early exit)."""
         return decision.is_contained_in(self._automaton, other._automaton)
+
+    def subset_check(self, other: "MigrationInventory") -> Tuple[bool, Optional[MigrationPattern]]:
+        """Containment verdict and counterexample from one lazy exploration.
+
+        Returns ``(holds, witness)`` where ``witness`` is a shortest pattern
+        of this inventory that ``other`` forbids (``None`` when containment
+        holds).  :mod:`repro.core.satisfiability` uses this to avoid paying
+        for a second product search just to extract the violation.
+        """
+        outcome = decision.containment_witness(self._automaton, other._automaton)
+        witness = None if outcome.witness is None else MigrationPattern(outcome.witness)
+        return outcome.holds, witness
 
     def equals(self, other: "MigrationInventory") -> bool:
         """Language equality."""

@@ -24,9 +24,9 @@ non-empty (the object is created by the very first update).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.core.rolesets import RoleSet
 from repro.model.instance import DatabaseInstance
 from repro.model.values import Constant, ObjectId
 

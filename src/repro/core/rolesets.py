@@ -10,7 +10,6 @@ symbols.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.errors import SchemaError

@@ -65,10 +65,10 @@ def check_constraint(
     """Decide satisfaction and generation of ``inventory`` and report witnesses."""
     analysis = _as_analysis(schema)
     family = analysis.pattern_family(kind)
-    satisfies = family.is_subset_of(inventory)
-    generates = inventory.is_subset_of(family)
-    violation = None if satisfies else family.counterexample_against(inventory)
-    missing = None if generates else inventory.counterexample_against(family)
+    # One lazy product exploration per direction yields the verdict and the
+    # shortest witness together (previously: a second, eager search each).
+    satisfies, violation = family.subset_check(inventory)
+    generates, missing = inventory.subset_check(family)
     return ConstraintCheck(kind, satisfies, generates, violation, missing)
 
 

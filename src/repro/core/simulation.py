@@ -26,7 +26,7 @@ being re-derived once per run prefix that reaches it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.patterns import MigrationPattern
@@ -34,8 +34,7 @@ from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
 from repro.formal.alphabet import canonical_word_key
 from repro.language.conditional import ConditionalTransaction, ConditionalTransactionSchema
 from repro.language.semantics import apply_transaction
-from repro.language.transactions import Transaction, TransactionSchema
-from repro.model.errors import AnalysisError
+from repro.language.transactions import TransactionSchema
 from repro.model.instance import DatabaseInstance, validation_disabled
 from repro.model.schema import ClassName
 from repro.model.values import Assignment, Constant, ObjectId

@@ -26,8 +26,8 @@ of the paper's proof.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.hyperplanes import AbstractionContext, AbstractionVertex, relevant_attributes
 from repro.core.inventory import MigrationInventory
@@ -39,7 +39,7 @@ from repro.language.semantics import apply_transaction
 from repro.language.transactions import Transaction, TransactionSchema
 from repro.model.errors import AnalysisError
 from repro.model.instance import DatabaseInstance, validation_disabled
-from repro.model.schema import ClassName, DatabaseSchema
+from repro.model.schema import ClassName
 from repro.model.values import Assignment, Constant, ObjectId
 
 #: Graph endpoints that are not abstraction vertices.
@@ -408,11 +408,25 @@ class SLMigrationAnalysis:
         return {kind: self.pattern_family(kind) for kind in PATTERN_KINDS}
 
     # ------------------------------------------------------------------ #
-    # Convenience wrappers around the decision procedures
+    # Convenience wrappers around the (lazy) decision procedures
     # ------------------------------------------------------------------ #
+    def satisfaction_outcome(self, inventory: MigrationInventory, kind: str = "all"):
+        """The full lazy-decision outcome of ``family(kind) ⊆ inventory``.
+
+        Returns a :class:`repro.formal.lazy.LazyOutcome`: verdict, shortest
+        violating pattern word (if any) and the number of product states
+        the on-the-fly search explored -- the instrumented entry point the
+        engine benchmarks compare against the eager product size.
+        """
+        from repro.formal import decision
+
+        return decision.containment_witness(
+            self.pattern_family(kind).automaton, inventory.automaton
+        )
+
     def satisfies(self, inventory: MigrationInventory, kind: str = "all") -> bool:
         """Whether the schema only produces patterns allowed by ``inventory``."""
-        return self.pattern_family(kind).is_subset_of(inventory)
+        return self.satisfaction_outcome(inventory, kind).holds
 
     def generates(self, inventory: MigrationInventory, kind: str = "all") -> bool:
         """Whether the schema can produce every pattern of ``inventory``."""

@@ -37,7 +37,7 @@ proof of Lemma 3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.inventory import MigrationInventory
 from repro.core.migration_graph import (
@@ -84,6 +84,27 @@ class SynthesisResult:
     def expected_families(self, expression: rx.Regex) -> Dict[str, MigrationInventory]:
         """The pattern families Theorem 3.2(2) promises for the synthesized schema."""
         return expected_synthesis_families(self.schema, expression)
+
+    def verify(self, expression: rx.Regex) -> Dict[str, bool]:
+        """Check the synthesized schemas against the promised families.
+
+        Re-analyses ``transactions`` / ``lazy_transactions`` with
+        :class:`repro.core.sl_analysis.SLMigrationAnalysis` and decides
+        equality with the expected inventories through the lazy product
+        search (two containments per family, each with early exit), which
+        keeps verification cheap even for expressions whose eager product
+        automata are large.
+        """
+        from repro.core.sl_analysis import SLMigrationAnalysis
+
+        expected = self.expected_families(expression)
+        analysis = SLMigrationAnalysis(self.transactions)
+        lazy_analysis = SLMigrationAnalysis(self.lazy_transactions)
+        verdicts: Dict[str, bool] = {}
+        for kind, inventory in expected.items():
+            produced = (lazy_analysis if kind == "lazy" else analysis).pattern_family(kind)
+            verdicts[kind] = produced.equals(inventory)
+        return verdicts
 
 
 def _root_and_controls(

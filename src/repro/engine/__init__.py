@@ -1,0 +1,38 @@
+"""Streaming history-checker engine (the scale layer).
+
+The analyses in :mod:`repro.core` decide properties of *specifications*;
+this subpackage checks *data* against them at volume: millions of object
+histories, delivered as batches or as one interleaved event stream.  The
+pipeline is compile → shard → stream:
+
+* :mod:`repro.engine.compiler` -- compile a spec automaton once into a
+  minimized DFA with a flat integer transition table over the interned
+  role-set alphabet (:class:`~repro.engine.compiler.CompiledSpec`);
+* :mod:`repro.engine.cache` -- bounded LRU over compiled specs, safe to
+  evict mid-stream because compilation is deterministic;
+* :mod:`repro.engine.cursors` -- per-object integer cursors advanced event
+  by event, with doomed-state short-circuiting;
+* :mod:`repro.engine.executor` -- serial and process-pool shard backends
+  for batch checking;
+* :mod:`repro.engine.engine` -- :class:`~repro.engine.engine.
+  HistoryCheckerEngine`, the façade tying the pieces together.
+"""
+
+from repro.engine.cache import SpecCache
+from repro.engine.compiler import CompiledSpec, compile_spec
+from repro.engine.cursors import CursorTable, HistoryCursor
+from repro.engine.engine import HistoryCheckerEngine, StreamChecker
+from repro.engine.executor import ProcessPoolBackend, SerialExecutor, shard
+
+__all__ = [
+    "CompiledSpec",
+    "compile_spec",
+    "SpecCache",
+    "HistoryCursor",
+    "CursorTable",
+    "SerialExecutor",
+    "ProcessPoolBackend",
+    "shard",
+    "HistoryCheckerEngine",
+    "StreamChecker",
+]

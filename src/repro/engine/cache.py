@@ -1,0 +1,91 @@
+"""LRU cache for compiled specifications.
+
+Compiling a spec (intern + determinize + minimize + table flattening) is
+the expensive part of the engine; checking events against it is cheap.  The
+engine therefore keeps compiled tables in a bounded least-recently-used
+cache keyed by spec name.  Because compilation is deterministic
+(:mod:`repro.engine.compiler`), an entry may be evicted at any point --
+mid-stream included -- and transparently recompiled on next use without
+invalidating the integer cursor states that were minted against the evicted
+table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.engine.compiler import CompiledSpec
+
+
+class SpecCache:
+    """A bounded LRU mapping ``key -> CompiledSpec`` with hit/miss counters."""
+
+    __slots__ = ("_maxsize", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("the spec cache needs room for at least one entry")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, CompiledSpec]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """The capacity of the cache."""
+        return self._maxsize
+
+    def get(self, key: Hashable) -> Optional[CompiledSpec]:
+        """The cached spec for ``key`` (refreshing its recency), if present."""
+        spec = self._entries.get(key)
+        if spec is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return spec
+
+    def get_or_compile(self, key: Hashable, factory: Callable[[], CompiledSpec]) -> CompiledSpec:
+        """The cached spec for ``key``, compiling and inserting it on a miss."""
+        spec = self.get(key)
+        if spec is None:
+            spec = factory()
+            self.put(key, spec)
+        return spec
+
+    def put(self, key: Hashable, spec: CompiledSpec) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        self._entries[key] = spec
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry (used when a spec source is re-registered)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self._maxsize,
+        }
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+__all__ = ["SpecCache"]

@@ -1,0 +1,190 @@
+"""Table compilation of migration specifications.
+
+A specification -- a :class:`repro.core.inventory.MigrationInventory` or any
+:class:`repro.formal.nfa.NFA` over role sets -- is compiled **once** into a
+:class:`CompiledSpec`: a minimized DFA whose transition function is a flat
+integer array indexed by ``state * n_symbols + code`` over the interned
+:class:`repro.formal.alphabet.RoleSetAlphabet`.  Advancing a cursor by one
+event is then two dictionary-free array reads instead of hashing a frozenset
+into a dict of ``(state, symbol)`` pairs, which is what makes checking
+millions of events per spec practical.
+
+Compilation is **deterministic**: interning follows the canonical alphabet
+order, subset construction and Hopcroft minimization are order-stable, and
+states are renumbered densely by a BFS from the start state in symbol-code
+order.  Recompiling the same source automaton therefore reproduces the
+identical table, so cursor states (small ints) stay valid across an LRU
+eviction and recompilation of their spec (tested in
+``tests/engine/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.formal.alphabet import RoleSetAlphabet, intern_nfa
+from repro.formal.nfa import NFA
+
+Symbol = Hashable
+
+
+class CompiledSpec:
+    """A table-compiled runner for one specification automaton.
+
+    States are dense integers ``0 .. n_states``; state ``n_states`` is a
+    synthetic dead state used for symbols outside the spec's alphabet (a
+    history containing an unknown role set can never be accepted).  The
+    natural dead state of the minimized DFA, when one exists, is flagged in
+    ``doomed`` as well, so cursors can stop advancing as soon as acceptance
+    has become impossible.
+    """
+
+    __slots__ = (
+        "codes",
+        "symbols",
+        "initial",
+        "n_states",
+        "n_symbols",
+        "table",
+        "accepting",
+        "doomed",
+        "dead",
+    )
+
+    def __init__(
+        self,
+        codes: Dict[Symbol, int],
+        symbols: Tuple[Symbol, ...],
+        initial: int,
+        table: array,
+        accepting: bytearray,
+        doomed: bytearray,
+    ) -> None:
+        self.codes = codes
+        self.symbols = symbols
+        self.initial = initial
+        self.n_symbols = len(symbols)
+        self.n_states = len(accepting) - 1
+        self.table = table
+        self.accepting = accepting
+        self.doomed = doomed
+        #: The synthetic dead state (always the last row of the table).
+        self.dead = self.n_states
+
+    # ------------------------------------------------------------------ #
+    # Event encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, symbol: Symbol) -> int:
+        """The integer code of ``symbol``, or ``-1`` when outside the alphabet."""
+        return self.codes.get(symbol, -1)
+
+    def symbol(self, code: int) -> Symbol:
+        """The symbol carrying ``code`` (inverse of :meth:`encode`)."""
+        return self.symbols[code]
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def advance(self, state: int, symbol: Symbol) -> int:
+        """One event step: the successor of ``state`` on ``symbol``.
+
+        The synthetic dead state has no table row; it absorbs every event.
+        """
+        if state == self.dead:
+            return state
+        code = self.codes.get(symbol, -1)
+        if code < 0:
+            return self.dead
+        return self.table[state * self.n_symbols + code]
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """One-shot membership: run the whole word through the table."""
+        state = self.initial
+        table = self.table
+        codes = self.codes
+        doomed = self.doomed
+        width = self.n_symbols
+        for symbol in word:
+            code = codes.get(symbol, -1)
+            if code < 0:
+                return False
+            state = table[state * width + code]
+            if doomed[state]:
+                return False
+        return bool(self.accepting[state])
+
+    def is_accepting(self, state: int) -> bool:
+        """Whether a cursor resting in ``state`` has an accepted history."""
+        return bool(self.accepting[state])
+
+    def is_doomed(self, state: int) -> bool:
+        """Whether no continuation of a history in ``state`` can be accepted."""
+        return bool(self.doomed[state])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledSpec(states={self.n_states}, symbols={self.n_symbols})"
+
+
+def compile_spec(automaton: NFA) -> CompiledSpec:
+    """Compile an NFA over role sets into a :class:`CompiledSpec`.
+
+    Pipeline: intern the alphabet, determinize, Hopcroft-minimize, then
+    flatten the transition function into one integer array with densely
+    BFS-numbered states.
+    """
+    interner = RoleSetAlphabet()
+    dfa = intern_nfa(automaton, interner).determinize().minimize()
+    width = len(interner)
+    code_range = tuple(range(width))
+
+    # Dense renumbering: BFS from the start state in symbol-code order.
+    numbering: Dict = {dfa.initial_state: 0}
+    order: List = [dfa.initial_state]
+    queue = deque(order)
+    while queue:
+        state = queue.popleft()
+        for code in code_range:
+            target = dfa.delta(state, code)
+            if target not in numbering:
+                numbering[target] = len(order)
+                order.append(target)
+                queue.append(target)
+
+    n_states = len(order)
+    table = array("i", [0]) * (n_states * width)
+    for state in order:
+        base = numbering[state] * width
+        for code in code_range:
+            table[base + code] = numbering[dfa.delta(state, code)]
+
+    accepting = bytearray(n_states + 1)
+    for state in dfa.accepting_states:
+        if state in numbering:
+            accepting[numbering[state]] = 1
+
+    # Doomed states: no accepting state is reachable (backward reachability
+    # from the accepting set over the transition table).
+    predecessors: List[List[int]] = [[] for _ in range(n_states)]
+    for source in range(n_states):
+        base = source * width
+        for code in code_range:
+            predecessors[table[base + code]].append(source)
+    alive = bytearray(n_states + 1)
+    stack = [index for index in range(n_states) if accepting[index]]
+    for index in stack:
+        alive[index] = 1
+    while stack:
+        index = stack.pop()
+        for source in predecessors[index]:
+            if not alive[source]:
+                alive[source] = 1
+                stack.append(source)
+    doomed = bytearray(1 if not alive[index] else 0 for index in range(n_states + 1))
+
+    codes = {symbol: interner.code(symbol) for symbol in interner}
+    return CompiledSpec(codes, tuple(interner), 0, table, accepting, doomed)
+
+
+__all__ = ["CompiledSpec", "compile_spec"]

@@ -1,0 +1,212 @@
+"""The streaming history-checker engine.
+
+:class:`HistoryCheckerEngine` is the scale entry point of the package: it
+checks large batches of object histories -- and unbounded event streams --
+against named migration specifications.  Specs are registered once as
+automata or inventories, compiled on demand into table runners
+(:mod:`repro.engine.compiler`) behind an LRU cache
+(:mod:`repro.engine.cache`), and consulted either in batch mode (histories
+sharded across a pluggable executor, :mod:`repro.engine.executor`) or in
+streaming mode (per-object integer cursors advanced event by event,
+:mod:`repro.engine.cursors`).
+
+Typical use::
+
+    engine = HistoryCheckerEngine()
+    engine.add_spec("checking", banking.checking_role_inventory())
+    verdicts = engine.check_batch("checking", histories)      # batch
+
+    stream = engine.open_stream(["checking"])                 # streaming
+    stream.feed_events(events)                                # (obj, role-set) pairs
+    stream.verdicts("checking")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import SpecCache
+from repro.engine.compiler import CompiledSpec, compile_spec
+from repro.engine.cursors import CursorTable
+from repro.engine.executor import SerialExecutor, shard
+from repro.formal.nfa import NFA
+
+Symbol = Hashable
+ObjectId = Hashable
+Event = Tuple[ObjectId, Symbol]
+
+
+def _as_automaton(spec) -> NFA:
+    """Accept an NFA, a DFA, or anything exposing ``.automaton`` (inventories)."""
+    if isinstance(spec, NFA):
+        return spec
+    automaton = getattr(spec, "automaton", None)
+    if isinstance(automaton, NFA):
+        return automaton
+    to_nfa = getattr(spec, "to_nfa", None)
+    if callable(to_nfa):
+        return to_nfa()
+    raise TypeError(f"cannot interpret {type(spec).__name__} as a specification automaton")
+
+
+def _check_shard(task: Tuple[CompiledSpec, Sequence[Sequence[Symbol]]]) -> List[bool]:
+    """Check one shard of histories (module-level so process pools can pickle it)."""
+    compiled, histories = task
+    accepts = compiled.accepts
+    return [accepts(history) for history in histories]
+
+
+class HistoryCheckerEngine:
+    """Compile-once, check-many verification of object histories.
+
+    Parameters
+    ----------
+    executor:
+        Shard executor for batch checking; defaults to
+        :class:`repro.engine.executor.SerialExecutor`.
+    cache_size:
+        Capacity of the compiled-spec LRU cache.
+    batch_size:
+        Histories per shard in :meth:`check_batch`.
+    """
+
+    def __init__(self, executor=None, cache_size: int = 64, batch_size: int = 2048) -> None:
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._cache = SpecCache(cache_size)
+        self._batch_size = batch_size
+        self._sources: Dict[str, NFA] = {}
+
+    # ------------------------------------------------------------------ #
+    # Spec registry
+    # ------------------------------------------------------------------ #
+    def add_spec(self, name: str, spec) -> None:
+        """Register (or replace) a named specification.
+
+        Only the source automaton is retained; the expensive compiled table
+        is produced lazily through the LRU cache.
+        """
+        self._sources[name] = _as_automaton(spec)
+        self._cache.invalidate(name)
+
+    def spec_names(self) -> Tuple[str, ...]:
+        """Every registered spec name, in registration order."""
+        return tuple(self._sources)
+
+    def compiled(self, name: str) -> CompiledSpec:
+        """The table-compiled form of one spec (cached, recompiled on eviction)."""
+        source = self._sources.get(name)
+        if source is None:
+            raise KeyError(f"unknown specification {name!r}; registered: {sorted(self._sources)}")
+        return self._cache.get_or_compile(name, lambda: compile_spec(source))
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters of the spec-compilation cache."""
+        return self._cache.stats()
+
+    # ------------------------------------------------------------------ #
+    # Batch checking
+    # ------------------------------------------------------------------ #
+    def check_batch(
+        self,
+        name: str,
+        histories: Sequence[Sequence[Symbol]],
+        executor=None,
+    ) -> List[bool]:
+        """The membership verdict of every history, in input order.
+
+        Histories are cut into shards of ``batch_size`` and dispatched to
+        the executor; each shard runs the compiled table directly, so the
+        per-history cost is a few array reads per event.
+        """
+        compiled = self.compiled(name)
+        backend = executor if executor is not None else self._executor
+        shards = shard(histories, self._batch_size)
+        results = backend.run(_check_shard, [(compiled, piece) for piece in shards])
+        verdicts: List[bool] = []
+        for piece in results:
+            verdicts.extend(piece)
+        return verdicts
+
+    def check_batch_all(
+        self, histories: Sequence[Sequence[Symbol]], names: Optional[Iterable[str]] = None
+    ) -> Dict[str, List[bool]]:
+        """Batch verdicts for several specs at once."""
+        selected = tuple(names) if names is not None else self.spec_names()
+        return {name: self.check_batch(name, histories) for name in selected}
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def open_stream(self, names: Optional[Iterable[str]] = None) -> "StreamChecker":
+        """A streaming session tracking every object against the given specs."""
+        selected = tuple(names) if names is not None else self.spec_names()
+        for name in selected:
+            if name not in self._sources:
+                raise KeyError(f"unknown specification {name!r}")
+        return StreamChecker(self, selected)
+
+
+class StreamChecker:
+    """Incremental checking of an interleaved multi-object event stream.
+
+    One :class:`repro.engine.cursors.CursorTable` per spec maps object ids
+    to integer table states.  The compiled spec is re-resolved through the
+    engine's LRU cache once per :meth:`feed_events` call (and per event in
+    :meth:`feed`), so specs may be evicted and recompiled mid-stream
+    without disturbing the session.
+    """
+
+    __slots__ = ("_engine", "_names", "_tables", "events_seen")
+
+    def __init__(self, engine: HistoryCheckerEngine, names: Tuple[str, ...]) -> None:
+        self._engine = engine
+        self._names = names
+        self._tables: Dict[str, CursorTable] = {name: CursorTable() for name in names}
+        self.events_seen = 0
+
+    @property
+    def spec_names(self) -> Tuple[str, ...]:
+        """The specs this session checks against."""
+        return self._names
+
+    def feed(self, object_id: ObjectId, symbol: Symbol) -> None:
+        """Consume a single event."""
+        for name in self._names:
+            compiled = self._engine.compiled(name)
+            self._tables[name].advance(compiled, object_id, symbol)
+        self.events_seen += 1
+
+    def feed_events(self, events: Iterable[Event]) -> int:
+        """Consume a batch of ``(object_id, symbol)`` events; returns the count.
+
+        With several specs the event batch is materialized once and each
+        spec's cursor table sweeps it with the compiled table resolved a
+        single time.
+        """
+        batch = events if isinstance(events, (list, tuple)) else list(events)
+        count = 0
+        for name in self._names:
+            compiled = self._engine.compiled(name)
+            count = self._tables[name].advance_events(compiled, batch)
+        self.events_seen += count
+        return count
+
+    def objects(self, name: Optional[str] = None) -> Tuple[ObjectId, ...]:
+        """The objects observed so far (for one spec, or the first)."""
+        selected = name if name is not None else self._names[0]
+        return self._tables[selected].objects()
+
+    def verdict(self, name: str, object_id: ObjectId) -> bool:
+        """Whether one object's history so far satisfies one spec."""
+        return self._tables[name].verdict(self._engine.compiled(name), object_id)
+
+    def verdicts(self, name: str) -> Dict[ObjectId, bool]:
+        """Per-object verdicts for one spec."""
+        return self._tables[name].verdicts(self._engine.compiled(name))
+
+    def all_verdicts(self) -> Dict[str, Dict[ObjectId, bool]]:
+        """Per-object verdicts for every spec of the session."""
+        return {name: self.verdicts(name) for name in self._names}
+
+
+__all__ = ["HistoryCheckerEngine", "StreamChecker"]

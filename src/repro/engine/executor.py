@@ -1,0 +1,82 @@
+"""Pluggable shard executors for batch history checking.
+
+Batches of object histories are cut into shards and each shard is checked
+independently against a compiled spec, so the execution backend is a policy
+choice: :class:`SerialExecutor` runs shards in-process (no pickling, best
+for small batches and for the streaming path), while
+:class:`ProcessPoolBackend` fans shards out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (compiled tables are flat
+integer arrays and pickle cheaply, so workers pay one table transfer per
+shard and no recompilation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+def shard(items: Sequence[Task], batch_size: int) -> List[Sequence[Task]]:
+    """Cut a batch into contiguous shards of at most ``batch_size`` items."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    return [items[start : start + batch_size] for start in range(0, len(items), batch_size)]
+
+
+class SerialExecutor:
+    """Run every shard in the calling process, in order."""
+
+    def run(self, function: Callable[[Task], Result], tasks: Iterable[Task]) -> List[Result]:
+        """Apply ``function`` to each task and collect the results in order."""
+        return [function(task) for task in tasks]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ProcessPoolBackend:
+    """Fan shards out over a lazily created process pool.
+
+    ``function`` and every task must be picklable (the engine only submits
+    module-level functions with compiled-spec/history arguments).  The pool
+    is created on first use so that merely constructing an engine with a
+    parallel backend costs nothing.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run(self, function: Callable[[Task], Result], tasks: Iterable[Task]) -> List[Result]:
+        """Apply ``function`` to each task across the pool; order preserved."""
+        return list(self._ensure_pool().map(function, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down (a later :meth:`run` recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolBackend(max_workers={self._max_workers})"
+
+
+__all__ = ["shard", "SerialExecutor", "ProcessPoolBackend"]

@@ -16,6 +16,10 @@ synthesis algorithms in :mod:`repro.core` are built on:
   initial) used in Section 3 of the paper.
 * :mod:`repro.formal.decision` -- emptiness, membership, containment and
   equivalence tests (Corollary 3.3 rests on these).
+* :mod:`repro.formal.lazy` -- on-the-fly product exploration backing the
+  decision procedures: reachable pairs of subset states are generated on
+  demand with early exit and dead-branch pruning, instead of materializing
+  full intersection/complement automata.
 * :mod:`repro.formal.grammar` -- left-linear grammars (used to read the
   migration graph as an automaton), context-free grammars, CNF/CYK and
   Greibach normal form (used by Theorem 4.8).
@@ -52,11 +56,13 @@ from repro.formal.operations import (
 )
 from repro.formal.decision import (
     are_equivalent,
+    containment_witness,
     is_contained_in,
     is_empty,
     accepts,
     enumerate_words,
 )
+from repro.formal.lazy import LazyOutcome
 from repro.formal.grammar import (
     ContextFreeGrammar,
     LeftLinearGrammar,
@@ -92,8 +98,10 @@ __all__ = [
     "is_empty",
     "accepts",
     "is_contained_in",
+    "containment_witness",
     "are_equivalent",
     "enumerate_words",
+    "LazyOutcome",
     "LeftLinearGrammar",
     "ContextFreeGrammar",
     "Production",

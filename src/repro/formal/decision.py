@@ -2,17 +2,24 @@
 
 Corollary 3.3 of the paper states that for SL transaction schemas it is
 decidable whether the schema *satisfies* or *generates* a regular migration
-inventory; both reduce to containment between regular languages, which are
-implemented here on top of the automata in :mod:`repro.formal.nfa` /
-:mod:`repro.formal.dfa`.
+inventory; both reduce to containment between regular languages.
+
+Containment, equivalence and counterexample extraction run on the **lazy
+product construction** of :mod:`repro.formal.lazy`: reachable pairs of
+subset states are explored on the fly and the search stops at the first
+decisive pair, instead of materializing the full ``A ∩ complement(B)``
+automaton the way :mod:`repro.formal.operations` does.  The eager variants
+are kept (``*_eager``) because the property tests pin the lazy verdicts to
+them.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.formal import lazy
 from repro.formal.nfa import NFA
-from repro.formal.operations import complement, difference, intersection
+from repro.formal.operations import complement, intersection
 
 Symbol = Hashable
 Word = Tuple[Symbol, ...]
@@ -31,8 +38,30 @@ def accepts(automaton: NFA, word: Sequence[Symbol]) -> bool:
 def is_contained_in(left: NFA, right: NFA) -> bool:
     """Return ``True`` if ``L(left)`` is a subset of ``L(right)``.
 
-    Decided as emptiness of ``L(left) ∩ complement(L(right))`` over the
-    union of the two alphabets.
+    Decided by the lazy product search: emptiness of
+    ``L(left) ∩ complement(L(right))`` witnessed pair by pair, without
+    building either the complement or the product automaton.
+    """
+    return lazy.containment(left, right).holds
+
+
+def containment_witness(left: NFA, right: NFA) -> lazy.LazyOutcome:
+    """Containment together with a shortest counterexample and search stats.
+
+    One product exploration answers both "does ``L(left) ⊆ L(right)``
+    hold?" and "if not, which word breaks it?"; callers that need the
+    verdict *and* the witness (:mod:`repro.core.satisfiability`) use this
+    instead of paying for two separate searches.
+    """
+    return lazy.containment(left, right)
+
+
+def is_contained_in_eager(left: NFA, right: NFA) -> bool:
+    """Eager reference implementation of :func:`is_contained_in`.
+
+    Materializes ``L(left) ∩ complement(L(right))`` over the union of the
+    two alphabets and tests its emptiness; kept as the oracle the property
+    tests compare the lazy search against.
     """
     alphabet = left.alphabet | right.alphabet
     return intersection(
@@ -43,25 +72,26 @@ def is_contained_in(left: NFA, right: NFA) -> bool:
 
 def are_equivalent(left: NFA, right: NFA) -> bool:
     """Return ``True`` if the two automata accept the same language."""
-    return is_contained_in(left, right) and is_contained_in(right, left)
+    return lazy.equivalence(left, right).holds
+
+
+def are_equivalent_eager(left: NFA, right: NFA) -> bool:
+    """Eager reference implementation of :func:`are_equivalent`."""
+    return is_contained_in_eager(left, right) and is_contained_in_eager(right, left)
 
 
 def counterexample(left: NFA, right: NFA, max_length: int = 32) -> Optional[Word]:
-    """Return a word in ``L(left) - L(right)`` if one exists.
+    """Return a shortest word in ``L(left) - L(right)`` if one exists.
 
-    The difference of two regular languages, if non-empty, contains a word
-    no longer than the number of states of the product DFA, so the search is
-    exhaustive as long as ``max_length`` is at least that bound; the default
-    is ample for the schemas in this package and the function falls back to
-    the exact bound when it is larger.
+    The lazy product search reports the witness directly from its
+    breadth-first parent pointers: the canonically least among the shortest
+    counterexamples, which is the same word the previous eager
+    implementation (difference automaton + word enumeration) returned.
+    ``max_length`` is retained for backwards compatibility; the search is
+    exact and never truncates.
     """
-    delta = difference(left, right).trim()
-    if delta.is_empty():
-        return None
-    bound = max(max_length, len(delta.states))
-    for word in delta.enumerate_words(bound, limit=1):
-        return word
-    return None  # pragma: no cover - unreachable: a trimmed non-empty NFA has a short witness
+    del max_length
+    return lazy.containment(left, right).witness
 
 
 def enumerate_words(automaton: NFA, max_length: int, limit: Optional[int] = None) -> Iterator[Word]:
@@ -78,7 +108,10 @@ __all__ = [
     "is_empty",
     "accepts",
     "is_contained_in",
+    "is_contained_in_eager",
+    "containment_witness",
     "are_equivalent",
+    "are_equivalent_eager",
     "counterexample",
     "enumerate_words",
     "sample_language",

@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.formal.nfa import EPSILON, NFA
+from repro.formal.nfa import NFA
 
 Symbol = Hashable
 

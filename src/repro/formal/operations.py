@@ -21,7 +21,6 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.formal.alphabet import RoleSetAlphabet, intern_nfa, restore_nfa
-from repro.formal.dfa import DFA
 from repro.formal.nfa import EPSILON, NFA
 
 Symbol = Hashable

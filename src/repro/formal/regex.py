@@ -17,7 +17,17 @@ or ``P(QQP)*`` in Example 3.6).  This module provides
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional as Opt, Sequence, Set, Tuple
+from typing import (
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional as Opt,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 SymbolValue = Hashable
 

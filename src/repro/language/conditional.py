@@ -18,9 +18,9 @@ constructions of Theorems 4.3, 4.4 and 4.8 produce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple, Union
 
-from repro.language.semantics import apply_update, compute_update_delta
+from repro.language.semantics import compute_update_delta
 from repro.language.transactions import Transaction
 from repro.language.updates import AtomicUpdate
 from repro.model.conditions import Condition

@@ -17,7 +17,7 @@ transactions of either SL or the conditional languages.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+from typing import AbstractSet, FrozenSet, List, Mapping, Optional
 
 from repro.language.updates import AtomicUpdate, Generalize, Specialize
 from repro.model.conditions import Condition

@@ -25,7 +25,7 @@ O(instance size).  :func:`compute_update_delta` exposes the delta itself;
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.language.transactions import Transaction
 from repro.language.updates import (

@@ -8,7 +8,7 @@ migration-pattern results (Theorems 3.2, 4.2-4.8).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.language.updates import AtomicUpdate
 from repro.model.errors import UpdateError

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import FrozenSet, Iterable, Set, Tuple
+from typing import FrozenSet, Set, Tuple
 
 from repro.model.conditions import Condition
 from repro.model.errors import UpdateError

@@ -16,7 +16,7 @@ the paper).  This module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.model.errors import ConditionError
 from repro.model.values import Assignment, Constant, Term, Variable

@@ -11,18 +11,7 @@ its ancestors (``A*``), modelling inheritance.
 
 from __future__ import annotations
 
-from typing import (
-    AbstractSet,
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.model.errors import SchemaError
 

@@ -15,7 +15,9 @@ schema + transaction-schema objects:
 * :mod:`repro.workloads.immigration` -- Example 5.1 (visa-status
   reachability).
 * :mod:`repro.workloads.generators` -- random schemas, transactions and
-  regular expressions for the scaling benchmarks.
+  regular expressions for the scaling benchmarks, plus the interleaved
+  role-set event streams (banking / university / immigration, 10⁴-10⁶
+  objects) consumed by the streaming history-checker engine.
 """
 
 __all__ = [

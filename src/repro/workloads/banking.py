@@ -18,7 +18,7 @@ from typing import Dict
 from repro.core.inventory import MigrationInventory
 from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
 from repro.language.transactions import Transaction, TransactionSchema
-from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
+from repro.language.updates import Create, Delete, Generalize, Specialize
 from repro.model.conditions import Condition
 from repro.model.schema import DatabaseSchema
 from repro.model.values import Variable

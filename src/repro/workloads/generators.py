@@ -1,16 +1,21 @@
-"""Random workload generators for the scaling experiments (E18/E19).
+"""Random workload generators for the scaling experiments (E18/E19)
+and event-stream generators for the streaming history-checker engine.
 
 The paper has no experimental evaluation, so the reproduction adds two
 scaling studies: how the migration-graph construction and the decision
 procedures behave as schemas, transaction schemas and inventories grow.
-Everything here is deterministic given the seed, so benchmark numbers are
-reproducible run to run.
+The stream generators (:func:`random_histories`, :func:`event_stream`,
+:func:`banking_event_stream`, :func:`university_event_stream`,
+:func:`immigration_event_stream`) produce interleaved per-object role-set
+event streams at 10⁴-10⁶ objects for the engine benchmarks.  Everything
+here is deterministic given the seed, so benchmark numbers are reproducible
+run to run.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.core.rolesets import RoleSet, enumerate_role_sets
 from repro.formal import regex as rx
@@ -19,6 +24,9 @@ from repro.language.updates import Create, Delete, Generalize, Modify, Specializ
 from repro.model.conditions import Condition
 from repro.model.schema import DatabaseSchema
 from repro.model.values import Variable
+
+#: One event of an object-history stream: ``(object id, role set)``.
+Event = Tuple[int, RoleSet]
 
 
 def random_schema(
@@ -144,9 +152,145 @@ def random_words(alphabet: Sequence[object], seed: int, count: int, max_length: 
     return words
 
 
+# --------------------------------------------------------------------------- #
+# Event-stream generators for the streaming engine (E20)
+# --------------------------------------------------------------------------- #
+def spec_walk_histories(
+    automaton,
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.05,
+) -> Iterator[Tuple[RoleSet, ...]]:
+    """Object histories that mostly follow ``automaton``, with injected noise.
+
+    Each history is a random walk over the automaton's subset states:
+    while the walk is alive it picks uniformly among the symbols with a
+    non-empty successor, and with probability ``noise`` (or once dead) it
+    picks an arbitrary alphabet symbol instead -- so a tunable fraction of
+    the histories violates the specification, as a realistic checking
+    workload does.  Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    symbols = automaton.sorted_alphabet()
+    if not symbols:
+        raise ValueError("the specification automaton has an empty alphabet")
+    start = automaton.epsilon_closure(automaton.initial_states)
+    alive_options: Dict = {}
+
+    def options(state):
+        cached = alive_options.get(state)
+        if cached is None:
+            cached = [
+                (symbol, target)
+                for symbol in symbols
+                for target in (automaton.step(state, symbol),)
+                if target
+            ]
+            alive_options[state] = cached
+        return cached
+
+    for _ in range(objects):
+        length = rng.randint(1, 2 * mean_length - 1)
+        word: List[RoleSet] = []
+        state = start
+        for _ in range(length):
+            choices = options(state) if state else ()
+            if choices and rng.random() >= noise:
+                symbol, state = choices[rng.randrange(len(choices))]
+            else:
+                symbol = symbols[rng.randrange(len(symbols))]
+                state = automaton.step(state, symbol) if state else state
+            word.append(symbol)
+        yield tuple(word)
+
+
+def random_histories(
+    role_sets: Sequence[RoleSet],
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+) -> Iterator[Tuple[RoleSet, ...]]:
+    """Uniformly random object histories over ``role_sets`` (pure noise)."""
+    rng = random.Random(seed)
+    for _ in range(objects):
+        length = rng.randint(1, 2 * mean_length - 1)
+        yield tuple(role_sets[rng.randrange(len(role_sets))] for _ in range(length))
+
+
+def event_stream(histories: Sequence[Sequence[RoleSet]], seed: int) -> List[Event]:
+    """Interleave per-object histories into one global event stream.
+
+    The arrival order across objects is a deterministic shuffle of the
+    multiset of object ids; *within* one object the event order is its
+    history order, which is the contract the streaming cursors rely on.
+    """
+    arrival = [object_id for object_id, history in enumerate(histories) for _ in history]
+    random.Random(seed).shuffle(arrival)
+    positions = [0] * len(histories)
+    events: List[Event] = []
+    for object_id in arrival:
+        index = positions[object_id]
+        positions[object_id] = index + 1
+        events.append((object_id, histories[object_id][index]))
+    return events
+
+
+def banking_event_stream(
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.05,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
+    """Account-lifecycle histories guided by the checking-role inventory.
+
+    Returns ``(histories, events)``: the per-object ground truth and the
+    interleaved stream, so callers can cross-check streaming verdicts
+    against one-shot membership.
+    """
+    from repro.workloads import banking
+
+    guide = banking.checking_role_inventory().automaton
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
+    return histories, event_stream(histories, seed + 1)
+
+
+def university_event_stream(
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.05,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
+    """Person-lifecycle histories guided by the Example 3.4 "all" family."""
+    from repro.workloads import university
+
+    guide = university.expected_families()["all"].automaton
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
+    return histories, event_stream(histories, seed + 1)
+
+
+def immigration_event_stream(
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
+    """Visa-status histories: uniform noise over the immigration role sets."""
+    from repro.workloads import immigration
+
+    role_sets = [rs for rs in enumerate_role_sets(immigration.schema()) if rs]
+    histories = list(random_histories(role_sets, seed, objects, mean_length))
+    return histories, event_stream(histories, seed + 1)
+
+
 __all__ = [
     "random_schema",
     "random_transactions",
     "random_role_set_regex",
     "random_words",
+    "spec_walk_histories",
+    "random_histories",
+    "event_stream",
+    "banking_event_stream",
+    "university_event_stream",
+    "immigration_event_stream",
 ]

@@ -17,7 +17,7 @@ satisfy automatically the migration inventory").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.inventory import MigrationInventory
 from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
@@ -68,7 +68,6 @@ def path_expression_inventory(
 ) -> MigrationInventory:
     """The inventory ``Init(∅* η ∅*)`` for the path expression ``text`` (Example 3.3)."""
     mapping = role_sets(operations)
-    expression = path_expression_regex(text, operations)
     padded = f"0* ({text}) 0*"
     return MigrationInventory.from_text(
         padded, {**mapping}, alphabet=mapping.values(), prefix_close=True

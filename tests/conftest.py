@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.sl_analysis import SLMigrationAnalysis
-from repro.workloads import banking, immigration, phd, three_class, university
+from repro.workloads import banking, phd, three_class, university
 
 
 @pytest.fixture(scope="session")

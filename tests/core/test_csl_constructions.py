@@ -9,7 +9,7 @@ from repro.core.csl_constructions import (
     turing_to_csl,
 )
 from repro.core.patterns import pattern_of_run
-from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.core.rolesets import EMPTY_ROLE_SET
 from repro.core.simulation import explore_patterns
 from repro.formal.turing import TuringMachine
 from repro.model.errors import AnalysisError

@@ -4,11 +4,8 @@ import pytest
 
 from repro.core.inflow import (
     Assertion,
-    EqualityAssertion,
     InflowSchema,
     ReachabilityAnalyzer,
-    ScriptSchema,
-    ValueAssertion,
     bounded_csl_reachability,
 )
 from repro.model.errors import AnalysisError

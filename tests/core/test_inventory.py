@@ -1,10 +1,9 @@
 """Unit tests for migration inventories (Definition 3.3, Examples 3.2/3.3)."""
 
-import pytest
 
 from repro.core.inventory import MigrationInventory
 from repro.core.patterns import MigrationPattern
-from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet
+from repro.core.rolesets import EMPTY_ROLE_SET
 from repro.formal.regex import parse_regex
 from repro.workloads import university
 

@@ -1,6 +1,5 @@
 """Unit tests for role sets (Definition 3.1 / Example 3.1)."""
 
-import pytest
 
 from repro.core.rolesets import (
     EMPTY_ROLE_SET,
@@ -10,7 +9,6 @@ from repro.core.rolesets import (
     role_set_of,
     symbol_map,
 )
-from repro.model.errors import SchemaError
 from repro.workloads import phd, university
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.simulation import explore_patterns, observed_within
-from repro.core.rolesets import EMPTY_ROLE_SET
 from repro.language.conditional import ConditionalTransaction, ConditionalTransactionSchema, ConditionalUpdate, Literal
 from repro.language.updates import Create, Delete
 from repro.model.conditions import Condition

@@ -63,7 +63,6 @@ class TestOtherWorkloads:
 
     def test_phd_as_printed_allows_the_extra_role_set(self, phd_analysis):
         family = phd_analysis.pattern_family("proper")
-        surprising = [phd.ROLE_U, phd.ROLE_U | {phd.CANDIDATE}]
         # The unguarded transactions can stack SCREENED/CANDIDATE roles.
         assert not family.equals(phd.expected_proper_family())
 

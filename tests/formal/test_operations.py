@@ -1,9 +1,8 @@
 """Unit tests for regular-language operations."""
 
-import pytest
 
 from repro.formal import operations as ops
-from repro.formal.decision import are_equivalent, is_contained_in
+from repro.formal.decision import are_equivalent
 from repro.formal.nfa import NFA
 from repro.formal.regex import parse_regex
 

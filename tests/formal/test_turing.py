@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.formal.turing import LEFT, RIGHT, STAY, TMConfiguration, TMTransition, TuringMachine
+from repro.formal.turing import STAY, TMConfiguration, TMTransition, TuringMachine
 
 
 class TestTransitionsAndConfigurations:

@@ -1,6 +1,5 @@
 """End-to-end integration tests combining the analysis, synthesis and execution layers."""
 
-import pytest
 
 from repro import (
     Assignment,

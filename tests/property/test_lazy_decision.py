@@ -1,0 +1,130 @@
+"""Lazy product decisions pinned to the eager operations.py pipeline.
+
+The lazy on-the-fly search of :mod:`repro.formal.lazy` must agree verdict
+for verdict with the eager constructions it replaces: containment decided
+as emptiness of the materialized ``A ∩ complement(B)``, intersection
+emptiness via the materialized product, equivalence via two eager
+containments.  Witnesses must be genuine and shortest, and the laziness
+must be real -- never exploring more pairs than the eager difference
+automaton has states.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.rolesets import RoleSet
+from repro.formal import lazy
+from repro.formal import operations as ops
+from repro.formal import regex as rx
+from repro.formal.decision import (
+    are_equivalent_eager,
+    counterexample,
+    is_contained_in,
+    is_contained_in_eager,
+)
+
+ALPHABET = ("a", "b")
+#: Interned role-set symbols, exercising the frozenset interning path.
+ROLE_ALPHABET = (RoleSet({"P"}), RoleSet({"P", "S"}), RoleSet())
+
+
+def regexes(alphabet=ALPHABET, max_leaves: int = 4):
+    """A strategy producing small regular expressions over ``alphabet``."""
+    leaves = st.sampled_from([rx.Symbol(symbol) for symbol in alphabet] + [rx.Epsilon()])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: rx.Concat(*pair)),
+            st.tuples(children, children).map(lambda pair: rx.Union(*pair)),
+            children.map(rx.Star),
+            children.map(rx.Optional),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), regexes())
+def test_lazy_containment_matches_eager_verdict(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    outcome = lazy.containment(left_nfa, right_nfa)
+    assert outcome.holds == is_contained_in_eager(left_nfa, right_nfa)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), regexes())
+def test_lazy_intersection_emptiness_matches_eager_verdict(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    outcome = lazy.intersection_emptiness(left_nfa, right_nfa)
+    assert outcome.holds == ops.intersection(left_nfa, right_nfa).is_empty()
+    if not outcome.holds:
+        assert left_nfa.accepts(outcome.witness)
+        assert right_nfa.accepts(outcome.witness)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), regexes())
+def test_lazy_equivalence_matches_eager_verdict(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    outcome = lazy.equivalence(left_nfa, right_nfa)
+    assert outcome.holds == are_equivalent_eager(left_nfa, right_nfa)
+    if not outcome.holds:
+        assert left_nfa.accepts(outcome.witness) != right_nfa.accepts(outcome.witness)
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), regexes())
+def test_containment_witness_is_a_shortest_genuine_counterexample(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    witness = counterexample(left_nfa, right_nfa)
+    if witness is None:
+        assert is_contained_in_eager(left_nfa, right_nfa)
+        return
+    assert left_nfa.accepts(witness)
+    assert not right_nfa.accepts(witness)
+    # Shortest: no strictly shorter word separates the languages.
+    for word in ops.difference(left_nfa, right_nfa).enumerate_words(len(witness), limit=None):
+        assert len(word) >= len(witness)
+        break
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(alphabet=ROLE_ALPHABET), regexes(alphabet=ROLE_ALPHABET))
+def test_lazy_decisions_agree_on_interned_role_set_automata(left, right):
+    left_nfa, right_nfa = left.to_nfa(ROLE_ALPHABET), right.to_nfa(ROLE_ALPHABET)
+    assert lazy.containment(left_nfa, right_nfa).holds == is_contained_in_eager(left_nfa, right_nfa)
+    assert (
+        lazy.intersection_emptiness(left_nfa, right_nfa).holds
+        == ops.intersection(left_nfa, right_nfa).is_empty()
+    )
+    witness = lazy.containment(left_nfa, right_nfa).witness
+    if witness is not None:
+        assert all(isinstance(symbol, frozenset) for symbol in witness)
+        assert left_nfa.accepts(witness)
+        assert not right_nfa.accepts(witness)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), regexes())
+def test_lazy_never_explores_more_than_the_eager_difference_automaton(left, right):
+    left_nfa, right_nfa = left.to_nfa(ALPHABET), right.to_nfa(ALPHABET)
+    outcome = lazy.containment(left_nfa, right_nfa)
+    eager_states = len(ops.intersection(left_nfa, ops.complement(right_nfa, ALPHABET)).states)
+    assert outcome.explored_states <= eager_states
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_lazy_emptiness_matches_the_automaton(expression):
+    nfa = expression.to_nfa(ALPHABET)
+    outcome = lazy.emptiness(nfa)
+    assert outcome.holds == nfa.is_empty()
+    if not outcome.holds:
+        assert nfa.accepts(outcome.witness)
+
+
+def test_decision_module_containment_is_lazy_backed():
+    left = rx.Concat(rx.Symbol("a"), rx.Star(rx.Symbol("b"))).to_nfa(ALPHABET)
+    right = rx.Star(rx.Union(rx.Symbol("a"), rx.Symbol("b"))).to_nfa(ALPHABET)
+    assert is_contained_in(left, right)
+    assert counterexample(right, left) is not None

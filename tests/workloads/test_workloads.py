@@ -1,6 +1,5 @@
 """Sanity tests for the bundled workloads (the paper's figures and examples)."""
 
-import pytest
 
 from repro.core.rolesets import EMPTY_ROLE_SET
 from repro.workloads import banking, generators, immigration, path_expressions, phd, three_class, university
