@@ -17,7 +17,10 @@ provides
 * the paper's worked examples as ready-made workloads plus random
   generators and event streams for scaling studies (:mod:`repro.workloads`),
 * a streaming history-checker engine for checking millions of object
-  histories against compiled specifications (:mod:`repro.engine`).
+  histories against compiled specifications (:mod:`repro.engine`),
+* MCL, a declarative migration-constraint language compiled onto the
+  interned automaton stack -- constraints as text instead of hand-built
+  automata (:mod:`repro.spec`).
 
 Quickstart::
 
@@ -84,6 +87,14 @@ from repro.core import (
     turing_to_csl,
 )
 from repro.engine import HistoryCheckerEngine
+from repro.spec import (
+    CompiledConstraint,
+    MCLError,
+    compile_constraint,
+    compile_mcl,
+    mcl_of_regex,
+    parse_mcl,
+)
 
 __version__ = "1.0.0"
 
@@ -141,4 +152,11 @@ __all__ = [
     "ReachabilityAnalyzer",
     # engine
     "HistoryCheckerEngine",
+    # spec (MCL)
+    "CompiledConstraint",
+    "MCLError",
+    "parse_mcl",
+    "compile_mcl",
+    "compile_constraint",
+    "mcl_of_regex",
 ]

@@ -29,6 +29,30 @@ def _as_word(pattern: PatternLike) -> Tuple[RoleSet, ...]:
     return tuple(rs if isinstance(rs, RoleSet) else RoleSet(rs) for rs in pattern)
 
 
+def coerce_inventory(constraint) -> "MigrationInventory":
+    """Interpret ``constraint`` as an inventory.
+
+    Accepts :class:`MigrationInventory`, anything exposing ``inventory()``
+    returning one (compiled MCL constraints,
+    :class:`repro.spec.compile.CompiledConstraint`), or a raw automaton.
+    The comparison methods below route through this, so MCL-compiled specs
+    can be used wherever inventories are expected.
+    """
+    if isinstance(constraint, MigrationInventory):
+        return constraint
+    factory = getattr(constraint, "inventory", None)
+    if callable(factory):
+        made = factory()
+        if isinstance(made, MigrationInventory):
+            return made
+    if isinstance(constraint, NFA):
+        return MigrationInventory(constraint)
+    raise TypeError(
+        f"cannot interpret {type(constraint).__name__} as a migration inventory "
+        "(expected a MigrationInventory, a compiled MCL constraint, or an NFA)"
+    )
+
+
 class MigrationInventory:
     """A (regular) migration inventory, backed by a finite automaton.
 
@@ -207,33 +231,34 @@ class MigrationInventory:
     # ------------------------------------------------------------------ #
     # Comparisons
     # ------------------------------------------------------------------ #
-    def is_subset_of(self, other: "MigrationInventory") -> bool:
+    def is_subset_of(self, other) -> bool:
         """Language containment (lazy product search, early exit)."""
-        return decision.is_contained_in(self._automaton, other._automaton)
+        return decision.is_contained_in(self._automaton, coerce_inventory(other)._automaton)
 
-    def subset_check(self, other: "MigrationInventory") -> Tuple[bool, Optional[MigrationPattern]]:
+    def subset_check(self, other) -> Tuple[bool, Optional[MigrationPattern]]:
         """Containment verdict and counterexample from one lazy exploration.
 
-        Returns ``(holds, witness)`` where ``witness`` is a shortest pattern
-        of this inventory that ``other`` forbids (``None`` when containment
-        holds).  :mod:`repro.core.satisfiability` uses this to avoid paying
-        for a second product search just to extract the violation.
+        ``other`` may be an inventory or a compiled MCL constraint.  Returns
+        ``(holds, witness)`` where ``witness`` is a shortest pattern of this
+        inventory that ``other`` forbids (``None`` when containment holds).
+        :mod:`repro.core.satisfiability` uses this to avoid paying for a
+        second product search just to extract the violation.
         """
-        outcome = decision.containment_witness(self._automaton, other._automaton)
+        outcome = decision.containment_witness(self._automaton, coerce_inventory(other)._automaton)
         witness = None if outcome.witness is None else MigrationPattern(outcome.witness)
         return outcome.holds, witness
 
-    def equals(self, other: "MigrationInventory") -> bool:
-        """Language equality."""
-        return decision.are_equivalent(self._automaton, other._automaton)
+    def equals(self, other) -> bool:
+        """Language equality (``other`` may be a compiled MCL constraint)."""
+        return decision.are_equivalent(self._automaton, coerce_inventory(other)._automaton)
 
-    def counterexample_against(self, other: "MigrationInventory") -> Optional[MigrationPattern]:
+    def counterexample_against(self, other) -> Optional[MigrationPattern]:
         """A pattern of this inventory that ``other`` does not allow (or ``None``)."""
-        witness = decision.counterexample(self._automaton, other._automaton)
+        witness = decision.counterexample(self._automaton, coerce_inventory(other)._automaton)
         return None if witness is None else MigrationPattern(witness)
 
     def __repr__(self) -> str:
         return f"MigrationInventory(alphabet={len(self._automaton.alphabet)} role sets)"
 
 
-__all__ = ["MigrationInventory"]
+__all__ = ["MigrationInventory", "coerce_inventory"]

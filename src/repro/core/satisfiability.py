@@ -15,13 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.core.inventory import MigrationInventory
+from repro.core.inventory import MigrationInventory, coerce_inventory
 from repro.core.patterns import MigrationPattern
 from repro.core.sl_analysis import PATTERN_KINDS, SLMigrationAnalysis
 from repro.language.transactions import TransactionSchema
 from repro.model.errors import AnalysisError
 
 SchemaOrAnalysis = Union[TransactionSchema, SLMigrationAnalysis]
+#: A constraint argument: an inventory, a compiled MCL constraint, an
+#: automaton, or MCL source text (compiled against the analysed schema).
+ConstraintLike = Union[MigrationInventory, str, object]
 
 
 @dataclass(frozen=True)
@@ -57,38 +60,57 @@ def _as_analysis(schema: SchemaOrAnalysis) -> SLMigrationAnalysis:
     raise AnalysisError(f"expected a TransactionSchema or SLMigrationAnalysis, got {type(schema).__name__}")
 
 
+def _as_inventory(constraint: ConstraintLike, analysis: SLMigrationAnalysis) -> MigrationInventory:
+    """Coerce a constraint argument to an inventory.
+
+    MCL source text (a string) is compiled against the analysed database
+    schema; compiled MCL constraints and automata are wrapped directly.
+    """
+    if isinstance(constraint, str):
+        from repro.spec import compile_constraint
+
+        return coerce_inventory(compile_constraint(constraint, analysis.schema))
+    return coerce_inventory(constraint)
+
+
 def check_constraint(
     schema: SchemaOrAnalysis,
-    inventory: MigrationInventory,
+    inventory: ConstraintLike,
     kind: str = "all",
 ) -> ConstraintCheck:
-    """Decide satisfaction and generation of ``inventory`` and report witnesses."""
+    """Decide satisfaction and generation of ``inventory`` and report witnesses.
+
+    ``inventory`` may be a :class:`repro.core.inventory.MigrationInventory`,
+    a compiled MCL constraint, or MCL source text (compiled against the
+    schema under analysis).
+    """
     analysis = _as_analysis(schema)
+    constraint = _as_inventory(inventory, analysis)
     family = analysis.pattern_family(kind)
     # One lazy product exploration per direction yields the verdict and the
     # shortest witness together (previously: a second, eager search each).
-    satisfies, violation = family.subset_check(inventory)
-    generates, missing = inventory.subset_check(family)
+    satisfies, violation = family.subset_check(constraint)
+    generates, missing = constraint.subset_check(family)
     return ConstraintCheck(kind, satisfies, generates, violation, missing)
 
 
-def satisfies(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+def satisfies(schema: SchemaOrAnalysis, inventory: ConstraintLike, kind: str = "all") -> bool:
     """Whether the schema produces only patterns allowed by the inventory."""
     return check_constraint(schema, inventory, kind).satisfies
 
 
-def generates(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+def generates(schema: SchemaOrAnalysis, inventory: ConstraintLike, kind: str = "all") -> bool:
     """Whether the schema can produce every pattern of the inventory."""
     return check_constraint(schema, inventory, kind).generates
 
 
-def characterizes(schema: SchemaOrAnalysis, inventory: MigrationInventory, kind: str = "all") -> bool:
+def characterizes(schema: SchemaOrAnalysis, inventory: ConstraintLike, kind: str = "all") -> bool:
     """Whether the schema both satisfies and generates the inventory."""
     return check_constraint(schema, inventory, kind).characterizes
 
 
 def check_all_kinds(
-    schema: SchemaOrAnalysis, inventory: MigrationInventory
+    schema: SchemaOrAnalysis, inventory: ConstraintLike
 ) -> Dict[str, ConstraintCheck]:
     """Run :func:`check_constraint` for every pattern kind."""
     analysis = _as_analysis(schema)

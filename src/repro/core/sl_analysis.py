@@ -148,6 +148,11 @@ class SLMigrationAnalysis:
         self._assignment_pools: Dict[Tuple[str, Tuple[Constant, ...]], Tuple[Assignment, ...]] = {}
         self._assignments_tried = 0
 
+    @property
+    def schema(self):
+        """The database schema the analysed transactions are written against."""
+        return self._schema
+
     # ------------------------------------------------------------------ #
     # Setup helpers
     # ------------------------------------------------------------------ #

@@ -81,14 +81,21 @@ class SynthesisResult:
     #: Vertex-identifying constants ``h``.
     vertex_constants: Dict[object, str]
 
-    def expected_families(self, expression: rx.Regex) -> Dict[str, MigrationInventory]:
-        """The pattern families Theorem 3.2(2) promises for the synthesized schema."""
-        return expected_synthesis_families(self.schema, expression)
+    def expected_families(self, expression) -> Dict[str, MigrationInventory]:
+        """The pattern families Theorem 3.2(2) promises for the synthesized schema.
 
-    def verify(self, expression: rx.Regex) -> Dict[str, bool]:
+        ``expression`` may be a :class:`repro.formal.regex.Regex`, a
+        compiled MCL constraint, or MCL source text (see
+        :func:`as_synthesis_expression`).
+        """
+        return expected_synthesis_families(self.schema, as_synthesis_expression(expression, self.schema))
+
+    def verify(self, expression) -> Dict[str, bool]:
         """Check the synthesized schemas against the promised families.
 
-        Re-analyses ``transactions`` / ``lazy_transactions`` with
+        ``expression`` accepts the same forms as :meth:`expected_families`
+        -- in particular the MCL constraint the schema was synthesized
+        from.  Re-analyses ``transactions`` / ``lazy_transactions`` with
         :class:`repro.core.sl_analysis.SLMigrationAnalysis` and decides
         equality with the expected inventories through the lazy product
         search (two containments per family, each with early exit), which
@@ -275,6 +282,32 @@ def synthesize_sl_schema(
 # --------------------------------------------------------------------------- #
 # The families Theorem 3.2(2) promises, for verification
 # --------------------------------------------------------------------------- #
+def as_synthesis_expression(expression, schema: DatabaseSchema) -> rx.Regex:
+    """Coerce ``expression`` to a :class:`repro.formal.regex.Regex`.
+
+    Accepts a regex directly, a compiled MCL constraint (converted through
+    state elimination on its automaton), or MCL source text (compiled
+    against ``schema`` first).  This is what lets
+    :meth:`SynthesisResult.verify` take the same MCL constraint the rest of
+    the pipeline consumes.
+    """
+    if isinstance(expression, rx.Regex):
+        return expression
+    if isinstance(expression, str):
+        from repro.spec import compile_constraint
+
+        return compile_constraint(expression, schema).to_regex()
+    to_regex = getattr(expression, "to_regex", None)
+    if callable(to_regex):
+        converted = to_regex()
+        if isinstance(converted, rx.Regex):
+            return converted
+    raise AnalysisError(
+        f"cannot interpret {type(expression).__name__} as a synthesis expression "
+        "(expected a Regex, a compiled MCL constraint, or MCL source text)"
+    )
+
+
 def expected_synthesis_families(
     schema: DatabaseSchema, expression: rx.Regex
 ) -> Dict[str, MigrationInventory]:
@@ -306,6 +339,7 @@ __all__ = [
     "SynthesisResult",
     "synthesize_sl_schema",
     "expected_synthesis_families",
+    "as_synthesis_expression",
     "MARK_IDLE",
     "MARK_BUSY",
     "MARK_DONE",

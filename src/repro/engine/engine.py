@@ -3,7 +3,8 @@
 :class:`HistoryCheckerEngine` is the scale entry point of the package: it
 checks large batches of object histories -- and unbounded event streams --
 against named migration specifications.  Specs are registered once as
-automata or inventories, compiled on demand into table runners
+automata, inventories, compiled MCL constraints or MCL source text
+(:mod:`repro.spec`), compiled on demand into table runners
 (:mod:`repro.engine.compiler`) behind an LRU cache
 (:mod:`repro.engine.cache`), and consulted either in batch mode (histories
 sharded across a pluggable executor, :mod:`repro.engine.executor`) or in
@@ -75,29 +76,63 @@ class HistoryCheckerEngine:
         self._cache = SpecCache(cache_size)
         self._batch_size = batch_size
         self._sources: Dict[str, NFA] = {}
+        self._generations: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Spec registry
     # ------------------------------------------------------------------ #
-    def add_spec(self, name: str, spec) -> None:
+    def add_spec(self, name: str, spec, schema=None) -> None:
         """Register (or replace) a named specification.
 
-        Only the source automaton is retained; the expensive compiled table
-        is produced lazily through the LRU cache.
+        ``spec`` may be an automaton, an inventory, a compiled MCL
+        constraint -- or **MCL source text** (a string), in which case
+        ``schema`` must be the :class:`repro.model.schema.DatabaseSchema`
+        the constraint file is written against; the source's constraint
+        named ``name`` is registered (or its only constraint, when it
+        defines exactly one).
+
+        Re-registering an existing name bumps the spec's *generation*: the
+        stale compiled table is evicted from the cache (the cache key is
+        ``(name, generation)``, so a stale entry can never be served even
+        across races), and open streams reset their cursors for that spec
+        on the next touch -- integer cursor states minted against the old
+        table are never interpreted against the new one.
         """
-        self._sources[name] = _as_automaton(spec)
-        self._cache.invalidate(name)
+        if isinstance(spec, str):
+            automaton = self._compile_mcl_source(name, spec, schema)
+        else:
+            automaton = _as_automaton(spec)
+        generation = self._generations.get(name, 0) + 1
+        self._cache.invalidate((name, generation - 1))
+        self._sources[name] = automaton
+        self._generations[name] = generation
+
+    @staticmethod
+    def _compile_mcl_source(name: str, text: str, schema) -> NFA:
+        from repro.spec import compile_constraint
+
+        if schema is None:
+            raise TypeError(
+                "registering MCL source text needs the database schema it is written "
+                "against: add_spec(name, text, schema=...)"
+            )
+        return compile_constraint(text, schema, name=name, fallback_to_single=True).automaton
 
     def spec_names(self) -> Tuple[str, ...]:
         """Every registered spec name, in registration order."""
         return tuple(self._sources)
+
+    def generation(self, name: str) -> int:
+        """How many times ``name`` has been (re-)registered (0 when unknown)."""
+        return self._generations.get(name, 0)
 
     def compiled(self, name: str) -> CompiledSpec:
         """The table-compiled form of one spec (cached, recompiled on eviction)."""
         source = self._sources.get(name)
         if source is None:
             raise KeyError(f"unknown specification {name!r}; registered: {sorted(self._sources)}")
-        return self._cache.get_or_compile(name, lambda: compile_spec(source))
+        key = (name, self._generations[name])
+        return self._cache.get_or_compile(key, lambda: compile_spec(source))
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters of the spec-compilation cache."""
@@ -154,14 +189,21 @@ class StreamChecker:
     engine's LRU cache once per :meth:`feed_events` call (and per event in
     :meth:`feed`), so specs may be evicted and recompiled mid-stream
     without disturbing the session.
+
+    Re-registering a spec (``add_spec`` under an existing name) bumps its
+    generation; on the next touch of that spec this session discards the
+    cursors minted against the evicted table and restarts the spec's
+    histories from the new automaton's initial state -- stale integer
+    states are never interpreted against a different table.
     """
 
-    __slots__ = ("_engine", "_names", "_tables", "events_seen")
+    __slots__ = ("_engine", "_names", "_tables", "_generations", "events_seen")
 
     def __init__(self, engine: HistoryCheckerEngine, names: Tuple[str, ...]) -> None:
         self._engine = engine
         self._names = names
         self._tables: Dict[str, CursorTable] = {name: CursorTable() for name in names}
+        self._generations: Dict[str, int] = {name: engine.generation(name) for name in names}
         self.events_seen = 0
 
     @property
@@ -169,10 +211,18 @@ class StreamChecker:
         """The specs this session checks against."""
         return self._names
 
+    def _compiled(self, name: str) -> CompiledSpec:
+        """Resolve one spec, resetting its cursors if it was re-registered."""
+        generation = self._engine.generation(name)
+        if generation != self._generations[name]:
+            self._tables[name] = CursorTable()
+            self._generations[name] = generation
+        return self._engine.compiled(name)
+
     def feed(self, object_id: ObjectId, symbol: Symbol) -> None:
         """Consume a single event."""
         for name in self._names:
-            compiled = self._engine.compiled(name)
+            compiled = self._compiled(name)
             self._tables[name].advance(compiled, object_id, symbol)
         self.events_seen += 1
 
@@ -186,7 +236,7 @@ class StreamChecker:
         batch = events if isinstance(events, (list, tuple)) else list(events)
         count = 0
         for name in self._names:
-            compiled = self._engine.compiled(name)
+            compiled = self._compiled(name)
             count = self._tables[name].advance_events(compiled, batch)
         self.events_seen += count
         return count
@@ -198,11 +248,11 @@ class StreamChecker:
 
     def verdict(self, name: str, object_id: ObjectId) -> bool:
         """Whether one object's history so far satisfies one spec."""
-        return self._tables[name].verdict(self._engine.compiled(name), object_id)
+        return self._tables[name].verdict(self._compiled(name), object_id)
 
     def verdicts(self, name: str) -> Dict[ObjectId, bool]:
         """Per-object verdicts for one spec."""
-        return self._tables[name].verdicts(self._engine.compiled(name))
+        return self._tables[name].verdicts(self._compiled(name))
 
     def all_verdicts(self) -> Dict[str, Dict[ObjectId, bool]]:
         """Per-object verdicts for every spec of the session."""

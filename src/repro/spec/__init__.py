@@ -1,0 +1,153 @@
+"""MCL -- the Migration Constraint Language (the declarative spec layer).
+
+The paper states dynamic constraints as regular languages over role sets;
+until this layer existed, every such constraint had to be hand-assembled as
+an :class:`repro.formal.nfa.NFA` / :class:`repro.formal.regex.Regex` in
+Python.  MCL is a small textual DSL for those constraints with a complete
+pipeline::
+
+    source text --lexer/parser--> ast.Module
+                --analyze-------> schema-validated, desugared core IR
+                --compile-------> interned NFAs over the role-set alphabet
+
+A constraint file looks like::
+
+    # An account always plays a checking role until it is closed.
+    let checking = [INTEREST_CHECKING] | [REGULAR_CHECKING]
+                 | [INTEREST_CHECKING+REGULAR_CHECKING]
+
+    constraint checking_roles = init (empty* checking+ empty*)
+    constraint no_downgrade   = init (empty* [REGULAR_CHECKING]* [INTEREST_CHECKING]* empty*)
+
+Role-set literals name classes and are isa-closed against the target
+schema; ``empty`` (or ``0``) is the empty role set; temporal sugar
+(``eventually``, ``always``, ``never ... after ...``, ``followed by``,
+``at most k times``), the Definition 3.4 family primitives
+(``family all`` / ``immediate_start`` / ``proper`` / ``lazy``) and the
+boolean algebra (``and`` / ``or`` / ``not`` / ``implies``) all desugar to
+the core regular operations (see :mod:`repro.spec.analyze` for the table).
+
+Entry points:
+
+* :func:`parse_mcl` -- text to syntax tree;
+* :func:`compile_mcl` -- text + schema to ``{name: CompiledConstraint}``;
+* :func:`compile_constraint` -- text + schema to a single constraint;
+* :func:`mcl_of_regex` -- render a :class:`repro.formal.regex.Regex` over
+  role sets as MCL text (the printer leg of the round-trip tests);
+* ``python -m repro.spec check FILE --workload NAME`` -- the CLI.
+
+Compiled constraints flow into the rest of the stack without adapters:
+:meth:`repro.engine.engine.HistoryCheckerEngine.add_spec` accepts MCL
+source text (and compiled constraints), and the decision procedures of
+:mod:`repro.core.satisfiability` accept compiled constraints wherever they
+accept inventories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.model.schema import DatabaseSchema
+from repro.spec.analyze import (
+    FAMILY_KINDS,
+    AnalyzedModule,
+    analyze_expression,
+    analyze_module,
+)
+from repro.spec.ast import Module, from_regex, unparse
+from repro.spec.compile import CompiledConstraint, compile_analyzed, nonrepeating_nfa
+from repro.spec.errors import MCLAnalysisError, MCLError, MCLSyntaxError, Span
+from repro.spec.parser import parse_expression, parse_mcl
+
+
+def compile_mcl(
+    text: str, schema: DatabaseSchema, filename: str = "<mcl>"
+) -> Dict[str, CompiledConstraint]:
+    """Parse, analyze and compile MCL source against ``schema``.
+
+    Returns the compiled constraints in definition order; raises
+    :class:`MCLError` (with a source span) on any malformed input.
+    """
+    module = parse_mcl(text, filename)
+    analyzed = analyze_module(module, schema)
+    return compile_analyzed(analyzed)
+
+
+def compile_constraint(
+    text: str,
+    schema: DatabaseSchema,
+    name: Optional[str] = None,
+    filename: str = "<mcl>",
+    fallback_to_single: bool = False,
+) -> CompiledConstraint:
+    """Compile MCL source and select one constraint from it.
+
+    With ``name`` the constraint of that name is returned; without it the
+    source must define exactly one constraint.  ``fallback_to_single``
+    relaxes the named lookup: when no constraint carries ``name`` but the
+    source defines exactly one, that one is returned (the selection policy
+    of :meth:`repro.engine.engine.HistoryCheckerEngine.add_spec`).  A bare
+    expression (no ``constraint`` keyword) is accepted too and compiled
+    under the name ``name`` (or ``"constraint"``).
+    """
+    from repro.spec.lexer import tokenize
+
+    first = tokenize(text, filename)[0]
+    if not (first.kind == "eof" or (first.kind == "keyword" and first.text in ("let", "constraint"))):
+        expression = parse_expression(text, filename)
+        core = analyze_expression(expression, schema, filename)
+        from repro.core.rolesets import enumerate_role_sets
+        from repro.spec.compile import compile_expression_core
+
+        alphabet = enumerate_role_sets(schema)
+        automaton = compile_expression_core(core, alphabet)
+        return CompiledConstraint(name or "constraint", schema, alphabet, automaton)
+    compiled = compile_mcl(text, schema, filename)
+    if name is not None:
+        if name in compiled:
+            return compiled[name]
+        if fallback_to_single and len(compiled) == 1:
+            return next(iter(compiled.values()))
+        raise MCLAnalysisError(
+            f"the MCL source defines {sorted(compiled) or 'no constraints'}; "
+            f"none is named '{name}'"
+            + (" and the choice is ambiguous" if len(compiled) > 1 else ""),
+            None,
+            filename,
+        )
+    if len(compiled) != 1:
+        raise MCLAnalysisError(
+            f"expected exactly one constraint, the MCL source defines "
+            f"{len(compiled)} ({sorted(compiled)}); pass name= to pick one",
+            None,
+            filename,
+        )
+    return next(iter(compiled.values()))
+
+
+def mcl_of_regex(expression) -> str:
+    """MCL text denoting the same language as a Regex over role sets."""
+    return unparse(from_regex(expression))
+
+
+__all__ = [
+    "Span",
+    "MCLError",
+    "MCLSyntaxError",
+    "MCLAnalysisError",
+    "Module",
+    "parse_mcl",
+    "parse_expression",
+    "analyze_module",
+    "analyze_expression",
+    "AnalyzedModule",
+    "FAMILY_KINDS",
+    "CompiledConstraint",
+    "compile_analyzed",
+    "compile_mcl",
+    "compile_constraint",
+    "mcl_of_regex",
+    "nonrepeating_nfa",
+    "unparse",
+    "from_regex",
+]

@@ -1,0 +1,127 @@
+"""``python -m repro.spec`` -- check MCL constraint files against workloads.
+
+Subcommands::
+
+    python -m repro.spec workloads
+        List the bundled workload schemas constraints can be checked against.
+
+    python -m repro.spec check FILE --workload NAME [--verify] [--kind KIND]
+        Parse, analyze and compile FILE against the workload's database
+        schema; with --verify additionally decide satisfaction/generation of
+        every constraint by the workload's transaction schema
+        (:func:`repro.core.satisfiability.check_constraint`).
+
+Malformed files produce a single-span caret diagnostic on stderr and exit
+status 1 -- never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.spec import MCLError, compile_mcl
+
+#: name -> module path of the bundled workloads (all expose schema() + transactions()).
+WORKLOADS = {
+    "banking": "repro.workloads.banking",
+    "university": "repro.workloads.university",
+    "immigration": "repro.workloads.immigration",
+    "phd": "repro.workloads.phd",
+    "three_class": "repro.workloads.three_class",
+}
+
+
+def _load_workload(name: str):
+    import importlib
+
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload '{name}'; available: {', '.join(sorted(WORKLOADS))}")
+    return importlib.import_module(WORKLOADS[name])
+
+
+def _cmd_workloads(out) -> int:
+    for name in sorted(WORKLOADS):
+        module = _load_workload(name)
+        schema = module.schema()
+        print(f"{name}: {len(schema.classes)} classes ({', '.join(sorted(schema.classes))})", file=out)
+    return 0
+
+
+def _cmd_check(args, out, err) -> int:
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=err)
+        return 1
+    try:
+        module = _load_workload(args.workload)
+    except KeyError as exc:
+        print(exc.args[0], file=err)
+        return 2
+    schema = module.schema()
+    try:
+        compiled = compile_mcl(text, schema, filename=args.file)
+    except MCLError as exc:
+        print(exc.pretty(text), file=err)
+        return 1
+    if not compiled:
+        print(f"{args.file}: no constraints defined", file=err)
+        return 1
+    print(f"{args.file}: {len(compiled)} constraint(s) against workload '{args.workload}'", file=out)
+    transactions = module.transactions() if args.verify else None
+    failures = 0
+    for name, constraint in compiled.items():
+        states = len(constraint.automaton.states)
+        print(f"  {name}: ok ({states} states, {len(constraint.alphabet)} role sets)", file=out)
+        if transactions is not None:
+            from repro.core.satisfiability import check_constraint
+
+            outcome = check_constraint(transactions, constraint, kind=args.kind)
+            print(f"    {outcome.summary()}", file=out)
+            if not outcome.satisfies:
+                failures += 1
+    if transactions is not None and failures:
+        print(f"{failures} constraint(s) violated by the workload's transactions", file=out)
+        return 3
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spec",
+        description="Parse, compile and check MCL migration-constraint files.",
+    )
+    commands = parser.add_subparsers(dest="command")
+    commands.add_parser("workloads", help="list the bundled workload schemas")
+    check = commands.add_parser("check", help="compile a constraint file against a workload schema")
+    check.add_argument("file", help="path to the .mcl constraint file")
+    check.add_argument("--workload", required=True, help="workload schema to analyze against")
+    check.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check the workload's transaction schema against every constraint",
+    )
+    from repro.core.sl_analysis import PATTERN_KINDS
+
+    check.add_argument(
+        "--kind",
+        default="all",
+        choices=PATTERN_KINDS,
+        help="pattern kind for --verify (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "workloads":
+        return _cmd_workloads(out)
+    if args.command == "check":
+        return _cmd_check(args, out, err)
+    parser.print_help(err)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

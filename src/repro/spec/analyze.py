@@ -1,0 +1,436 @@
+"""Schema-aware analysis and desugaring of MCL modules.
+
+The analyzer resolves an MCL syntax tree against a concrete
+:class:`repro.model.schema.DatabaseSchema`:
+
+* role-set literals are validated (every class must exist, with close-match
+  suggestions) and **isa-closed** (``[GRAD_ASSIST]`` on the university
+  schema denotes ``{PERSON, STUDENT, EMPLOYEE, GRAD_ASSIST}``); the closed
+  set must be a legal role set (weakly connected classes);
+* ``let`` references are resolved in definition order (forward references
+  and duplicates are diagnostics, not crashes);
+* the temporal sugar and the Definition 3.4 family primitives are desugared
+  into a small **core IR** -- symbols, sequencing, choice, star, prefix
+  closure, complement, intersection and the non-repeating primitive -- which
+  :mod:`repro.spec.compile` lowers onto interned automata.
+
+Desugaring table (``Σ`` is the schema's full role-set alphabet, ``B`` its
+non-empty role sets, ``N`` the symbols of ``Σ`` not matched by ``P``)::
+
+    eventually P            ->  any* P any*
+    always P                ->  (P)*                [P must be a symbol class]
+    never P                 ->  not (any* P any*)
+    never R after S         ->  not (any* S any* R any*)
+    R followed by S         ->  any* R any* S any*
+    P at most k times       ->  N* (P N*){0,k}      [P must be a symbol class]
+    P at least k times      ->  (N* P){k} any*      [P must be a symbol class]
+    P{m,n}                  ->  P^m (P?)^(n-m)
+    family all              ->  empty* B* empty*    (Definition 3.2 shape)
+    family immediate_start  ->  (B B* empty*)?
+    family lazy             ->  family all  AND  nonrepeating
+    family proper           ->  family all          (see note below)
+    P implies Q             ->  (not P) or Q
+
+``family proper`` deliberately coincides with ``family all``: a proper step
+may change only the attribute tuple, which is invisible at the role-set
+level, so the maximal proper family over patterns equals the maximal family
+(the per-schema proper *analysis* still differs -- it lives in
+:mod:`repro.core.sl_analysis`).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
+from repro.model.schema import DatabaseSchema
+from repro.spec import ast
+from repro.spec.errors import MCLAnalysisError, Span
+
+#: The recognized ``family`` kinds (Definition 3.4).
+FAMILY_KINDS = ("all", "immediate_start", "proper", "lazy")
+
+
+# --------------------------------------------------------------------------- #
+# Core IR
+# --------------------------------------------------------------------------- #
+class CoreExpr:
+    """Base class of the desugared core IR."""
+
+    __slots__ = ()
+
+
+class CEpsilon(CoreExpr):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+class CNothing(CoreExpr):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "∅L"
+
+
+class CSymbol(CoreExpr):
+    __slots__ = ("role_set",)
+
+    def __init__(self, role_set: RoleSet) -> None:
+        self.role_set = role_set
+
+    def __repr__(self) -> str:
+        return self.role_set.label()
+
+
+class CSeq(CoreExpr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[CoreExpr, ...]) -> None:
+        self.parts = parts
+
+    def __repr__(self) -> str:
+        return "(" + "·".join(map(repr, self.parts)) + ")"
+
+
+class CChoice(CoreExpr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Tuple[CoreExpr, ...]) -> None:
+        self.parts = parts
+
+    def __repr__(self) -> str:
+        return "(" + "∪".join(map(repr, self.parts)) + ")"
+
+
+class CStar(CoreExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: CoreExpr) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}*"
+
+
+class CInit(CoreExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: CoreExpr) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"Init({self.operand!r})"
+
+
+class CNot(CoreExpr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: CoreExpr) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"¬({self.operand!r})"
+
+
+class CAnd(CoreExpr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: CoreExpr, right: CoreExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}∩{self.right!r})"
+
+
+class CNonRepeating(CoreExpr):
+    """All words over the alphabet without two equal consecutive symbols."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NonRep"
+
+
+# --------------------------------------------------------------------------- #
+# Analysis results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AnalyzedConstraint:
+    """One constraint after validation and desugaring."""
+
+    name: str
+    core: CoreExpr
+    span: Span
+    source: ast.Node
+
+
+@dataclass(frozen=True)
+class AnalyzedModule:
+    """A validated MCL module bound to one database schema."""
+
+    schema: DatabaseSchema
+    #: The full role-set alphabet of the schema (empty role set included),
+    #: in the canonical deterministic order.
+    alphabet: Tuple[RoleSet, ...]
+    constraints: Tuple[AnalyzedConstraint, ...]
+    module: ast.Module
+
+    def constraint(self, name: str) -> AnalyzedConstraint:
+        for entry in self.constraints:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no constraint named {name!r}; defined: {[c.name for c in self.constraints]}")
+
+
+class _Analyzer:
+    def __init__(self, schema: DatabaseSchema, filename: str) -> None:
+        self.schema = schema
+        self.filename = filename
+        self.alphabet: Tuple[RoleSet, ...] = enumerate_role_sets(schema)
+        self.non_empty: Tuple[RoleSet, ...] = tuple(rs for rs in self.alphabet if rs)
+        self.lets: Dict[str, CoreExpr] = {}
+
+    def error(self, message: str, span: Span) -> MCLAnalysisError:
+        return MCLAnalysisError(message, span, self.filename)
+
+    # ------------------------------------------------------------------ #
+    # Building blocks over the schema alphabet
+    # ------------------------------------------------------------------ #
+    def any_symbol(self) -> CoreExpr:
+        return CChoice(tuple(CSymbol(rs) for rs in self.alphabet))
+
+    def some_symbol(self) -> CoreExpr:
+        if not self.non_empty:
+            return CNothing()
+        return CChoice(tuple(CSymbol(rs) for rs in self.non_empty))
+
+    def any_star(self) -> CoreExpr:
+        return CStar(self.any_symbol())
+
+    def family(self, kind: str, span: Span) -> CoreExpr:
+        empty_star = CStar(CSymbol(EMPTY_ROLE_SET))
+        universe = CSeq((empty_star, CStar(self.some_symbol()), empty_star))
+        if kind in ("all", "proper"):
+            return universe
+        if kind == "immediate_start":
+            body = CSeq((self.some_symbol(), CStar(self.some_symbol()), empty_star))
+            return CChoice((CEpsilon(), body))
+        if kind == "lazy":
+            return CAnd(universe, CNonRepeating())
+        raise self.error(
+            f"unknown pattern family '{kind}'; expected one of {', '.join(FAMILY_KINDS)}", span
+        )
+
+    # ------------------------------------------------------------------ #
+    # Symbol classes (for always / at most / at least)
+    # ------------------------------------------------------------------ #
+    def symbol_class_of(self, core: CoreExpr) -> Optional[FrozenSet[RoleSet]]:
+        """The set of single symbols ``core`` denotes, or ``None``.
+
+        Defined for symbols and choices of symbol classes only -- exactly
+        the operands on which occurrence counting and ``always`` make sense.
+        """
+        if isinstance(core, CSymbol):
+            return frozenset((core.role_set,))
+        if isinstance(core, CChoice):
+            collected: List[RoleSet] = []
+            for part in core.parts:
+                symbols = self.symbol_class_of(part)
+                if symbols is None:
+                    return None
+                collected.extend(symbols)
+            return frozenset(collected)
+        return None
+
+    def require_symbol_class(self, node: ast.Node, core: CoreExpr, operator: str) -> FrozenSet[RoleSet]:
+        symbols = self.symbol_class_of(core)
+        if symbols is None:
+            raise self.error(
+                f"the operand of '{operator}' must denote a set of single role sets "
+                f"(a role-set literal, 'any', 'some', or a '|' of those)",
+                node.span,
+            )
+        return symbols
+
+    # ------------------------------------------------------------------ #
+    # Role literals
+    # ------------------------------------------------------------------ #
+    def role_literal(self, node: ast.RoleLiteral) -> CSymbol:
+        for name in node.classes:
+            if not self.schema.has_class(name):
+                hint = ""
+                close = difflib.get_close_matches(name, sorted(self.schema.classes), n=1)
+                if close:
+                    hint = f" (did you mean '{close[0]}'?)"
+                raise self.error(f"unknown class '{name}' in role-set literal{hint}", node.span)
+        closed = self.schema.role_set_closure(node.classes)
+        if not self.schema.is_role_set(closed):
+            raise self.error(
+                f"classes {sorted(node.classes)!r} do not form a role set "
+                f"(isa-closure {sorted(closed)!r} is not weakly connected)",
+                node.span,
+            )
+        return CSymbol(RoleSet(closed))
+
+    # ------------------------------------------------------------------ #
+    # Desugaring
+    # ------------------------------------------------------------------ #
+    def desugar(self, node: ast.Node) -> CoreExpr:
+        if isinstance(node, ast.RoleLiteral):
+            return self.role_literal(node)
+        if isinstance(node, ast.EmptyLiteral):
+            return CSymbol(EMPTY_ROLE_SET)
+        if isinstance(node, ast.AnySymbol):
+            return self.any_symbol()
+        if isinstance(node, ast.SomeSymbol):
+            return self.some_symbol()
+        if isinstance(node, ast.EpsilonLiteral):
+            return CEpsilon()
+        if isinstance(node, ast.NothingLiteral):
+            return CNothing()
+        if isinstance(node, ast.FamilyPrimitive):
+            return self.family(node.kind, node.span)
+        if isinstance(node, ast.NameRef):
+            if node.name not in self.lets:
+                hint = ""
+                close = difflib.get_close_matches(node.name, sorted(self.lets), n=1)
+                if close:
+                    hint = f" (did you mean '{close[0]}'?)"
+                raise self.error(f"unknown name '{node.name}'{hint}", node.span)
+            return self.lets[node.name]
+        if isinstance(node, ast.Sequence):
+            return CSeq(tuple(self.desugar(part) for part in node.parts))
+        if isinstance(node, ast.Choice):
+            return CChoice(tuple(self.desugar(part) for part in node.alternatives))
+        if isinstance(node, ast.Repeat):
+            return self._repeat(node)
+        if isinstance(node, ast.Count):
+            return self._count(node)
+        if isinstance(node, ast.Eventually):
+            inner = self.desugar(node.operand)
+            return CSeq((self.any_star(), inner, self.any_star()))
+        if isinstance(node, ast.Always):
+            symbols = self.require_symbol_class(node.operand, self.desugar(node.operand), "always")
+            return CStar(self._choice_of(symbols))
+        if isinstance(node, ast.Never):
+            inner = self.desugar(node.operand)
+            return CNot(CSeq((self.any_star(), inner, self.any_star())))
+        if isinstance(node, ast.NeverAfter):
+            forbidden = self.desugar(node.forbidden)
+            trigger = self.desugar(node.trigger)
+            star = self.any_star
+            return CNot(CSeq((star(), trigger, star(), forbidden, star())))
+        if isinstance(node, ast.FollowedBy):
+            first = self.desugar(node.first)
+            then = self.desugar(node.then)
+            star = self.any_star
+            return CSeq((star(), first, star(), then, star()))
+        if isinstance(node, ast.Init):
+            return CInit(self.desugar(node.operand))
+        if isinstance(node, ast.Not):
+            return CNot(self.desugar(node.operand))
+        if isinstance(node, ast.And):
+            return CAnd(self.desugar(node.left), self.desugar(node.right))
+        if isinstance(node, ast.Or):
+            return CChoice((self.desugar(node.left), self.desugar(node.right)))
+        if isinstance(node, ast.Implies):
+            return CChoice((CNot(self.desugar(node.left)), self.desugar(node.right)))
+        raise self.error(f"cannot analyze a {type(node).__name__} node here", node.span)
+
+    @staticmethod
+    def _choice_of(symbols: FrozenSet[RoleSet]) -> CoreExpr:
+        ordered = sorted(symbols, key=lambda rs: (len(rs), rs.label()))
+        if not ordered:
+            return CNothing()
+        if len(ordered) == 1:
+            return CSymbol(ordered[0])
+        return CChoice(tuple(CSymbol(rs) for rs in ordered))
+
+    def _repeat(self, node: ast.Repeat) -> CoreExpr:
+        operand = self.desugar(node.operand)
+        if node.maximum is None:
+            star = CStar(operand)
+            if node.minimum == 0:
+                return star
+            return CSeq(tuple([operand] * node.minimum) + (star,))
+        required = [operand] * node.minimum
+        optional = [CChoice((operand, CEpsilon()))] * (node.maximum - node.minimum)
+        parts = tuple(required + optional)
+        if not parts:
+            return CEpsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return CSeq(parts)
+
+    def _count(self, node: ast.Count) -> CoreExpr:
+        core = self.desugar(node.operand)
+        symbols = self.require_symbol_class(node.operand, core, f"at {node.comparison} ... times")
+        matched = self._choice_of(symbols)
+        others = frozenset(self.alphabet) - symbols
+        rest_star = CStar(self._choice_of(others)) if others else CEpsilon()
+        if node.comparison == "most":
+            block = CChoice((CSeq((matched, rest_star)), CEpsilon()))
+            return CSeq((rest_star,) + tuple([block] * node.count))
+        occurrences = tuple([CSeq((rest_star, matched))] * node.count)
+        return CSeq(occurrences + (self.any_star(),))
+
+    # ------------------------------------------------------------------ #
+    # Module walk
+    # ------------------------------------------------------------------ #
+    def analyze(self, module: ast.Module) -> AnalyzedModule:
+        constraints: List[AnalyzedConstraint] = []
+        seen_constraints: Dict[str, Span] = {}
+        for item in module.items:
+            if isinstance(item, ast.LetBinding):
+                if item.name in self.lets:
+                    raise self.error(f"duplicate let binding '{item.name}'", item.span)
+                self.lets[item.name] = self.desugar(item.expr)
+            elif isinstance(item, ast.ConstraintDef):
+                if item.name in seen_constraints:
+                    raise self.error(f"duplicate constraint name '{item.name}'", item.span)
+                seen_constraints[item.name] = item.span
+                core = self.desugar(item.expr)
+                constraints.append(AnalyzedConstraint(item.name, core, item.span, item.expr))
+            else:  # pragma: no cover - the parser only produces the two kinds
+                raise self.error(f"unexpected top-level {type(item).__name__}", item.span)
+        return AnalyzedModule(
+            schema=self.schema,
+            alphabet=self.alphabet,
+            constraints=tuple(constraints),
+            module=module,
+        )
+
+
+def analyze_module(module: ast.Module, schema: DatabaseSchema) -> AnalyzedModule:
+    """Validate and desugar ``module`` against ``schema``."""
+    return _Analyzer(schema, module.filename).analyze(module)
+
+
+def analyze_expression(node: ast.Node, schema: DatabaseSchema, filename: str = "<mcl>") -> CoreExpr:
+    """Validate and desugar a bare expression against ``schema``."""
+    return _Analyzer(schema, filename).desugar(node)
+
+
+__all__ = [
+    "FAMILY_KINDS",
+    "CoreExpr",
+    "CEpsilon",
+    "CNothing",
+    "CSymbol",
+    "CSeq",
+    "CChoice",
+    "CStar",
+    "CInit",
+    "CNot",
+    "CAnd",
+    "CNonRepeating",
+    "AnalyzedConstraint",
+    "AnalyzedModule",
+    "analyze_module",
+    "analyze_expression",
+]

@@ -1,0 +1,417 @@
+"""Abstract syntax of MCL, the migration-constraint language.
+
+A *module* is a sequence of ``let`` bindings and ``constraint`` definitions;
+the expression language combines
+
+* role-set literals (``[STUDENT]``, ``[STUDENT+EMPLOYEE]``, ``empty``/``0``),
+* the symbol classes ``any`` (any role set) and ``some`` (any non-empty
+  role set) plus ``epsilon`` (the empty word) and ``nothing`` (the empty
+  language),
+* the rational operators: juxtaposition (sequencing), ``|`` (choice),
+  ``*``/``+``/``?``/``{m,n}`` (repetition),
+* temporal sugar: ``eventually P``, ``always P``, ``never P``,
+  ``never R after S``, ``R followed by S``, ``P at most k times``,
+  ``P at least k times``,
+* the pattern-family primitives of Definition 3.4 -- ``family all``,
+  ``family immediate_start``, ``family proper``, ``family lazy``,
+* ``init P`` (prefix closure, the paper's ``Init``), and
+* the boolean constraint algebra ``and`` / ``or`` / ``not`` / ``implies``.
+
+Nodes are plain immutable dataclasses carrying their source
+:class:`repro.spec.errors.Span`; :func:`unparse` renders any node back to
+parseable MCL text and :func:`from_regex` embeds a
+:class:`repro.formal.regex.Regex` over role sets into the AST, which gives
+the ``Regex -> MCL text -> parse -> compile`` round-trip its first leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.spec.errors import Span
+
+_NO_SPAN = Span(0, 0, 1, 1)
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of all MCL syntax nodes."""
+
+    span: Span = field(default=_NO_SPAN, compare=False)
+
+
+# --------------------------------------------------------------------------- #
+# Atoms
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RoleLiteral(Node):
+    """``[A+B]``: a role set named by classes (isa-closed during analysis)."""
+
+    classes: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EmptyLiteral(Node):
+    """``empty`` / ``0`` / ``[]``: the empty role set symbol."""
+
+
+@dataclass(frozen=True)
+class AnySymbol(Node):
+    """``any``: one arbitrary role set of the schema's alphabet."""
+
+
+@dataclass(frozen=True)
+class SomeSymbol(Node):
+    """``some``: one arbitrary *non-empty* role set."""
+
+
+@dataclass(frozen=True)
+class EpsilonLiteral(Node):
+    """``epsilon``: the empty word."""
+
+
+@dataclass(frozen=True)
+class NothingLiteral(Node):
+    """``nothing``: the empty language."""
+
+
+@dataclass(frozen=True)
+class FamilyPrimitive(Node):
+    """``family <kind>``: a maximal pattern family of Definition 3.4."""
+
+    kind: str = "all"
+
+
+@dataclass(frozen=True)
+class NameRef(Node):
+    """A reference to a ``let`` binding."""
+
+    name: str = ""
+
+
+# --------------------------------------------------------------------------- #
+# Rational operators
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Sequence(Node):
+    """Juxtaposition: ``P Q R``."""
+
+    parts: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class Choice(Node):
+    """``P | Q``."""
+
+    alternatives: Tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """``P*`` (0, None), ``P+`` (1, None), ``P?`` (0, 1), ``P{m,n}`` (m, n)."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+    minimum: int = 0
+    maximum: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Count(Node):
+    """``P at most k times`` / ``P at least k times`` (occurrence counting)."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+    comparison: str = "most"
+    count: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# Temporal sugar
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Eventually(Node):
+    """``eventually P``: P occurs as a factor."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Always(Node):
+    """``always P``: every symbol of the word matches P (a symbol class)."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Never(Node):
+    """``never P``: P never occurs as a factor."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class NeverAfter(Node):
+    """``never R after S``: no R-factor occurs after an S-factor."""
+
+    forbidden: Node = field(default_factory=lambda: EpsilonLiteral())
+    trigger: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class FollowedBy(Node):
+    """``R followed by S``: an R-factor occurs and an S-factor occurs later."""
+
+    first: Node = field(default_factory=lambda: EpsilonLiteral())
+    then: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Init(Node):
+    """``init P``: the prefix closure (the paper's ``Init``)."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+# --------------------------------------------------------------------------- #
+# Boolean constraint algebra
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Not(Node):
+    """``not P``: complement over the schema's role-set alphabet."""
+
+    operand: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class And(Node):
+    """``P and Q``: language intersection."""
+
+    left: Node = field(default_factory=lambda: EpsilonLiteral())
+    right: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    """``P or Q``: language union (same meaning as ``|``, lower precedence)."""
+
+    left: Node = field(default_factory=lambda: EpsilonLiteral())
+    right: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Implies(Node):
+    """``P implies Q``: ``(not P) or Q``."""
+
+    left: Node = field(default_factory=lambda: EpsilonLiteral())
+    right: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+# --------------------------------------------------------------------------- #
+# Module structure
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LetBinding(Node):
+    """``let name = expr``."""
+
+    name: str = ""
+    expr: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class ConstraintDef(Node):
+    """``constraint name = expr``."""
+
+    name: str = ""
+    expr: Node = field(default_factory=lambda: EpsilonLiteral())
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    """A parsed MCL source file."""
+
+    items: Tuple[Node, ...] = ()
+    filename: str = "<mcl>"
+
+    def constraints(self) -> Tuple[ConstraintDef, ...]:
+        return tuple(item for item in self.items if isinstance(item, ConstraintDef))
+
+    def lets(self) -> Tuple[LetBinding, ...]:
+        return tuple(item for item in self.items if isinstance(item, LetBinding))
+
+
+# --------------------------------------------------------------------------- #
+# Unparsing (AST -> MCL text)
+# --------------------------------------------------------------------------- #
+# Precedence: boolean (1) < followed-by (2) < choice (3) < sequence (4)
+# < postfix/count (5) < atom (6).
+_BOOLEAN, _FOLLOWED, _CHOICE, _SEQUENCE, _POSTFIX, _ATOM = 1, 2, 3, 4, 5, 6
+
+
+def _wrap(text: str, level: int, context: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def _unparse(node: Node, context: int) -> str:
+    if isinstance(node, RoleLiteral):
+        return "[" + "+".join(node.classes) + "]"
+    if isinstance(node, EmptyLiteral):
+        return "empty"
+    if isinstance(node, AnySymbol):
+        return "any"
+    if isinstance(node, SomeSymbol):
+        return "some"
+    if isinstance(node, EpsilonLiteral):
+        return "epsilon"
+    if isinstance(node, NothingLiteral):
+        return "nothing"
+    if isinstance(node, FamilyPrimitive):
+        return _wrap(f"family {node.kind}", _POSTFIX, context)
+    if isinstance(node, NameRef):
+        return node.name
+    if isinstance(node, Sequence):
+        text = " ".join(_unparse(part, _POSTFIX) for part in node.parts)
+        return _wrap(text, _SEQUENCE, context)
+    if isinstance(node, Choice):
+        text = " | ".join(_unparse(part, _SEQUENCE) for part in node.alternatives)
+        return _wrap(text, _CHOICE, context)
+    if isinstance(node, Repeat):
+        inner = _unparse(node.operand, _ATOM)
+        if (node.minimum, node.maximum) == (0, None):
+            suffix = "*"
+        elif (node.minimum, node.maximum) == (1, None):
+            suffix = "+"
+        elif (node.minimum, node.maximum) == (0, 1):
+            suffix = "?"
+        elif node.maximum is None:
+            suffix = f"{{{node.minimum},}}"
+        elif node.maximum == node.minimum:
+            suffix = f"{{{node.minimum}}}"
+        else:
+            suffix = f"{{{node.minimum},{node.maximum}}}"
+        return _wrap(inner + suffix, _POSTFIX, context)
+    if isinstance(node, Count):
+        inner = _unparse(node.operand, _ATOM)
+        return _wrap(f"{inner} at {node.comparison} {node.count} times", _POSTFIX, context)
+    if isinstance(node, Eventually):
+        return _wrap(f"eventually {_unparse(node.operand, _ATOM)}", _FOLLOWED, context)
+    if isinstance(node, Always):
+        return _wrap(f"always {_unparse(node.operand, _ATOM)}", _FOLLOWED, context)
+    if isinstance(node, Never):
+        return _wrap(f"never {_unparse(node.operand, _ATOM)}", _FOLLOWED, context)
+    if isinstance(node, NeverAfter):
+        forbidden = _unparse(node.forbidden, _ATOM)
+        trigger = _unparse(node.trigger, _ATOM)
+        return _wrap(f"never {forbidden} after {trigger}", _FOLLOWED, context)
+    if isinstance(node, FollowedBy):
+        first = _unparse(node.first, _CHOICE)
+        then = _unparse(node.then, _CHOICE)
+        return _wrap(f"{first} followed by {then}", _FOLLOWED, context)
+    if isinstance(node, Init):
+        return _wrap(f"init {_unparse(node.operand, _ATOM)}", _FOLLOWED, context)
+    if isinstance(node, Not):
+        return _wrap(f"not {_unparse(node.operand, _ATOM)}", _BOOLEAN, context)
+    if isinstance(node, And):
+        return _wrap(
+            f"{_unparse(node.left, _FOLLOWED)} and {_unparse(node.right, _FOLLOWED)}",
+            _BOOLEAN,
+            context,
+        )
+    if isinstance(node, Or):
+        return _wrap(
+            f"{_unparse(node.left, _FOLLOWED)} or {_unparse(node.right, _FOLLOWED)}",
+            _BOOLEAN,
+            context,
+        )
+    if isinstance(node, Implies):
+        return _wrap(
+            f"{_unparse(node.left, _FOLLOWED)} implies {_unparse(node.right, _FOLLOWED)}",
+            _BOOLEAN,
+            context,
+        )
+    if isinstance(node, LetBinding):
+        return f"let {node.name} = {_unparse(node.expr, _BOOLEAN)}"
+    if isinstance(node, ConstraintDef):
+        return f"constraint {node.name} = {_unparse(node.expr, _BOOLEAN)}"
+    if isinstance(node, Module):
+        return "\n".join(_unparse(item, _BOOLEAN) for item in node.items) + "\n"
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def unparse(node: Node) -> str:
+    """Render a node back to parseable MCL text."""
+    return _unparse(node, _BOOLEAN)
+
+
+# --------------------------------------------------------------------------- #
+# Embedding Regex over role sets
+# --------------------------------------------------------------------------- #
+def from_regex(expression) -> Node:
+    """Embed a :class:`repro.formal.regex.Regex` over role sets into MCL syntax.
+
+    Symbols must be (frozen) sets of class-name strings; the empty set maps
+    to ``empty``.  Together with :func:`unparse` this yields MCL text whose
+    compiled language equals the expression's -- the round trip the property
+    tests pin.
+    """
+    from repro.formal import regex as rx
+
+    if isinstance(expression, rx.EmptySet):
+        return NothingLiteral()
+    if isinstance(expression, rx.Epsilon):
+        return EpsilonLiteral()
+    if isinstance(expression, rx.Symbol):
+        value = expression.value
+        if not isinstance(value, frozenset):
+            raise TypeError(f"regex symbol {value!r} is not a role set")
+        if not value:
+            return EmptyLiteral()
+        return RoleLiteral(classes=tuple(sorted(value)))
+    if isinstance(expression, rx.Concat):
+        left, right = from_regex(expression.left), from_regex(expression.right)
+        parts = left.parts if isinstance(left, Sequence) else (left,)
+        parts += right.parts if isinstance(right, Sequence) else (right,)
+        return Sequence(parts=parts)
+    if isinstance(expression, rx.Union):
+        left, right = from_regex(expression.left), from_regex(expression.right)
+        alternatives = left.alternatives if isinstance(left, Choice) else (left,)
+        alternatives += right.alternatives if isinstance(right, Choice) else (right,)
+        return Choice(alternatives=alternatives)
+    if isinstance(expression, rx.Star):
+        return Repeat(operand=from_regex(expression.operand), minimum=0, maximum=None)
+    if isinstance(expression, rx.Plus):
+        return Repeat(operand=from_regex(expression.operand), minimum=1, maximum=None)
+    if isinstance(expression, rx.Optional):
+        return Repeat(operand=from_regex(expression.operand), minimum=0, maximum=1)
+    raise TypeError(f"cannot embed {type(expression).__name__} into MCL")
+
+
+__all__ = [
+    "Node",
+    "RoleLiteral",
+    "EmptyLiteral",
+    "AnySymbol",
+    "SomeSymbol",
+    "EpsilonLiteral",
+    "NothingLiteral",
+    "FamilyPrimitive",
+    "NameRef",
+    "Sequence",
+    "Choice",
+    "Repeat",
+    "Count",
+    "Eventually",
+    "Always",
+    "Never",
+    "NeverAfter",
+    "FollowedBy",
+    "Init",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "LetBinding",
+    "ConstraintDef",
+    "Module",
+    "unparse",
+    "from_regex",
+]

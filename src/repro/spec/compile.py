@@ -1,0 +1,171 @@
+"""Deterministic compilation of analyzed MCL constraints onto automata.
+
+The core IR of :mod:`repro.spec.analyze` is lowered to
+:class:`repro.formal.nfa.NFA` automata over the schema's full role-set
+alphabet.  Rational forms go through the Thompson-style constructors;
+``init`` / ``not`` / ``and`` ride the eager pipeline of
+:mod:`repro.formal.operations` (prefix closure, interned complement and
+product), and the non-repeating primitive is built directly as a
+last-symbol tracking automaton.
+
+Compilation is **deterministic**: the alphabet is enumerated in the
+canonical order of :func:`repro.formal.alphabet.sort_alphabet`, every
+construction in :mod:`repro.formal.operations` is order-stable, and the
+interned image is produced against a fresh
+:class:`repro.formal.alphabet.RoleSetAlphabet` seeded in canonical order --
+compiling the same source twice yields structurally identical automata, so
+downstream table compilation (:mod:`repro.engine.compiler`) reproduces
+byte-identical transition tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import RoleSet
+from repro.formal import operations
+from repro.formal.alphabet import RoleSetAlphabet, intern_nfa, sort_alphabet
+from repro.formal.nfa import NFA
+from repro.model.schema import DatabaseSchema
+from repro.spec import analyze as an
+
+
+def nonrepeating_nfa(alphabet: Sequence[RoleSet]) -> NFA:
+    """All words over ``alphabet`` with no two equal consecutive symbols."""
+    symbols = sort_alphabet(alphabet)
+    start = ("nr", None)
+    states: Set = {start}
+    transitions: Dict = {}
+    for symbol in symbols:
+        states.add(("nr", symbol))
+        transitions[(start, symbol)] = {("nr", symbol)}
+    for last in symbols:
+        for symbol in symbols:
+            if symbol != last:
+                transitions[(("nr", last), symbol)] = {("nr", symbol)}
+    return NFA(states, symbols, transitions, {start}, states)
+
+
+def _compile_core(core: an.CoreExpr, alphabet: Tuple[RoleSet, ...]) -> NFA:
+    if isinstance(core, an.CEpsilon):
+        return NFA.epsilon_language(alphabet)
+    if isinstance(core, an.CNothing):
+        return NFA.empty_language(alphabet)
+    if isinstance(core, an.CSymbol):
+        return NFA.single_symbol(core.role_set, alphabet)
+    if isinstance(core, an.CSeq):
+        result: Optional[NFA] = None
+        for part in core.parts:
+            compiled = _compile_core(part, alphabet)
+            result = compiled if result is None else operations.concat(result, compiled)
+        return result if result is not None else NFA.epsilon_language(alphabet)
+    if isinstance(core, an.CChoice):
+        result = None
+        for part in core.parts:
+            compiled = _compile_core(part, alphabet)
+            result = compiled if result is None else operations.union(result, compiled)
+        return result if result is not None else NFA.empty_language(alphabet)
+    if isinstance(core, an.CStar):
+        return operations.star(_compile_core(core.operand, alphabet))
+    if isinstance(core, an.CInit):
+        return operations.prefix_closure(_compile_core(core.operand, alphabet))
+    if isinstance(core, an.CNot):
+        return operations.complement(_compile_core(core.operand, alphabet), alphabet)
+    if isinstance(core, an.CAnd):
+        return operations.intersection(
+            _compile_core(core.left, alphabet), _compile_core(core.right, alphabet)
+        )
+    if isinstance(core, an.CNonRepeating):
+        return nonrepeating_nfa(alphabet)
+    raise TypeError(f"cannot compile core node {type(core).__name__}")
+
+
+class CompiledConstraint:
+    """One MCL constraint compiled against a schema.
+
+    Exposes the automaton over role sets (``automaton`` -- the attribute
+    :func:`repro.engine.engine.HistoryCheckerEngine.add_spec` and
+    :class:`repro.core.inventory.MigrationInventory` coercion look for),
+    the interned image over integer codes (``interned`` + ``interner``) and
+    an :meth:`inventory` view for the decision procedures of
+    :mod:`repro.core.satisfiability`.
+    """
+
+    __slots__ = ("name", "schema", "alphabet", "automaton", "_interner", "_interned", "_inventory")
+
+    def __init__(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        alphabet: Tuple[RoleSet, ...],
+        automaton: NFA,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.alphabet = tuple(sort_alphabet(alphabet))
+        self.automaton = automaton.with_alphabet(self.alphabet)
+        # The interned image is built on first use: the engine re-interns
+        # through its own table compiler and the decision paths consume
+        # ``automaton`` directly, so most constraints never need it.
+        self._interner: Optional[RoleSetAlphabet] = None
+        self._interned: Optional[NFA] = None
+        self._inventory: Optional[MigrationInventory] = None
+
+    @property
+    def interner(self) -> RoleSetAlphabet:
+        """The canonical-order interner of the constraint's alphabet (lazy)."""
+        if self._interner is None:
+            self._interner = RoleSetAlphabet(self.alphabet)
+        return self._interner
+
+    @property
+    def interned(self) -> NFA:
+        """The automaton with labels rewritten to interner codes (lazy)."""
+        if self._interned is None:
+            self._interned = intern_nfa(self.automaton, self.interner)
+        return self._interned
+
+    def inventory(self) -> MigrationInventory:
+        """The constraint as a :class:`repro.core.inventory.MigrationInventory`."""
+        if self._inventory is None:
+            self._inventory = MigrationInventory(self.automaton, self.alphabet)
+        return self._inventory
+
+    def accepts(self, word) -> bool:
+        """Membership of one migration pattern (word of role sets)."""
+        return self.automaton.accepts(tuple(word))
+
+    def to_regex(self):
+        """An equivalent :class:`repro.formal.regex.Regex` (state elimination)."""
+        return self.automaton.to_regex()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledConstraint({self.name!r}, states={len(self.automaton.states)}, "
+            f"alphabet={len(self.alphabet)})"
+        )
+
+
+def compile_analyzed(analyzed: an.AnalyzedModule) -> "Dict[str, CompiledConstraint]":
+    """Compile every constraint of an analyzed module, in definition order."""
+    compiled: Dict[str, CompiledConstraint] = {}
+    for entry in analyzed.constraints:
+        automaton = _compile_core(entry.core, analyzed.alphabet)
+        compiled[entry.name] = CompiledConstraint(
+            entry.name, analyzed.schema, analyzed.alphabet, automaton
+        )
+    return compiled
+
+
+def compile_expression_core(core: an.CoreExpr, alphabet: Tuple[RoleSet, ...]) -> NFA:
+    """Compile one desugared expression to an NFA over ``alphabet``."""
+    return _compile_core(core, alphabet).with_alphabet(alphabet)
+
+
+__all__ = [
+    "CompiledConstraint",
+    "compile_analyzed",
+    "compile_expression_core",
+    "nonrepeating_nfa",
+]

@@ -1,0 +1,70 @@
+"""Diagnostics for the MCL constraint language.
+
+Every error raised by the MCL pipeline -- lexing, parsing, schema-aware
+analysis, compilation -- is an :class:`MCLError` carrying exactly one
+:class:`Span` into the source text, so callers (the CLI, the engine, tests)
+can render a single-caret diagnostic instead of a traceback.  The offending
+token text is always part of the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open ``[start, end)`` byte range plus its 1-based line/column."""
+
+    start: int
+    end: int
+    line: int
+    column: int
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both operands (keeps the left anchor)."""
+        if other.start < self.start:
+            return other.merge(self)
+        return Span(self.start, max(self.end, other.end), self.line, self.column)
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class MCLError(ValueError):
+    """Base class of all MCL diagnostics (one message, one source span)."""
+
+    def __init__(self, message: str, span: Optional[Span] = None, filename: str = "<mcl>") -> None:
+        location = f"{filename}:{span.line}:{span.column}: " if span is not None else ""
+        super().__init__(f"{location}{message}")
+        self.message = message
+        self.span = span
+        self.filename = filename
+
+    def pretty(self, source: str) -> str:
+        """A two-line rendering: the offending source line plus a caret run.
+
+        Used by ``python -m repro.spec`` so malformed constraint files never
+        surface as tracebacks.
+        """
+        if self.span is None:
+            return str(self)
+        lines = source.splitlines()
+        if not (1 <= self.span.line <= len(lines)):
+            return str(self)
+        text = lines[self.span.line - 1]
+        width = max(1, min(self.span.end, self.span.start + len(text)) - self.span.start)
+        caret = " " * (self.span.column - 1) + "^" * min(width, max(1, len(text) - self.span.column + 1))
+        return f"{self}\n  {text}\n  {caret}"
+
+
+class MCLSyntaxError(MCLError):
+    """Raised by the lexer and parser on malformed MCL input."""
+
+
+class MCLAnalysisError(MCLError):
+    """Raised by the schema-aware analysis (unknown classes, bad operands, ...)."""
+
+
+__all__ = ["Span", "MCLError", "MCLSyntaxError", "MCLAnalysisError"]

@@ -1,0 +1,184 @@
+"""Tokenizer for MCL, the migration-constraint language.
+
+The token stream is intentionally small: role-set literals (``[STUDENT]``,
+``[STUDENT+EMPLOYEE]``, ``[]``), identifiers, reserved keywords, integer
+literals (``0`` doubles as the empty role set, other integers appear only in
+repetition bounds) and a handful of operator characters.  ``#`` starts a
+comment running to the end of the line.
+
+Every token carries a :class:`repro.spec.errors.Span`; lexical errors are
+reported as :class:`repro.spec.errors.MCLSyntaxError` with the offending
+text in the message, never as raw exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.spec.errors import MCLSyntaxError, Span
+
+#: Reserved words; identifiers may not shadow them.
+KEYWORDS = frozenset(
+    {
+        "let",
+        "constraint",
+        "init",
+        "eventually",
+        "always",
+        "never",
+        "after",
+        "followed",
+        "by",
+        "at",
+        "most",
+        "least",
+        "times",
+        "and",
+        "or",
+        "not",
+        "implies",
+        "empty",
+        "any",
+        "some",
+        "epsilon",
+        "nothing",
+        "family",
+    }
+)
+
+_OPERATORS = frozenset("()|*+?={},.")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is one of roleset/ident/keyword/number/op/eof."""
+
+    kind: str
+    text: str
+    span: Span
+    #: For ``roleset`` tokens: the class names as written (before isa-closure).
+    classes: Tuple[str, ...] = field(default=())
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def describe(self) -> str:
+        """The token as it should appear inside a diagnostic message."""
+        if self.kind == "eof":
+            return "end of input"
+        return f"'{self.text}'"
+
+
+class _Scanner:
+    def __init__(self, text: str, filename: str) -> None:
+        self.text = text
+        self.filename = filename
+        self.index = 0
+        self.line = 1
+        self.column = 1
+
+    def span_from(self, start: int, start_line: int, start_column: int) -> Span:
+        return Span(start, self.index, start_line, start_column)
+
+    def error(self, message: str, start: int, line: int, column: int) -> MCLSyntaxError:
+        return MCLSyntaxError(message, Span(start, max(self.index, start + 1), line, column), self.filename)
+
+    def advance(self) -> str:
+        char = self.text[self.index]
+        self.index += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def peek(self) -> str:
+        return self.text[self.index] if self.index < len(self.text) else ""
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_part(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def _scan_roleset(scanner: _Scanner) -> Token:
+    start, line, column = scanner.index, scanner.line, scanner.column
+    scanner.advance()  # consume '['
+    classes: List[str] = []
+    while True:
+        char = scanner.peek()
+        if char == "":
+            raise scanner.error("unterminated role-set literal '[' (missing ']')", start, line, column)
+        if char == "]":
+            scanner.advance()
+            break
+        if char in "+,":
+            scanner.advance()
+            continue
+        if char.isspace():
+            if char == "\n":
+                raise scanner.error("unterminated role-set literal '[' (missing ']')", start, line, column)
+            scanner.advance()
+            continue
+        if _is_ident_start(char):
+            name_start = scanner.index
+            while scanner.peek() and _is_ident_part(scanner.peek()):
+                scanner.advance()
+            classes.append(scanner.text[name_start : scanner.index])
+            continue
+        raise scanner.error(
+            f"unexpected character '{char}' inside role-set literal", start, line, column
+        )
+    span = scanner.span_from(start, line, column)
+    return Token("roleset", scanner.text[start : scanner.index], span, tuple(classes))
+
+
+def tokenize(text: str, filename: str = "<mcl>") -> List[Token]:
+    """Tokenize ``text``; the result always ends with one ``eof`` token."""
+    scanner = _Scanner(text, filename)
+    tokens: List[Token] = []
+    while scanner.index < len(text):
+        char = scanner.peek()
+        start, line, column = scanner.index, scanner.line, scanner.column
+        if char.isspace():
+            scanner.advance()
+            continue
+        if char == "#":
+            while scanner.peek() and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        if char == "[":
+            tokens.append(_scan_roleset(scanner))
+            continue
+        if char in _OPERATORS:
+            scanner.advance()
+            tokens.append(Token("op", char, scanner.span_from(start, line, column)))
+            continue
+        if char.isdigit():
+            while scanner.peek().isdigit():
+                scanner.advance()
+            word = text[start : scanner.index]
+            tokens.append(Token("number", word, scanner.span_from(start, line, column)))
+            continue
+        if _is_ident_start(char):
+            while scanner.peek() and _is_ident_part(scanner.peek()):
+                scanner.advance()
+            word = text[start : scanner.index]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, scanner.span_from(start, line, column)))
+            continue
+        scanner.advance()
+        raise scanner.error(f"unexpected character '{char}'", start, line, column)
+    tokens.append(Token("eof", "", Span(len(text), len(text), scanner.line, scanner.column)))
+    return tokens
+
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]

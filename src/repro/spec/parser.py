@@ -1,0 +1,344 @@
+"""Recursive-descent parser for MCL.
+
+Grammar (lowest precedence first)::
+
+    module      := item* EOF
+    item        := "let" IDENT "=" expr
+                 | "constraint" IDENT "=" expr
+    expr        := implies
+    implies     := or_expr ( "implies" expr )?          # right associative
+    or_expr     := and_expr ( "or" and_expr )*
+    and_expr    := not_expr ( "and" not_expr )*
+    not_expr    := "not" not_expr | quantified
+    quantified  := "init" quantified
+                 | "eventually" quantified
+                 | "always" quantified
+                 | "never" quantified ( "after" quantified )?
+                 | chained
+    chained     := choice ( "followed" "by" choice )*
+    choice      := sequence ( "|" sequence )*
+    sequence    := counted+                              # juxtaposition; "." skipped
+    counted     := postfix ( "at" ("most"|"least") NUMBER "times" )?
+    postfix     := atom ( "*" | "+" | "?" | "{" NUMBER ("," NUMBER?)? "}" )*
+    atom        := ROLESET | "empty" | "0" | "any" | "some" | "epsilon"
+                 | "nothing" | "family" IDENT | IDENT | "(" expr ")"
+
+Keywords terminate sequences, so temporal operators inside a sequence need
+parentheses (``[A] (eventually [B])``).  Every syntax error is a
+:class:`repro.spec.errors.MCLSyntaxError` with a single span naming the
+offending token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.spec import ast
+from repro.spec.errors import MCLSyntaxError
+from repro.spec.lexer import Token, tokenize
+
+#: Keywords that may start an atom (and therefore continue a sequence).
+_ATOM_KEYWORDS = frozenset({"empty", "any", "some", "epsilon", "nothing", "family"})
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], filename: str) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._filename = filename
+
+    # ------------------------------------------------------------------ #
+    # Token-stream plumbing
+    # ------------------------------------------------------------------ #
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> MCLSyntaxError:
+        token = token if token is not None else self._peek()
+        return MCLSyntaxError(f"{message}, found {token.describe()}", token.span, self._filename)
+
+    def _expect_op(self, text: str, context: str) -> Token:
+        token = self._peek()
+        if not token.is_op(text):
+            raise self._error(f"expected '{text}' {context}", token)
+        return self._advance()
+
+    def _expect_keyword(self, word: str, context: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected '{word}' {context}", token)
+        return self._advance()
+
+    def _expect_ident(self, context: str) -> Token:
+        token = self._peek()
+        if token.kind != "ident":
+            if token.kind == "keyword":
+                raise self._error(f"expected a name {context} ('{token.text}' is a reserved word)", token)
+            raise self._error(f"expected a name {context}", token)
+        return self._advance()
+
+    def _expect_number(self, context: str) -> Tuple[int, Token]:
+        token = self._peek()
+        if token.kind != "number":
+            raise self._error(f"expected a number {context}", token)
+        self._advance()
+        return int(token.text), token
+
+    # ------------------------------------------------------------------ #
+    # Module structure
+    # ------------------------------------------------------------------ #
+    def parse_module(self) -> ast.Module:
+        items: List[ast.Node] = []
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                break
+            if token.is_keyword("let"):
+                items.append(self._item(ast.LetBinding, "let"))
+            elif token.is_keyword("constraint"):
+                items.append(self._item(ast.ConstraintDef, "constraint"))
+            else:
+                raise self._error("expected 'let' or 'constraint' at top level", token)
+        span = self._tokens[0].span.merge(self._tokens[-1].span) if items else self._tokens[-1].span
+        return ast.Module(span=span, items=tuple(items), filename=self._filename)
+
+    def _item(self, node_type, keyword: str) -> ast.Node:
+        opening = self._expect_keyword(keyword, "")
+        name = self._expect_ident(f"after '{keyword}'")
+        self._expect_op("=", f"after the {keyword} name")
+        expr = self.parse_expr()
+        return node_type(span=opening.span.merge(expr.span), name=name.text, expr=expr)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def parse_expr(self) -> ast.Node:
+        return self._implies()
+
+    def _implies(self) -> ast.Node:
+        left = self._or_expr()
+        if self._peek().is_keyword("implies"):
+            self._advance()
+            right = self._implies()
+            return ast.Implies(span=left.span.merge(right.span), left=left, right=right)
+        return left
+
+    def _or_expr(self) -> ast.Node:
+        expr = self._and_expr()
+        while self._peek().is_keyword("or"):
+            self._advance()
+            right = self._and_expr()
+            expr = ast.Or(span=expr.span.merge(right.span), left=expr, right=right)
+        return expr
+
+    def _and_expr(self) -> ast.Node:
+        expr = self._not_expr()
+        while self._peek().is_keyword("and"):
+            self._advance()
+            right = self._not_expr()
+            expr = ast.And(span=expr.span.merge(right.span), left=expr, right=right)
+        return expr
+
+    def _not_expr(self) -> ast.Node:
+        token = self._peek()
+        if token.is_keyword("not"):
+            self._advance()
+            operand = self._not_expr()
+            return ast.Not(span=token.span.merge(operand.span), operand=operand)
+        return self._quantified()
+
+    def _quantified(self) -> ast.Node:
+        token = self._peek()
+        if token.is_keyword("init"):
+            self._advance()
+            operand = self._quantified()
+            return ast.Init(span=token.span.merge(operand.span), operand=operand)
+        if token.is_keyword("eventually"):
+            self._advance()
+            operand = self._quantified()
+            return ast.Eventually(span=token.span.merge(operand.span), operand=operand)
+        if token.is_keyword("always"):
+            self._advance()
+            operand = self._quantified()
+            return ast.Always(span=token.span.merge(operand.span), operand=operand)
+        if token.is_keyword("never"):
+            self._advance()
+            operand = self._quantified()
+            if self._peek().is_keyword("after"):
+                self._advance()
+                trigger = self._quantified()
+                return ast.NeverAfter(
+                    span=token.span.merge(trigger.span), forbidden=operand, trigger=trigger
+                )
+            return ast.Never(span=token.span.merge(operand.span), operand=operand)
+        return self._chained()
+
+    def _chained(self) -> ast.Node:
+        expr = self._choice()
+        while self._peek().is_keyword("followed"):
+            self._advance()
+            self._expect_keyword("by", "after 'followed'")
+            right = self._choice()
+            expr = ast.FollowedBy(span=expr.span.merge(right.span), first=expr, then=right)
+        return expr
+
+    def _choice(self) -> ast.Node:
+        first = self._sequence()
+        alternatives = [first]
+        while self._peek().is_op("|"):
+            self._advance()
+            alternatives.append(self._sequence())
+        if len(alternatives) == 1:
+            return first
+        span = alternatives[0].span.merge(alternatives[-1].span)
+        return ast.Choice(span=span, alternatives=tuple(alternatives))
+
+    def _starts_atom(self, token: Token) -> bool:
+        if token.kind in ("roleset", "ident", "number"):
+            return True
+        if token.kind == "keyword":
+            return token.text in _ATOM_KEYWORDS
+        return token.is_op("(") or token.is_op(".")
+
+    def _sequence(self) -> ast.Node:
+        parts: List[ast.Node] = []
+        while self._starts_atom(self._peek()):
+            if self._peek().is_op("."):
+                self._advance()
+                continue
+            parts.append(self._counted())
+        if not parts:
+            raise self._error("expected a pattern expression")
+        if len(parts) == 1:
+            return parts[0]
+        span = parts[0].span.merge(parts[-1].span)
+        return ast.Sequence(span=span, parts=tuple(parts))
+
+    def _counted(self) -> ast.Node:
+        expr = self._postfix()
+        if self._peek().is_keyword("at"):
+            self._advance()
+            token = self._peek()
+            if token.is_keyword("most") or token.is_keyword("least"):
+                comparison = self._advance().text
+            else:
+                raise self._error("expected 'most' or 'least' after 'at'", token)
+            count, _ = self._expect_number(f"after 'at {comparison}'")
+            closing = self._expect_keyword("times", f"after 'at {comparison} {count}'")
+            return ast.Count(
+                span=expr.span.merge(closing.span),
+                operand=expr,
+                comparison=comparison,
+                count=count,
+            )
+        return expr
+
+    def _postfix(self) -> ast.Node:
+        expr = self._atom()
+        while True:
+            token = self._peek()
+            if token.is_op("*"):
+                self._advance()
+                expr = ast.Repeat(span=expr.span.merge(token.span), operand=expr, minimum=0, maximum=None)
+            elif token.is_op("+"):
+                self._advance()
+                expr = ast.Repeat(span=expr.span.merge(token.span), operand=expr, minimum=1, maximum=None)
+            elif token.is_op("?"):
+                self._advance()
+                expr = ast.Repeat(span=expr.span.merge(token.span), operand=expr, minimum=0, maximum=1)
+            elif token.is_op("{"):
+                expr = self._bounded_repeat(expr)
+            else:
+                return expr
+
+    def _bounded_repeat(self, operand: ast.Node) -> ast.Node:
+        self._expect_op("{", "to open a repetition bound")
+        minimum, min_token = self._expect_number("as the repetition lower bound")
+        maximum: Optional[int] = minimum
+        if self._peek().is_op(","):
+            self._advance()
+            if self._peek().kind == "number":
+                maximum, _ = self._expect_number("as the repetition upper bound")
+            else:
+                maximum = None
+        closing = self._expect_op("}", "to close the repetition bound")
+        if maximum is not None and maximum < minimum:
+            raise MCLSyntaxError(
+                f"repetition bound {{{minimum},{maximum}}} has upper bound below lower bound",
+                min_token.span.merge(closing.span),
+                self._filename,
+            )
+        return ast.Repeat(
+            span=operand.span.merge(closing.span), operand=operand, minimum=minimum, maximum=maximum
+        )
+
+    def _atom(self) -> ast.Node:
+        token = self._peek()
+        if token.kind == "roleset":
+            self._advance()
+            if not token.classes:
+                return ast.EmptyLiteral(span=token.span)
+            return ast.RoleLiteral(span=token.span, classes=token.classes)
+        if token.kind == "number":
+            self._advance()
+            if token.text == "0":
+                return ast.EmptyLiteral(span=token.span)
+            raise self._error("a bare number is not a pattern (only '0' abbreviates 'empty')", token)
+        if token.kind == "keyword":
+            if token.text == "empty":
+                self._advance()
+                return ast.EmptyLiteral(span=token.span)
+            if token.text == "any":
+                self._advance()
+                return ast.AnySymbol(span=token.span)
+            if token.text == "some":
+                self._advance()
+                return ast.SomeSymbol(span=token.span)
+            if token.text == "epsilon":
+                self._advance()
+                return ast.EpsilonLiteral(span=token.span)
+            if token.text == "nothing":
+                self._advance()
+                return ast.NothingLiteral(span=token.span)
+            if token.text == "family":
+                self._advance()
+                kind = self._expect_ident("after 'family'")
+                return ast.FamilyPrimitive(span=token.span.merge(kind.span), kind=kind.text)
+            raise self._error("expected a pattern expression", token)
+        if token.kind == "ident":
+            self._advance()
+            return ast.NameRef(span=token.span, name=token.text)
+        if token.is_op("("):
+            self._advance()
+            inner = self.parse_expr()
+            self._expect_op(")", "to close the parenthesized expression")
+            return inner
+        raise self._error("expected a pattern expression", token)
+
+
+def parse_mcl(text: str, filename: str = "<mcl>") -> ast.Module:
+    """Parse MCL source text into a :class:`repro.spec.ast.Module`."""
+    return _Parser(tokenize(text, filename), filename).parse_module()
+
+
+def parse_expression(text: str, filename: str = "<mcl>") -> ast.Node:
+    """Parse a single MCL expression (no ``let``/``constraint`` wrapper)."""
+    parser = _Parser(tokenize(text, filename), filename)
+    expr = parser.parse_expr()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise MCLSyntaxError(
+            f"unexpected trailing input after the expression: {trailing.describe()}",
+            trailing.span,
+            filename,
+        )
+    return expr
+
+
+__all__ = ["parse_mcl", "parse_expression"]

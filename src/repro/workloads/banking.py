@@ -129,6 +129,37 @@ def no_downgrade_inventory() -> MigrationInventory:
     )
 
 
+# --------------------------------------------------------------------------- #
+# MCL restatement of the dynamic constraints (the hand-built inventories
+# above stay as the equivalence oracle; tests pin the two to each other).
+# --------------------------------------------------------------------------- #
+MCL_SOURCE = """\
+# Dynamic constraints of the checking-account workload.
+
+let checking = [INTEREST_CHECKING] | [REGULAR_CHECKING]
+             | [INTEREST_CHECKING+REGULAR_CHECKING]
+
+# An account always plays at least one checking role until it is closed.
+constraint checking_roles = init (empty* checking+ empty*)
+
+# Interest accounts are never downgraded (the transactions violate this).
+constraint no_downgrade = init (empty* [REGULAR_CHECKING]* [INTEREST_CHECKING]* empty*)
+"""
+
+#: constraint name -> factory of the hand-built oracle inventory.
+MCL_ORACLES = {
+    "checking_roles": checking_role_inventory,
+    "no_downgrade": no_downgrade_inventory,
+}
+
+
+def mcl_constraints():
+    """The MCL constraints compiled against this workload's schema."""
+    from repro.spec import compile_mcl
+
+    return compile_mcl(MCL_SOURCE, schema(), filename="banking.mcl")
+
+
 __all__ = [
     "ACCOUNT",
     "INTEREST_CHECKING",
@@ -143,4 +174,7 @@ __all__ = [
     "transactions",
     "checking_role_inventory",
     "no_downgrade_inventory",
+    "MCL_SOURCE",
+    "MCL_ORACLES",
+    "mcl_constraints",
 ]

@@ -15,7 +15,7 @@ run to run.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.rolesets import RoleSet, enumerate_role_sets
 from repro.formal import regex as rx
@@ -269,6 +269,30 @@ def university_event_stream(
     return histories, event_stream(histories, seed + 1)
 
 
+def mcl_event_stream(
+    text: str,
+    schema: DatabaseSchema,
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.05,
+    name: Optional[str] = None,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
+    """Spec-guided histories driven directly by MCL constraint text.
+
+    ``text`` is compiled against ``schema`` (:mod:`repro.spec`); the
+    constraint named ``name`` -- or the only one, when the source defines
+    exactly one -- guides the random walk exactly like the hand-built
+    automata in the workload-specific generators above.  Returns
+    ``(histories, events)`` as the other stream generators do.
+    """
+    from repro.spec import compile_constraint
+
+    guide = compile_constraint(text, schema, name=name).automaton
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
+    return histories, event_stream(histories, seed + 1)
+
+
 def immigration_event_stream(
     seed: int,
     objects: int,
@@ -292,5 +316,6 @@ __all__ = [
     "event_stream",
     "banking_event_stream",
     "university_event_stream",
+    "mcl_event_stream",
     "immigration_event_stream",
 ]

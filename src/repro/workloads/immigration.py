@@ -30,7 +30,10 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.core.inflow import Assertion, InflowSchema, ScriptSchema
-from repro.core.rolesets import RoleSet
+from repro.core.inventory import MigrationInventory
+from repro.core.rolesets import EMPTY_ROLE_SET, RoleSet, enumerate_role_sets
+from repro.formal import operations
+from repro.formal import regex as rx
 from repro.language.transactions import Transaction, TransactionSchema
 from repro.language.updates import Create, Delete, Generalize, Modify, Specialize
 from repro.model.conditions import Condition
@@ -74,6 +77,19 @@ ROLE_VISA_C = RoleSet({PERSON, VISA_C})
 ROLE_ABROAD = RoleSet({PERSON, ABROAD})
 ROLE_ELIGIBLE = RoleSet({PERSON, ELIGIBLE})
 ROLE_IMMIGRANT = RoleSet({PERSON, IMMIGRANT})
+
+#: Identifier map usable with regular-expression parsing over the office's
+#: single-status role sets (the statuses are siblings, so mixed role sets
+#: such as ``{PERSON, VISA_C, ABROAD}`` exist too -- ``enumerate_role_sets``
+#: lists all of them).
+SYMBOLS = {
+    "0": EMPTY_ROLE_SET,
+    "[P]": ROLE_PERSON,
+    "[V]": ROLE_VISA_C,
+    "[A]": ROLE_ABROAD,
+    "[E]": ROLE_ELIGIBLE,
+    "[I]": ROLE_IMMIGRANT,
+}
 
 
 def transactions() -> TransactionSchema:
@@ -179,6 +195,68 @@ def corrupt_script_schema() -> ScriptSchema:
     return ScriptSchema(transactions(), _precedence(("enter_with_visa_c",)))
 
 
+def status_order_inventory() -> MigrationInventory:
+    """The office's lawful status order as a dynamic constraint.
+
+    ``Init(∅* [V]* [A]* [E]* [I]* ∅*)`` -- a person's statuses are traversed
+    in the mandated order, each in one contiguous stretch.  Built over the
+    schema's full role-set alphabet so it aligns with the MCL compilation.
+    """
+    alphabet = enumerate_role_sets(schema())
+    expression = rx.parse_regex("0* [V]* [A]* [E]* [I]* 0*", SYMBOLS)
+    return MigrationInventory.from_regex(expression, alphabet=alphabet, prefix_close=True)
+
+
+def no_visa_after_immigrant_inventory() -> MigrationInventory:
+    """"Once an immigrant, never a type-C visa holder again."
+
+    Well-formed patterns (Definition 3.2) with no ``[V]`` occurrence after a
+    ``[I]`` occurrence: ``(∅* Ω+^* ∅*) ∩ complement(Σ* [I] Σ* [V] Σ*)``,
+    with the complement taken over the schema's full role-set alphabet --
+    exactly what the MCL constraint
+    ``(family all) and (never [VISA_C_HOLDER] after [IMMIGRANT])`` denotes.
+    """
+    d = schema()
+    alphabet = enumerate_role_sets(d)
+    any_star = rx.Star(rx.union_of(rx.Symbol(role_set) for role_set in alphabet))
+    forbidden = rx.concat_of(
+        [any_star, rx.Symbol(ROLE_IMMIGRANT), any_star, rx.Symbol(ROLE_VISA_C), any_star]
+    )
+    allowed = operations.complement(forbidden.to_nfa(alphabet), alphabet)
+    universe = MigrationInventory.universe(d)
+    return MigrationInventory(operations.intersection(universe.automaton, allowed), alphabet)
+
+
+# --------------------------------------------------------------------------- #
+# MCL restatement of the dynamic constraints (the hand-built inventories
+# above are the equivalence oracle).
+# --------------------------------------------------------------------------- #
+MCL_SOURCE = """\
+# Dynamic constraints of the immigration office (Example 5.1).
+
+# Statuses are traversed in the mandated order.
+constraint status_order =
+    init (empty* [VISA_C_HOLDER]* [ABROAD]* [ELIGIBLE_RETURNEE]* [IMMIGRANT]* empty*)
+
+# Once an immigrant, never a type-C visa holder again.
+constraint no_visa_after_immigrant =
+    (family all) and (never [VISA_C_HOLDER] after [IMMIGRANT])
+"""
+
+#: constraint name -> factory of the hand-built oracle inventory.
+MCL_ORACLES = {
+    "status_order": status_order_inventory,
+    "no_visa_after_immigrant": no_visa_after_immigrant_inventory,
+}
+
+
+def mcl_constraints():
+    """The MCL constraints compiled against this workload's schema."""
+    from repro.spec import compile_mcl
+
+    return compile_mcl(MCL_SOURCE, schema(), filename="immigration.mcl")
+
+
 def visa_holder_assertion() -> Assertion:
     """"The person currently holds a type-C visa"."""
     return Assertion.over(VISA_C, Status=STATUS_VISA)
@@ -204,8 +282,14 @@ __all__ = [
     "ROLE_ABROAD",
     "ROLE_ELIGIBLE",
     "ROLE_IMMIGRANT",
+    "SYMBOLS",
     "schema",
     "transactions",
+    "status_order_inventory",
+    "no_visa_after_immigrant_inventory",
+    "MCL_SOURCE",
+    "MCL_ORACLES",
+    "mcl_constraints",
     "inflow_schema",
     "corrupt_inflow_schema",
     "script_schema",

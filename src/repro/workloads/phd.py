@@ -198,6 +198,35 @@ def sequential_order_inventory() -> MigrationInventory:
     )
 
 
+# --------------------------------------------------------------------------- #
+# MCL restatement of the PhD life-cycle constraints (the hand-built
+# inventories above are the equivalence oracle).
+# --------------------------------------------------------------------------- #
+MCL_SOURCE = """\
+# Sequential PhD phases of Example 3.5 (with the graduation transaction).
+
+constraint proper_family =
+    init (empty? ([UNSCREENED] ([SCREENED] [CANDIDATE]?)? empty?))
+
+# Phases are traversed in order, each visited in one contiguous stretch.
+constraint sequential_order =
+    init (empty* [UNSCREENED]* [SCREENED]* [CANDIDATE]* empty*)
+"""
+
+#: constraint name -> factory of the hand-built oracle inventory.
+MCL_ORACLES = {
+    "proper_family": expected_proper_family,
+    "sequential_order": sequential_order_inventory,
+}
+
+
+def mcl_constraints():
+    """The MCL constraints compiled against this workload's schema."""
+    from repro.spec import compile_mcl
+
+    return compile_mcl(MCL_SOURCE, schema(), filename="phd.mcl")
+
+
 __all__ = [
     "G_STUDENT",
     "UNSCREENED",
@@ -214,4 +243,7 @@ __all__ = [
     "guarded_transactions",
     "expected_proper_family",
     "sequential_order_inventory",
+    "MCL_SOURCE",
+    "MCL_ORACLES",
+    "mcl_constraints",
 ]

@@ -166,6 +166,36 @@ def synthesis_schema() -> DatabaseSchema:
     )
 
 
+# --------------------------------------------------------------------------- #
+# MCL restatement of the Example 3.6 inventories (the hand-built versions
+# above are the equivalence oracle).  ``[P]`` isa-closes to ``{R, P}``.
+# --------------------------------------------------------------------------- #
+MCL_SOURCE = """\
+# Inventories of Example 3.6 over the three-class control schema.
+
+constraint cycle = init (empty* [P] ([Q] [Q] [P])* empty*)
+
+constraint cycle_exact =
+    init (empty* [P] ([Q] [Q] [P])* ([Q] [Q] empty empty*)?)
+
+constraint branch = init (empty* ([P] [Q]* | [Q] [P]*) empty*)
+"""
+
+#: constraint name -> factory of the hand-built oracle inventory.
+MCL_ORACLES = {
+    "cycle": cycle_inventory,
+    "cycle_exact": cycle_inventory_exact,
+    "branch": branch_inventory,
+}
+
+
+def mcl_constraints():
+    """The MCL constraints compiled against this workload's schema."""
+    from repro.spec import compile_mcl
+
+    return compile_mcl(MCL_SOURCE, schema(), filename="three_class.mcl")
+
+
 __all__ = [
     "R",
     "P",
@@ -182,4 +212,7 @@ __all__ = [
     "cycle_inventory_exact",
     "branch_transactions",
     "branch_inventory",
+    "MCL_SOURCE",
+    "MCL_ORACLES",
+    "mcl_constraints",
 ]

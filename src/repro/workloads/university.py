@@ -191,6 +191,49 @@ def life_cycle_inventory() -> MigrationInventory:
     )
 
 
+# --------------------------------------------------------------------------- #
+# MCL restatement of the Example 3.4 families and the Example 3.2 constraint
+# (the hand-built inventories above are the equivalence oracle).  Role-set
+# literals are isa-closed against the schema, so ``[STUDENT]`` denotes the
+# role set ``{PERSON, STUDENT}`` and ``[GRAD_ASSIST]`` the full closure.
+# --------------------------------------------------------------------------- #
+MCL_SOURCE = """\
+# Pattern families of Example 3.4 and the life-cycle constraint of Example 3.2.
+
+let student = [STUDENT]
+let assist  = [GRAD_ASSIST]
+
+constraint all_family = init (empty* (student+ assist*)* empty*)
+
+constraint immediate_start_family = init ((student (student | assist)* empty*)?)
+
+let alternating = empty? (student (assist student)* assist? empty?)
+
+constraint proper_family = init alternating
+constraint lazy_family   = init alternating
+
+# Example 3.2: person, maybe student, maybe assistant, then employee.
+constraint life_cycle =
+    init (empty* [PERSON]* [STUDENT]* [GRAD_ASSIST]* [PERSON+EMPLOYEE]+ [PERSON]* empty*)
+"""
+
+#: constraint name -> factory of the hand-built oracle inventory.
+MCL_ORACLES = {
+    "all_family": lambda: expected_families()["all"],
+    "immediate_start_family": lambda: expected_families()["immediate_start"],
+    "proper_family": lambda: expected_families()["proper"],
+    "lazy_family": lambda: expected_families()["lazy"],
+    "life_cycle": life_cycle_inventory,
+}
+
+
+def mcl_constraints():
+    """The MCL constraints compiled against this workload's schema."""
+    from repro.spec import compile_mcl
+
+    return compile_mcl(MCL_SOURCE, schema(), filename="university.mcl")
+
+
 __all__ = [
     "PERSON",
     "EMPLOYEE",
@@ -208,4 +251,7 @@ __all__ = [
     "transactions",
     "expected_families",
     "life_cycle_inventory",
+    "MCL_SOURCE",
+    "MCL_ORACLES",
+    "mcl_constraints",
 ]

@@ -1,0 +1,130 @@
+"""Schema-aware analysis tests: validation, isa-closure, desugaring."""
+
+import pytest
+
+from repro.core.rolesets import EMPTY_ROLE_SET, enumerate_role_sets
+from repro.spec import MCLAnalysisError, analyze_module, parse_mcl
+from repro.spec import analyze as an
+from repro.spec.parser import parse_expression
+from repro.spec.analyze import analyze_expression
+from repro.workloads import banking, university
+
+
+def _analyze(text, schema):
+    return analyze_module(parse_mcl(text), schema)
+
+
+# --------------------------------------------------------------------------- #
+# Role literals
+# --------------------------------------------------------------------------- #
+def test_role_literal_is_isa_closed():
+    core = analyze_expression(parse_expression("[GRAD_ASSIST]"), university.schema())
+    assert isinstance(core, an.CSymbol)
+    assert core.role_set == university.ROLE_G
+
+
+def test_multi_class_literal_closure():
+    core = analyze_expression(parse_expression("[STUDENT+EMPLOYEE]"), university.schema())
+    assert core.role_set == university.ROLE_SE
+
+
+def test_empty_literals_agree():
+    schema = banking.schema()
+    for text in ("empty", "0", "[]"):
+        core = analyze_expression(parse_expression(text), schema)
+        assert isinstance(core, an.CSymbol)
+        assert core.role_set == EMPTY_ROLE_SET
+
+
+def test_unknown_class_is_diagnosed_with_suggestion():
+    with pytest.raises(MCLAnalysisError) as excinfo:
+        _analyze("constraint c = [STUDNET]", university.schema())
+    assert "STUDNET" in str(excinfo.value)
+    assert "STUDENT" in str(excinfo.value)
+    assert excinfo.value.span is not None
+
+
+def test_alphabet_is_full_role_set_enumeration():
+    analyzed = _analyze("constraint c = any", university.schema())
+    assert analyzed.alphabet == enumerate_role_sets(university.schema())
+
+
+# --------------------------------------------------------------------------- #
+# Lets and names
+# --------------------------------------------------------------------------- #
+def test_let_bindings_resolve_in_order():
+    analyzed = _analyze(
+        """
+        let a = [STUDENT]
+        let b = a | [GRAD_ASSIST]
+        constraint c = b*
+        """,
+        university.schema(),
+    )
+    core = analyzed.constraint("c").core
+    assert isinstance(core, an.CStar)
+    assert isinstance(core.operand, an.CChoice)
+
+
+def test_forward_reference_is_an_error():
+    with pytest.raises(MCLAnalysisError) as excinfo:
+        _analyze(
+            """
+            constraint c = later
+            let later = [STUDENT]
+            """,
+            university.schema(),
+        )
+    assert "later" in str(excinfo.value)
+
+
+def test_duplicate_names_are_errors():
+    with pytest.raises(MCLAnalysisError, match="duplicate let"):
+        _analyze("let a = [STUDENT]\nlet a = [EMPLOYEE]", university.schema())
+    with pytest.raises(MCLAnalysisError, match="duplicate constraint"):
+        _analyze("constraint c = [STUDENT]\nconstraint c = [EMPLOYEE]", university.schema())
+
+
+# --------------------------------------------------------------------------- #
+# Symbol-class operands
+# --------------------------------------------------------------------------- #
+def test_always_requires_symbol_class():
+    with pytest.raises(MCLAnalysisError, match="always"):
+        analyze_expression(parse_expression("always ([STUDENT] [EMPLOYEE])"), university.schema())
+
+
+def test_count_requires_symbol_class():
+    with pytest.raises(MCLAnalysisError, match="at most"):
+        analyze_expression(parse_expression("([STUDENT] [EMPLOYEE]) at most 2 times"), university.schema())
+
+
+def test_unknown_family_kind():
+    with pytest.raises(MCLAnalysisError, match="unknown pattern family"):
+        analyze_expression(parse_expression("family sometimes"), university.schema())
+
+
+# --------------------------------------------------------------------------- #
+# Desugaring shapes
+# --------------------------------------------------------------------------- #
+def test_eventually_desugar_shape():
+    core = analyze_expression(parse_expression("eventually [STUDENT]"), university.schema())
+    assert isinstance(core, an.CSeq)
+    assert isinstance(core.parts[0], an.CStar)
+    assert isinstance(core.parts[-1], an.CStar)
+
+
+def test_never_desugar_is_complement():
+    core = analyze_expression(parse_expression("never [STUDENT]"), university.schema())
+    assert isinstance(core, an.CNot)
+
+
+def test_family_lazy_uses_nonrepeating():
+    core = analyze_expression(parse_expression("family lazy"), university.schema())
+    assert isinstance(core, an.CAnd)
+    assert isinstance(core.right, an.CNonRepeating)
+
+
+def test_implies_desugars_to_not_or():
+    core = analyze_expression(parse_expression("[STUDENT] implies [EMPLOYEE]"), university.schema())
+    assert isinstance(core, an.CChoice)
+    assert isinstance(core.parts[0], an.CNot)

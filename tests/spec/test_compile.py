@@ -1,0 +1,200 @@
+"""Semantics of compiled MCL constraints, pinned against hand-built automata."""
+
+import pytest
+
+from repro.core.rolesets import EMPTY_ROLE_SET, enumerate_role_sets
+from repro.formal import decision, operations
+from repro.formal import regex as rx
+from repro.formal.alphabet import sort_alphabet
+from repro.spec import compile_constraint, compile_mcl, nonrepeating_nfa
+from repro.workloads import banking, university
+
+IC, RC, A = banking.ROLE_INTEREST, banking.ROLE_REGULAR, banking.ROLE_ACCOUNT
+E = EMPTY_ROLE_SET
+
+
+def _compile(text, schema=None):
+    return compile_constraint(text, schema if schema is not None else banking.schema())
+
+
+# --------------------------------------------------------------------------- #
+# Rational core
+# --------------------------------------------------------------------------- #
+def test_symbols_sequence_choice_star():
+    constraint = _compile("[INTEREST_CHECKING] ([REGULAR_CHECKING] | [ACCOUNT])*")
+    assert constraint.accepts([IC])
+    assert constraint.accepts([IC, RC, A, RC])
+    assert not constraint.accepts([RC])
+    assert not constraint.accepts([])
+
+
+def test_epsilon_and_nothing():
+    assert _compile("epsilon").accepts([])
+    assert not _compile("epsilon").accepts([IC])
+    nothing = _compile("nothing")
+    assert nothing.automaton.is_empty()
+
+
+def test_bounded_repetition_semantics():
+    constraint = _compile("[INTEREST_CHECKING]{1,3}")
+    assert not constraint.accepts([])
+    assert constraint.accepts([IC])
+    assert constraint.accepts([IC, IC, IC])
+    assert not constraint.accepts([IC, IC, IC, IC])
+
+
+# --------------------------------------------------------------------------- #
+# Temporal sugar
+# --------------------------------------------------------------------------- #
+def test_eventually_matches_factor():
+    constraint = _compile("eventually ([INTEREST_CHECKING] [REGULAR_CHECKING])")
+    assert constraint.accepts([A, IC, RC, A])
+    assert not constraint.accepts([A, RC, IC])
+
+
+def test_always_restricts_every_symbol():
+    constraint = _compile("always ([INTEREST_CHECKING] | [REGULAR_CHECKING])")
+    assert constraint.accepts([])
+    assert constraint.accepts([IC, RC, IC])
+    assert not constraint.accepts([IC, A])
+
+
+def test_never_after_ordering():
+    constraint = _compile("never [REGULAR_CHECKING] after [INTEREST_CHECKING]")
+    assert constraint.accepts([RC, RC, IC])
+    assert not constraint.accepts([IC, A, RC])
+
+
+def test_followed_by_requires_both_in_order():
+    constraint = _compile("[INTEREST_CHECKING] followed by [REGULAR_CHECKING]")
+    assert constraint.accepts([A, IC, A, RC])
+    assert not constraint.accepts([RC, IC])
+    assert not constraint.accepts([IC])
+
+
+def test_at_most_counts_occurrences():
+    constraint = _compile("[INTEREST_CHECKING] at most 2 times")
+    assert constraint.accepts([])
+    assert constraint.accepts([A, IC, RC, IC, A])
+    assert not constraint.accepts([IC, IC, IC])
+
+
+def test_at_least_counts_occurrences():
+    constraint = _compile("[INTEREST_CHECKING] at least 2 times")
+    assert not constraint.accepts([IC])
+    assert constraint.accepts([A, IC, RC, IC])
+
+
+# --------------------------------------------------------------------------- #
+# Family primitives (Definition 3.4)
+# --------------------------------------------------------------------------- #
+def test_family_all_is_the_universe():
+    from repro.core.inventory import MigrationInventory
+
+    constraint = _compile("family all")
+    universe = MigrationInventory.universe(banking.schema())
+    assert decision.are_equivalent(constraint.automaton, universe.automaton)
+
+
+def test_family_immediate_start_excludes_leading_empty():
+    constraint = _compile("family immediate_start")
+    assert constraint.accepts([])
+    assert constraint.accepts([IC, RC, E])
+    assert not constraint.accepts([E, IC])
+
+
+def test_family_lazy_forbids_consecutive_repeats():
+    constraint = _compile("family lazy")
+    assert constraint.accepts([E, IC, RC, E])
+    assert not constraint.accepts([IC, IC])
+    assert not constraint.accepts([E, E, IC])
+
+
+def test_family_proper_equals_family_all():
+    proper = _compile("family proper")
+    everything = _compile("family all")
+    assert decision.are_equivalent(proper.automaton, everything.automaton)
+
+
+def test_nonrepeating_nfa_language():
+    alphabet = sort_alphabet([IC, RC])
+    automaton = nonrepeating_nfa(alphabet)
+    assert automaton.accepts(())
+    assert automaton.accepts((IC, RC, IC))
+    assert not automaton.accepts((IC, IC))
+
+
+# --------------------------------------------------------------------------- #
+# Boolean algebra and init
+# --------------------------------------------------------------------------- #
+def test_boolean_algebra_matches_operations():
+    schema = banking.schema()
+    alphabet = enumerate_role_sets(schema)
+    left = rx.parse_regex("[IC]*", banking.SYMBOLS).to_nfa(alphabet)
+    right = rx.parse_regex("[IC] [RC]*", banking.SYMBOLS).to_nfa(alphabet)
+    compiled_and = _compile("(always [INTEREST_CHECKING]) and ([INTEREST_CHECKING] [REGULAR_CHECKING]*)")
+    assert decision.are_equivalent(compiled_and.automaton, operations.intersection(left, right))
+    compiled_not = _compile("not (always [INTEREST_CHECKING])")
+    assert decision.are_equivalent(compiled_not.automaton, operations.complement(left, alphabet))
+
+
+def test_init_is_prefix_closure():
+    constraint = _compile("init ([INTEREST_CHECKING] [REGULAR_CHECKING] [ACCOUNT])")
+    assert constraint.accepts([])
+    assert constraint.accepts([IC])
+    assert constraint.accepts([IC, RC])
+    assert not constraint.accepts([RC])
+    assert constraint.inventory().is_prefix_closed()
+
+
+# --------------------------------------------------------------------------- #
+# Determinism and interning
+# --------------------------------------------------------------------------- #
+def test_compilation_is_deterministic():
+    text = "constraint c = (family lazy) and (never [REGULAR_CHECKING] after [INTEREST_CHECKING])"
+    first = compile_mcl(text, banking.schema())["c"]
+    second = compile_mcl(text, banking.schema())["c"]
+    assert first.automaton.states == second.automaton.states
+    assert first.automaton.transitions == second.automaton.transitions
+    assert first.automaton.initial_states == second.automaton.initial_states
+    assert first.automaton.accepting_states == second.automaton.accepting_states
+
+
+def test_compiled_tables_are_reproducible():
+    from repro.engine.compiler import compile_spec
+
+    text = "constraint c = init (empty* [INTEREST_CHECKING]+ empty*)"
+    first = compile_spec(compile_mcl(text, banking.schema())["c"].automaton)
+    second = compile_spec(compile_mcl(text, banking.schema())["c"].automaton)
+    assert first.table == second.table
+    assert first.accepting == second.accepting
+    assert first.codes == second.codes
+
+
+def test_interned_image_shares_language():
+    constraint = _compile("init (empty* [INTEREST_CHECKING]+ empty*)")
+    word = (E, IC, IC)
+    codes = tuple(constraint.interner.code(symbol) for symbol in word)
+    assert constraint.automaton.accepts(word)
+    assert constraint.interned.accepts(codes)
+    assert len(constraint.interner) == len(constraint.alphabet)
+
+
+def test_compiled_alphabet_is_schema_wide():
+    constraint = _compile("[STUDENT]", university.schema())
+    assert constraint.alphabet == tuple(sort_alphabet(enumerate_role_sets(university.schema())))
+
+
+# --------------------------------------------------------------------------- #
+# Selection helpers
+# --------------------------------------------------------------------------- #
+def test_compile_constraint_by_name():
+    constraint = compile_constraint(banking.MCL_SOURCE, banking.schema(), name="no_downgrade")
+    assert constraint.name == "no_downgrade"
+
+
+def test_compile_constraint_ambiguous_without_name():
+    from repro.spec import MCLAnalysisError
+
+    with pytest.raises(MCLAnalysisError, match="exactly one"):
+        compile_constraint(banking.MCL_SOURCE, banking.schema())

@@ -1,0 +1,99 @@
+"""Parser/analyzer error-quality suite.
+
+Every malformed MCL input must surface as an :class:`repro.spec.MCLError`
+subclass carrying a single source span and naming the offending token --
+never as a raw traceback from deeper layers (KeyError, AttributeError,
+RecursionError, ...).
+"""
+
+import pytest
+
+from repro.spec import MCLAnalysisError, MCLError, MCLSyntaxError, compile_mcl, parse_mcl
+from repro.workloads import university
+
+SCHEMA = university.schema()
+
+#: (source, substring that must appear in the diagnostic)
+SYNTAX_CASES = [
+    ("constraint c = [STUDENT", "unterminated role-set literal"),
+    ("constraint c = [STU%DENT]", "'%'"),
+    ("constraint c = %", "'%'"),
+    ("constraint = [STUDENT]", "expected a name after 'constraint'"),
+    ("constraint most = [STUDENT]", "reserved word"),
+    ("constraint c [STUDENT]", "expected '='"),
+    ("constraint c = ([STUDENT]", "expected ')'"),
+    ("constraint c = [STUDENT])", "')'"),
+    ("constraint c = *", "expected a pattern expression"),
+    ("constraint c = [STUDENT] |", "expected a pattern expression"),
+    ("constraint c = 7", "only '0' abbreviates 'empty'"),
+    ("constraint c = [STUDENT]{4,2}", "upper bound below lower bound"),
+    ("constraint c = [STUDENT]{,3}", "lower bound"),
+    ("constraint c = [STUDENT] at most times", "expected a number"),
+    ("constraint c = [STUDENT] at never 2 times", "expected 'most' or 'least'"),
+    ("constraint c = [STUDENT] at most 2", "expected 'times'"),
+    ("constraint c = never", "expected a pattern expression"),
+    ("constraint c = [STUDENT] followed [EMPLOYEE]", "expected 'by'"),
+    ("[STUDENT]*", "expected 'let' or 'constraint'"),
+    ("let x [STUDENT]", "expected '='"),
+]
+
+ANALYSIS_CASES = [
+    ("constraint c = [NO_SUCH_CLASS]", "unknown class 'NO_SUCH_CLASS'"),
+    ("constraint c = missing_name", "unknown name 'missing_name'"),
+    ("constraint c = family backwards", "unknown pattern family"),
+    ("constraint c = always ([STUDENT] [EMPLOYEE])", "must denote a set of single role sets"),
+]
+
+
+@pytest.mark.parametrize("source,needle", SYNTAX_CASES)
+def test_syntax_errors_are_single_span_diagnostics(source, needle):
+    with pytest.raises(MCLSyntaxError) as excinfo:
+        parse_mcl(source)
+    error = excinfo.value
+    assert needle in str(error), f"{needle!r} not in {error}"
+    assert error.span is not None
+    assert error.span.line >= 1 and error.span.column >= 1
+    # The span renders into a caret diagnostic, not a traceback.
+    pretty = error.pretty(source)
+    assert "^" in pretty
+    assert "Traceback" not in pretty
+
+
+@pytest.mark.parametrize("source,needle", ANALYSIS_CASES)
+def test_analysis_errors_are_single_span_diagnostics(source, needle):
+    with pytest.raises(MCLAnalysisError) as excinfo:
+        compile_mcl(source, SCHEMA)
+    error = excinfo.value
+    assert needle in str(error)
+    assert error.span is not None
+    assert "^" in error.pretty(source)
+
+
+def test_every_error_is_an_mcl_error():
+    """The public entry point never leaks non-MCL exceptions on bad input."""
+    bad_inputs = [source for source, _ in SYNTAX_CASES + ANALYSIS_CASES]
+    bad_inputs += ["", "  # only a comment\n", "constraint c = ()"]
+    for source in bad_inputs:
+        try:
+            compile_mcl(source, SCHEMA)
+        except MCLError:
+            pass  # the contract
+        except Exception as exc:  # pragma: no cover - the failure being tested
+            pytest.fail(f"{source!r} leaked {type(exc).__name__}: {exc}")
+
+
+def test_error_message_carries_location_prefix():
+    with pytest.raises(MCLSyntaxError) as excinfo:
+        parse_mcl("constraint c =\n  [STUDENT\n")
+    assert str(excinfo.value).startswith("<mcl>:2:3:")
+
+
+def test_caret_points_at_offending_token():
+    source = "constraint c = [STUDENT] } [EMPLOYEE]"
+    with pytest.raises(MCLSyntaxError) as excinfo:
+        parse_mcl(source)
+    pretty = excinfo.value.pretty(source)
+    lines = pretty.splitlines()
+    assert lines[-2].strip() == source
+    caret_column = lines[-1].index("^")
+    assert source[caret_column - 2] == "}"

@@ -1,0 +1,133 @@
+"""Lexer and parser tests for MCL (syntax only; no schema involved)."""
+
+import pytest
+
+from repro.spec import ast
+from repro.spec.lexer import tokenize
+from repro.spec.parser import parse_expression, parse_mcl
+
+
+# --------------------------------------------------------------------------- #
+# Lexer
+# --------------------------------------------------------------------------- #
+def test_tokenize_kinds_and_spans():
+    tokens = tokenize("constraint c = [A+B]* | empty {2,3}")
+    kinds = [token.kind for token in tokens]
+    assert kinds == ["keyword", "ident", "op", "roleset", "op", "op", "keyword", "op", "number", "op", "number", "op", "eof"]
+    roleset = tokens[3]
+    assert roleset.classes == ("A", "B")
+    assert roleset.span.line == 1
+    assert roleset.span.column == 16
+
+
+def test_tokenize_comments_and_lines():
+    tokens = tokenize("# a comment\nlet x = [A]\n")
+    assert tokens[0].is_keyword("let")
+    assert tokens[0].span.line == 2
+
+
+def test_tokenize_empty_roleset_literal():
+    token = tokenize("[]")[0]
+    assert token.kind == "roleset"
+    assert token.classes == ()
+
+
+# --------------------------------------------------------------------------- #
+# Parser structure
+# --------------------------------------------------------------------------- #
+def test_parse_module_items():
+    module = parse_mcl(
+        """
+        let body = [A] | [B]
+        constraint one = init (empty* body+ empty*)
+        constraint two = eventually [A]
+        """
+    )
+    assert [item.name for item in module.lets()] == ["body"]
+    assert [item.name for item in module.constraints()] == ["one", "two"]
+
+
+def test_precedence_boolean_below_choice():
+    expr = parse_expression("[A] | [B] and [C]")
+    assert isinstance(expr, ast.And)
+    assert isinstance(expr.left, ast.Choice)
+
+
+def test_implies_right_associative():
+    expr = parse_expression("[A] implies [B] implies [C]")
+    assert isinstance(expr, ast.Implies)
+    assert isinstance(expr.right, ast.Implies)
+
+
+def test_sequence_and_postfix():
+    expr = parse_expression("[A] [B]* [C]?")
+    assert isinstance(expr, ast.Sequence)
+    assert len(expr.parts) == 3
+    assert isinstance(expr.parts[1], ast.Repeat)
+    assert expr.parts[1].maximum is None
+    assert isinstance(expr.parts[2], ast.Repeat)
+    assert expr.parts[2].maximum == 1
+
+
+def test_bounded_repetition_forms():
+    assert parse_expression("[A]{3}").maximum == 3
+    assert parse_expression("[A]{2,}").maximum is None
+    bounded = parse_expression("[A]{1,4}")
+    assert (bounded.minimum, bounded.maximum) == (1, 4)
+
+
+def test_count_postfix():
+    expr = parse_expression("[A] at most 2 times")
+    assert isinstance(expr, ast.Count)
+    assert (expr.comparison, expr.count) == ("most", 2)
+    expr = parse_expression("[A] at least 1 times")
+    assert (expr.comparison, expr.count) == ("least", 1)
+
+
+def test_never_after_and_followed_by():
+    expr = parse_expression("never [A] after [B]")
+    assert isinstance(expr, ast.NeverAfter)
+    expr = parse_expression("[A] followed by [B]")
+    assert isinstance(expr, ast.FollowedBy)
+
+
+def test_family_primitive():
+    expr = parse_expression("family immediate_start")
+    assert isinstance(expr, ast.FamilyPrimitive)
+    assert expr.kind == "immediate_start"
+
+
+def test_zero_abbreviates_empty():
+    expr = parse_expression("0* [A] 0*")
+    assert isinstance(expr.parts[0].operand, ast.EmptyLiteral)
+
+
+def test_dot_is_optional_concatenation():
+    explicit = parse_expression("[A] . [B]")
+    implicit = parse_expression("[A] [B]")
+    assert ast.unparse(explicit) == ast.unparse(implicit)
+
+
+# --------------------------------------------------------------------------- #
+# Unparse round trips (syntax level)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "text",
+    [
+        "[A] [B]* ([C] | [D])+",
+        "init (empty* [A]+ empty*)",
+        "never [A] after [B]",
+        "eventually ([A] [B])",
+        "always ([A] | [B])",
+        "(family all) and (not (eventually [A]))",
+        "[A] at most 3 times",
+        "[A]{2,5} | epsilon",
+        "([A] followed by [B]) or nothing",
+        "[A] implies ([B] implies any some)",
+    ],
+)
+def test_unparse_reparses_to_same_text(text):
+    expr = parse_expression(text)
+    printed = ast.unparse(expr)
+    again = parse_expression(printed)
+    assert ast.unparse(again) == printed
