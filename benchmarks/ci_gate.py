@@ -45,6 +45,18 @@ UNSTABLE_CASES = {
     "test_e12_bounded_enumeration_agrees_with_analysis",
 }
 
+#: Headline cases the gate insists on seeing in every run, whatever the
+#: committed baseline tracks: if one of these disappears from the report
+#: (renamed, deleted, or silently skipped) the gate fails structurally even
+#: after a baseline refresh.  Keep in sync when headline benchmarks move.
+EXPECTED_CASES = {
+    "test_e20_streaming_beats_naive_accepts_reruns",
+    "test_e22_mcl_text_to_check_batch_end_to_end",
+    "test_e23_fused_streaming_beats_per_spec_sweeps",
+    "test_e23_fused_batch_checking_beats_per_spec_accepts",
+    "test_e23_shard_payloads_shrink",
+}
+
 #: Iterations of the calibration workload; sized to take ~100ms on a dev VM.
 _CALIBRATION_N = 400_000
 
@@ -119,11 +131,16 @@ def compare(current: Path, baseline: Path, threshold: float) -> int:
 
     failures = []
     structural = False
+    for name in sorted(EXPECTED_CASES):
+        if name not in current_medians:
+            failures.append(f"{name}: headline case missing from the current run")
+            structural = True
     for name, base_median in sorted(base["cases"].items()):
         if name in UNSTABLE_CASES:
             continue
         if name not in current_medians:
-            failures.append(f"{name}: tracked case missing from the current run")
+            if name not in EXPECTED_CASES:  # headline misses are reported above
+                failures.append(f"{name}: tracked case missing from the current run")
             structural = True
             continue
         base_norm = base_median / base_calibration

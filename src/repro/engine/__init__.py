@@ -3,26 +3,39 @@
 The analyses in :mod:`repro.core` decide properties of *specifications*;
 this subpackage checks *data* against them at volume: millions of object
 histories, delivered as batches or as one interleaved event stream.  The
-pipeline is compile → shard → stream:
+pipeline is compile → encode → fuse → shard/stream:
 
 * :mod:`repro.engine.compiler` -- compile a spec automaton once into a
-  minimized DFA with a flat integer transition table over the interned
-  role-set alphabet (:class:`~repro.engine.compiler.CompiledSpec`);
-* :mod:`repro.engine.cache` -- bounded LRU over compiled specs, safe to
-  evict mid-stream because compilation is deterministic;
+  minimized DFA with a flat integer transition table, plus a remap array
+  from the engine's shared alphabet (:class:`~repro.engine.compiler.
+  CompiledSpec`);
+* :mod:`repro.engine.batch` -- the columnar pipeline: encode-once event
+  batches and history sets over the shared alphabet, the fused multi-spec
+  product kernel, and the compact shard payloads;
+* :mod:`repro.engine.cache` -- bounded LRU over compiled specs and fused
+  kernels, safe to evict mid-stream because compilation is deterministic;
 * :mod:`repro.engine.cursors` -- per-object integer cursors advanced event
-  by event, with doomed-state short-circuiting;
+  by event (the reference path the fused kernel is pinned against);
 * :mod:`repro.engine.executor` -- serial and process-pool shard backends
   for batch checking;
 * :mod:`repro.engine.engine` -- :class:`~repro.engine.engine.
   HistoryCheckerEngine`, the façade tying the pieces together.
 """
 
+from repro.engine.batch import (
+    PRODUCT_STATE_CAP,
+    ColumnarHistorySet,
+    EncodedBatch,
+    FusedKernel,
+    ObjectInterner,
+    check_columnar_shard,
+    make_shard_task,
+)
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
 from repro.engine.cursors import CursorTable, HistoryCursor
 from repro.engine.engine import HistoryCheckerEngine, StreamChecker
-from repro.engine.executor import ProcessPoolBackend, SerialExecutor, shard
+from repro.engine.executor import ProcessPoolBackend, SerialExecutor, shard, shard_bounds
 
 __all__ = [
     "CompiledSpec",
@@ -30,9 +43,17 @@ __all__ = [
     "SpecCache",
     "HistoryCursor",
     "CursorTable",
+    "ObjectInterner",
+    "EncodedBatch",
+    "ColumnarHistorySet",
+    "FusedKernel",
+    "PRODUCT_STATE_CAP",
+    "make_shard_task",
+    "check_columnar_shard",
     "SerialExecutor",
     "ProcessPoolBackend",
     "shard",
+    "shard_bounds",
     "HistoryCheckerEngine",
     "StreamChecker",
 ]

@@ -1,0 +1,689 @@
+"""The columnar event pipeline: encode-once batches and the fused multi-spec kernel.
+
+The PR-2 engine re-paid a representation tax on every sweep: each spec
+re-hashed every event's frozenset role set through its own ``codes`` dict,
+object ids lived in per-spec dicts, and process-pool shards shipped pickled
+``CompiledSpec`` objects plus raw frozenset histories.  This module makes a
+*columnar* encoding the engine's native interchange format instead:
+
+* :class:`ObjectInterner` -- object ids become dense integers (with an
+  identity fast path for workload streams whose ids are already dense);
+* :class:`EncodedBatch` -- an interleaved event stream encoded **once**
+  against the engine's shared :class:`repro.formal.alphabet.RoleSetAlphabet`
+  into ``array('q')`` id/code columns;
+* :class:`ColumnarHistorySet` -- whole-history batches as one flat code
+  column plus offsets, the unit of shard dispatch;
+* :class:`FusedKernel` -- the multi-spec kernel.  Registered specs are
+  fused into the reachable *product* automaton (greedily packed into groups
+  under a state cap), whose states are Python lists holding direct
+  references to their successor rows.  :meth:`FusedKernel.advance_all` is
+  therefore a single pass per group over one encoded batch whose inner loop
+  is ``column[o] = column[o][c]`` -- no hashing, no index arithmetic, no
+  branches.  Product states that are doomed for every spec in a group
+  collapse onto one absorbing sink row, and a population that has fully
+  reached the sink lets the whole group skip subsequent batches
+  (the doomed-population early exit).
+* shard dispatch -- :func:`check_columnar_shard` plus the payload helpers
+  ship narrow-dtype, optionally zlib-compressed column bytes and compact
+  frozenset-free spec blobs (:meth:`CompiledSpec.to_blob`), resolved through
+  a worker-local kernel cache keyed by ``(name, generation)`` and the shared
+  alphabet version, instead of pickling tables and frozensets per shard.
+
+Everything here runs on plain ints and lists; symbols appear only at the
+encode boundary and when verdicts are mapped back to caller object ids.
+"""
+
+from __future__ import annotations
+
+import zlib
+from array import array
+from itertools import chain
+from operator import itemgetter
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.compiler import CompiledSpec
+from repro.formal.alphabet import RoleSetAlphabet
+
+Symbol = Hashable
+ObjectId = Hashable
+Event = Tuple[ObjectId, Symbol]
+
+#: Product states per fused group before the kernel starts a new group.
+#: Doomed-state collapse keeps realistic spec sets far below this; the cap
+#: only guards adversarial spec combinations from materializing a huge
+#: product (they fall back to smaller groups, down to one spec per group).
+PRODUCT_STATE_CAP = 20_000
+
+#: zlib level for shard payloads: level 1 keeps compression at memory-copy
+#: speed while already collapsing low-entropy code columns by ~4-8x.
+_PAYLOAD_ZLIB_LEVEL = 1
+
+
+class ObjectInterner:
+    """Dense integer ids for stream objects, append-only like the alphabet.
+
+    Starts in a *dense* mode where integer ids forming an initial segment
+    ``0..n-1`` are their own codes (the shape every workload generator
+    emits), so encoding such a column is a copy instead of a dict sweep.
+    The first column that breaks the pattern transparently switches to
+    dict interning; codes handed out earlier never change.
+    """
+
+    __slots__ = ("_codes", "_objects", "_dense")
+
+    def __init__(self) -> None:
+        self._dense = 0
+        self._codes: Dict[ObjectId, int] = {}
+        self._objects: List[ObjectId] = []
+
+    def __len__(self) -> int:
+        return self._dense if not self._objects else len(self._objects)
+
+    def _leave_dense_mode(self) -> None:
+        if not self._objects and self._dense:
+            self._objects = list(range(self._dense))
+            self._codes = {code: code for code in range(self._dense)}
+
+    def intern(self, object_id: ObjectId) -> int:
+        """The dense code of one object, allocating a fresh one on first sight."""
+        if not self._objects:
+            if type(object_id) is int and 0 <= object_id <= self._dense:
+                if object_id == self._dense:
+                    self._dense += 1
+                return object_id
+            self._leave_dense_mode()
+        code = self._codes.get(object_id)
+        if code is None:
+            code = len(self._objects)
+            self._codes[object_id] = code
+            self._objects.append(object_id)
+        return code
+
+    def intern_column(self, column: Sequence[ObjectId]) -> List[int]:
+        """Encode a whole id column, preferring the C-speed dense fast path."""
+        if not column:
+            return []
+        # dict.fromkeys, not set(): first-appearance order, so the codes
+        # handed out below do not depend on the process hash seed.
+        distinct = dict.fromkeys(column)
+        if not self._objects:
+            if all(type(object_id) is int for object_id in distinct):
+                low = min(distinct)
+                high = max(distinct)
+                if low >= 0 and (
+                    high < self._dense
+                    or sum(1 for o in distinct if o >= self._dense) == high + 1 - self._dense
+                ):
+                    # The union with the existing universe is still an
+                    # initial segment of the integers: identity encoding.
+                    self._dense = max(self._dense, high + 1)
+                    return list(column)
+            self._leave_dense_mode()
+        codes = self._codes
+        objects = self._objects
+        for object_id in distinct:
+            if object_id not in codes:
+                codes[object_id] = len(objects)
+                objects.append(object_id)
+        return list(map(codes.__getitem__, column))
+
+    def code_of(self, object_id: ObjectId, default: int = -1) -> int:
+        """The existing code of ``object_id``, or ``default`` -- never interns."""
+        if not self._objects:
+            if type(object_id) is int and 0 <= object_id < self._dense:
+                return object_id
+            return default
+        return self._codes.get(object_id, default)
+
+    def object(self, code: int) -> ObjectId:
+        """The object carrying ``code`` (inverse of :meth:`intern`)."""
+        return code if not self._objects else self._objects[code]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ObjectInterner({len(self)} objects)"
+
+
+def _pack_column(values: Sequence[int], compress: bool = True) -> Tuple[str, int, bytes]:
+    """``(typecode, zlib flag, data)`` with the narrowest dtype that fits."""
+    high = max(values, default=0)
+    typecode = "B" if high <= 0xFF else ("H" if high <= 0xFFFF else "q")
+    raw = array(typecode, values).tobytes()
+    if compress:
+        packed = zlib.compress(raw, _PAYLOAD_ZLIB_LEVEL)
+        if len(packed) < len(raw):
+            return typecode, 1, packed
+    return typecode, 0, raw
+
+
+def _unpack_column(packed: Tuple[str, int, bytes]) -> List[int]:
+    typecode, compressed, data = packed
+    column = array(typecode)
+    column.frombytes(zlib.decompress(data) if compressed else data)
+    return column.tolist()
+
+
+class EncodedBatch:
+    """An interleaved event batch encoded once into dense integer columns.
+
+    ``ids`` and ``codes`` expose the columns as ``array('q')``; the kernel
+    sweeps the plain-list views (:attr:`id_list` / :attr:`code_list`), which
+    index faster.  A batch is immutable once built and remembers the
+    :class:`ObjectInterner` that owns its id space, so streams can adopt a
+    pre-encoded batch without re-hashing anything.
+    """
+
+    __slots__ = (
+        "id_list",
+        "code_list",
+        "objects",
+        "alphabet",
+        "max_code",
+        "_max_id",
+        "_ids",
+        "_codes",
+    )
+
+    def __init__(
+        self,
+        id_list: List[int],
+        code_list: List[int],
+        objects: ObjectInterner,
+        alphabet: Optional[RoleSetAlphabet] = None,
+    ) -> None:
+        self.id_list = id_list
+        self.code_list = code_list
+        self.objects = objects
+        #: The alphabet the codes were minted against (``None`` after a wire
+        #: round trip); streams refuse batches from a foreign alphabet.
+        self.alphabet = alphabet
+        self.max_code = max(code_list, default=-1)
+        self._max_id: Optional[int] = None
+        self._ids: Optional[array] = None
+        self._codes: Optional[array] = None
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[Event],
+        alphabet: RoleSetAlphabet,
+        objects: Optional[ObjectInterner] = None,
+    ) -> "EncodedBatch":
+        """Encode ``(object id, symbol)`` pairs in two C-speed column passes.
+
+        Unseen symbols are interned into ``alphabet`` (append-only, so codes
+        already handed out never move); unseen objects are interned into
+        ``objects`` (a fresh interner when not given).
+        """
+        events = events if isinstance(events, (list, tuple)) else list(events)
+        interner = objects if objects is not None else ObjectInterner()
+        if not events:
+            return cls([], [], interner, alphabet)
+        raw_ids = list(map(itemgetter(0), events))
+        raw_symbols = list(map(itemgetter(1), events))
+        return cls(
+            interner.intern_column(raw_ids), alphabet.encode_column(raw_symbols), interner, alphabet
+        )
+
+    def __len__(self) -> int:
+        return len(self.id_list)
+
+    @property
+    def max_id(self) -> int:
+        """The largest dense object id in the batch (``-1`` when empty)."""
+        if self._max_id is None:
+            self._max_id = max(self.id_list, default=-1)
+        return self._max_id
+
+    @property
+    def ids(self) -> array:
+        """The object-id column as ``array('q')``."""
+        if self._ids is None:
+            self._ids = array("q", self.id_list)
+        return self._ids
+
+    @property
+    def codes(self) -> array:
+        """The symbol-code column as ``array('q')``."""
+        if self._codes is None:
+            self._codes = array("q", self.code_list)
+        return self._codes
+
+    def to_payload(self, compress: bool = True) -> Tuple:
+        """Column bytes for the wire (the id space itself is not shipped)."""
+        return (
+            len(self.id_list),
+            _pack_column(self.id_list, compress),
+            _pack_column(self.code_list, compress),
+        )
+
+    @classmethod
+    def from_payload(
+        cls, payload: Tuple, objects: Optional[ObjectInterner] = None
+    ) -> "EncodedBatch":
+        """Rebuild the columns shipped by :meth:`to_payload`."""
+        _count, ids_packed, codes_packed = payload
+        return cls(
+            _unpack_column(ids_packed), _unpack_column(codes_packed), objects or ObjectInterner()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EncodedBatch({len(self.id_list)} events)"
+
+
+class ColumnarHistorySet:
+    """Whole object histories as one flat code column plus offsets.
+
+    The batch-checking analogue of :class:`EncodedBatch`: history ``i`` is
+    ``code_list[offsets[i]:offsets[i + 1]]``.  Shards are cut by history
+    index and shipped as narrow-dtype bytes (:meth:`shard_payload`), so a
+    process-pool worker receives pure integer columns.
+    """
+
+    __slots__ = ("code_list", "offsets", "alphabet", "max_code", "_codes")
+
+    def __init__(
+        self,
+        code_list: List[int],
+        offsets: array,
+        alphabet: Optional[RoleSetAlphabet] = None,
+    ) -> None:
+        self.code_list = code_list
+        self.offsets = offsets
+        #: The alphabet the codes were minted against (``None`` after a wire
+        #: round trip); the engine refuses sets from a foreign alphabet.
+        self.alphabet = alphabet
+        self.max_code = max(code_list, default=-1)
+        self._codes: Optional[array] = None
+
+    @classmethod
+    def from_histories(
+        cls, histories: Sequence[Sequence[Symbol]], alphabet: RoleSetAlphabet
+    ) -> "ColumnarHistorySet":
+        """Encode every history once against the shared alphabet."""
+        code_list = alphabet.encode_column(list(chain.from_iterable(histories)))
+        offsets = array("q", bytes(8 * (len(histories) + 1)))
+        position = 0
+        for index, history in enumerate(histories):
+            position += len(history)
+            offsets[index + 1] = position
+        return cls(code_list, offsets, alphabet)
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def codes(self) -> array:
+        """The flat code column as ``array('q')``."""
+        if self._codes is None:
+            self._codes = array("q", self.code_list)
+        return self._codes
+
+    def lengths(self, start: int = 0, stop: Optional[int] = None) -> List[int]:
+        """Per-history event counts for the index range ``[start, stop)``."""
+        offsets = self.offsets
+        stop = len(self) if stop is None else stop
+        return [offsets[i + 1] - offsets[i] for i in range(start, stop)]
+
+    def shard_payload(self, start: int, stop: int, compress: bool = True) -> Tuple:
+        """The histories ``[start, stop)`` as compact wire columns."""
+        offsets = self.offsets
+        return (
+            stop - start,
+            _pack_column(self.lengths(start, stop), compress),
+            _pack_column(self.code_list[offsets[start] : offsets[stop]], compress),
+        )
+
+    @staticmethod
+    def unpack_payload(payload: Tuple) -> Tuple[List[int], List[int]]:
+        """``(lengths, flat code list)`` from :meth:`shard_payload` output."""
+        _count, lengths_packed, codes_packed = payload
+        return _unpack_column(lengths_packed), _unpack_column(codes_packed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnarHistorySet({len(self)} histories, {len(self.code_list)} events)"
+
+
+class ProductCapExceeded(Exception):
+    """Raised mid-construction when a group would exceed its state cap."""
+
+
+class _ProductGroup:
+    """The eagerly materialized reachable product of one group of specs.
+
+    States are rows: Python lists of length ``width + 1`` whose first
+    ``width`` slots hold direct references to the successor *row* for each
+    shared symbol code and whose last slot holds the state's dense index.
+    Advancing one event is therefore a single subscript chain.  Every state
+    that is doomed for *all* specs of the group collapses onto one absorbing
+    ``sink`` row.
+
+    ``cap`` bounds construction *incrementally*: exceeding it raises
+    :class:`ProductCapExceeded` from inside the closure BFS, so an
+    adversarial spec combination aborts after at most ``cap + 1`` states
+    instead of materializing a huge product first and checking afterwards.
+    The cap applies to the initial build only; later ``ensure_state`` calls
+    (state translation across kernel rebuilds) may grow past it, bounded by
+    the states streams actually occupy.
+    """
+
+    __slots__ = (
+        "names",
+        "specs",
+        "width",
+        "cap",
+        "rows",
+        "decode",
+        "index",
+        "accepting",
+        "spec_doomed",
+        "sink",
+        "root",
+    )
+
+    def __init__(
+        self,
+        names: Tuple[str, ...],
+        specs: Sequence[CompiledSpec],
+        width: int,
+        cap: Optional[int] = None,
+    ) -> None:
+        self.names = names
+        self.specs = list(specs)
+        self.width = width
+        self.cap = cap
+        self.rows: List[list] = []
+        self.decode: List[Tuple[int, ...]] = []
+        self.index: Dict[Tuple[int, ...], int] = {}
+        self.accepting: List[bytearray] = [bytearray() for _ in specs]
+        self.spec_doomed: List[bytearray] = [bytearray() for _ in specs]
+        self.sink: Optional[list] = None
+        self.root = self.rows[self.ensure_state(tuple(spec.initial for spec in specs))]
+        self.cap = None  # the cap guards the initial closure only
+
+    def _add_state(self, state: Tuple[int, ...]) -> int:
+        accepting_flags = []
+        doomed_flags = []
+        doomed_for_all = True
+        for j, spec in enumerate(self.specs):
+            accepting_flags.append(spec.accepting[state[j]])
+            component_doomed = spec.doomed[state[j]]
+            doomed_flags.append(component_doomed)
+            doomed_for_all = doomed_for_all and bool(component_doomed)
+        if doomed_for_all and self.sink is not None:
+            # Collapse onto the absorbing sink: acceptance is False forever
+            # for every spec of the group, so one representative is enough.
+            index = self.sink[-1]
+            self.index[state] = index
+            return index
+        index = len(self.decode)
+        if self.cap is not None and index >= self.cap:
+            raise ProductCapExceeded(f"product group would exceed {self.cap} states")
+        self.index[state] = index
+        self.decode.append(state)
+        for j in range(len(self.specs)):
+            self.accepting[j].append(accepting_flags[j])
+            self.spec_doomed[j].append(doomed_flags[j])
+        row = [None] * self.width + [index]
+        self.rows.append(row)
+        if doomed_for_all:
+            self.sink = row
+            for code in range(self.width):
+                row[code] = row
+        return index
+
+    def _successor(self, state: Tuple[int, ...], code: int) -> Tuple[int, ...]:
+        successor = []
+        for j, spec in enumerate(self.specs):
+            spec_code = spec.remap[code] if code < len(spec.remap) else -1
+            component = state[j]
+            if spec_code < 0 or component == spec.dead:
+                successor.append(spec.dead)
+            else:
+                successor.append(spec.table[component * spec.n_symbols + spec_code])
+        return tuple(successor)
+
+    def ensure_state(self, state: Tuple[int, ...]) -> int:
+        """The dense index of ``state``, materializing its closure on demand."""
+        found = self.index.get(state)
+        if found is not None:
+            return found
+        first = self._add_state(state)
+        frontier = [first]
+        while frontier:
+            index = frontier.pop()
+            row = self.rows[index]
+            if row[0] is not None:
+                continue  # already closed (the sink self-loops at creation)
+            source = self.decode[index]
+            for code in range(self.width):
+                successor = self._successor(source, code)
+                known = self.index.get(successor)
+                if known is None:
+                    known = self._add_state(successor)
+                    if self.rows[known][0] is None:
+                        frontier.append(known)
+                row[code] = self.rows[known]
+        return first
+
+    def __len__(self) -> int:
+        return len(self.decode)
+
+
+def _build_group(
+    names: Tuple[str, ...], specs: Sequence[CompiledSpec], width: int, cap: Optional[int]
+) -> Optional[_ProductGroup]:
+    """The product group, or ``None`` when it would exceed ``cap`` states."""
+    try:
+        return _ProductGroup(names, specs, width, cap)
+    except ProductCapExceeded:
+        return None
+
+
+class FusedKernel:
+    """Every registered spec fused into greedily packed product groups.
+
+    Most spec sets fit one group, so :meth:`advance_all` is literally a
+    single pass over the encoded batch; a spec whose addition would blow the
+    product cap starts a new group (degenerating, at worst, to one spec per
+    group -- still hash-free columnar sweeps).
+    """
+
+    __slots__ = ("names", "width", "groups", "locate", "key")
+
+    def __init__(
+        self,
+        specs: Sequence[Tuple[str, CompiledSpec]],
+        width: int,
+        cap: int = PRODUCT_STATE_CAP,
+        key: Tuple = (),
+    ) -> None:
+        self.names: Tuple[str, ...] = tuple(name for name, _spec in specs)
+        self.width = width
+        self.key = key
+        self.groups: List[_ProductGroup] = []
+        self.locate: Dict[str, Tuple[int, int]] = {}
+        pending_names: List[str] = []
+        pending_specs: List[CompiledSpec] = []
+        current: Optional[_ProductGroup] = None
+        for name, spec in specs:
+            attempt = _build_group(
+                tuple(pending_names + [name]), pending_specs + [spec], width, cap
+            )
+            if attempt is not None:
+                pending_names.append(name)
+                pending_specs.append(spec)
+                current = attempt
+            elif current is not None:
+                # Adding this spec would blow the cap: seal the group built
+                # so far and open a new one with the spec alone (a single
+                # spec is always admitted, whatever its size).
+                self.groups.append(current)
+                pending_names, pending_specs = [name], [spec]
+                current = _build_group((name,), [spec], width, None)
+            else:
+                self.groups.append(_build_group((name,), [spec], width, None))
+                pending_names, pending_specs, current = [], [], None
+        if current is not None:
+            self.groups.append(current)
+        for group_index, group in enumerate(self.groups):
+            for j, name in enumerate(group.names):
+                self.locate[name] = (group_index, j)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def new_columns(self, n_objects: int = 0) -> List[list]:
+        """One dense state column per group, every object at the group root."""
+        return [[group.root] * n_objects for group in self.groups]
+
+    def grow_columns(self, columns: List[list], n_objects: int) -> None:
+        """Extend each column so freshly interned objects start at the root."""
+        for group, column in zip(self.groups, columns):
+            missing = n_objects - len(column)
+            if missing > 0:
+                column.extend([group.root] * missing)
+
+    def advance_all(self, columns: List[list], batch: EncodedBatch) -> int:
+        """Advance every spec over one encoded batch; returns the event count.
+
+        One pass per group; the inner loop is a pure subscript chain.  A
+        group whose whole population has collapsed onto its doomed sink (and
+        which the batch introduces no new objects to) skips its pass
+        entirely -- the doomed-population early exit.
+        """
+        id_list = batch.id_list
+        code_list = batch.code_list
+        if not id_list:
+            return 0
+        max_id = batch.max_id
+        for group, column in zip(self.groups, columns):
+            sink = group.sink
+            if sink is not None and max_id < len(column) and all(r is sink for r in column):
+                continue  # whole population doomed for every spec of the group
+            for o, c in zip(id_list, code_list):
+                column[o] = column[o][c]
+        return len(id_list)
+
+    def verdicts_of(
+        self, name: str, column_set: List[list], seen: Iterable[int]
+    ) -> Dict[int, bool]:
+        """Dense-id verdicts for one spec over the tracked population."""
+        group_index, j = self.locate[name]
+        accepting = self.groups[group_index].accepting[j]
+        column = column_set[group_index]
+        return {o: accepting[column[o][-1]] == 1 for o in seen}
+
+    def translate_columns(
+        self,
+        previous: "FusedKernel",
+        columns: List[list],
+        reset: Sequence[str] = (),
+    ) -> List[list]:
+        """Carry per-object states from ``previous`` into this kernel.
+
+        Specs named in ``reset`` restart at their (new) initial state; every
+        other spec keeps its progress -- compiled tables are deterministic,
+        so state numbers transfer across recompiles and kernel rebuilds.
+        Memoized per distinct cross-group state signature.
+        """
+        n_objects = len(columns[0]) if columns else 0
+        resets = set(reset)
+        memo: Dict[Tuple[int, ...], List[list]] = {}
+        fresh = self.new_columns(0)
+        initials = {
+            name: self.groups[gi].specs[j].initial for name, (gi, j) in self.locate.items()
+        }
+        for o in range(n_objects):
+            signature = tuple(column[o][-1] for column in columns)
+            rows = memo.get(signature)
+            if rows is None:
+                states: Dict[str, int] = {}
+                for group, index in zip(previous.groups, signature):
+                    components = group.decode[index]
+                    for j, name in enumerate(group.names):
+                        states[name] = components[j]
+                for name in self.names:
+                    if name in resets or name not in states:
+                        states[name] = initials[name]
+                rows = [
+                    group.rows[group.ensure_state(tuple(states[name] for name in group.names))]
+                    for group in self.groups
+                ]
+                memo[signature] = rows
+            for column, row in zip(fresh, rows):
+                column.append(row)
+        return fresh
+
+    # ------------------------------------------------------------------ #
+    # Batch checking
+    # ------------------------------------------------------------------ #
+    def check_histories(
+        self, code_list: List[int], lengths: Sequence[int]
+    ) -> Dict[str, List[bool]]:
+        """Per-spec verdicts for contiguous per-history code runs."""
+        verdicts: Dict[str, List[bool]] = {}
+        for group in self.groups:
+            root = group.root
+            final: List[int] = []
+            append = final.append
+            position = 0
+            for length in lengths:
+                r = root
+                for c in code_list[position : position + length]:
+                    r = r[c]
+                append(r[-1])
+                position += length
+            for j, name in enumerate(group.names):
+                accepting = group.accepting[j]
+                verdicts[name] = list(map(bool, map(accepting.__getitem__, final)))
+        return verdicts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "+".join(str(len(group)) for group in self.groups)
+        return f"FusedKernel({len(self.names)} specs, states {sizes})"
+
+
+# --------------------------------------------------------------------------- #
+# Shard dispatch
+# --------------------------------------------------------------------------- #
+#: Worker-local cache of rebuilt kernels, keyed by the shard task's spec
+#: reference -- ``((name, generation), ...)`` plus the shared-alphabet
+#: version -- so a worker pays the blob decode and product build once per
+#: spec set, not once per shard.
+_WORKER_KERNELS: Dict[Tuple, FusedKernel] = {}
+
+
+def make_shard_task(
+    kernel: FusedKernel, specs: Sequence[Tuple[str, CompiledSpec]], payload: Tuple
+) -> Tuple:
+    """One process-pool task: spec references, compact blobs, column bytes."""
+    return (kernel.key, tuple(spec.to_blob() for _name, spec in specs), payload)
+
+
+def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
+    """Check one encoded shard (module-level so process pools can pickle it)."""
+    key, blobs, payload = task
+    kernel = _WORKER_KERNELS.get(key)
+    if kernel is None:
+        _engine_token, references, width, cap = key
+        specs = [
+            (name, CompiledSpec.from_blob(blob))
+            for (name, _generation), blob in zip(references, blobs)
+        ]
+        kernel = FusedKernel(specs, width, cap, key=key)
+        if len(_WORKER_KERNELS) >= 64:
+            _WORKER_KERNELS.clear()
+        _WORKER_KERNELS[key] = kernel
+    lengths, code_list = ColumnarHistorySet.unpack_payload(payload)
+    return kernel.check_histories(code_list, lengths)
+
+
+__all__ = [
+    "PRODUCT_STATE_CAP",
+    "ObjectInterner",
+    "EncodedBatch",
+    "ColumnarHistorySet",
+    "FusedKernel",
+    "make_shard_task",
+    "check_columnar_shard",
+]

@@ -1,25 +1,25 @@
-"""LRU cache for compiled specifications.
+"""LRU cache for compiled engine artifacts.
 
 Compiling a spec (intern + determinize + minimize + table flattening) is
 the expensive part of the engine; checking events against it is cheap.  The
 engine therefore keeps compiled tables in a bounded least-recently-used
-cache keyed by spec name.  Because compilation is deterministic
-(:mod:`repro.engine.compiler`), an entry may be evicted at any point --
-mid-stream included -- and transparently recompiled on next use without
-invalidating the integer cursor states that were minted against the evicted
-table.
+cache keyed by ``(spec name, generation)`` -- and a second, smaller
+instance holds fused product kernels keyed by spec generations and the
+shared-alphabet version (:mod:`repro.engine.batch`).  Because compilation
+and kernel construction are deterministic (:mod:`repro.engine.compiler`),
+an entry may be evicted at any point -- mid-stream included -- and
+transparently rebuilt on next use without invalidating the integer cursor
+states or product rows minted against the evicted artifact.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Optional
-
-from repro.engine.compiler import CompiledSpec
+from typing import Any, Callable, Dict, Hashable, Optional
 
 
 class SpecCache:
-    """A bounded LRU mapping ``key -> CompiledSpec`` with hit/miss counters."""
+    """A bounded LRU mapping ``key -> artifact`` with hit/miss counters."""
 
     __slots__ = ("_maxsize", "_entries", "hits", "misses", "evictions")
 
@@ -27,7 +27,7 @@ class SpecCache:
         if maxsize < 1:
             raise ValueError("the spec cache needs room for at least one entry")
         self._maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, CompiledSpec]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -37,8 +37,8 @@ class SpecCache:
         """The capacity of the cache."""
         return self._maxsize
 
-    def get(self, key: Hashable) -> Optional[CompiledSpec]:
-        """The cached spec for ``key`` (refreshing its recency), if present."""
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached artifact for ``key`` (refreshing its recency), if present."""
         spec = self._entries.get(key)
         if spec is None:
             self.misses += 1
@@ -47,15 +47,15 @@ class SpecCache:
         self.hits += 1
         return spec
 
-    def get_or_compile(self, key: Hashable, factory: Callable[[], CompiledSpec]) -> CompiledSpec:
-        """The cached spec for ``key``, compiling and inserting it on a miss."""
+    def get_or_compile(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached artifact for ``key``, compiling and inserting it on a miss."""
         spec = self.get(key)
         if spec is None:
             spec = factory()
             self.put(key, spec)
         return spec
 
-    def put(self, key: Hashable, spec: CompiledSpec) -> None:
+    def put(self, key: Hashable, spec: Any) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
         self._entries[key] = spec
         self._entries.move_to_end(key)

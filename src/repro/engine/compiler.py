@@ -51,6 +51,7 @@ class CompiledSpec:
         "accepting",
         "doomed",
         "dead",
+        "remap",
     )
 
     def __init__(
@@ -72,6 +73,12 @@ class CompiledSpec:
         self.doomed = doomed
         #: The synthetic dead state (always the last row of the table).
         self.dead = self.n_states
+        #: ``shared code -> spec code`` over the engine's shared alphabet
+        #: (``-1`` for shared symbols outside this spec's alphabet); built by
+        #: :meth:`ensure_remap` and extended in place as the shared alphabet
+        #: grows.  ``array('i')`` so the columnar kernel indexes it without
+        #: hashing any symbol twice.
+        self.remap: array = array("i")
 
     # ------------------------------------------------------------------ #
     # Event encoding
@@ -123,16 +130,76 @@ class CompiledSpec:
         """Whether no continuation of a history in ``state`` can be accepted."""
         return bool(self.doomed[state])
 
+    # ------------------------------------------------------------------ #
+    # Shared-alphabet remapping and worker dispatch
+    # ------------------------------------------------------------------ #
+    def ensure_remap(self, shared: "RoleSetAlphabet") -> array:
+        """The ``shared code -> spec code`` array, extended to ``shared``'s size.
+
+        The shared alphabet is append-only (:attr:`RoleSetAlphabet.version`),
+        so entries already built stay valid and a stale remap only ever needs
+        the new tail appended -- remaps survive spec re-registration and
+        shared-alphabet growth without rebuilding.
+        """
+        remap = self.remap
+        encode = self.codes.get
+        for code in range(len(remap), len(shared)):
+            remap.append(encode(shared.symbol(code), -1))
+        return remap
+
+    def to_blob(self) -> Tuple:
+        """A compact, frozenset-free wire form for process-pool workers.
+
+        Everything is raw ``bytes`` lifted straight off the array buffers:
+        no ``codes`` dict, no role-set ``symbols`` tuple -- the worker-side
+        sweep runs entirely over shared integer codes through :attr:`remap`.
+        """
+        return (
+            self.n_states,
+            self.n_symbols,
+            self.initial,
+            self.table.tobytes(),
+            bytes(self.accepting),
+            bytes(self.doomed),
+            self.remap.tobytes(),
+        )
+
+    @classmethod
+    def from_blob(cls, blob: Tuple) -> "CompiledSpec":
+        """Rebuild a runner from :meth:`to_blob` output (symbols stay opaque).
+
+        The result has no symbol table (``codes``/``symbols`` are empty), so
+        it can only run *encoded* columns -- exactly what shard dispatch
+        ships.
+        """
+        n_states, n_symbols, initial, table_bytes, accepting, doomed, remap_bytes = blob
+        table = array("i")
+        table.frombytes(table_bytes)
+        spec = cls({}, (), initial, table, bytearray(accepting), bytearray(doomed))
+        spec.n_symbols = n_symbols
+        spec.n_states = n_states
+        spec.dead = n_states
+        spec.remap = array("i")
+        spec.remap.frombytes(remap_bytes)
+        return spec
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledSpec(states={self.n_states}, symbols={self.n_symbols})"
 
 
-def compile_spec(automaton: NFA) -> CompiledSpec:
+def compile_spec(automaton: NFA, shared: "RoleSetAlphabet" = None) -> CompiledSpec:
     """Compile an NFA over role sets into a :class:`CompiledSpec`.
 
     Pipeline: intern the alphabet, determinize, Hopcroft-minimize, then
     flatten the transition function into one integer array with densely
     BFS-numbered states.
+
+    When ``shared`` (an engine-level :class:`RoleSetAlphabet`) is given, the
+    spec's symbols are interned into it and the spec's :attr:`remap` array is
+    built against it, so encoded batches can drive the table without ever
+    hashing a role set again.  The transition table itself is unaffected:
+    compilation stays deterministic regardless of the shared alphabet's
+    state.
     """
     interner = RoleSetAlphabet()
     dfa = intern_nfa(automaton, interner).determinize().minimize()
@@ -184,7 +251,12 @@ def compile_spec(automaton: NFA) -> CompiledSpec:
     doomed = bytearray(1 if not alive[index] else 0 for index in range(n_states + 1))
 
     codes = {symbol: interner.code(symbol) for symbol in interner}
-    return CompiledSpec(codes, tuple(interner), 0, table, accepting, doomed)
+    spec = CompiledSpec(codes, tuple(interner), 0, table, accepting, doomed)
+    if shared is not None:
+        for symbol in spec.symbols:
+            shared.intern(symbol)
+        spec.ensure_remap(shared)
+    return spec
 
 
 __all__ = ["CompiledSpec", "compile_spec"]

@@ -61,9 +61,30 @@ class HistoryCursor:
         return self
 
     def advance_many(self, word: Sequence[Symbol]) -> "HistoryCursor":
-        """Consume a run of events."""
+        """Consume a run of events.
+
+        Table/codes/doomed lookups are hoisted out of the per-event loop
+        (mirroring :meth:`CursorTable.advance_events`) instead of re-entering
+        :meth:`advance` per event; once the cursor is doomed the rest of the
+        word is consumed without touching the table -- doomed states are
+        absorbing, so the verdict is already final.
+        """
+        if not isinstance(word, (list, tuple, str)):
+            word = list(word)
+        spec = self._spec
+        table = spec.table
+        code_of = spec.codes.get
+        doomed = spec.doomed
+        width = spec.n_symbols
+        dead = spec.dead
+        state = self._state
         for symbol in word:
-            self.advance(symbol)
+            if doomed[state]:
+                break
+            code = code_of(symbol, -1)
+            state = dead if code < 0 else table[state * width + code]
+        self._state = state
+        self._events += len(word)
         return self
 
 

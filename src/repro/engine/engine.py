@@ -6,35 +6,58 @@ against named migration specifications.  Specs are registered once as
 automata, inventories, compiled MCL constraints or MCL source text
 (:mod:`repro.spec`), compiled on demand into table runners
 (:mod:`repro.engine.compiler`) behind an LRU cache
-(:mod:`repro.engine.cache`), and consulted either in batch mode (histories
-sharded across a pluggable executor, :mod:`repro.engine.executor`) or in
-streaming mode (per-object integer cursors advanced event by event,
-:mod:`repro.engine.cursors`).
+(:mod:`repro.engine.cache`).
+
+Since the columnar pipeline (:mod:`repro.engine.batch`) the engine's native
+interchange format is *encoded columns*: every event batch and history set
+is encoded **once** against the engine's shared
+:class:`repro.formal.alphabet.RoleSetAlphabet`, all registered specs are
+fused into one product kernel advanced in a single pass per batch, and
+process-pool shards ship compact column bytes plus ``(name, generation)``
+spec references resolved through a worker-local cache -- never pickled
+frozensets.
 
 Typical use::
 
     engine = HistoryCheckerEngine()
     engine.add_spec("checking", banking.checking_role_inventory())
     verdicts = engine.check_batch("checking", histories)      # batch
+    by_spec = engine.check_batch_all(histories)               # fused batch
 
     stream = engine.open_stream(["checking"])                 # streaming
     stream.feed_events(events)                                # (obj, role-set) pairs
+    stream.feed_events(engine.encode_events(more_events))     # pre-encoded
     stream.verdicts("checking")
 """
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.batch import (
+    PRODUCT_STATE_CAP,
+    ColumnarHistorySet,
+    EncodedBatch,
+    FusedKernel,
+    ObjectInterner,
+    check_columnar_shard,
+    make_shard_task,
+)
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
-from repro.engine.cursors import CursorTable
-from repro.engine.executor import SerialExecutor, shard
+from repro.engine.executor import SerialExecutor, shard_bounds
+from repro.formal.alphabet import RoleSetAlphabet
 from repro.formal.nfa import NFA
 
 Symbol = Hashable
 ObjectId = Hashable
 Event = Tuple[ObjectId, Symbol]
+
+#: Process-unique engine tokens; part of every kernel key so two engines
+#: sharing one executor can never be served each other's worker-side
+#: kernels (spec *names* alone are not globally unique).
+_ENGINE_TOKENS = count()
 
 
 def _as_automaton(spec) -> NFA:
@@ -50,15 +73,8 @@ def _as_automaton(spec) -> NFA:
     raise TypeError(f"cannot interpret {type(spec).__name__} as a specification automaton")
 
 
-def _check_shard(task: Tuple[CompiledSpec, Sequence[Sequence[Symbol]]]) -> List[bool]:
-    """Check one shard of histories (module-level so process pools can pickle it)."""
-    compiled, histories = task
-    accepts = compiled.accepts
-    return [accepts(history) for history in histories]
-
-
 class HistoryCheckerEngine:
-    """Compile-once, check-many verification of object histories.
+    """Compile-once, encode-once, check-many verification of object histories.
 
     Parameters
     ----------
@@ -68,15 +84,30 @@ class HistoryCheckerEngine:
     cache_size:
         Capacity of the compiled-spec LRU cache.
     batch_size:
-        Histories per shard in :meth:`check_batch`.
+        Histories per shard in :meth:`check_batch` / :meth:`check_batch_all`.
+    product_cap:
+        Product states per fused-kernel group before specs spill into a new
+        group (:data:`repro.engine.batch.PRODUCT_STATE_CAP`).
     """
 
-    def __init__(self, executor=None, cache_size: int = 64, batch_size: int = 2048) -> None:
+    def __init__(
+        self,
+        executor=None,
+        cache_size: int = 64,
+        batch_size: int = 2048,
+        product_cap: int = PRODUCT_STATE_CAP,
+    ) -> None:
         self._executor = executor if executor is not None else SerialExecutor()
         self._cache = SpecCache(cache_size)
         self._batch_size = batch_size
+        self._product_cap = product_cap
         self._sources: Dict[str, NFA] = {}
         self._generations: Dict[str, int] = {}
+        #: The engine-level shared alphabet every batch is encoded against;
+        #: append-only, so spec remap arrays and kernels only ever *extend*.
+        self._alphabet = RoleSetAlphabet()
+        self._kernels = SpecCache(16)
+        self._token = next(_ENGINE_TOKENS)
 
     # ------------------------------------------------------------------ #
     # Spec registry
@@ -126,17 +157,56 @@ class HistoryCheckerEngine:
         """How many times ``name`` has been (re-)registered (0 when unknown)."""
         return self._generations.get(name, 0)
 
+    @property
+    def alphabet(self) -> RoleSetAlphabet:
+        """The shared role-set alphabet all columnar encoding runs against."""
+        return self._alphabet
+
     def compiled(self, name: str) -> CompiledSpec:
-        """The table-compiled form of one spec (cached, recompiled on eviction)."""
+        """The table-compiled form of one spec (cached, recompiled on eviction).
+
+        The spec's remap array is kept extended to the shared alphabet's
+        current version, so a cached table can always run encoded columns.
+        """
         source = self._sources.get(name)
         if source is None:
             raise KeyError(f"unknown specification {name!r}; registered: {sorted(self._sources)}")
         key = (name, self._generations[name])
-        return self._cache.get_or_compile(key, lambda: compile_spec(source))
+        spec = self._cache.get_or_compile(key, lambda: compile_spec(source, self._alphabet))
+        spec.ensure_remap(self._alphabet)
+        return spec
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters of the spec-compilation cache."""
         return self._cache.stats()
+
+    # ------------------------------------------------------------------ #
+    # Columnar encoding
+    # ------------------------------------------------------------------ #
+    def encode_events(
+        self, events: Iterable[Event], objects: Optional[ObjectInterner] = None
+    ) -> EncodedBatch:
+        """Encode an interleaved event batch once against the shared alphabet."""
+        return EncodedBatch.from_events(events, self._alphabet, objects)
+
+    def encode_histories(self, histories: Sequence[Sequence[Symbol]]) -> ColumnarHistorySet:
+        """Encode whole histories once; reusable across every registered spec."""
+        return ColumnarHistorySet.from_histories(histories, self._alphabet)
+
+    def _kernel_for(self, names: Sequence[str]) -> FusedKernel:
+        """The fused kernel over ``names`` (cached by generations and alphabet)."""
+        specs = [(name, self.compiled(name)) for name in names]
+        key = (
+            self._token,
+            tuple((name, self._generations[name]) for name in names),
+            len(self._alphabet),
+            self._product_cap,
+        )
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = FusedKernel(specs, len(self._alphabet), self._product_cap, key=key)
+            self._kernels.put(key, kernel)
+        return kernel
 
     # ------------------------------------------------------------------ #
     # Batch checking
@@ -147,27 +217,54 @@ class HistoryCheckerEngine:
         histories: Sequence[Sequence[Symbol]],
         executor=None,
     ) -> List[bool]:
-        """The membership verdict of every history, in input order.
-
-        Histories are cut into shards of ``batch_size`` and dispatched to
-        the executor; each shard runs the compiled table directly, so the
-        per-history cost is a few array reads per event.
-        """
-        compiled = self.compiled(name)
-        backend = executor if executor is not None else self._executor
-        shards = shard(histories, self._batch_size)
-        results = backend.run(_check_shard, [(compiled, piece) for piece in shards])
-        verdicts: List[bool] = []
-        for piece in results:
-            verdicts.extend(piece)
-        return verdicts
+        """The membership verdict of every history, in input order."""
+        return self.check_batch_all(histories, [name], executor=executor)[name]
 
     def check_batch_all(
-        self, histories: Sequence[Sequence[Symbol]], names: Optional[Iterable[str]] = None
+        self,
+        histories,
+        names: Optional[Iterable[str]] = None,
+        executor=None,
     ) -> Dict[str, List[bool]]:
-        """Batch verdicts for several specs at once."""
+        """Batch verdicts for several specs in one encoded pass.
+
+        ``histories`` may be raw symbol sequences or an already encoded
+        :class:`repro.engine.batch.ColumnarHistorySet`.  Histories are
+        encoded once, every selected spec is fused into one product kernel,
+        and -- with a parallel executor -- shards ship as compact column
+        bytes plus ``(name, generation)`` spec references resolved through a
+        worker-local compile cache, not pickled tables and frozensets.
+        """
         selected = tuple(names) if names is not None else self.spec_names()
-        return {name: self.check_batch(name, histories) for name in selected}
+        if not selected:
+            return {}
+        if isinstance(histories, ColumnarHistorySet):
+            history_set = histories
+            if (
+                history_set.alphabet is not None and history_set.alphabet is not self._alphabet
+            ) or history_set.max_code >= len(self._alphabet):
+                raise ValueError(
+                    "the encoded history set was built against a different alphabet than "
+                    "this engine's; encode with engine.encode_histories"
+                )
+        else:
+            history_set = ColumnarHistorySet.from_histories(histories, self._alphabet)
+        kernel = self._kernel_for(selected)
+        backend = executor if executor is not None else self._executor
+        if isinstance(backend, SerialExecutor) or len(history_set) <= self._batch_size:
+            verdicts = kernel.check_histories(history_set.code_list, history_set.lengths())
+            return {name: verdicts[name] for name in selected}
+        specs = [(name, self.compiled(name)) for name in selected]
+        tasks = [
+            make_shard_task(kernel, specs, history_set.shard_payload(start, stop))
+            for start, stop in shard_bounds(len(history_set), self._batch_size)
+        ]
+        results = backend.run(check_columnar_shard, tasks)
+        stitched: Dict[str, List[bool]] = {name: [] for name in selected}
+        for piece in results:
+            for name in selected:
+                stitched[name].extend(piece[name])
+        return stitched
 
     # ------------------------------------------------------------------ #
     # Streaming
@@ -184,26 +281,50 @@ class HistoryCheckerEngine:
 class StreamChecker:
     """Incremental checking of an interleaved multi-object event stream.
 
-    One :class:`repro.engine.cursors.CursorTable` per spec maps object ids
-    to integer table states.  The compiled spec is re-resolved through the
-    engine's LRU cache once per :meth:`feed_events` call (and per event in
-    :meth:`feed`), so specs may be evicted and recompiled mid-stream
-    without disturbing the session.
+    The session keeps one dense state column per fused-kernel group: object
+    ids are interned to dense integers (:class:`repro.engine.batch.
+    ObjectInterner`) and each object's entry holds a direct reference to its
+    current product-state row, so :meth:`feed_events` advances *every* spec
+    with a single subscript chain per event.  Batches may arrive raw (they
+    are encoded once against the engine's shared alphabet) or already
+    encoded (:class:`repro.engine.batch.EncodedBatch`, e.g. from the
+    workload generators).
 
-    Re-registering a spec (``add_spec`` under an existing name) bumps its
-    generation; on the next touch of that spec this session discards the
-    cursors minted against the evicted table and restarts the spec's
-    histories from the new automaton's initial state -- stale integer
-    states are never interpreted against a different table.
+    Specs are re-resolved through the engine's LRU cache on every batch, so
+    compiled tables may be evicted and deterministically recompiled
+    mid-stream without disturbing the session.  Re-registering a spec
+    (``add_spec`` under an existing name) bumps its generation; on the next
+    touch the session rebuilds its kernel, restarts that spec's histories
+    from the new automaton's initial state, and keeps every other spec's
+    progress -- stale states are never interpreted against a different
+    table.
     """
 
-    __slots__ = ("_engine", "_names", "_tables", "_generations", "events_seen")
+    __slots__ = (
+        "_engine",
+        "_names",
+        "_generations",
+        "_interner",
+        "_columns",
+        "_kernel",
+        "_seen",
+        "_universe",
+        "events_seen",
+    )
 
     def __init__(self, engine: HistoryCheckerEngine, names: Tuple[str, ...]) -> None:
         self._engine = engine
         self._names = names
-        self._tables: Dict[str, CursorTable] = {name: CursorTable() for name in names}
         self._generations: Dict[str, int] = {name: engine.generation(name) for name in names}
+        self._interner = ObjectInterner()
+        self._columns: List[list] = []
+        self._kernel: Optional[FusedKernel] = None
+        #: Per spec, the dense ids seen since that spec's last reset --
+        #: ``None`` meaning "every object fed so far" (the common case,
+        #: kept implicit so the hot path never builds per-batch id sets).
+        self._seen: Dict[str, Optional[Dict[int, None]]] = {name: None for name in names}
+        #: Dense ids below this bound have produced at least one fed event.
+        self._universe = 0
         self.events_seen = 0
 
     @property
@@ -211,48 +332,125 @@ class StreamChecker:
         """The specs this session checks against."""
         return self._names
 
-    def _compiled(self, name: str) -> CompiledSpec:
-        """Resolve one spec, resetting its cursors if it was re-registered."""
-        generation = self._engine.generation(name)
-        if generation != self._generations[name]:
-            self._tables[name] = CursorTable()
-            self._generations[name] = generation
-        return self._engine.compiled(name)
+    @property
+    def object_interner(self) -> ObjectInterner:
+        """The id space of this session (share it to pre-encode batches)."""
+        return self._interner
+
+    def _resolve_kernel(self) -> FusedKernel:
+        """The current fused kernel, translating states across rebuilds.
+
+        Every call resolves each spec through the engine's compile cache
+        (evictions and recompilations stay visible in ``cache_stats``).  A
+        changed generation resets that spec's histories and seen set; a
+        changed kernel (re-registration, alphabet growth, cache churn)
+        carries every other spec's per-object states over by translation.
+        """
+        engine = self._engine
+        reset = []
+        for name in self._names:
+            generation = engine.generation(name)
+            if generation != self._generations[name]:
+                self._generations[name] = generation
+                reset.append(name)
+        kernel = engine._kernel_for(self._names)
+        if kernel is not self._kernel:
+            if self._kernel is None:
+                self._columns = kernel.new_columns(len(self._interner))
+            else:
+                self._columns = kernel.translate_columns(self._kernel, self._columns, reset)
+            self._kernel = kernel
+        for name in reset:
+            self._seen[name] = {}
+        kernel.grow_columns(self._columns, len(self._interner))
+        return kernel
+
+    def _adopt(self, batch: EncodedBatch) -> None:
+        """Validate a pre-encoded batch and adopt its id space if fresh."""
+        engine_alphabet = self._engine.alphabet
+        if batch.alphabet is not None and batch.alphabet is not engine_alphabet:
+            raise ValueError(
+                "the encoded batch was built against a different alphabet than this "
+                "engine's; encode with engine.encode_events (or the engine's .alphabet)"
+            )
+        if batch.max_code >= len(engine_alphabet):
+            raise ValueError(
+                "the encoded batch carries symbol codes beyond this engine's alphabet"
+            )
+        if batch.objects is not self._interner:
+            if len(self._interner) == 0:
+                self._interner = batch.objects
+            else:
+                raise ValueError(
+                    "the encoded batch uses a different object-id space than this "
+                    "stream; encode against stream.object_interner"
+                )
 
     def feed(self, object_id: ObjectId, symbol: Symbol) -> None:
         """Consume a single event."""
-        for name in self._names:
-            compiled = self._compiled(name)
-            self._tables[name].advance(compiled, object_id, symbol)
-        self.events_seen += 1
+        self.feed_events(((object_id, symbol),))
 
-    def feed_events(self, events: Iterable[Event]) -> int:
-        """Consume a batch of ``(object_id, symbol)`` events; returns the count.
+    def feed_events(self, events) -> int:
+        """Consume a batch of events; returns the batch's event count.
 
-        With several specs the event batch is materialized once and each
-        spec's cursor table sweeps it with the compiled table resolved a
-        single time.
+        ``events`` is an iterable of ``(object_id, symbol)`` pairs or an
+        :class:`repro.engine.batch.EncodedBatch`.  The batch is encoded (at
+        most) once and every spec of the session advances over the encoded
+        columns in one fused pass.  Events are counted once per batch --
+        also when the session checks zero specs.
         """
-        batch = events if isinstance(events, (list, tuple)) else list(events)
-        count = 0
-        for name in self._names:
-            compiled = self._compiled(name)
-            count = self._tables[name].advance_events(compiled, batch)
+        if isinstance(events, EncodedBatch):
+            self._adopt(events)
+            batch = events
+        else:
+            batch = EncodedBatch.from_events(events, self._engine.alphabet, self._interner)
+        count = len(batch)
+        if not self._names:
+            self.events_seen += count
+            return count
+        # _resolve_kernel grows the columns to the interner's current size
+        # (the encode above already interned any fresh objects).
+        kernel = self._resolve_kernel()
+        if count:
+            kernel.advance_all(self._columns, batch)
+            partial = [seen for seen in self._seen.values() if seen is not None]
+            if partial:
+                batch_objects = dict.fromkeys(batch.id_list)
+                for seen in partial:
+                    seen.update(batch_objects)
+            self._universe = max(self._universe, batch.max_id + 1)
         self.events_seen += count
         return count
+
+    def _seen_codes(self, name: str) -> Iterable[int]:
+        """The dense ids tracked for one spec (``range`` when never reset)."""
+        seen = self._seen[name]
+        return range(self._universe) if seen is None else seen
 
     def objects(self, name: Optional[str] = None) -> Tuple[ObjectId, ...]:
         """The objects observed so far (for one spec, or the first)."""
         selected = name if name is not None else self._names[0]
-        return self._tables[selected].objects()
+        return tuple(map(self._interner.object, self._seen_codes(selected)))
 
     def verdict(self, name: str, object_id: ObjectId) -> bool:
         """Whether one object's history so far satisfies one spec."""
-        return self._tables[name].verdict(self._compiled(name), object_id)
+        kernel = self._resolve_kernel()
+        group_index, j = kernel.locate[name]
+        group = kernel.groups[group_index]
+        column = self._columns[group_index]
+        dense = self._interner.code_of(object_id)
+        if 0 <= dense < len(column):
+            state_index = column[dense][-1]
+        else:
+            state_index = group.root[-1]
+        return group.accepting[j][state_index] == 1
 
     def verdicts(self, name: str) -> Dict[ObjectId, bool]:
         """Per-object verdicts for one spec."""
-        return self._tables[name].verdicts(self._compiled(name))
+        kernel = self._resolve_kernel()
+        dense = kernel.verdicts_of(name, self._columns, self._seen_codes(name))
+        decode = self._interner.object
+        return {decode(code): verdict for code, verdict in dense.items()}
 
     def all_verdicts(self) -> Dict[str, Dict[ObjectId, bool]]:
         """Per-object verdicts for every spec of the session."""

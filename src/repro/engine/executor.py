@@ -1,18 +1,19 @@
 """Pluggable shard executors for batch history checking.
 
 Batches of object histories are cut into shards and each shard is checked
-independently against a compiled spec, so the execution backend is a policy
-choice: :class:`SerialExecutor` runs shards in-process (no pickling, best
-for small batches and for the streaming path), while
+independently against the registered specs, so the execution backend is a
+policy choice: :class:`SerialExecutor` runs shards in-process (no pickling,
+best for small batches and for the streaming path), while
 :class:`ProcessPoolBackend` fans shards out over a
-:class:`concurrent.futures.ProcessPoolExecutor` (compiled tables are flat
-integer arrays and pickle cheaply, so workers pay one table transfer per
-shard and no recompilation).
+:class:`concurrent.futures.ProcessPoolExecutor`.  Shard tasks are the
+columnar payloads of :mod:`repro.engine.batch` -- narrow-dtype compressed
+column bytes plus compact spec blobs resolved through a worker-local cache
+-- so a task is a few KB regardless of how rich the host objects are.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -23,6 +24,18 @@ def shard(items: Sequence[Task], batch_size: int) -> List[Sequence[Task]]:
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     return [items[start : start + batch_size] for start in range(0, len(items), batch_size)]
+
+
+def shard_bounds(total: int, batch_size: int) -> List[Tuple[int, int]]:
+    """``(start, stop)`` index ranges covering ``total`` items, shard-sized.
+
+    The columnar dispatch path cuts :class:`repro.engine.batch.
+    ColumnarHistorySet` shards by *index range* and slices the flat code
+    column once per shard, instead of materializing per-shard history lists.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    return [(start, min(start + batch_size, total)) for start in range(0, total, batch_size)]
 
 
 class SerialExecutor:
@@ -60,8 +73,14 @@ class ProcessPoolBackend:
         return self._pool
 
     def run(self, function: Callable[[Task], Result], tasks: Iterable[Task]) -> List[Result]:
-        """Apply ``function`` to each task across the pool; order preserved."""
-        return list(self._ensure_pool().map(function, tasks))
+        """Apply ``function`` to each task across the pool; order preserved.
+
+        Tasks are submitted in chunks so many small columnar shards do not
+        pay one future round trip each.
+        """
+        tasks = tasks if isinstance(tasks, (list, tuple)) else list(tasks)
+        chunksize = max(1, len(tasks) // (4 * (self._max_workers or 4)))
+        return list(self._ensure_pool().map(function, tasks, chunksize=chunksize))
 
     def close(self) -> None:
         """Shut the pool down (a later :meth:`run` recreates it)."""
@@ -79,4 +98,4 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(max_workers={self._max_workers})"
 
 
-__all__ = ["shard", "SerialExecutor", "ProcessPoolBackend"]
+__all__ = ["shard", "shard_bounds", "SerialExecutor", "ProcessPoolBackend"]

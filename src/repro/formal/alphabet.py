@@ -70,6 +70,16 @@ class RoleSetAlphabet:
     Codes are handed out in first-intern order and never recycled; the
     class is append-only, so a code obtained from one automaton remains
     valid for every later automaton interned against the same instance.
+
+    **Stable extension.**  The append-only contract is what makes the
+    interner usable as a long-lived *shared* alphabet (the streaming
+    engine keeps one per :class:`repro.engine.engine.HistoryCheckerEngine`
+    and encodes every event batch against it exactly once): remap arrays
+    built from a shorter snapshot stay correct forever and only ever need
+    *appending* when :attr:`version` has moved -- re-registering a spec or
+    encoding a batch with unseen symbols can never renumber an existing
+    code.  :attr:`version` is a cheap staleness probe for such derived
+    tables.
     """
 
     __slots__ = ("_codes", "_symbols")
@@ -96,6 +106,34 @@ class RoleSetAlphabet:
     def code(self, symbol: Symbol) -> int:
         """The existing code of ``symbol`` (raises ``KeyError`` if unseen)."""
         return self._codes[symbol]
+
+    def encode(self, symbol: Symbol, default: int = -1) -> int:
+        """The existing code of ``symbol``, or ``default`` -- never interns."""
+        return self._codes.get(symbol, default)
+
+    @property
+    def version(self) -> int:
+        """A monotonically increasing revision: the number of interned symbols.
+
+        Derived tables (spec remaps, fused kernels) record the version they
+        were built against; a larger current version means exactly "new codes
+        were appended", never "existing codes moved".
+        """
+        return len(self._symbols)
+
+    def encode_column(self, column: Sequence[Symbol]) -> List[int]:
+        """Intern a whole event column in two C-speed passes.
+
+        Unseen symbols are interned first (one pass over the *distinct*
+        symbols), then the column is mapped through the code table with
+        :func:`map`, avoiding a per-event interpreted loop.  This is the
+        encode-once primitive of the columnar event pipeline.
+        """
+        fresh = set(column).difference(self._codes)
+        if fresh:
+            for symbol in sorted(fresh, key=canonical_symbol_key):
+                self.intern(symbol)
+        return list(map(self._codes.__getitem__, column))
 
     def symbol(self, code: int) -> Symbol:
         """The symbol carrying ``code``."""

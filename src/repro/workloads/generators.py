@@ -306,6 +306,138 @@ def immigration_event_stream(
     return histories, event_stream(histories, seed + 1)
 
 
+# --------------------------------------------------------------------------- #
+# Columnar generators for the fused engine (E23)
+# --------------------------------------------------------------------------- #
+def compiled_walk_histories(
+    spec,
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.05,
+) -> Iterator[Tuple[RoleSet, ...]]:
+    """Object histories guided by a *compiled* specification table.
+
+    Unlike :func:`spec_walk_histories` -- whose notion of "alive" is a
+    non-empty subset-successor, which on product automata routinely wanders
+    into states no acceptance is reachable from -- this walk uses the
+    compiled table's exact ``doomed`` data: while alive it picks uniformly
+    among the symbols whose successor can still be accepted, and only with
+    probability ``noise`` (or once doomed) an arbitrary symbol.  Guiding by
+    a conjunction spec therefore yields *conforming traffic*: histories
+    whose every prefix stays viable for every conjoined constraint.
+    """
+    rng = random.Random(seed)
+    width = spec.n_symbols
+    table = spec.table
+    doomed = spec.doomed
+    symbols = spec.symbols
+    dead = spec.dead
+    viable: Dict[int, List[int]] = {}
+    for _ in range(objects):
+        length = rng.randint(1, 2 * mean_length - 1)
+        word: List[RoleSet] = []
+        state = spec.initial
+        for _ in range(length):
+            options = viable.get(state)
+            if options is None:
+                options = [
+                    code for code in range(width) if not doomed[table[state * width + code]]
+                ]
+                viable[state] = options
+            if options and rng.random() >= noise:
+                code = options[rng.randrange(len(options))]
+            else:
+                code = rng.randrange(width)
+            word.append(symbols[code])
+            state = table[state * width + code] if state != dead else state
+        yield tuple(word)
+
+
+def conjunction_guide(specs: Sequence):
+    """One compiled spec accepting exactly the histories every spec accepts.
+
+    ``specs`` are inventories or automata (anything ``check_batch`` takes);
+    the intersection is compiled to a table whose ``doomed`` data is exact,
+    which is what :func:`compiled_walk_histories` needs to emit traffic that
+    conforms to a whole monitoring suite at once.
+    """
+    from repro.engine.compiler import compile_spec
+    from repro.formal import operations as ops
+    from repro.formal.nfa import NFA
+
+    automata = [spec if isinstance(spec, NFA) else spec.automaton for spec in specs]
+    alphabet = set()
+    for automaton in automata:
+        alphabet |= set(automaton.alphabet)
+    product = automata[0].with_alphabet(alphabet)
+    for automaton in automata[1:]:
+        product = ops.intersection(product, automaton.with_alphabet(alphabet))
+    return compile_spec(product)
+
+
+def encoded_event_stream(
+    histories: Sequence[Sequence[RoleSet]],
+    alphabet,
+    seed: int,
+):
+    """A pre-encoded interleaved stream: interleave, then encode **once**.
+
+    The columnar twin of :func:`event_stream`: object ids are the (already
+    dense) history indexes and every symbol is encoded against ``alphabet``
+    -- pass ``engine.alphabet`` so the batch feeds straight into
+    :meth:`repro.engine.engine.StreamChecker.feed_events` with zero
+    per-spec hashing.
+    """
+    from repro.engine.batch import EncodedBatch
+
+    return EncodedBatch.from_events(event_stream(histories, seed), alphabet)
+
+
+def banking_monitoring_suite() -> Dict[str, object]:
+    """Six simultaneous account constraints over the banking role sets.
+
+    A realistic multi-spec monitoring workload for the fused kernel
+    benchmarks: the two paper-derived inventories plus four operational
+    policies, all over the same alphabet.
+    """
+    from repro.core.inventory import MigrationInventory
+    from repro.workloads import banking
+
+    def inventory(text: str) -> MigrationInventory:
+        return MigrationInventory.from_text(
+            text, banking.SYMBOLS, alphabet=banking.ROLE_SETS, prefix_close=True
+        )
+
+    return {
+        "checking_roles": banking.checking_role_inventory(),
+        "no_downgrade": banking.no_downgrade_inventory(),
+        "single_role": inventory("0* ([IC]|[RC]) ([IC]|[RC])* 0*"),
+        "starts_regular": inventory("0* [RC] ([IC]|[RC])* 0*"),
+        "interest_end": inventory("0* ([IC]|[RC])* [IC] 0*"),
+        "one_downgrade": inventory("0* [RC]* [IC]* [RC]* [IC]* 0*"),
+    }
+
+
+def conforming_banking_stream(
+    seed: int,
+    objects: int,
+    mean_length: int = 10,
+    noise: float = 0.02,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event], Dict[str, object]]:
+    """Mostly-conforming traffic for the whole banking monitoring suite.
+
+    Histories follow the *conjunction* of every suite constraint (so, up to
+    ``noise``, each prefix stays viable for all of them -- production
+    checking traffic, where violations are the exception), interleaved into
+    one stream.  Returns ``(histories, events, suite)``.
+    """
+    suite = banking_monitoring_suite()
+    guide = conjunction_guide(list(suite.values()))
+    histories = list(compiled_walk_histories(guide, seed, objects, mean_length, noise))
+    return histories, event_stream(histories, seed + 1), suite
+
+
 __all__ = [
     "random_schema",
     "random_transactions",
@@ -318,4 +450,9 @@ __all__ = [
     "university_event_stream",
     "mcl_event_stream",
     "immigration_event_stream",
+    "compiled_walk_histories",
+    "conjunction_guide",
+    "encoded_event_stream",
+    "banking_monitoring_suite",
+    "conforming_banking_stream",
 ]
