@@ -55,6 +55,7 @@ EXPECTED_CASES = {
     "test_e23_fused_streaming_beats_per_spec_sweeps",
     "test_e23_fused_batch_checking_beats_per_spec_accepts",
     "test_e23_shard_payloads_shrink",
+    "test_e24_snapshot_restore_beats_refeeding",
 }
 
 #: Iterations of the calibration workload; sized to take ~100ms on a dev VM.

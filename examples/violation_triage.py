@@ -1,0 +1,85 @@
+"""Violation triage walkthrough: from a red verdict to an actionable report.
+
+A monitoring session over 10⁶ events answers "object 4711 violates
+checking_roles" -- but an operator needs *why*: which event killed it,
+which clause of the constraint it tripped, and what a conforming history
+would have looked like.  This example
+
+1. registers the banking MCL constraints (source text, so every top-level
+   clause keeps its span into the constraint file),
+2. feeds a **near-miss** stream -- every account conforms for exactly five
+   events and violates on the sixth (:func:`repro.workloads.generators.
+   near_miss_banking_stream`) -- through a recording stream session,
+3. prints ``explain()`` reports: fatal event, failing prefix, a 1-minimal
+   shrunk counterexample, and the MCL source span of the violated clause,
+4. shows the completion side: an account that is merely *not conforming
+   yet* gets a shortest conforming completion instead of a counterexample,
+5. snapshots the session and restores it -- the reports survive a process
+   restart because the traces ride the checkpoint.
+
+Run with:  python examples/violation_triage.py
+"""
+
+from repro.engine import HistoryCheckerEngine
+from repro.workloads import banking, generators
+
+
+def main() -> None:
+    # ----------------------------------------------------------------- #
+    # 1. The constraints, registered from MCL source text.
+    # ----------------------------------------------------------------- #
+    engine = HistoryCheckerEngine()
+    for name, constraint in banking.mcl_constraints().items():
+        engine.add_spec(name, constraint)
+    print("constraints under watch:", ", ".join(engine.spec_names()))
+    print("MCL source:")
+    for line_number, line in enumerate(banking.MCL_SOURCE.splitlines(), start=1):
+        print(f"  {line_number:>2} | {line}")
+    print()
+
+    # ----------------------------------------------------------------- #
+    # 2. A near-miss stream: every account violates at exactly event #5.
+    # ----------------------------------------------------------------- #
+    histories, events = generators.near_miss_banking_stream(
+        seed=2026, objects=5, violate_at=5, tail=2
+    )
+    stream = engine.open_stream(record=True)
+    stream.feed_events(events)
+    print(f"fed {stream.events_seen} events over {len(histories)} accounts\n")
+
+    # ----------------------------------------------------------------- #
+    # 3. Triage reports, span-anchored into the MCL source above.
+    # ----------------------------------------------------------------- #
+    for report in stream.explain_all("checking_roles")[:3]:
+        print(report.render())
+        print()
+
+    # ----------------------------------------------------------------- #
+    # 4. The other failure shape: not violated, just not conforming *yet*.
+    # ----------------------------------------------------------------- #
+    engine.add_spec(
+        "open_then_close",
+        "constraint open_then_close ="
+        " ([INTEREST_CHECKING] | [REGULAR_CHECKING])"
+        " ([INTEREST_CHECKING] | [REGULAR_CHECKING])* empty",
+        schema=banking.schema(),
+    )
+    pending = engine.explain("open_then_close", (banking.ROLE_INTEREST, banking.ROLE_REGULAR))
+    print(pending.render())
+    print()
+
+    # ----------------------------------------------------------------- #
+    # 5. Reports survive a restart: snapshot, restore, explain again.
+    # ----------------------------------------------------------------- #
+    blob = stream.snapshot()
+    restored = engine.restore_stream(blob)
+    report = restored.explain("checking_roles", 0)
+    print(f"snapshot: {len(blob)} bytes; restored session re-derives the same report:")
+    print(f"  fatal event #{report.fatal_index} = "
+          f"{report.fatal_event and sorted(report.fatal_event)}")
+    assert report == stream.explain("checking_roles", 0)
+    print("  (identical to the pre-snapshot report)")
+
+
+if __name__ == "__main__":
+    main()

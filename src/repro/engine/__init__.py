@@ -18,6 +18,10 @@ pipeline is compile → encode → fuse → shard/stream:
   by event (the reference path the fused kernel is pinned against);
 * :mod:`repro.engine.executor` -- serial and process-pool shard backends
   for batch checking;
+* :mod:`repro.engine.diagnostics` -- violation reports: fatal event,
+  minimal counterexample, shortest conforming completion, MCL clause spans;
+* :mod:`repro.engine.snapshot` -- checkpoint/restore of streaming sessions
+  (versioned wire format, fingerprint-validated state translation);
 * :mod:`repro.engine.engine` -- :class:`~repro.engine.engine.
   HistoryCheckerEngine`, the façade tying the pieces together.
 """
@@ -34,8 +38,10 @@ from repro.engine.batch import (
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
 from repro.engine.cursors import CursorTable, HistoryCursor
+from repro.engine.diagnostics import ClauseDiagnosis, Violation, diagnose
 from repro.engine.engine import HistoryCheckerEngine, StreamChecker
 from repro.engine.executor import ProcessPoolBackend, SerialExecutor, shard, shard_bounds
+from repro.engine.snapshot import FORMAT_VERSION, SnapshotError, dump_stream, load_stream
 
 __all__ = [
     "CompiledSpec",
@@ -56,4 +62,11 @@ __all__ = [
     "shard_bounds",
     "HistoryCheckerEngine",
     "StreamChecker",
+    "ClauseDiagnosis",
+    "Violation",
+    "diagnose",
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "dump_stream",
+    "load_stream",
 ]

@@ -139,6 +139,32 @@ class ObjectInterner:
         """The object carrying ``code`` (inverse of :meth:`intern`)."""
         return code if not self._objects else self._objects[code]
 
+    def to_snapshot(self) -> Tuple:
+        """The id space as a picklable pair (dense count, or the object list).
+
+        Dense mode serializes as a single integer; dict mode ships the
+        object list in code order (codes are its indices), which
+        :meth:`from_snapshot` inverts exactly -- codes never move across a
+        snapshot round trip.
+        """
+        if not self._objects:
+            return ("dense", self._dense)
+        return ("objects", list(self._objects))
+
+    @classmethod
+    def from_snapshot(cls, payload: Tuple) -> "ObjectInterner":
+        """Rebuild the id space serialized by :meth:`to_snapshot`."""
+        kind, data = payload
+        interner = cls()
+        if kind == "dense":
+            interner._dense = data
+        elif kind == "objects":
+            interner._objects = list(data)
+            interner._codes = {object_id: code for code, object_id in enumerate(data)}
+        else:
+            raise ValueError(f"unknown object-interner snapshot kind {kind!r}")
+        return interner
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ObjectInterner({len(self)} objects)"
 
@@ -613,6 +639,36 @@ class FusedKernel:
             for column, row in zip(fresh, rows):
                 column.append(row)
         return fresh
+
+    def columns_from_states(
+        self, states: Dict[str, Sequence[int]], n_objects: int
+    ) -> List[list]:
+        """Dense state columns rebuilt from *per-spec* DFA state columns.
+
+        The general restore path of :mod:`repro.engine.snapshot`: compiled
+        tables are deterministic, so per-spec state integers are stable
+        across processes and kernel rebuilds; each object's cross-spec
+        signature is materialized into this kernel's product rows via
+        ``ensure_state`` (memoized per distinct signature, so the loop cost
+        is dominated by the zip, not the product walk).
+        """
+        columns: List[list] = []
+        for group in self.groups:
+            group_states = [states[name] for name in group.names]
+            rows = group.rows
+            memo: Dict[Tuple[int, ...], list] = {}
+            column: list = []
+            append = column.append
+            for signature in zip(*group_states):
+                row = memo.get(signature)
+                if row is None:
+                    row = rows[group.ensure_state(signature)]
+                    memo[signature] = row
+                append(row)
+            if len(column) != n_objects:  # zero-spec group cannot happen; guard anyway
+                column.extend([group.root] * (n_objects - len(column)))
+            columns.append(column)
+        return columns
 
     # ------------------------------------------------------------------ #
     # Batch checking

@@ -20,11 +20,12 @@ eviction and recompilation of their spec (tested in
 
 from __future__ import annotations
 
+import hashlib
 from array import array
 from collections import deque
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.formal.alphabet import RoleSetAlphabet, intern_nfa
+from repro.formal.alphabet import RoleSetAlphabet, canonical_symbol_key, intern_nfa
 from repro.formal.nfa import NFA
 
 Symbol = Hashable
@@ -52,6 +53,7 @@ class CompiledSpec:
         "doomed",
         "dead",
         "remap",
+        "_fingerprint",
     )
 
     def __init__(
@@ -79,6 +81,7 @@ class CompiledSpec:
         #: grows.  ``array('i')`` so the columnar kernel indexes it without
         #: hashing any symbol twice.
         self.remap: array = array("i")
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Event encoding
@@ -129,6 +132,31 @@ class CompiledSpec:
     def is_doomed(self, state: int) -> bool:
         """Whether no continuation of a history in ``state`` can be accepted."""
         return bool(self.doomed[state])
+
+    def fingerprint(self) -> str:
+        """A stable identity of the table *and* its symbol alphabet.
+
+        Compilation is deterministic, so recompiling the same source
+        automaton -- in another process, against another shared alphabet --
+        reproduces the identical fingerprint.  Stream snapshots
+        (:mod:`repro.engine.snapshot`) store it per spec; on restore a
+        matching fingerprint proves the snapshot's integer states still mean
+        the same thing, while a mismatch (the spec was re-registered with a
+        different automaton) resets that spec instead of misreading stale
+        states.  The remap array is deliberately excluded: it depends on the
+        engine's shared alphabet, not on the spec's language.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(f"{self.n_states}:{self.n_symbols}:{self.initial}".encode())
+            digest.update(self.table.tobytes())
+            digest.update(bytes(self.accepting))
+            digest.update(bytes(self.doomed))
+            for symbol in self.symbols:
+                digest.update(repr(canonical_symbol_key(symbol)).encode())
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Shared-alphabet remapping and worker dispatch

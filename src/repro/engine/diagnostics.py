@@ -1,0 +1,301 @@
+"""Violation diagnostics: *why* a history fails a specification.
+
+A verdict of ``False`` is enough for a batch report, but not for triage at
+scale: an operator staring at one object among 10⁶ needs to know *which
+event* made acceptance impossible, *which clause* of the constraint it
+tripped, and what a conforming history would have looked like.  This module
+turns a failing ``(spec, history)`` pair into a :class:`Violation` report:
+
+* the **fatal event** -- the first event after which acceptance became
+  impossible, recovered from the compiled table's doomed-state data during
+  one replay (no search);
+* a **minimal shrunk counterexample** -- the failing prefix reduced to a
+  1-minimal subword that is still doomed, so the report shows the essence
+  of the violation instead of a 10⁴-event history;
+* a **shortest conforming completion** -- for histories that are merely
+  *not accepted yet* (alive but non-accepting), via the lazy product search
+  of :func:`repro.formal.lazy.shortest_completion`;
+* **clause diagnoses** -- for MCL-compiled specs, each top-level conjunct
+  (:class:`repro.spec.compile.CompiledClause`) is replayed separately and
+  the report carries the source span of every clause whose sub-automaton
+  rejected, so ``render()`` points back into the constraint file.
+
+Entry points sit one layer up: :meth:`HistoryCheckerEngine.explain`,
+:meth:`HistoryCheckerEngine.check_batch` with ``explain=True``,
+:meth:`StreamChecker.explain` (against recorded or caller-provided
+histories), and ``python -m repro.spec check --explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.engine.compiler import CompiledSpec
+from repro.formal.lazy import shortest_completion
+from repro.formal.nfa import NFA
+
+Symbol = Hashable
+ObjectId = Hashable
+
+#: Replays the shrinker may spend per counterexample; 1-minimality costs
+#: O(n²) replays in the worst case, so pathologically long failing prefixes
+#: come back reduced-but-not-minimal instead of stalling the report.
+SHRINK_BUDGET = 10_000
+
+
+def symbol_text(symbol: Symbol) -> str:
+    """A compact rendering of one event symbol (role sets use their label)."""
+    label = getattr(symbol, "label", None)
+    if callable(label):
+        return label()
+    return repr(symbol)
+
+
+def word_text(word: Sequence[Symbol], limit: int = 12) -> str:
+    """A one-line rendering of a history, elided in the middle when long."""
+    word = tuple(word)
+    if not word:
+        return "ε"
+    if len(word) <= limit:
+        return " ".join(map(symbol_text, word))
+    head = " ".join(map(symbol_text, word[: limit - 4]))
+    tail = " ".join(map(symbol_text, word[-3:]))
+    return f"{head} … [{len(word) - (limit - 1)} events] … {tail}"
+
+
+def replay(spec: CompiledSpec, history: Sequence[Symbol]) -> Tuple[int, Optional[int]]:
+    """``(final state, fatal index)`` of one history over a compiled table.
+
+    The fatal index is the position of the first event after which no
+    continuation can be accepted: ``None`` when the history stays alive,
+    ``-1`` when the spec's language is empty (doomed before any event).
+    Doomed states are absorbing, so the replay stops at the fatal event --
+    the final state is only meaningful while the history is alive.
+    """
+    table = spec.table
+    codes = spec.codes.get
+    doomed = spec.doomed
+    width = spec.n_symbols
+    dead = spec.dead
+    state = spec.initial
+    if doomed[state]:
+        return state, -1
+    for index, symbol in enumerate(history):
+        code = codes(symbol, -1)
+        state = dead if code < 0 else table[state * width + code]
+        if doomed[state]:
+            return state, index
+    return state, None
+
+
+def is_doomed_word(spec: CompiledSpec, word: Sequence[Symbol]) -> bool:
+    """Whether no extension of ``word`` can ever be accepted by ``spec``."""
+    _state, fatal = replay(spec, word)
+    return fatal is not None
+
+
+def shrink_counterexample(
+    spec: CompiledSpec, word: Sequence[Symbol], budget: int = SHRINK_BUDGET
+) -> Tuple[Symbol, ...]:
+    """A 1-minimal subword of ``word`` that is still doomed for ``spec``.
+
+    Greedy delta-shrinking: repeatedly delete single events while the
+    remainder stays doomed, until a fixpoint -- removing any one event of
+    the result makes acceptance possible again.  Within ``budget`` replays;
+    past it the current (still doomed, possibly non-minimal) word is
+    returned.
+    """
+    word = list(word)
+    changed = True
+    while changed and budget > 0:
+        changed = False
+        index = 0
+        while index < len(word) and budget > 0:
+            candidate = word[:index] + word[index + 1 :]
+            budget -= 1
+            if is_doomed_word(spec, candidate):
+                word = candidate
+                changed = True
+            else:
+                index += 1
+    return tuple(word)
+
+
+@dataclass(frozen=True)
+class ClauseDiagnosis:
+    """One MCL clause's verdict on the offending history."""
+
+    #: Position of the clause in the constraint's conjunct decomposition.
+    index: int
+    #: The clause's MCL source rendering.
+    text: str
+    #: 1-based line/column of the clause in the constraint source (when known).
+    line: Optional[int]
+    column: Optional[int]
+    #: Whether this clause accepts the history so far (alive *and* accepting).
+    satisfied: bool
+    #: The first event after which this clause became impossible to satisfy.
+    fatal_index: Optional[int]
+
+    def location(self) -> str:
+        """``line:column`` into the MCL source, or ``?`` when unknown."""
+        if self.line is None:
+            return "?"
+        return f"{self.line}:{self.column}"
+
+    def summary(self) -> str:
+        """A one-line verdict for this clause."""
+        if self.satisfied:
+            return f"clause {self.index} ({self.location()}) ok: {self.text}"
+        if self.fatal_index is None:
+            where = " (not satisfied yet)"
+        elif self.fatal_index < 0:
+            where = " (unsatisfiable clause)"
+        else:
+            where = f" (impossible since event #{self.fatal_index})"
+        return f"clause {self.index} ({self.location()}) VIOLATED{where}: {self.text}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Why one object's history fails one specification.
+
+    Exactly one of two shapes, split on :attr:`doomed`:
+
+    * ``doomed=True`` -- acceptance became impossible at event
+      :attr:`fatal_index`; :attr:`failing_prefix` is the shortest failing
+      prefix of the history and :attr:`counterexample` its 1-minimal shrunk
+      form (both doomed).
+    * ``doomed=False`` -- the history is alive but not accepted *yet*;
+      :attr:`completion` is a shortest word whose append would make it
+      conform (from the lazy product search).
+
+    :attr:`clauses` carries per-conjunct diagnoses with MCL source spans
+    when the spec was registered from MCL (empty otherwise).
+    """
+
+    spec: str
+    object_id: Optional[ObjectId]
+    history: Tuple[Symbol, ...]
+    doomed: bool
+    #: Index of the first event after which acceptance became impossible.
+    fatal_index: Optional[int]
+    #: ``history[: fatal_index + 1]`` -- the shortest failing prefix.
+    failing_prefix: Optional[Tuple[Symbol, ...]]
+    #: The failing prefix shrunk to a 1-minimal doomed subword.
+    counterexample: Optional[Tuple[Symbol, ...]]
+    #: A shortest conforming completion (only when the history is alive).
+    completion: Optional[Tuple[Symbol, ...]]
+    #: Product states explored by the completion search.
+    explored_states: int = 0
+    clauses: Tuple[ClauseDiagnosis, ...] = field(default=())
+
+    @property
+    def fatal_event(self) -> Optional[Symbol]:
+        """The event that made acceptance impossible (when doomed).
+
+        ``None`` for alive histories and for specs whose language is empty
+        (``fatal_index == -1``: doomed before any event).
+        """
+        if self.fatal_index is None or self.fatal_index < 0:
+            return None
+        return self.history[self.fatal_index]
+
+    def render(self) -> str:
+        """A multi-line triage report (the shape the CLI and examples print)."""
+        subject = f"object {self.object_id!r}" if self.object_id is not None else "history"
+        lines = [
+            f"violation of '{self.spec}' by {subject} "
+            f"({len(self.history)} event{'s' if len(self.history) != 1 else ''})",
+            f"  history: {word_text(self.history)}",
+        ]
+        if self.doomed:
+            if self.fatal_index is not None and self.fatal_index >= 0:
+                lines.append(
+                    f"  fatal event #{self.fatal_index}: {symbol_text(self.fatal_event)} "
+                    f"-- acceptance became impossible here"
+                )
+            else:
+                lines.append("  the specification's language is empty: every history fails")
+            lines.append(f"  failing prefix: {word_text(self.failing_prefix)}")
+            lines.append(f"  minimal counterexample: {word_text(self.counterexample)}")
+        else:
+            lines.append(
+                f"  not accepted yet; shortest conforming completion: "
+                f"{word_text(self.completion) if self.completion is not None else '(none)'} "
+                f"({self.explored_states} product states explored)"
+            )
+        for clause in self.clauses:
+            lines.append(f"  {clause.summary()}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    name: str,
+    spec: CompiledSpec,
+    source: NFA,
+    history: Sequence[Symbol],
+    object_id: Optional[ObjectId] = None,
+    clauses: Sequence[Tuple[object, CompiledSpec]] = (),
+) -> Optional[Violation]:
+    """A :class:`Violation` for one ``(spec, history)`` pair, or ``None``.
+
+    ``None`` means the history is accepted -- there is nothing to explain.
+    ``clauses`` pairs each MCL :class:`repro.spec.compile.CompiledClause`
+    with its own compiled table (the engine prepares these through its spec
+    cache); each is replayed to anchor the report into the MCL source.
+    """
+    history = tuple(history)
+    state, fatal = replay(spec, history)
+    if fatal is None and spec.accepting[state]:
+        return None
+    failing_prefix = counterexample = completion = None
+    explored = 0
+    if fatal is not None:
+        failing_prefix = history[: fatal + 1]
+        counterexample = shrink_counterexample(spec, failing_prefix)
+    else:
+        outcome = shortest_completion(source, history)
+        completion = outcome.completion
+        explored = outcome.explored_states
+    diagnoses = []
+    for clause, table in clauses:
+        clause_state, clause_fatal = replay(table, history)
+        satisfied = clause_fatal is None and bool(table.accepting[clause_state])
+        span = clause.span
+        diagnoses.append(
+            ClauseDiagnosis(
+                index=clause.index,
+                text=clause.text,
+                line=None if span is None else span.line,
+                column=None if span is None else span.column,
+                satisfied=satisfied,
+                fatal_index=clause_fatal,
+            )
+        )
+    return Violation(
+        spec=name,
+        object_id=object_id,
+        history=history,
+        doomed=fatal is not None,
+        fatal_index=fatal,
+        failing_prefix=failing_prefix,
+        counterexample=counterexample,
+        completion=completion,
+        explored_states=explored,
+        clauses=tuple(diagnoses),
+    )
+
+
+__all__ = [
+    "SHRINK_BUDGET",
+    "ClauseDiagnosis",
+    "Violation",
+    "diagnose",
+    "replay",
+    "is_doomed_word",
+    "shrink_counterexample",
+    "symbol_text",
+    "word_text",
+]

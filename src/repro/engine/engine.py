@@ -46,6 +46,7 @@ from repro.engine.batch import (
 )
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
+from repro.engine.diagnostics import Violation, diagnose
 from repro.engine.executor import SerialExecutor, shard_bounds
 from repro.formal.alphabet import RoleSetAlphabet
 from repro.formal.nfa import NFA
@@ -103,6 +104,9 @@ class HistoryCheckerEngine:
         self._product_cap = product_cap
         self._sources: Dict[str, NFA] = {}
         self._generations: Dict[str, int] = {}
+        #: MCL provenance per spec (a ``CompiledConstraint`` with span-anchored
+        #: clauses) for specs registered from MCL; drives clause diagnoses.
+        self._provenance: Dict[str, object] = {}
         #: The engine-level shared alphabet every batch is encoded against;
         #: append-only, so spec remap arrays and kernels only ever *extend*.
         self._alphabet = RoleSetAlphabet()
@@ -130,16 +134,31 @@ class HistoryCheckerEngine:
         table are never interpreted against the new one.
         """
         if isinstance(spec, str):
-            automaton = self._compile_mcl_source(name, spec, schema)
+            provenance = self._compile_mcl_source(name, spec, schema)
+            automaton = provenance.automaton
         else:
             automaton = _as_automaton(spec)
+            # Compiled MCL constraints carry span-anchored clause provenance
+            # that explain() threads into violation reports.
+            provenance = spec if getattr(spec, "clauses", None) else None
         generation = self._generations.get(name, 0) + 1
         self._cache.invalidate((name, generation - 1))
+        previous = self._provenance.get(name)
+        if previous is not None:
+            # Clause tables of the outgoing generation can never be served
+            # again (their keys embed it); drop them so dead entries do not
+            # squat in the LRU evicting live specs.
+            for clause in previous.clauses:
+                self._cache.invalidate((name, generation - 1, "clause", clause.index))
         self._sources[name] = automaton
         self._generations[name] = generation
+        if provenance is not None:
+            self._provenance[name] = provenance
+        else:
+            self._provenance.pop(name, None)
 
     @staticmethod
-    def _compile_mcl_source(name: str, text: str, schema) -> NFA:
+    def _compile_mcl_source(name: str, text: str, schema):
         from repro.spec import compile_constraint
 
         if schema is None:
@@ -147,7 +166,7 @@ class HistoryCheckerEngine:
                 "registering MCL source text needs the database schema it is written "
                 "against: add_spec(name, text, schema=...)"
             )
-        return compile_constraint(text, schema, name=name, fallback_to_single=True).automaton
+        return compile_constraint(text, schema, name=name, fallback_to_single=True)
 
     def spec_names(self) -> Tuple[str, ...]:
         """Every registered spec name, in registration order."""
@@ -179,6 +198,59 @@ class HistoryCheckerEngine:
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters of the spec-compilation cache."""
         return self._cache.stats()
+
+    def provenance(self, name: str) -> Optional[object]:
+        """The MCL constraint ``name`` was registered from, when it was."""
+        return self._provenance.get(name)
+
+    def _clause_tables(self, name: str):
+        """``(clause, compiled table)`` pairs for a spec's MCL conjuncts.
+
+        Clause tables ride the same LRU cache as the specs themselves, keyed
+        by ``(name, generation, "clause", index)`` -- evictable, rebuilt
+        deterministically, never stale across re-registration.
+        """
+        constraint = self._provenance.get(name)
+        if constraint is None:
+            return ()
+        generation = self._generations[name]
+        pairs = []
+        for clause in constraint.clauses:
+            key = (name, generation, "clause", clause.index)
+            table = self._cache.get_or_compile(key, lambda c=clause: compile_spec(c.automaton))
+            pairs.append((clause, table))
+        return tuple(pairs)
+
+    # ------------------------------------------------------------------ #
+    # Violation diagnostics
+    # ------------------------------------------------------------------ #
+    def explain(self, name: str, history, object_id=None) -> Optional[Violation]:
+        """Why ``history`` fails spec ``name`` -- or ``None`` when it passes.
+
+        The report (:class:`repro.engine.diagnostics.Violation`) carries the
+        first fatal event, a minimal shrunk counterexample or a shortest
+        conforming completion, and -- for specs registered from MCL -- the
+        source span of every clause whose sub-automaton rejected.
+        """
+        spec = self.compiled(name)
+        return diagnose(
+            name,
+            spec,
+            self._sources[name],
+            history,
+            object_id=object_id,
+            clauses=self._clause_tables(name),
+        )
+
+    def _history_of(self, histories, index: int) -> Tuple[Symbol, ...]:
+        """One history out of a batch, decoding columnar sets via the alphabet."""
+        if isinstance(histories, ColumnarHistorySet):
+            offsets = histories.offsets
+            symbol = self._alphabet.symbol
+            return tuple(
+                symbol(code) for code in histories.code_list[offsets[index] : offsets[index + 1]]
+            )
+        return tuple(histories[index])
 
     # ------------------------------------------------------------------ #
     # Columnar encoding
@@ -216,9 +288,23 @@ class HistoryCheckerEngine:
         name: str,
         histories: Sequence[Sequence[Symbol]],
         executor=None,
-    ) -> List[bool]:
-        """The membership verdict of every history, in input order."""
-        return self.check_batch_all(histories, [name], executor=executor)[name]
+        explain: bool = False,
+    ):
+        """The membership verdict of every history, in input order.
+
+        With ``explain=True`` the return value is ``(verdicts, violations)``:
+        one :class:`repro.engine.diagnostics.Violation` per failing history
+        (``object_id`` set to its batch index), in batch order.
+        """
+        verdicts = self.check_batch_all(histories, [name], executor=executor)[name]
+        if not explain:
+            return verdicts
+        violations = [
+            self.explain(name, self._history_of(histories, index), object_id=index)
+            for index, verdict in enumerate(verdicts)
+            if not verdict
+        ]
+        return verdicts, violations
 
     def check_batch_all(
         self,
@@ -269,13 +355,34 @@ class HistoryCheckerEngine:
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #
-    def open_stream(self, names: Optional[Iterable[str]] = None) -> "StreamChecker":
-        """A streaming session tracking every object against the given specs."""
+    def open_stream(
+        self, names: Optional[Iterable[str]] = None, record: bool = False
+    ) -> "StreamChecker":
+        """A streaming session tracking every object against the given specs.
+
+        ``record=True`` keeps every object's encoded event history alongside
+        the dense cursor state, so :meth:`StreamChecker.explain` can produce
+        violation reports without the caller re-supplying histories (and
+        snapshots carry the traces across restarts).
+        """
         selected = tuple(names) if names is not None else self.spec_names()
         for name in selected:
             if name not in self._sources:
                 raise KeyError(f"unknown specification {name!r}")
-        return StreamChecker(self, selected)
+        return StreamChecker(self, selected, record=record)
+
+    def restore_stream(self, blob: bytes) -> "StreamChecker":
+        """Rebuild a streaming session from :meth:`StreamChecker.snapshot` bytes.
+
+        Validates the wire header and every spec's table fingerprint; specs
+        re-registered since the snapshot restart from their initial state
+        and are listed on the stream's ``reset_on_restore``.  See
+        :mod:`repro.engine.snapshot` for the format and the validation
+        rules.
+        """
+        from repro.engine.snapshot import load_stream
+
+        return load_stream(self, blob)
 
 
 class StreamChecker:
@@ -309,10 +416,15 @@ class StreamChecker:
         "_kernel",
         "_seen",
         "_universe",
+        "_traces",
+        "_trace_marks",
         "events_seen",
+        "reset_on_restore",
     )
 
-    def __init__(self, engine: HistoryCheckerEngine, names: Tuple[str, ...]) -> None:
+    def __init__(
+        self, engine: HistoryCheckerEngine, names: Tuple[str, ...], record: bool = False
+    ) -> None:
         self._engine = engine
         self._names = names
         self._generations: Dict[str, int] = {name: engine.generation(name) for name in names}
@@ -325,7 +437,15 @@ class StreamChecker:
         self._seen: Dict[str, Optional[Dict[int, None]]] = {name: None for name in names}
         #: Dense ids below this bound have produced at least one fed event.
         self._universe = 0
+        #: Per-object encoded event traces (``record=True`` sessions only).
+        self._traces: Optional[List[List[int]]] = [] if record else None
+        #: Per spec, the per-object trace lengths at that spec's last reset:
+        #: diagnostics replay only the trace suffix fed *after* the reset, so
+        #: ``explain`` and ``verdict`` always judge the same events.
+        self._trace_marks: Dict[str, List[int]] = {}
         self.events_seen = 0
+        #: Specs reset by the last snapshot restore that built this session.
+        self.reset_on_restore: Tuple[str, ...] = ()
 
     @property
     def spec_names(self) -> Tuple[str, ...]:
@@ -362,6 +482,8 @@ class StreamChecker:
             self._kernel = kernel
         for name in reset:
             self._seen[name] = {}
+            if self._traces is not None:
+                self._trace_marks[name] = [len(trace) for trace in self._traces]
         kernel.grow_columns(self._columns, len(self._interner))
         return kernel
 
@@ -405,6 +527,13 @@ class StreamChecker:
         else:
             batch = EncodedBatch.from_events(events, self._engine.alphabet, self._interner)
         count = len(batch)
+        if self._traces is not None and count:
+            traces = self._traces
+            missing = len(self._interner) - len(traces)
+            if missing > 0:
+                traces.extend([] for _ in range(missing))
+            for o, c in zip(batch.id_list, batch.code_list):
+                traces[o].append(c)
         if not self._names:
             self.events_seen += count
             return count
@@ -455,6 +584,85 @@ class StreamChecker:
     def all_verdicts(self) -> Dict[str, Dict[ObjectId, bool]]:
         """Per-object verdicts for every spec of the session."""
         return {name: self.verdicts(name) for name in self._names}
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics and durability
+    # ------------------------------------------------------------------ #
+    @property
+    def recording(self) -> bool:
+        """Whether the session keeps per-object event traces for explain()."""
+        return self._traces is not None
+
+    def history(self, object_id: ObjectId) -> Tuple[Symbol, ...]:
+        """One object's full recorded event history (``record=True`` sessions)."""
+        if self._traces is None:
+            raise ValueError(
+                "this stream does not record histories; open it with "
+                "open_stream(names, record=True) or pass history= to explain()"
+            )
+        dense = self._interner.code_of(object_id)
+        if not (0 <= dense < len(self._traces)):
+            return ()
+        symbol = self._engine.alphabet.symbol
+        return tuple(symbol(code) for code in self._traces[dense])
+
+    def _spec_history(self, name: str, object_id: ObjectId) -> Tuple[Symbol, ...]:
+        """The recorded trace suffix one spec's cursor has actually consumed.
+
+        A spec reset (re-registration, fingerprint mismatch on restore)
+        restarts that spec's cursors but not the per-object traces; the
+        reset marks slice the trace so diagnostics judge exactly the events
+        the verdict machinery judged.
+        """
+        if self._traces is None:
+            raise ValueError(
+                "this stream does not record histories; open it with "
+                "open_stream(names, record=True) or pass history= to explain()"
+            )
+        dense = self._interner.code_of(object_id)
+        if not (0 <= dense < len(self._traces)):
+            return ()
+        trace = self._traces[dense]
+        marks = self._trace_marks.get(name)
+        start = marks[dense] if marks is not None and dense < len(marks) else 0
+        symbol = self._engine.alphabet.symbol
+        return tuple(symbol(code) for code in trace[start:])
+
+    def explain(self, name: str, object_id: ObjectId, history=None) -> Optional[Violation]:
+        """Why ``object_id``'s history fails spec ``name`` (``None`` if it passes).
+
+        The history comes from the session's recorded trace
+        (``record=True``), unless the caller supplies one explicitly --
+        sessions that do not record cannot reconstruct histories from their
+        integer cursor state alone.  After a spec reset only the events fed
+        since the reset are judged, keeping ``explain`` consistent with
+        :meth:`verdict`.
+        """
+        if name not in self._names:
+            raise KeyError(f"spec {name!r} is not checked by this stream; have {self._names}")
+        if history is None:
+            self._resolve_kernel()  # apply pending resets so marks are current
+            history = self._spec_history(name, object_id)
+        return self._engine.explain(name, history, object_id=object_id)
+
+    def explain_all(self, name: str) -> List[Violation]:
+        """Violation reports for every currently failing object of one spec."""
+        return [
+            violation
+            for object_id, verdict in self.verdicts(name).items()
+            if not verdict
+            for violation in (self.explain(name, object_id),)
+            if violation is not None
+        ]
+
+    def snapshot(self) -> bytes:
+        """Serialize the session -- object ids, cursor columns, traces -- to
+        bytes that :meth:`HistoryCheckerEngine.restore_stream` rebuilds from,
+        in this process or after a restart (:mod:`repro.engine.snapshot`).
+        """
+        from repro.engine.snapshot import dump_stream
+
+        return dump_stream(self)
 
 
 __all__ = ["HistoryCheckerEngine", "StreamChecker"]

@@ -55,6 +55,20 @@ class LazyOutcome:
     explored_states: int
 
 
+@dataclass(frozen=True)
+class CompletionOutcome:
+    """The result of one completion search (:func:`shortest_completion`).
+
+    ``completion`` is a shortest word ``w`` such that ``prefix + w`` is
+    accepted -- ``None`` when the prefix is doomed (no continuation of it
+    lies in the language at all).  ``explored_states`` counts the subset
+    states expanded by the search.
+    """
+
+    completion: Optional[Word]
+    explored_states: int
+
+
 def _coded_pair(left: NFA, right: NFA) -> Tuple[NFA, NFA, RoleSetAlphabet, Tuple[int, ...]]:
     """Align the alphabets and intern both operands against one interner."""
     alphabet = left.alphabet | right.alphabet
@@ -75,6 +89,7 @@ def _search(
     symbols: Tuple[int, ...],
     decisive,
     prune,
+    start=None,
 ) -> Tuple[Optional[Tuple[int, ...]], int]:
     """Breadth-first search over reachable product pairs.
 
@@ -89,8 +104,15 @@ def _search(
     the canonically least among the shortest witnesses -- the same word the
     eager pipeline's :meth:`repro.formal.nfa.NFA.enumerate_words` would
     report first.
+
+    ``start`` overrides the initial pair -- the completion search enters the
+    product mid-word, at the subset pair a consumed prefix leads to.
     """
-    start = (left.epsilon_closure(left.initial_states), right.epsilon_closure(right.initial_states))
+    if start is None:
+        start = (
+            left.epsilon_closure(left.initial_states),
+            right.epsilon_closure(right.initial_states),
+        )
     Pair = Tuple[FrozenSet[State], FrozenSet[State]]
     parents: Dict[Pair, Optional[Tuple[Pair, int]]] = {start: None}
     explored = 0
@@ -183,26 +205,68 @@ def equivalence(left: NFA, right: NFA) -> LazyOutcome:
     return LazyOutcome(backward.holds, backward.witness, explored)
 
 
+def _universe_nfa(alphabet) -> NFA:
+    """The one-state automaton accepting every word over ``alphabet``."""
+    return NFA(
+        {"q0"},
+        alphabet,
+        {("q0", symbol): {"q0"} for symbol in alphabet},
+        {"q0"},
+        {"q0"},
+    )
+
+
 def emptiness(automaton: NFA) -> LazyOutcome:
     """Emptiness with a shortest witness word (lazy reachability).
 
     Single-automaton degenerate case of the product search, provided so
     callers can use one result type for every decision query.
     """
-    everything = NFA(
-        {"q0"},
-        automaton.alphabet,
-        {("q0", symbol): {"q0"} for symbol in automaton.alphabet},
-        {"q0"},
-        {"q0"},
-    )
-    return intersection_emptiness(automaton, everything)
+    return intersection_emptiness(automaton, _universe_nfa(automaton.alphabet))
+
+
+def shortest_completion(automaton: NFA, prefix) -> CompletionOutcome:
+    """A shortest word ``w`` such that ``prefix + w ∈ L(automaton)``.
+
+    The engine's violation diagnostics use this to turn "this history is not
+    accepted *yet*" into an actionable report: the search enters the lazy
+    product at the subset state the prefix leads to and runs the same BFS
+    the decision procedures use, so the completion comes back shortest --
+    and canonically least among the shortest -- with the explored-state
+    count as a by-product.  A prefix containing symbols outside the
+    automaton's alphabet, or one that already left every live subset state,
+    has no completion (``completion is None``): acceptance has become
+    impossible.
+    """
+    interner = RoleSetAlphabet()
+    coded = intern_nfa(automaton, interner)
+    symbols = tuple(sorted(coded.alphabet))
+    state = coded.epsilon_closure(coded.initial_states)
+    for symbol in prefix:
+        code = interner.encode(symbol)
+        state = coded.step(state, code) if code >= 0 and state else frozenset()
+        if not state:
+            return CompletionOutcome(None, 0)
+    universe = _universe_nfa(symbols)
+    accepting = coded.accepting_states
+
+    def decisive(left_set: FrozenSet[State], right_set: FrozenSet[State]) -> bool:
+        return bool(left_set & accepting)
+
+    def prune(left_set: FrozenSet[State], right_set: FrozenSet[State]) -> bool:
+        return not left_set
+
+    start = (state, universe.epsilon_closure(universe.initial_states))
+    witness, explored = _search(coded, universe, symbols, decisive, prune, start=start)
+    return CompletionOutcome(_restore(interner, witness), explored)
 
 
 __all__ = [
     "LazyOutcome",
+    "CompletionOutcome",
     "containment",
     "intersection_emptiness",
     "equivalence",
     "emptiness",
+    "shortest_completion",
 ]

@@ -97,11 +97,23 @@ def compile_constraint(
         expression = parse_expression(text, filename)
         core = analyze_expression(expression, schema, filename)
         from repro.core.rolesets import enumerate_role_sets
-        from repro.spec.compile import compile_expression_core
+        from repro.spec.analyze import ConstraintClause, _conjuncts_of
+        from repro.spec.compile import compile_clauses, compile_expression_core
 
         alphabet = enumerate_role_sets(schema)
         automaton = compile_expression_core(core, alphabet)
-        return CompiledConstraint(name or "constraint", schema, alphabet, automaton)
+        clauses = tuple(
+            ConstraintClause(index, part.span, part, analyze_expression(part, schema, filename))
+            for index, part in enumerate(_conjuncts_of(expression))
+        )
+        return CompiledConstraint(
+            name or "constraint",
+            schema,
+            alphabet,
+            automaton,
+            span=expression.span,
+            clauses=compile_clauses(clauses, alphabet),
+        )
     compiled = compile_mcl(text, schema, filename)
     if name is not None:
         if name in compiled:

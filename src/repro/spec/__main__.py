@@ -5,11 +5,15 @@ Subcommands::
     python -m repro.spec workloads
         List the bundled workload schemas constraints can be checked against.
 
-    python -m repro.spec check FILE --workload NAME [--verify] [--kind KIND]
+    python -m repro.spec check FILE --workload NAME [--verify] [--explain] [--kind KIND]
         Parse, analyze and compile FILE against the workload's database
         schema; with --verify additionally decide satisfaction/generation of
         every constraint by the workload's transaction schema
-        (:func:`repro.core.satisfiability.check_constraint`).
+        (:func:`repro.core.satisfiability.check_constraint`).  --explain
+        (implies --verify) prints a full violation diagnosis -- fatal event,
+        minimal counterexample, per-clause source spans -- for every
+        constraint the workload's transactions violate
+        (:mod:`repro.engine.diagnostics`).
 
 Malformed files produce a single-span caret diagnostic on stderr and exit
 status 1 -- never a traceback.
@@ -71,7 +75,9 @@ def _cmd_check(args, out, err) -> int:
         print(f"{args.file}: no constraints defined", file=err)
         return 1
     print(f"{args.file}: {len(compiled)} constraint(s) against workload '{args.workload}'", file=out)
-    transactions = module.transactions() if args.verify else None
+    explain = getattr(args, "explain", False)
+    transactions = module.transactions() if (args.verify or explain) else None
+    engine = None
     failures = 0
     for name, constraint in compiled.items():
         states = len(constraint.automaton.states)
@@ -83,6 +89,16 @@ def _cmd_check(args, out, err) -> int:
             print(f"    {outcome.summary()}", file=out)
             if not outcome.satisfies:
                 failures += 1
+                if explain and outcome.violation is not None:
+                    if engine is None:
+                        from repro.engine import HistoryCheckerEngine
+
+                        engine = HistoryCheckerEngine()
+                    engine.add_spec(name, constraint)
+                    violation = engine.explain(name, tuple(outcome.violation))
+                    if violation is not None:
+                        report = violation.render()
+                        print("    " + report.replace("\n", "\n    "), file=out)
     if transactions is not None and failures:
         print(f"{failures} constraint(s) violated by the workload's transactions", file=out)
         return 3
@@ -105,6 +121,12 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         "--verify",
         action="store_true",
         help="also check the workload's transaction schema against every constraint",
+    )
+    check.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a violation diagnosis (fatal event, minimal counterexample, "
+        "clause source spans) for every violated constraint; implies --verify",
     )
     from repro.core.sl_analysis import PATTERN_KINDS
 

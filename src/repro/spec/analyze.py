@@ -160,6 +160,23 @@ class CNonRepeating(CoreExpr):
 # Analysis results
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
+class ConstraintClause:
+    """One top-level conjunct of a constraint, with its source span.
+
+    A constraint ``A and B and C`` decomposes into three clauses; a
+    constraint without a top-level ``and`` is its own single clause.  Each
+    clause keeps its own desugared core, so violation diagnostics
+    (:mod:`repro.engine.diagnostics`) can point at the *clause* whose
+    sub-automaton rejected a history, caret-anchored into the MCL source.
+    """
+
+    index: int
+    span: Span
+    source: ast.Node
+    core: CoreExpr
+
+
+@dataclass(frozen=True)
 class AnalyzedConstraint:
     """One constraint after validation and desugaring."""
 
@@ -167,6 +184,8 @@ class AnalyzedConstraint:
     core: CoreExpr
     span: Span
     source: ast.Node
+    #: The top-level conjunct decomposition (always at least one clause).
+    clauses: Tuple[ConstraintClause, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -395,7 +414,13 @@ class _Analyzer:
                     raise self.error(f"duplicate constraint name '{item.name}'", item.span)
                 seen_constraints[item.name] = item.span
                 core = self.desugar(item.expr)
-                constraints.append(AnalyzedConstraint(item.name, core, item.span, item.expr))
+                clauses = tuple(
+                    ConstraintClause(index, part.span, part, self.desugar(part))
+                    for index, part in enumerate(_conjuncts_of(item.expr))
+                )
+                constraints.append(
+                    AnalyzedConstraint(item.name, core, item.span, item.expr, clauses)
+                )
             else:  # pragma: no cover - the parser only produces the two kinds
                 raise self.error(f"unexpected top-level {type(item).__name__}", item.span)
         return AnalyzedModule(
@@ -404,6 +429,13 @@ class _Analyzer:
             constraints=tuple(constraints),
             module=module,
         )
+
+
+def _conjuncts_of(node: ast.Node) -> List[ast.Node]:
+    """The top-level ``and`` decomposition of an expression, left to right."""
+    if isinstance(node, ast.And):
+        return _conjuncts_of(node.left) + _conjuncts_of(node.right)
+    return [node]
 
 
 def analyze_module(module: ast.Module, schema: DatabaseSchema) -> AnalyzedModule:
@@ -429,6 +461,7 @@ __all__ = [
     "CNot",
     "CAnd",
     "CNonRepeating",
+    "ConstraintClause",
     "AnalyzedConstraint",
     "AnalyzedModule",
     "analyze_module",

@@ -29,6 +29,8 @@ from repro.formal.alphabet import RoleSetAlphabet, intern_nfa, sort_alphabet
 from repro.formal.nfa import NFA
 from repro.model.schema import DatabaseSchema
 from repro.spec import analyze as an
+from repro.spec.ast import unparse
+from repro.spec.errors import Span
 
 
 def nonrepeating_nfa(alphabet: Sequence[RoleSet]) -> NFA:
@@ -81,18 +83,67 @@ def _compile_core(core: an.CoreExpr, alphabet: Tuple[RoleSet, ...]) -> NFA:
     raise TypeError(f"cannot compile core node {type(core).__name__}")
 
 
+class CompiledClause:
+    """One top-level conjunct of a compiled constraint, span-anchored.
+
+    Carries the clause's MCL source rendering and span, and compiles its own
+    automaton lazily -- violation diagnostics ask *which* clause rejected a
+    history, and only then is the per-clause automaton worth building.
+    """
+
+    __slots__ = ("index", "span", "text", "_core", "_alphabet", "_automaton")
+
+    def __init__(
+        self,
+        index: int,
+        span: Optional[Span],
+        text: str,
+        core: an.CoreExpr,
+        alphabet: Tuple[RoleSet, ...],
+    ) -> None:
+        self.index = index
+        self.span = span
+        self.text = text
+        self._core = core
+        self._alphabet = alphabet
+        self._automaton: Optional[NFA] = None
+
+    @property
+    def automaton(self) -> NFA:
+        """The clause's own automaton over the schema alphabet (lazy)."""
+        if self._automaton is None:
+            self._automaton = _compile_core(self._core, self._alphabet).with_alphabet(
+                self._alphabet
+            )
+        return self._automaton
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledClause({self.index}, {self.text!r} at {self.span!r})"
+
+
 class CompiledConstraint:
     """One MCL constraint compiled against a schema.
 
     Exposes the automaton over role sets (``automaton`` -- the attribute
     :func:`repro.engine.engine.HistoryCheckerEngine.add_spec` and
     :class:`repro.core.inventory.MigrationInventory` coercion look for),
-    the interned image over integer codes (``interned`` + ``interner``) and
-    an :meth:`inventory` view for the decision procedures of
-    :mod:`repro.core.satisfiability`.
+    the interned image over integer codes (``interned`` + ``interner``), an
+    :meth:`inventory` view for the decision procedures of
+    :mod:`repro.core.satisfiability`, and -- for violation diagnostics --
+    the span-anchored top-level conjunct decomposition (``clauses``).
     """
 
-    __slots__ = ("name", "schema", "alphabet", "automaton", "_interner", "_interned", "_inventory")
+    __slots__ = (
+        "name",
+        "schema",
+        "alphabet",
+        "automaton",
+        "span",
+        "clauses",
+        "_interner",
+        "_interned",
+        "_inventory",
+    )
 
     def __init__(
         self,
@@ -100,11 +151,19 @@ class CompiledConstraint:
         schema: DatabaseSchema,
         alphabet: Tuple[RoleSet, ...],
         automaton: NFA,
+        span: Optional[Span] = None,
+        clauses: Tuple[CompiledClause, ...] = (),
     ) -> None:
         self.name = name
         self.schema = schema
         self.alphabet = tuple(sort_alphabet(alphabet))
         self.automaton = automaton.with_alphabet(self.alphabet)
+        #: The constraint definition's span in the MCL source (``None`` for
+        #: constraints assembled without source text).
+        self.span = span
+        #: Top-level conjunct clauses, in source order (may be empty for
+        #: constraints assembled without source text).
+        self.clauses = clauses
         # The interned image is built on first use: the engine re-interns
         # through its own table compiler and the decision paths consume
         # ``automaton`` directly, so most constraints never need it.
@@ -147,13 +206,28 @@ class CompiledConstraint:
         )
 
 
+def compile_clauses(
+    clauses: Sequence[an.ConstraintClause], alphabet: Tuple[RoleSet, ...]
+) -> Tuple[CompiledClause, ...]:
+    """Span-anchored clause provenance for one constraint's conjuncts."""
+    return tuple(
+        CompiledClause(clause.index, clause.span, unparse(clause.source), clause.core, alphabet)
+        for clause in clauses
+    )
+
+
 def compile_analyzed(analyzed: an.AnalyzedModule) -> "Dict[str, CompiledConstraint]":
     """Compile every constraint of an analyzed module, in definition order."""
     compiled: Dict[str, CompiledConstraint] = {}
     for entry in analyzed.constraints:
         automaton = _compile_core(entry.core, analyzed.alphabet)
         compiled[entry.name] = CompiledConstraint(
-            entry.name, analyzed.schema, analyzed.alphabet, automaton
+            entry.name,
+            analyzed.schema,
+            analyzed.alphabet,
+            automaton,
+            span=entry.span,
+            clauses=compile_clauses(entry.clauses, analyzed.alphabet),
         )
     return compiled
 
@@ -164,8 +238,10 @@ def compile_expression_core(core: an.CoreExpr, alphabet: Tuple[RoleSet, ...]) ->
 
 
 __all__ = [
+    "CompiledClause",
     "CompiledConstraint",
     "compile_analyzed",
+    "compile_clauses",
     "compile_expression_core",
     "nonrepeating_nfa",
 ]

@@ -7,15 +7,26 @@ procedures behave as schemas, transaction schemas and inventories grow.
 The stream generators (:func:`random_histories`, :func:`event_stream`,
 :func:`banking_event_stream`, :func:`university_event_stream`,
 :func:`immigration_event_stream`) produce interleaved per-object role-set
-event streams at 10⁴-10⁶ objects for the engine benchmarks.  Everything
-here is deterministic given the seed, so benchmark numbers are reproducible
-run to run.
+event streams at 10⁴-10⁶ objects for the engine benchmarks; the near-miss
+generators (:func:`near_miss_histories`, :func:`near_miss_banking_stream`)
+emit adversarial traffic that violates its guiding spec at exactly one
+chosen event, for the violation-diagnostics tests and examples.
+
+**Determinism contract.**  Every randomized entry point takes an explicit
+``seed`` -- or, keyword-only, an already seeded ``rng``
+(:class:`random.Random`) to share one generator across several calls --
+and never touches the global :mod:`random` state.  Same seed, same Python
+version: identical output, so benchmark numbers and fuzz cases are
+reproducible run to run (pinned by ``tests/workloads/
+test_generator_determinism.py``).  Passing neither seed nor rng is an
+error, not silent nondeterminism.
 """
 
 from __future__ import annotations
 
 import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
 
 from repro.core.rolesets import RoleSet, enumerate_role_sets
 from repro.formal import regex as rx
@@ -29,11 +40,25 @@ from repro.model.values import Variable
 Event = Tuple[int, RoleSet]
 
 
+def _resolve_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    """The generator to draw from: ``rng`` when given, else ``Random(seed)``."""
+    if rng is not None:
+        return rng
+    if seed is None:
+        raise ValueError(
+            "pass an explicit seed= or rng=; the workload generators refuse implicit "
+            "(non-reproducible) randomness"
+        )
+    return random.Random(seed)
+
+
 def random_schema(
-    seed: int,
+    seed: Optional[int] = None,
     classes: int = 5,
     attributes_per_class: int = 1,
     root_attributes: int = 2,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> DatabaseSchema:
     """A random weakly-connected schema with a single isa-root.
 
@@ -41,7 +66,7 @@ def random_schema(
     among the previously generated classes, producing a rooted DAG with some
     multiple inheritance.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     names = [f"C{i}" for i in range(classes)]
     isa = set()
     for index in range(1, classes):
@@ -61,10 +86,12 @@ def random_schema(
 
 def random_transactions(
     schema: DatabaseSchema,
-    seed: int,
+    seed: Optional[int] = None,
     transactions: int = 4,
     updates_per_transaction: int = 3,
     constants: Sequence[object] = ("k1", "k2"),
+    *,
+    rng: Optional[random.Random] = None,
 ) -> TransactionSchema:
     """A random SL transaction schema over ``schema``.
 
@@ -73,7 +100,7 @@ def random_transactions(
     delete steps whose selections test a root attribute against either a
     constant or the transaction's parameter.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     root = sorted(schema.isa_roots())[0]
     root_attributes = sorted(schema.attributes_of(root))
     key = root_attributes[0]
@@ -112,8 +139,10 @@ def random_transactions(
 
 def random_role_set_regex(
     schema: DatabaseSchema,
-    seed: int,
+    seed: Optional[int] = None,
     size: int = 6,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> rx.Regex:
     """A random regular expression over the non-empty role sets of ``schema``.
 
@@ -121,7 +150,7 @@ def random_role_set_regex(
     concatenation, union and star so that the synthesized migration graphs
     have branching and loops.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     role_sets = [rs for rs in enumerate_role_sets(schema) if rs]
 
     def leaf() -> rx.Regex:
@@ -142,9 +171,16 @@ def random_role_set_regex(
     return build(size).simplify()
 
 
-def random_words(alphabet: Sequence[object], seed: int, count: int, max_length: int) -> List[Tuple]:
+def random_words(
+    alphabet: Sequence[object],
+    seed: Optional[int] = None,
+    count: int = 100,
+    max_length: int = 8,
+    *,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple]:
     """Random words over an alphabet, used by the decision-procedure benchmarks."""
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     words = []
     for _ in range(count):
         length = rng.randrange(0, max_length + 1)
@@ -157,10 +193,12 @@ def random_words(alphabet: Sequence[object], seed: int, count: int, max_length: 
 # --------------------------------------------------------------------------- #
 def spec_walk_histories(
     automaton,
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.05,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Iterator[Tuple[RoleSet, ...]]:
     """Object histories that mostly follow ``automaton``, with injected noise.
 
@@ -171,7 +209,7 @@ def spec_walk_histories(
     the histories violates the specification, as a realistic checking
     workload does.  Deterministic given ``seed``.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     symbols = automaton.sorted_alphabet()
     if not symbols:
         raise ValueError("the specification automaton has an empty alphabet")
@@ -207,18 +245,25 @@ def spec_walk_histories(
 
 def random_histories(
     role_sets: Sequence[RoleSet],
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Iterator[Tuple[RoleSet, ...]]:
     """Uniformly random object histories over ``role_sets`` (pure noise)."""
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     for _ in range(objects):
         length = rng.randint(1, 2 * mean_length - 1)
         yield tuple(role_sets[rng.randrange(len(role_sets))] for _ in range(length))
 
 
-def event_stream(histories: Sequence[Sequence[RoleSet]], seed: int) -> List[Event]:
+def event_stream(
+    histories: Sequence[Sequence[RoleSet]],
+    seed: Optional[int] = None,
+    *,
+    rng: Optional[random.Random] = None,
+) -> List[Event]:
     """Interleave per-object histories into one global event stream.
 
     The arrival order across objects is a deterministic shuffle of the
@@ -226,7 +271,7 @@ def event_stream(histories: Sequence[Sequence[RoleSet]], seed: int) -> List[Even
     history order, which is the contract the streaming cursors rely on.
     """
     arrival = [object_id for object_id, history in enumerate(histories) for _ in history]
-    random.Random(seed).shuffle(arrival)
+    _resolve_rng(seed, rng).shuffle(arrival)
     positions = [0] * len(histories)
     events: List[Event] = []
     for object_id in arrival:
@@ -237,10 +282,12 @@ def event_stream(histories: Sequence[Sequence[RoleSet]], seed: int) -> List[Even
 
 
 def banking_event_stream(
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.05,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
     """Account-lifecycle histories guided by the checking-role inventory.
 
@@ -251,32 +298,36 @@ def banking_event_stream(
     from repro.workloads import banking
 
     guide = banking.checking_role_inventory().automaton
-    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
-    return histories, event_stream(histories, seed + 1)
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise, rng=rng))
+    return histories, event_stream(histories, None if seed is None else seed + 1, rng=rng)
 
 
 def university_event_stream(
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.05,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
     """Person-lifecycle histories guided by the Example 3.4 "all" family."""
     from repro.workloads import university
 
     guide = university.expected_families()["all"].automaton
-    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
-    return histories, event_stream(histories, seed + 1)
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise, rng=rng))
+    return histories, event_stream(histories, None if seed is None else seed + 1, rng=rng)
 
 
 def mcl_event_stream(
     text: str,
     schema: DatabaseSchema,
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.05,
     name: Optional[str] = None,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
     """Spec-guided histories driven directly by MCL constraint text.
 
@@ -289,21 +340,23 @@ def mcl_event_stream(
     from repro.spec import compile_constraint
 
     guide = compile_constraint(text, schema, name=name).automaton
-    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise))
-    return histories, event_stream(histories, seed + 1)
+    histories = list(spec_walk_histories(guide, seed, objects, mean_length, noise, rng=rng))
+    return histories, event_stream(histories, None if seed is None else seed + 1, rng=rng)
 
 
 def immigration_event_stream(
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
     """Visa-status histories: uniform noise over the immigration role sets."""
     from repro.workloads import immigration
 
     role_sets = [rs for rs in enumerate_role_sets(immigration.schema()) if rs]
-    histories = list(random_histories(role_sets, seed, objects, mean_length))
-    return histories, event_stream(histories, seed + 1)
+    histories = list(random_histories(role_sets, seed, objects, mean_length, rng=rng))
+    return histories, event_stream(histories, None if seed is None else seed + 1, rng=rng)
 
 
 # --------------------------------------------------------------------------- #
@@ -311,10 +364,12 @@ def immigration_event_stream(
 # --------------------------------------------------------------------------- #
 def compiled_walk_histories(
     spec,
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.05,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Iterator[Tuple[RoleSet, ...]]:
     """Object histories guided by a *compiled* specification table.
 
@@ -327,7 +382,7 @@ def compiled_walk_histories(
     a conjunction spec therefore yields *conforming traffic*: histories
     whose every prefix stays viable for every conjoined constraint.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(seed, rng)
     width = spec.n_symbols
     table = spec.table
     doomed = spec.doomed
@@ -379,7 +434,9 @@ def conjunction_guide(specs: Sequence):
 def encoded_event_stream(
     histories: Sequence[Sequence[RoleSet]],
     alphabet,
-    seed: int,
+    seed: Optional[int] = None,
+    *,
+    rng: Optional[random.Random] = None,
 ):
     """A pre-encoded interleaved stream: interleave, then encode **once**.
 
@@ -391,7 +448,7 @@ def encoded_event_stream(
     """
     from repro.engine.batch import EncodedBatch
 
-    return EncodedBatch.from_events(event_stream(histories, seed), alphabet)
+    return EncodedBatch.from_events(event_stream(histories, seed, rng=rng), alphabet)
 
 
 def banking_monitoring_suite() -> Dict[str, object]:
@@ -420,10 +477,12 @@ def banking_monitoring_suite() -> Dict[str, object]:
 
 
 def conforming_banking_stream(
-    seed: int,
-    objects: int,
+    seed: Optional[int] = None,
+    objects: int = 100,
     mean_length: int = 10,
     noise: float = 0.02,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[List[Tuple[RoleSet, ...]], List[Event], Dict[str, object]]:
     """Mostly-conforming traffic for the whole banking monitoring suite.
 
@@ -434,8 +493,115 @@ def conforming_banking_stream(
     """
     suite = banking_monitoring_suite()
     guide = conjunction_guide(list(suite.values()))
-    histories = list(compiled_walk_histories(guide, seed, objects, mean_length, noise))
-    return histories, event_stream(histories, seed + 1), suite
+    histories = list(compiled_walk_histories(guide, seed, objects, mean_length, noise, rng=rng))
+    return histories, event_stream(histories, None if seed is None else seed + 1, rng=rng), suite
+
+
+# --------------------------------------------------------------------------- #
+# Near-miss / adversarial generators for the violation diagnostics (PR 5)
+# --------------------------------------------------------------------------- #
+def near_miss_histories(
+    spec,
+    seed: Optional[int] = None,
+    objects: int = 100,
+    violate_at: int = 5,
+    tail: int = 2,
+    *,
+    rng: Optional[random.Random] = None,
+    alien: Optional[RoleSet] = None,
+) -> Iterator[Tuple[RoleSet, ...]]:
+    """Histories that violate ``spec`` at exactly event index ``violate_at``.
+
+    ``spec`` is a compiled table (:class:`repro.engine.compiler.
+    CompiledSpec`), whose exact ``doomed`` data is what "violate *exactly
+    here*" needs: the first ``violate_at`` events each keep the prefix
+    viable (acceptance still reachable), the event at index ``violate_at``
+    is chosen among the symbols whose successor is doomed, and ``tail``
+    arbitrary further events follow -- monitors must keep absorbing events
+    for objects already beyond saving.  This is the adversarial complement
+    of :func:`compiled_walk_histories`: instead of mostly-conforming
+    traffic, every object is a near miss whose fatal event is known by
+    construction (the shape the diagnostics tests pin ``explain()``
+    against).
+
+    Raises ``ValueError`` when the walk cannot stay viable for
+    ``violate_at`` events or a state has no fatal in-alphabet symbol --
+    unless ``alien`` (a symbol outside the spec's alphabet, always fatal)
+    is provided as the escape hatch.
+    """
+    rng = _resolve_rng(seed, rng)
+    width = spec.n_symbols
+    table = spec.table
+    doomed = spec.doomed
+    symbols = spec.symbols
+    viable: Dict[int, List[int]] = {}
+    fatal: Dict[int, List[int]] = {}
+
+    def options(state: int, want_doomed: bool) -> List[int]:
+        cache = fatal if want_doomed else viable
+        cached = cache.get(state)
+        if cached is None:
+            cached = [
+                code
+                for code in range(width)
+                if bool(doomed[table[state * width + code]]) == want_doomed
+            ]
+            cache[state] = cached
+        return cached
+
+    for _ in range(objects):
+        word: List[RoleSet] = []
+        state = spec.initial
+        for index in range(violate_at):
+            choices = options(state, want_doomed=False)
+            if not choices:
+                raise ValueError(
+                    f"cannot stay viable for {violate_at} events: no non-doomed "
+                    f"successor after {index} events"
+                )
+            code = choices[rng.randrange(len(choices))]
+            word.append(symbols[code])
+            state = table[state * width + code]
+        killers = options(state, want_doomed=True)
+        if killers:
+            code = killers[rng.randrange(len(killers))]
+            word.append(symbols[code])
+        elif alien is not None:
+            word.append(alien)
+        else:
+            raise ValueError(
+                f"no fatal symbol exists after {violate_at} conforming events; "
+                f"pass alien= (a symbol outside the spec's alphabet) to force the violation"
+            )
+        for _ in range(tail):
+            word.append(symbols[rng.randrange(width)])
+        yield tuple(word)
+
+
+def near_miss_banking_stream(
+    seed: Optional[int] = None,
+    objects: int = 100,
+    violate_at: int = 5,
+    tail: int = 2,
+    *,
+    rng: Optional[random.Random] = None,
+) -> Tuple[List[Tuple[RoleSet, ...]], List[Event]]:
+    """An interleaved banking stream where every account is a near miss.
+
+    Each account conforms to the checking-roles constraint for exactly
+    ``violate_at`` events and violates it on the next one; the interleaved
+    stream is what the violation-triage example and the diagnostics tests
+    feed a monitoring session.  Returns ``(histories, events)``.
+    """
+    from repro.engine.compiler import compile_spec
+    from repro.workloads import banking
+
+    rng = _resolve_rng(seed, rng)
+    guide = compile_spec(banking.checking_role_inventory().automaton)
+    histories = list(
+        near_miss_histories(guide, objects=objects, violate_at=violate_at, tail=tail, rng=rng)
+    )
+    return histories, event_stream(histories, rng=rng)
 
 
 __all__ = [
@@ -455,4 +621,6 @@ __all__ = [
     "encoded_event_stream",
     "banking_monitoring_suite",
     "conforming_banking_stream",
+    "near_miss_histories",
+    "near_miss_banking_stream",
 ]

@@ -12,6 +12,22 @@ from repro.core.sl_analysis import SLMigrationAnalysis
 from repro.workloads import banking, phd, three_class, university
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-rounds",
+        type=int,
+        default=1,
+        help="multiplier for the property-suite iteration counts (tier-1 runs 1; "
+        "the nightly CI job runs 10)",
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_rounds(request) -> int:
+    """How many times the base iteration count the fuzz suites should run."""
+    return max(1, request.config.getoption("--fuzz-rounds"))
+
+
 @pytest.fixture(scope="session")
 def university_transactions():
     return university.transactions()

@@ -1,0 +1,191 @@
+"""Cross-layer differential fuzzing: every execution path must agree.
+
+The engine now has five ways to answer "does this history satisfy this
+spec" -- the fused product kernel (``check_batch`` / ``check_batch_all``),
+the per-spec cursor paths (``HistoryCursor`` / ``CursorTable``), the
+streaming session (``StreamChecker``), the one-shot subset-construction
+oracle (``DFA.accepts``), and, since this PR, a snapshot→restore round trip
+of the streaming session -- plus a process-pool sharding backend.  Each is
+implemented independently enough to disagree in interesting ways, so this
+suite drives all of them with seeded random specs (random schemas → random
+role-set regexes) over seeded random streams (spec walks, uniform noise,
+alien symbols) and asserts **bit-identical verdicts** on every object:
+
+* 200 seeded cases per tier-1 run (``--fuzz-rounds`` multiplies the count;
+  the nightly CI job runs 10x), each case covering serial batch, fused
+  batch, cursors, DFA oracle, streaming, mid-stream snapshot/restore into
+  the same engine, and restore into a *fresh* engine (the process-restart
+  simulation, exercising fingerprint validation and alphabet re-encoding);
+* LRU eviction pressure mid-stream (single-entry caches on a rotating
+  subset of cases);
+* process-pool executor agreement with the serial path, including the
+  worker-side kernel cache.
+
+A failure message always carries the case seed, so any disagreement is
+reproducible with one parametrized rerun.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rolesets import RoleSet, enumerate_role_sets
+from repro.engine import HistoryCheckerEngine, HistoryCursor, ProcessPoolBackend
+from repro.workloads import generators
+
+BASE_SEED = 0x5EED
+BASE_CASES = 200
+
+ALIEN = RoleSet({"ALIEN_CLASS"})
+
+
+def _random_case(seed):
+    """``(name -> NFA, histories)`` for one seeded fuzz case."""
+    rng = random.Random(seed)
+    schema = generators.random_schema(classes=rng.choice([3, 4, 5]), rng=rng)
+    role_sets = list(enumerate_role_sets(schema))
+    specs = {}
+    for index in range(rng.choice([1, 2, 3])):
+        regex = generators.random_role_set_regex(schema, size=rng.choice([3, 4, 5, 6]), rng=rng)
+        specs[f"spec{index}"] = regex.to_nfa(role_sets)
+    guide = next(iter(specs.values()))
+    histories = []
+    for _ in range(rng.randrange(4, 16)):
+        if rng.random() < 0.5:
+            history = next(
+                generators.spec_walk_histories(
+                    guide, objects=1, mean_length=rng.randrange(2, 8), noise=0.2, rng=rng
+                )
+            )
+        else:
+            history = next(
+                generators.random_histories(
+                    role_sets, objects=1, mean_length=rng.randrange(2, 8), rng=rng
+                )
+            )
+        if rng.random() < 0.1:
+            position = rng.randrange(len(history) + 1)
+            history = history[:position] + (ALIEN,) + history[position:]
+        histories.append(history)
+    return specs, histories
+
+
+def _oracle(specs, histories):
+    """Ground truth: one-shot subset construction + DFA.accepts per history."""
+    verdicts = {}
+    for name, nfa in specs.items():
+        dfa = nfa.determinize()
+        verdicts[name] = [dfa.accepts(history) for history in histories]
+    return verdicts
+
+
+def _register_all(engine, specs):
+    for name, nfa in specs.items():
+        engine.add_spec(name, nfa)
+
+
+def _check_one_case(case_seed, fresh_restore):
+    specs, histories = _random_case(case_seed)
+    expected = _oracle(specs, histories)
+    tag = f"seed={case_seed}"
+
+    # A single-entry spec cache on every third case keeps eviction-and-
+    # deterministic-recompile in the differential loop, not just in a
+    # dedicated unit test.
+    cache_size = 1 if case_seed % 3 == 0 else 64
+    engine = HistoryCheckerEngine(cache_size=cache_size)
+    _register_all(engine, specs)
+
+    # Path 1: fused multi-spec batch.
+    assert engine.check_batch_all(histories) == expected, tag
+    # Path 2: per-spec batch.
+    for name in specs:
+        assert engine.check_batch(name, histories) == expected[name], (tag, name)
+    # Path 3: per-object cursors over the compiled table.
+    for name in specs:
+        spec = engine.compiled(name)
+        cursor_verdicts = [
+            HistoryCursor(spec).advance_many(history).accepted for history in histories
+        ]
+        assert cursor_verdicts == expected[name], (tag, name)
+
+    # Path 4: streaming with a snapshot/restore mid-stream.
+    events = generators.event_stream(histories, case_seed + 1)
+    half = len(events) // 2
+    stream = engine.open_stream(record=True)
+    stream.feed_events(events[:half])
+    blob = stream.snapshot()
+    restored = engine.restore_stream(blob)
+    assert restored.reset_on_restore == (), tag
+    assert restored.events_seen == half, tag
+    restored.feed_events(events[half:])
+    for name in specs:
+        verdicts = restored.verdicts(name)
+        streamed = [verdicts[index] for index in range(len(histories))]
+        assert streamed == expected[name], (tag, name, "snapshot mid-stream")
+
+    # Path 5: restore the same blob into a fresh engine -- the process-
+    # restart simulation (fingerprints must match across engines because
+    # table compilation is deterministic).
+    if fresh_restore:
+        other = HistoryCheckerEngine()
+        _register_all(other, specs)
+        migrated = other.restore_stream(blob)
+        assert migrated.reset_on_restore == (), tag
+        migrated.feed_events(events[half:])
+        for name in specs:
+            verdicts = migrated.verdicts(name)
+            streamed = [verdicts[index] for index in range(len(histories))]
+            assert streamed == expected[name], (tag, name, "fresh-engine restore")
+        # Recorded traces survive the restore and replay to the same verdict.
+        for index, history in enumerate(histories):
+            assert migrated.history(index) == tuple(history), (tag, index)
+
+
+def test_differential_fuzz_all_paths_agree(fuzz_rounds):
+    """>= 200 seeded cases per run: kernel = batch = cursors = DFA = stream."""
+    cases = BASE_CASES * fuzz_rounds
+    for case in range(cases):
+        _check_one_case(BASE_SEED + case, fresh_restore=case % 4 == 0)
+
+
+def test_pool_and_serial_verdicts_agree(fuzz_rounds):
+    """The process-pool sharding path returns the serial path's verdicts.
+
+    A tiny batch size forces real sharding (more shards than workers), and
+    re-registering a spec between rounds exercises the worker-side kernel
+    cache's ``(name, generation)`` invalidation.
+    """
+    with ProcessPoolBackend(max_workers=2) as pool:
+        for round_index in range(2 * fuzz_rounds):
+            seed = BASE_SEED + 10_000 + round_index
+            specs, histories = _random_case(seed)
+            expected = _oracle(specs, histories)
+            engine = HistoryCheckerEngine(executor=pool, batch_size=3)
+            _register_all(engine, specs)
+            assert engine.check_batch_all(histories) == expected, seed
+            # Re-register the first spec with the last spec's automaton: the
+            # worker cache must not serve the stale kernel.
+            names = sorted(specs)
+            first, last = names[0], names[-1]
+            engine.add_spec(first, specs[last])
+            reregistered = engine.check_batch(first, histories)
+            assert reregistered == expected[last], seed
+
+
+def test_fuzz_case_generator_is_deterministic():
+    """The case generator itself is a function of the seed alone."""
+    specs_a, histories_a = _random_case(BASE_SEED)
+    specs_b, histories_b = _random_case(BASE_SEED)
+    assert histories_a == histories_b
+    assert sorted(specs_a) == sorted(specs_b)
+    for name in specs_a:
+        outcome_a = _oracle({name: specs_a[name]}, histories_a)
+        outcome_b = _oracle({name: specs_b[name]}, histories_b)
+        assert outcome_a == outcome_b
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
