@@ -56,6 +56,8 @@ EXPECTED_CASES = {
     "test_e23_fused_batch_checking_beats_per_spec_accepts",
     "test_e23_shard_payloads_shrink",
     "test_e24_snapshot_restore_beats_refeeding",
+    "test_e25_vector_streaming_beats_fused",
+    "test_e25_raw_shard_dispatch_beats_zlib",
 }
 
 #: Iterations of the calibration workload; sized to take ~100ms on a dev VM.

@@ -12,6 +12,10 @@ pipeline is compile → encode → fuse → shard/stream:
 * :mod:`repro.engine.batch` -- the columnar pipeline: encode-once event
   batches and history sets over the shared alphabet, the fused multi-spec
   product kernel, and the compact shard payloads;
+* :mod:`repro.engine.vector` -- the numpy gather kernel over the same
+  product groups (flat narrow-dtype transition tables, chunked
+  first-occurrence peeling, raw buffer-protocol shard payloads); selected
+  automatically when numpy is importable (``kernel="auto"``);
 * :mod:`repro.engine.cache` -- bounded LRU over compiled specs and fused
   kernels, safe to evict mid-stream because compilation is deterministic;
 * :mod:`repro.engine.cursors` -- per-object integer cursors advanced event
@@ -40,8 +44,16 @@ from repro.engine.compiler import CompiledSpec, compile_spec
 from repro.engine.cursors import CursorTable, HistoryCursor
 from repro.engine.diagnostics import ClauseDiagnosis, Violation, diagnose
 from repro.engine.engine import HistoryCheckerEngine, StreamChecker
-from repro.engine.executor import ProcessPoolBackend, SerialExecutor, shard, shard_bounds
+from repro.engine.executor import (
+    MIN_SHARD_EVENTS,
+    ProcessPoolBackend,
+    SerialExecutor,
+    shard,
+    shard_bounds,
+    shard_bounds_by_events,
+)
 from repro.engine.snapshot import FORMAT_VERSION, SnapshotError, dump_stream, load_stream
+from repro.engine.vector import HAVE_NUMPY, VectorKernel
 
 __all__ = [
     "CompiledSpec",
@@ -53,13 +65,17 @@ __all__ = [
     "EncodedBatch",
     "ColumnarHistorySet",
     "FusedKernel",
+    "VectorKernel",
+    "HAVE_NUMPY",
     "PRODUCT_STATE_CAP",
+    "MIN_SHARD_EVENTS",
     "make_shard_task",
     "check_columnar_shard",
     "SerialExecutor",
     "ProcessPoolBackend",
     "shard",
     "shard_bounds",
+    "shard_bounds_by_events",
     "HistoryCheckerEngine",
     "StreamChecker",
     "ClauseDiagnosis",

@@ -207,6 +207,9 @@ class EncodedBatch:
         "_max_id",
         "_ids",
         "_codes",
+        "_np_ids",
+        "_np_codes",
+        "_np_plan",
     )
 
     def __init__(
@@ -226,6 +229,12 @@ class EncodedBatch:
         self._max_id: Optional[int] = None
         self._ids: Optional[array] = None
         self._codes: Optional[array] = None
+        #: ndarray views of the columns and the cached peel plan, filled by
+        #: :mod:`repro.engine.vector` (a batch is immutable, so both are
+        #: derived once and shared by every stream the batch is fed to).
+        self._np_ids = None
+        self._np_codes = None
+        self._np_plan = None
 
     @classmethod
     def from_events(
@@ -305,7 +314,7 @@ class ColumnarHistorySet:
     process-pool worker receives pure integer columns.
     """
 
-    __slots__ = ("code_list", "offsets", "alphabet", "max_code", "_codes")
+    __slots__ = ("code_list", "offsets", "alphabet", "max_code", "_codes", "_np_codes")
 
     def __init__(
         self,
@@ -320,6 +329,8 @@ class ColumnarHistorySet:
         self.alphabet = alphabet
         self.max_code = max(code_list, default=-1)
         self._codes: Optional[array] = None
+        #: ndarray view of the code column, filled by :mod:`repro.engine.vector`.
+        self._np_codes = None
 
     @classmethod
     def from_histories(
@@ -516,6 +527,10 @@ class FusedKernel:
 
     __slots__ = ("names", "width", "groups", "locate", "key")
 
+    #: Which kernel implementation this is; shard tasks and engine kernel
+    #: keys carry it so worker-local caches rebuild the right kind.
+    kind = "fused"
+
     def __init__(
         self,
         specs: Sequence[Tuple[str, CompiledSpec]],
@@ -599,6 +614,35 @@ class FusedKernel:
         column = column_set[group_index]
         return {o: accepting[column[o][-1]] == 1 for o in seen}
 
+    def state_of(self, columns: List[list], group_index: int, dense: int) -> int:
+        """The dense product-state index of one object in one group.
+
+        Objects outside the column (never fed) rest at the group root.  This
+        is the kind-neutral read: fused columns hold row references, vector
+        columns hold the indices themselves, and both answer the same int.
+        """
+        column = columns[group_index]
+        if 0 <= dense < len(column):
+            return column[dense][-1]
+        return self.groups[group_index].root[-1]
+
+    def index_columns(self, columns: List[list]) -> List[List[int]]:
+        """Per-group dense product-state indices -- the kind-neutral view of
+        a column set, the interchange format for state translation and
+        snapshots across kernel kinds."""
+        return [[row[-1] for row in column] for column in columns]
+
+    def _columns_from_indices(self, index_columns: List[List[int]]) -> List[list]:
+        """Materialize kind-specific columns from dense state indices.
+
+        The write-side counterpart of :meth:`index_columns`; every index
+        must already be materialized in its group (``ensure_state``).
+        """
+        return [
+            list(map(group.rows.__getitem__, indices))
+            for group, indices in zip(self.groups, index_columns)
+        ]
+
     def translate_columns(
         self,
         previous: "FusedKernel",
@@ -610,19 +654,23 @@ class FusedKernel:
         Specs named in ``reset`` restart at their (new) initial state; every
         other spec keeps its progress -- compiled tables are deterministic,
         so state numbers transfer across recompiles and kernel rebuilds.
-        Memoized per distinct cross-group state signature.
+        Memoized per distinct cross-group state signature.  ``previous`` may
+        be of a different kernel kind: states travel as dense indices via
+        :meth:`index_columns`, so a stream can switch between the fused and
+        vector kernels mid-session without losing progress.
         """
-        n_objects = len(columns[0]) if columns else 0
+        index_columns = previous.index_columns(columns)
+        n_objects = len(index_columns[0]) if index_columns else 0
         resets = set(reset)
-        memo: Dict[Tuple[int, ...], List[list]] = {}
-        fresh = self.new_columns(0)
+        memo: Dict[Tuple[int, ...], List[int]] = {}
+        fresh: List[List[int]] = [[] for _ in self.groups]
         initials = {
             name: self.groups[gi].specs[j].initial for name, (gi, j) in self.locate.items()
         }
         for o in range(n_objects):
-            signature = tuple(column[o][-1] for column in columns)
-            rows = memo.get(signature)
-            if rows is None:
+            signature = tuple(column[o] for column in index_columns)
+            indices = memo.get(signature)
+            if indices is None:
                 states: Dict[str, int] = {}
                 for group, index in zip(previous.groups, signature):
                     components = group.decode[index]
@@ -631,14 +679,14 @@ class FusedKernel:
                 for name in self.names:
                     if name in resets or name not in states:
                         states[name] = initials[name]
-                rows = [
-                    group.rows[group.ensure_state(tuple(states[name] for name in group.names))]
+                indices = [
+                    group.ensure_state(tuple(states[name] for name in group.names))
                     for group in self.groups
                 ]
-                memo[signature] = rows
-            for column, row in zip(fresh, rows):
-                column.append(row)
-        return fresh
+                memo[signature] = indices
+            for target, index in zip(fresh, indices):
+                target.append(index)
+        return self._columns_from_indices(fresh)
 
     def columns_from_states(
         self, states: Dict[str, Sequence[int]], n_objects: int
@@ -652,23 +700,77 @@ class FusedKernel:
         ``ensure_state`` (memoized per distinct signature, so the loop cost
         is dominated by the zip, not the product walk).
         """
-        columns: List[list] = []
+        index_columns: List[List[int]] = []
         for group in self.groups:
             group_states = [states[name] for name in group.names]
-            rows = group.rows
-            memo: Dict[Tuple[int, ...], list] = {}
-            column: list = []
-            append = column.append
+            memo: Dict[Tuple[int, ...], int] = {}
+            indices: List[int] = []
+            append = indices.append
             for signature in zip(*group_states):
-                row = memo.get(signature)
-                if row is None:
-                    row = rows[group.ensure_state(signature)]
-                    memo[signature] = row
-                append(row)
-            if len(column) != n_objects:  # zero-spec group cannot happen; guard anyway
-                column.extend([group.root] * (n_objects - len(column)))
-            columns.append(column)
-        return columns
+                index = memo.get(signature)
+                if index is None:
+                    index = memo[signature] = group.ensure_state(signature)
+                append(index)
+            if len(indices) != n_objects:  # zero-spec group cannot happen; guard anyway
+                indices.extend([group.root[-1]] * (n_objects - len(indices)))
+            index_columns.append(indices)
+        return self._columns_from_indices(index_columns)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot payloads
+    # ------------------------------------------------------------------ #
+    def snapshot_groups(self, columns: List[list]) -> List[Dict]:
+        """Compact per-group wire payloads for :mod:`repro.engine.snapshot`.
+
+        The *occupied* product states are listed once as per-spec component
+        tuples and the per-object column ships as narrow-dtype indices into
+        that list.  The format is identical across kernel kinds, so a
+        snapshot written under one kind restores under the other.
+        """
+        groups: List[Dict] = []
+        for group, indices in zip(self.groups, self.index_columns(columns)):
+            occupied = sorted(set(indices))
+            position = {index: p for p, index in enumerate(occupied)}
+            groups.append(
+                {
+                    "names": group.names,
+                    "states": [group.decode[index] for index in occupied],
+                    "column": _pack_column(list(map(position.__getitem__, indices))),
+                }
+            )
+        return groups
+
+    def restore_group_columns(
+        self, groups: Sequence[Dict], initials: Dict[str, int], resets: set
+    ) -> Optional[List[list]]:
+        """Columns rebuilt group-for-group when the snapshot grouping matches.
+
+        The common restore (same specs, same registration order, same
+        product packing): each *occupied* product state is re-materialized
+        exactly once and the per-object column is one C-speed map through
+        the lookup list.  Returns ``None`` when this kernel groups specs
+        differently, handing over to the general per-spec translation path
+        (:meth:`columns_from_states`).
+        """
+        if len(groups) != len(self.groups):
+            return None
+        for payload, group in zip(groups, self.groups):
+            if tuple(payload["names"]) != group.names:
+                return None
+        index_columns: List[List[int]] = []
+        for payload, group in zip(groups, self.groups):
+            states = payload["states"]
+            if resets.intersection(group.names):
+                states = [
+                    tuple(
+                        initials[name] if name in resets else component
+                        for name, component in zip(group.names, signature)
+                    )
+                    for signature in states
+                ]
+            lookup = [group.ensure_state(tuple(signature)) for signature in states]
+            index_columns.append(list(map(lookup.__getitem__, _unpack_column(payload["column"]))))
+        return self._columns_from_indices(index_columns)
 
     # ------------------------------------------------------------------ #
     # Batch checking
@@ -693,6 +795,25 @@ class FusedKernel:
                 accepting = group.accepting[j]
                 verdicts[name] = list(map(bool, map(accepting.__getitem__, final)))
         return verdicts
+
+    def check_history_set(self, history_set: ColumnarHistorySet) -> Dict[str, List[bool]]:
+        """Per-spec verdicts for a whole encoded history set (kind-specific).
+
+        The serial entry point of ``check_batch_all``: subclasses may read
+        the set's columns in their native layout instead of via the plain
+        lists.
+        """
+        return self.check_histories(history_set.code_list, history_set.lengths())
+
+    def shard_payload(self, history_set: ColumnarHistorySet, start: int, stop: int) -> Tuple:
+        """The wire payload for histories ``[start, stop)`` (kind-specific).
+
+        The fused kernel ships narrow-dtype zlib-packed column bytes; the
+        vector kernel overrides this with raw buffer-protocol ndarray bytes
+        (no compression round trip -- the worker gathers straight off the
+        received buffers).
+        """
+        return history_set.shard_payload(start, stop)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = "+".join(str(len(group)) for group in self.groups)
@@ -721,16 +842,26 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
     key, blobs, payload = task
     kernel = _WORKER_KERNELS.get(key)
     if kernel is None:
-        _engine_token, references, width, cap = key
+        _engine_token, references, width, cap, kind = key
         specs = [
             (name, CompiledSpec.from_blob(blob))
             for (name, _generation), blob in zip(references, blobs)
         ]
-        kernel = FusedKernel(specs, width, cap, key=key)
+        if kind == "vector":
+            from repro.engine.vector import VectorKernel
+
+            kernel = VectorKernel(specs, width, cap, key=key)
+        else:
+            kernel = FusedKernel(specs, width, cap, key=key)
         if len(_WORKER_KERNELS) >= 64:
             _WORKER_KERNELS.clear()
         _WORKER_KERNELS[key] = kernel
-    lengths, code_list = ColumnarHistorySet.unpack_payload(payload)
+    if payload[1][0] == "nd":
+        from repro.engine.vector import unpack_shard_arrays
+
+        lengths, code_list = unpack_shard_arrays(payload)
+    else:
+        lengths, code_list = ColumnarHistorySet.unpack_payload(payload)
     return kernel.check_histories(code_list, lengths)
 
 

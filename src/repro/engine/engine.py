@@ -44,10 +44,11 @@ from repro.engine.batch import (
     check_columnar_shard,
     make_shard_task,
 )
+from repro.engine import vector
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
 from repro.engine.diagnostics import Violation, diagnose
-from repro.engine.executor import SerialExecutor, shard_bounds
+from repro.engine.executor import MIN_SHARD_EVENTS, SerialExecutor, shard_bounds_by_events
 from repro.formal.alphabet import RoleSetAlphabet
 from repro.formal.nfa import NFA
 
@@ -89,6 +90,16 @@ class HistoryCheckerEngine:
     product_cap:
         Product states per fused-kernel group before specs spill into a new
         group (:data:`repro.engine.batch.PRODUCT_STATE_CAP`).
+    kernel:
+        Which multi-spec kernel advances encoded columns: ``"fused"`` (the
+        pure-Python product kernel), ``"vector"`` (the numpy gather kernel,
+        :mod:`repro.engine.vector`; raises when numpy is missing) or
+        ``"auto"`` (the default -- vector when numpy imports, silently
+        fused otherwise).
+    min_shard_events:
+        Minimum event mass per process-pool shard
+        (:data:`repro.engine.executor.MIN_SHARD_EVENTS`); batches below it
+        run serially instead of paying the pool round trip.
     """
 
     def __init__(
@@ -97,11 +108,27 @@ class HistoryCheckerEngine:
         cache_size: int = 64,
         batch_size: int = 2048,
         product_cap: int = PRODUCT_STATE_CAP,
+        kernel: str = "auto",
+        min_shard_events: Optional[int] = None,
     ) -> None:
+        if kernel not in ("auto", "fused", "vector"):
+            raise ValueError(
+                f"kernel must be 'auto', 'fused' or 'vector', not {kernel!r}"
+            )
+        if kernel == "vector" and not vector.HAVE_NUMPY:
+            raise RuntimeError(
+                "kernel='vector' needs numpy, which is not installed; install the "
+                "repro[fast] extra, or use kernel='auto' to fall back to the fused "
+                "kernel"
+            )
         self._executor = executor if executor is not None else SerialExecutor()
         self._cache = SpecCache(cache_size)
         self._batch_size = batch_size
         self._product_cap = product_cap
+        self._kernel_choice = kernel
+        self._min_shard_events = (
+            MIN_SHARD_EVENTS if min_shard_events is None else min_shard_events
+        )
         self._sources: Dict[str, NFA] = {}
         self._generations: Dict[str, int] = {}
         #: MCL provenance per spec (a ``CompiledConstraint`` with span-anchored
@@ -265,18 +292,33 @@ class HistoryCheckerEngine:
         """Encode whole histories once; reusable across every registered spec."""
         return ColumnarHistorySet.from_histories(histories, self._alphabet)
 
+    def _kernel_kind(self) -> str:
+        """Which kernel kind the engine's ``kernel=`` choice resolves to now.
+
+        ``"auto"`` re-reads :data:`repro.engine.vector.HAVE_NUMPY` on every
+        resolution, so the no-numpy fallback is decided by the environment,
+        not frozen at construction.
+        """
+        if self._kernel_choice == "auto":
+            return "vector" if vector.HAVE_NUMPY else "fused"
+        return self._kernel_choice
+
     def _kernel_for(self, names: Sequence[str]) -> FusedKernel:
-        """The fused kernel over ``names`` (cached by generations and alphabet)."""
+        """The multi-spec kernel over ``names`` (cached by generations, alphabet
+        and kind)."""
         specs = [(name, self.compiled(name)) for name in names]
+        kind = self._kernel_kind()
         key = (
             self._token,
             tuple((name, self._generations[name]) for name in names),
             len(self._alphabet),
             self._product_cap,
+            kind,
         )
         kernel = self._kernels.get(key)
         if kernel is None:
-            kernel = FusedKernel(specs, len(self._alphabet), self._product_cap, key=key)
+            factory = vector.VectorKernel if kind == "vector" else FusedKernel
+            kernel = factory(specs, len(self._alphabet), self._product_cap, key=key)
             self._kernels.put(key, kernel)
         return kernel
 
@@ -337,13 +379,20 @@ class HistoryCheckerEngine:
             history_set = ColumnarHistorySet.from_histories(histories, self._alphabet)
         kernel = self._kernel_for(selected)
         backend = executor if executor is not None else self._executor
-        if isinstance(backend, SerialExecutor) or len(history_set) <= self._batch_size:
-            verdicts = kernel.check_histories(history_set.code_list, history_set.lengths())
+        bounds = (
+            None
+            if isinstance(backend, SerialExecutor)
+            else shard_bounds_by_events(
+                history_set.offsets, self._batch_size, self._min_shard_events
+            )
+        )
+        if bounds is None or len(bounds) <= 1:
+            verdicts = kernel.check_history_set(history_set)
             return {name: verdicts[name] for name in selected}
         specs = [(name, self.compiled(name)) for name in selected]
         tasks = [
-            make_shard_task(kernel, specs, history_set.shard_payload(start, stop))
-            for start, stop in shard_bounds(len(history_set), self._batch_size)
+            make_shard_task(kernel, specs, kernel.shard_payload(history_set, start, stop))
+            for start, stop in bounds
         ]
         results = backend.run(check_columnar_shard, tasks)
         stitched: Dict[str, List[bool]] = {name: [] for name in selected}
@@ -565,14 +614,9 @@ class StreamChecker:
         """Whether one object's history so far satisfies one spec."""
         kernel = self._resolve_kernel()
         group_index, j = kernel.locate[name]
-        group = kernel.groups[group_index]
-        column = self._columns[group_index]
         dense = self._interner.code_of(object_id)
-        if 0 <= dense < len(column):
-            state_index = column[dense][-1]
-        else:
-            state_index = group.root[-1]
-        return group.accepting[j][state_index] == 1
+        state_index = kernel.state_of(self._columns, group_index, dense)
+        return kernel.groups[group_index].accepting[j][state_index] == 1
 
     def verdicts(self, name: str) -> Dict[ObjectId, bool]:
         """Per-object verdicts for one spec."""

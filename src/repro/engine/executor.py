@@ -13,10 +13,16 @@ column bytes plus compact spec blobs resolved through a worker-local cache
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
+
+#: Minimum event mass per shard for the event-aware bounds: below this, a
+#: shard's pickle/dispatch round trip costs more than checking it in place,
+#: so tiny batches collapse to one shard and run serially.
+MIN_SHARD_EVENTS = 4096
 
 
 def shard(items: Sequence[Task], batch_size: int) -> List[Sequence[Task]]:
@@ -36,6 +42,33 @@ def shard_bounds(total: int, batch_size: int) -> List[Tuple[int, int]]:
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     return [(start, min(start + batch_size, total)) for start in range(0, total, batch_size)]
+
+
+def shard_bounds_by_events(
+    offsets: Sequence[int], batch_size: int, min_events: int = MIN_SHARD_EVENTS
+) -> List[Tuple[int, int]]:
+    """Shard bounds that respect history count *and* event mass.
+
+    ``offsets`` is a :class:`repro.engine.batch.ColumnarHistorySet` offsets
+    column (``len(offsets) - 1`` histories; history ``i`` spans
+    ``offsets[i + 1] - offsets[i]`` events).  Each shard covers at least
+    ``batch_size`` histories and keeps extending -- one bisect per shard --
+    until it also carries at least ``min_events`` events, so a batch of many
+    near-empty histories (or a tiny batch) is not cut into shards whose pool
+    round trip costs more than the check itself.  With ``min_events=0`` this
+    degenerates to :func:`shard_bounds`.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    total = len(offsets) - 1
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    while start < total:
+        by_events = bisect_left(offsets, offsets[start] + min_events, start + 1)
+        stop = min(total, max(start + batch_size, by_events))
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
 
 class SerialExecutor:
@@ -98,4 +131,11 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(max_workers={self._max_workers})"
 
 
-__all__ = ["shard", "shard_bounds", "SerialExecutor", "ProcessPoolBackend"]
+__all__ = [
+    "MIN_SHARD_EVENTS",
+    "shard",
+    "shard_bounds",
+    "shard_bounds_by_events",
+    "SerialExecutor",
+    "ProcessPoolBackend",
+]

@@ -113,19 +113,10 @@ def dump_stream(stream) -> bytes:
     """
     engine = stream._engine
     kernel = stream._resolve_kernel() if stream._names else None
-    groups: List[Dict] = []
-    if kernel is not None:
-        for group, column in zip(kernel.groups, stream._columns):
-            indices = [row[-1] for row in column]
-            occupied = sorted(set(indices))
-            position = {index: p for p, index in enumerate(occupied)}
-            groups.append(
-                {
-                    "names": group.names,
-                    "states": [group.decode[index] for index in occupied],
-                    "column": _pack_column(list(map(position.__getitem__, indices))),
-                }
-            )
+    # The kernel packs its own columns: the fused kernel reads row indices,
+    # the vector kernel serializes straight off its ndarray buffers -- both
+    # emit the identical wire payload, so snapshots are kind-portable.
+    groups: List[Dict] = [] if kernel is None else kernel.snapshot_groups(stream._columns)
     specs = {
         name: {
             "generation": engine.generation(name),
@@ -204,39 +195,6 @@ def _spec_state_columns(
     return states
 
 
-def _fast_columns(body: Dict, kernel, initials: Dict[str, int], resets) -> "List[list] | None":
-    """Columns rebuilt group-for-group when the kernel grouping matches.
-
-    The common restore (same specs, same registration order, same product
-    packing): each *occupied* product state is re-materialized exactly once
-    and the per-object column is one C-speed map through the lookup list --
-    no per-spec decomposition, no per-object tuple hashing.  Returns
-    ``None`` when the target kernel groups specs differently, handing over
-    to the general per-spec translation path.
-    """
-    groups = body["groups"]
-    if len(groups) != len(kernel.groups):
-        return None
-    for payload, group in zip(groups, kernel.groups):
-        if tuple(payload["names"]) != group.names:
-            return None
-    columns: List[list] = []
-    for payload, group in zip(groups, kernel.groups):
-        states = payload["states"]
-        if resets.intersection(group.names):
-            states = [
-                tuple(
-                    initials[name] if name in resets else component
-                    for name, component in zip(group.names, signature)
-                )
-                for signature in states
-            ]
-        rows = group.rows
-        lookup = [rows[group.ensure_state(tuple(signature))] for signature in states]
-        columns.append(list(map(lookup.__getitem__, _unpack_column(payload["column"]))))
-    return columns
-
-
 def load_stream(engine, blob: bytes):
     """Rebuild a :class:`StreamChecker` session on ``engine`` from a snapshot.
 
@@ -267,7 +225,10 @@ def load_stream(engine, blob: bytes):
     if names:
         kernel = engine._kernel_for(names)
         initials = {name: compiled[name].initial for name in names}
-        columns = _fast_columns(body, kernel, initials, set(resets))
+        # Fast path: grouping matches, so the kernel rebuilds its columns
+        # directly from the group payloads; otherwise states are decomposed
+        # per spec and re-fused through the general translation path.
+        columns = kernel.restore_group_columns(body["groups"], initials, set(resets))
         if columns is None:
             spec_states = _spec_state_columns(body, names, initials, n_objects)
             for name in resets:

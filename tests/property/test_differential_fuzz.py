@@ -1,28 +1,38 @@
 """Cross-layer differential fuzzing: every execution path must agree.
 
-The engine now has five ways to answer "does this history satisfy this
+The engine now has six ways to answer "does this history satisfy this
 spec" -- the fused product kernel (``check_batch`` / ``check_batch_all``),
 the per-spec cursor paths (``HistoryCursor`` / ``CursorTable``), the
 streaming session (``StreamChecker``), the one-shot subset-construction
-oracle (``DFA.accepts``), and, since this PR, a snapshot→restore round trip
-of the streaming session -- plus a process-pool sharding backend.  Each is
-implemented independently enough to disagree in interesting ways, so this
-suite drives all of them with seeded random specs (random schemas → random
-role-set regexes) over seeded random streams (spec walks, uniform noise,
-alien symbols) and asserts **bit-identical verdicts** on every object:
+oracle (``DFA.accepts``), a snapshot→restore round trip of the streaming
+session, and, since this PR, the numpy :class:`~repro.engine.vector.
+VectorKernel` (batch and streaming) -- plus a process-pool sharding
+backend.  Each is implemented independently enough to disagree in
+interesting ways, so this suite drives all of them with seeded random
+specs (random schemas → random role-set regexes) over seeded random
+streams (spec walks, uniform noise, alien symbols) and asserts
+**bit-identical verdicts** on every object:
 
 * 200 seeded cases per tier-1 run (``--fuzz-rounds`` multiplies the count;
   the nightly CI job runs 10x), each case covering serial batch, fused
   batch, cursors, DFA oracle, streaming, mid-stream snapshot/restore into
   the same engine, and restore into a *fresh* engine (the process-restart
   simulation, exercising fingerprint validation and alphabet re-encoding);
+* when numpy is importable, the vector kernel over the same case: batch
+  verdicts, a vector stream snapshotted mid-run and restored under *both*
+  kernel kinds (the wire payload is kind-portable), a fused snapshot
+  restored under the vector kernel, and a mid-stream re-registration that
+  translates live vector state columns through the new kernel;
 * LRU eviction pressure mid-stream (single-entry caches on a rotating
   subset of cases);
 * process-pool executor agreement with the serial path, including the
-  worker-side kernel cache.
+  worker-side kernel cache, alternating kernel kinds so both the zlib and
+  the raw buffer-protocol shard payloads cross the pickle boundary.
 
-A failure message always carries the case seed, so any disagreement is
-reproducible with one parametrized rerun.
+The fused paths are pinned with ``kernel="fused"`` so they stay exercised
+even though ``kernel="auto"`` now prefers the vector kernel.  A failure
+message always carries the case seed, so any disagreement is reproducible
+with one parametrized rerun.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ import random
 import pytest
 
 from repro.core.rolesets import RoleSet, enumerate_role_sets
-from repro.engine import HistoryCheckerEngine, HistoryCursor, ProcessPoolBackend
+from repro.engine import HAVE_NUMPY, HistoryCheckerEngine, HistoryCursor, ProcessPoolBackend
 from repro.workloads import generators
 
 BASE_SEED = 0x5EED
@@ -95,7 +105,7 @@ def _check_one_case(case_seed, fresh_restore):
     # deterministic-recompile in the differential loop, not just in a
     # dedicated unit test.
     cache_size = 1 if case_seed % 3 == 0 else 64
-    engine = HistoryCheckerEngine(cache_size=cache_size)
+    engine = HistoryCheckerEngine(cache_size=cache_size, kernel="fused")
     _register_all(engine, specs)
 
     # Path 1: fused multi-spec batch.
@@ -130,7 +140,7 @@ def _check_one_case(case_seed, fresh_restore):
     # restart simulation (fingerprints must match across engines because
     # table compilation is deterministic).
     if fresh_restore:
-        other = HistoryCheckerEngine()
+        other = HistoryCheckerEngine(kernel="fused")
         _register_all(other, specs)
         migrated = other.restore_stream(blob)
         assert migrated.reset_on_restore == (), tag
@@ -143,6 +153,45 @@ def _check_one_case(case_seed, fresh_restore):
         for index, history in enumerate(histories):
             assert migrated.history(index) == tuple(history), (tag, index)
 
+    # Path 6: the numpy vector kernel, batch and streaming, including the
+    # kind-portable snapshot wire format in both directions.
+    if HAVE_NUMPY:
+        vec = HistoryCheckerEngine(kernel="vector")
+        _register_all(vec, specs)
+        assert vec.check_batch_all(histories) == expected, (tag, "vector batch")
+
+        vec_stream = vec.open_stream()
+        vec_stream.feed_events(events[:half])
+        vec_blob = vec_stream.snapshot()
+        for target, label in ((vec, "vector→vector"), (engine, "vector→fused")):
+            restored_vec = target.restore_stream(vec_blob)
+            assert restored_vec.reset_on_restore == (), (tag, label)
+            restored_vec.feed_events(events[half:])
+            for name in specs:
+                verdicts = restored_vec.verdicts(name)
+                streamed = [verdicts[index] for index in range(len(histories))]
+                assert streamed == expected[name], (tag, name, label)
+        # The fused snapshot restores under the vector kernel too.
+        from_fused = vec.restore_stream(blob)
+        assert from_fused.reset_on_restore == (), (tag, "fused→vector")
+        from_fused.feed_events(events[half:])
+        for name in specs:
+            verdicts = from_fused.verdicts(name)
+            streamed = [verdicts[index] for index in range(len(histories))]
+            assert streamed == expected[name], (tag, name, "fused→vector")
+
+        # Mid-stream re-registration: bumping one spec's generation forces a
+        # kernel rebuild, so the live ndarray columns of every *other* spec
+        # are carried over through state translation.
+        if len(specs) > 1:
+            names = sorted(specs)
+            vec.add_spec(names[0], specs[names[0]])
+            vec_stream.feed_events(events[half:])
+            for name in names[1:]:
+                verdicts = vec_stream.verdicts(name)
+                streamed = [verdicts[index] for index in range(len(histories))]
+                assert streamed == expected[name], (tag, name, "vector re-registration")
+
 
 def test_differential_fuzz_all_paths_agree(fuzz_rounds):
     """>= 200 seeded cases per run: kernel = batch = cursors = DFA = stream."""
@@ -154,16 +203,24 @@ def test_differential_fuzz_all_paths_agree(fuzz_rounds):
 def test_pool_and_serial_verdicts_agree(fuzz_rounds):
     """The process-pool sharding path returns the serial path's verdicts.
 
-    A tiny batch size forces real sharding (more shards than workers), and
-    re-registering a spec between rounds exercises the worker-side kernel
-    cache's ``(name, generation)`` invalidation.
+    A tiny batch size (with the events-per-shard floor disabled) forces real
+    sharding (more shards than workers), re-registering a spec between
+    rounds exercises the worker-side kernel cache's ``(name, generation)``
+    invalidation, and alternating kernel kinds sends both the zlib-packed
+    and the raw buffer-protocol shard payloads across the pickle boundary.
     """
+    kinds = ["fused", "auto"] if HAVE_NUMPY else ["fused"]
     with ProcessPoolBackend(max_workers=2) as pool:
         for round_index in range(2 * fuzz_rounds):
             seed = BASE_SEED + 10_000 + round_index
             specs, histories = _random_case(seed)
             expected = _oracle(specs, histories)
-            engine = HistoryCheckerEngine(executor=pool, batch_size=3)
+            engine = HistoryCheckerEngine(
+                executor=pool,
+                batch_size=3,
+                min_shard_events=1,
+                kernel=kinds[round_index % len(kinds)],
+            )
             _register_all(engine, specs)
             assert engine.check_batch_all(histories) == expected, seed
             # Re-register the first spec with the last spec's automaton: the
