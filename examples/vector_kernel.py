@@ -91,11 +91,11 @@ def main() -> None:
             f"{table.shape[0]} product states x {table.shape[1]} symbols, "
             f"dtype {table.dtype} ({table.nbytes} bytes)"
         )
-    chunk_size, plan = batch._np_plan
-    gathers = sum(1 for entry in plan if entry[0])
+    chunk_size, _plan, (gathers, scalar_events) = batch._np_plan
     print(
         f"peel plan: {gathers} gather rounds over "
-        f"{-(-len(events) // chunk_size)} chunks of {chunk_size} events, "
+        f"{-(-len(events) // chunk_size)} chunks of {chunk_size} events "
+        f"({scalar_events} scalar-fallback events), "
         f"cached on the batch (warm feeds replay it)"
     )
 

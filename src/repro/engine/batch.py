@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import zlib
 from array import array
+from collections import OrderedDict
 from itertools import chain
 from operator import itemgetter
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.compiler import CompiledSpec
@@ -525,7 +527,7 @@ class FusedKernel:
     group -- still hash-free columnar sweeps).
     """
 
-    __slots__ = ("names", "width", "groups", "locate", "key")
+    __slots__ = ("names", "width", "groups", "locate", "key", "obs")
 
     #: Which kernel implementation this is; shard tasks and engine kernel
     #: keys carry it so worker-local caches rebuild the right kind.
@@ -541,6 +543,11 @@ class FusedKernel:
         self.names: Tuple[str, ...] = tuple(name for name, _spec in specs)
         self.width = width
         self.key = key
+        #: Kernel-layer observability instruments
+        #: (:class:`repro.obs.instruments.KernelInstruments`) or ``None``;
+        #: assigned by the owning engine, so the disabled hot path pays one
+        #: attribute check and nothing else.
+        self.obs = None
         self.groups: List[_ProductGroup] = []
         self.locate: Dict[str, Tuple[int, int]] = {}
         pending_names: List[str] = []
@@ -596,10 +603,16 @@ class FusedKernel:
         code_list = batch.code_list
         if not id_list:
             return 0
+        obs = self.obs
+        if obs is not None:
+            obs.batches_total.inc()
+            obs.events_total.inc(len(id_list))
         max_id = batch.max_id
         for group, column in zip(self.groups, columns):
             sink = group.sink
             if sink is not None and max_id < len(column) and all(r is sink for r in column):
+                if obs is not None:
+                    obs.sink_skips.inc()
                 continue  # whole population doomed for every spec of the group
             for o, c in zip(id_list, code_list):
                 column[o] = column[o][c]
@@ -779,6 +792,9 @@ class FusedKernel:
         self, code_list: List[int], lengths: Sequence[int]
     ) -> Dict[str, List[bool]]:
         """Per-spec verdicts for contiguous per-history code runs."""
+        obs = self.obs
+        if obs is not None:
+            obs.histories_total.inc(len(lengths))
         verdicts: Dict[str, List[bool]] = {}
         for group in self.groups:
             root = group.root
@@ -823,24 +839,111 @@ class FusedKernel:
 # --------------------------------------------------------------------------- #
 # Shard dispatch
 # --------------------------------------------------------------------------- #
-#: Worker-local cache of rebuilt kernels, keyed by the shard task's spec
-#: reference -- ``((name, generation), ...)`` plus the shared-alphabet
-#: version -- so a worker pays the blob decode and product build once per
-#: spec set, not once per shard.
-_WORKER_KERNELS: Dict[Tuple, FusedKernel] = {}
+#: Reserved verdict-dict key carrying a shard's observability payload (span
+#: tree + worker-cache deltas) back to the dispatching engine.  NUL-prefixed
+#: so it can never collide with a registered spec name that a user would
+#: plausibly type.
+OBS_RESULT_KEY = "\x00obs"
+
+#: Kernels a long-lived pool worker keeps across shards.  Spec
+#: re-registrations and alphabet growth mint fresh keys, so the cap is what
+#: keeps a tenant churning generations from growing worker memory without
+#: bound.
+WORKER_KERNEL_CACHE_SIZE = 32
+
+
+class _WorkerKernelCache:
+    """A tiny LRU for worker-side kernels, with hit/miss/eviction counts.
+
+    The predecessor was a plain dict flushed wholesale at 64 entries: every
+    spec re-registration in a long-lived pool minted a new key (generations
+    are part of the kernel key), so steady-state churn periodically dropped
+    *every* warm kernel at once.  The LRU evicts only the coldest entry and
+    keeps honest counters, which shards report back to the dispatching
+    engine's registry (:data:`OBS_RESULT_KEY`).
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = WORKER_KERNEL_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, FusedKernel]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple) -> Optional[FusedKernel]:
+        kernel = self._entries.get(key)
+        if kernel is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return kernel
+
+    def put(self, key: Tuple, kernel: FusedKernel) -> None:
+        self._entries[key] = kernel
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+#: The per-process worker cache (one per pool worker; also serves in-process
+#: callers of :func:`check_columnar_shard`).
+_WORKER_KERNELS = _WorkerKernelCache()
+
+
+def worker_kernel_cache_stats() -> Dict[str, int]:
+    """This process's worker-kernel-cache counters (introspection surface)."""
+    return _WORKER_KERNELS.stats()
 
 
 def make_shard_task(
-    kernel: FusedKernel, specs: Sequence[Tuple[str, CompiledSpec]], payload: Tuple
+    kernel: FusedKernel,
+    specs: Sequence[Tuple[str, CompiledSpec]],
+    payload: Tuple,
+    obs_token: Optional[int] = None,
 ) -> Tuple:
-    """One process-pool task: spec references, compact blobs, column bytes."""
-    return (kernel.key, tuple(spec.to_blob() for _name, spec in specs), payload)
+    """One process-pool task: spec references, compact blobs, column bytes.
+
+    ``obs_token`` -- the dispatching span's id (0 for metrics-only) -- is
+    appended only when observability is on, so the disabled wire format is
+    byte-identical to the uninstrumented one.
+    """
+    blobs = tuple(spec.to_blob() for _name, spec in specs)
+    if obs_token is None:
+        return (kernel.key, blobs, payload)
+    return (kernel.key, blobs, payload, obs_token)
 
 
 def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
-    """Check one encoded shard (module-level so process pools can pickle it)."""
-    key, blobs, payload = task
+    """Check one encoded shard (module-level so process pools can pickle it).
+
+    When the task carries an observability token, the verdict dict also
+    carries :data:`OBS_RESULT_KEY`: the shard's span (duration + history
+    count, recorded on this worker's clock), the parent span id to graft it
+    under, and the worker-cache delta for this call -- the engine pops the
+    key, merges the numbers into its registry, and attaches the span to the
+    dispatching trace.
+    """
+    key, blobs, payload = task[0], task[1], task[2]
+    obs_token = task[3] if len(task) > 3 else None
+    start = perf_counter() if obs_token is not None else 0.0
     kernel = _WORKER_KERNELS.get(key)
+    cache_hit = kernel is not None
     if kernel is None:
         _engine_token, references, width, cap, kind = key
         specs = [
@@ -853,24 +956,37 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
             kernel = VectorKernel(specs, width, cap, key=key)
         else:
             kernel = FusedKernel(specs, width, cap, key=key)
-        if len(_WORKER_KERNELS) >= 64:
-            _WORKER_KERNELS.clear()
-        _WORKER_KERNELS[key] = kernel
+        _WORKER_KERNELS.put(key, kernel)
     if payload[1][0] == "nd":
         from repro.engine.vector import unpack_shard_arrays
 
         lengths, code_list = unpack_shard_arrays(payload)
     else:
         lengths, code_list = ColumnarHistorySet.unpack_payload(payload)
-    return kernel.check_histories(code_list, lengths)
+    result = kernel.check_histories(code_list, lengths)
+    if obs_token is not None:
+        result[OBS_RESULT_KEY] = {
+            "parent": obs_token,
+            "span": {
+                "name": "shard.check",
+                "duration": perf_counter() - start,
+                "meta": {"histories": len(lengths), "kind": kernel.kind},
+            },
+            "cache_hit": cache_hit,
+            "cache_size": len(_WORKER_KERNELS),
+        }
+    return result
 
 
 __all__ = [
+    "OBS_RESULT_KEY",
     "PRODUCT_STATE_CAP",
+    "WORKER_KERNEL_CACHE_SIZE",
     "ObjectInterner",
     "EncodedBatch",
     "ColumnarHistorySet",
     "FusedKernel",
     "make_shard_task",
     "check_columnar_shard",
+    "worker_kernel_cache_stats",
 ]

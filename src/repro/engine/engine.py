@@ -33,9 +33,11 @@ Typical use::
 from __future__ import annotations
 
 from itertools import count
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.batch import (
+    OBS_RESULT_KEY,
     PRODUCT_STATE_CAP,
     ColumnarHistorySet,
     EncodedBatch,
@@ -51,6 +53,10 @@ from repro.engine.diagnostics import Violation, diagnose
 from repro.engine.executor import MIN_SHARD_EVENTS, SerialExecutor, shard_bounds_by_events
 from repro.formal.alphabet import RoleSetAlphabet
 from repro.formal.nfa import NFA
+from repro.obs import enabled as _obs_enabled
+from repro.obs import default_registry as _obs_default_registry
+from repro.obs.instruments import resolve as _resolve_obs
+from repro.obs.spans import TRACER
 
 Symbol = Hashable
 ObjectId = Hashable
@@ -60,6 +66,17 @@ Event = Tuple[ObjectId, Symbol]
 #: sharing one executor can never be served each other's worker-side
 #: kernels (spec *names* alone are not globally unique).
 _ENGINE_TOKENS = count()
+
+
+def _payload_nbytes(payload) -> int:
+    """Wire bytes of a shard payload (nested tuples of packed columns)."""
+    if isinstance(payload, memoryview):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_nbytes(item) for item in payload)
+    return 0
 
 
 def _as_automaton(spec) -> NFA:
@@ -100,6 +117,15 @@ class HistoryCheckerEngine:
         Minimum event mass per process-pool shard
         (:data:`repro.engine.executor.MIN_SHARD_EVENTS`); batches below it
         run serially instead of paying the pool round trip.
+    obs:
+        Observability wiring (:mod:`repro.obs`).  ``None`` (the default)
+        follows the process switch -- the engine is instrumented against
+        the process default registry iff :func:`repro.obs.enabled` at
+        construction time.  ``True``/``False`` force it on/off regardless
+        of the switch; a :class:`repro.obs.metrics.MetricsRegistry`
+        instruments this engine against that private registry (per-tenant
+        isolation).  Instruments resolve **once**, here: an uninstrumented
+        engine's hot paths pay a single ``is not None`` check.
     """
 
     def __init__(
@@ -110,6 +136,7 @@ class HistoryCheckerEngine:
         product_cap: int = PRODUCT_STATE_CAP,
         kernel: str = "auto",
         min_shard_events: Optional[int] = None,
+        obs=None,
     ) -> None:
         if kernel not in ("auto", "fused", "vector"):
             raise ValueError(
@@ -139,6 +166,25 @@ class HistoryCheckerEngine:
         self._alphabet = RoleSetAlphabet()
         self._kernels = SpecCache(16)
         self._token = next(_ENGINE_TOKENS)
+        self._obs = _resolve_obs(obs, _obs_enabled(), _obs_default_registry())
+        if self._obs is not None:
+            self._bind_obs()
+
+    def _bind_obs(self) -> None:
+        """Wire the resolved instruments into the caches and the executor."""
+        instruments = self._obs
+        instruments.registry.gauge(
+            "repro_engine_specs", "Registered specifications"
+        ).set_callback(lambda: len(self._sources))
+        self._cache.bind_metrics(
+            instruments.spec_cache_hits,
+            instruments.spec_cache_misses,
+            instruments.spec_cache_evictions,
+        )
+        self._kernels.bind_metrics(*instruments.cache_counters("kernel"))
+        bind = getattr(self._executor, "bind_obs", None)
+        if bind is not None:
+            bind(instruments)
 
     # ------------------------------------------------------------------ #
     # Spec registry
@@ -260,7 +306,7 @@ class HistoryCheckerEngine:
         source span of every clause whose sub-automaton rejected.
         """
         spec = self.compiled(name)
-        return diagnose(
+        violation = diagnose(
             name,
             spec,
             self._sources[name],
@@ -268,6 +314,9 @@ class HistoryCheckerEngine:
             object_id=object_id,
             clauses=self._clause_tables(name),
         )
+        if violation is not None and self._obs is not None:
+            self._obs.violations_total.inc()
+        return violation
 
     def _history_of(self, histories, index: int) -> Tuple[Symbol, ...]:
         """One history out of a batch, decoding columnar sets via the alphabet."""
@@ -319,6 +368,8 @@ class HistoryCheckerEngine:
         if kernel is None:
             factory = vector.VectorKernel if kind == "vector" else FusedKernel
             kernel = factory(specs, len(self._alphabet), self._product_cap, key=key)
+            if self._obs is not None:
+                kernel.obs = self._obs.kernel(kernel.kind)
             self._kernels.put(key, kernel)
         return kernel
 
@@ -366,40 +417,97 @@ class HistoryCheckerEngine:
         selected = tuple(names) if names is not None else self.spec_names()
         if not selected:
             return {}
-        if isinstance(histories, ColumnarHistorySet):
-            history_set = histories
-            if (
-                history_set.alphabet is not None and history_set.alphabet is not self._alphabet
-            ) or history_set.max_code >= len(self._alphabet):
-                raise ValueError(
-                    "the encoded history set was built against a different alphabet than "
-                    "this engine's; encode with engine.encode_histories"
+        obs = self._obs
+        if obs is not None:
+            obs.check_batches_total.inc()
+        with TRACER.trace("engine.check_batch_all", specs=len(selected)) as span:
+            if isinstance(histories, ColumnarHistorySet):
+                history_set = histories
+                if (
+                    history_set.alphabet is not None
+                    and history_set.alphabet is not self._alphabet
+                ) or history_set.max_code >= len(self._alphabet):
+                    raise ValueError(
+                        "the encoded history set was built against a different alphabet "
+                        "than this engine's; encode with engine.encode_histories"
+                    )
+            else:
+                with TRACER.trace("encode.histories"):
+                    history_set = ColumnarHistorySet.from_histories(histories, self._alphabet)
+            kernel = self._kernel_for(selected)
+            backend = executor if executor is not None else self._executor
+            bounds = (
+                None
+                if isinstance(backend, SerialExecutor)
+                else shard_bounds_by_events(
+                    history_set.offsets, self._batch_size, self._min_shard_events
                 )
-        else:
-            history_set = ColumnarHistorySet.from_histories(histories, self._alphabet)
-        kernel = self._kernel_for(selected)
-        backend = executor if executor is not None else self._executor
-        bounds = (
-            None
-            if isinstance(backend, SerialExecutor)
-            else shard_bounds_by_events(
-                history_set.offsets, self._batch_size, self._min_shard_events
             )
-        )
-        if bounds is None or len(bounds) <= 1:
-            verdicts = kernel.check_history_set(history_set)
-            return {name: verdicts[name] for name in selected}
-        specs = [(name, self.compiled(name)) for name in selected]
-        tasks = [
-            make_shard_task(kernel, specs, kernel.shard_payload(history_set, start, stop))
-            for start, stop in bounds
-        ]
-        results = backend.run(check_columnar_shard, tasks)
-        stitched: Dict[str, List[bool]] = {name: [] for name in selected}
-        for piece in results:
+            if bounds is None or len(bounds) <= 1:
+                with TRACER.trace("kernel.check", kind=kernel.kind):
+                    verdicts = kernel.check_history_set(history_set)
+                result = {name: verdicts[name] for name in selected}
+            else:
+                specs = [(name, self.compiled(name)) for name in selected]
+                # The shard tasks carry the dispatching span's id (0 for
+                # metrics-only) so workers report their span + cache deltas
+                # back under OBS_RESULT_KEY; disabled, the wire format is
+                # byte-identical to the uninstrumented one.
+                token = span.span_id if obs is not None else None
+                tasks = [
+                    make_shard_task(
+                        kernel,
+                        specs,
+                        kernel.shard_payload(history_set, start, stop),
+                        obs_token=token,
+                    )
+                    for start, stop in bounds
+                ]
+                if obs is not None:
+                    obs.shards_total.inc(len(tasks))
+                    obs.shard_payload_bytes.inc(
+                        sum(_payload_nbytes(task[2]) for task in tasks)
+                    )
+                with TRACER.trace("pool.dispatch", shards=len(tasks)) as dispatch:
+                    if obs is not None and getattr(backend, "_obs", None) is None:
+                        # Per-call backends are not bound at construction the
+                        # way the engine's own executor is; time them here.
+                        started = perf_counter()
+                        results = backend.run(check_columnar_shard, tasks)
+                        obs.pool_dispatch_seconds.observe(perf_counter() - started)
+                    else:
+                        results = backend.run(check_columnar_shard, tasks)
+                stitched: Dict[str, List[bool]] = {name: [] for name in selected}
+                for piece in results:
+                    extra = piece.pop(OBS_RESULT_KEY, None)
+                    if extra is not None and obs is not None:
+                        self._merge_shard_obs(obs, dispatch, extra)
+                    for name in selected:
+                        stitched[name].extend(piece[name])
+                result = stitched
+        if obs is not None:
             for name in selected:
-                stitched[name].extend(piece[name])
-        return stitched
+                verdicts = result[name]
+                passes = sum(verdicts)
+                obs.verdicts_pass.inc(passes)
+                obs.verdicts_fail.inc(len(verdicts) - passes)
+        return result
+
+    @staticmethod
+    def _merge_shard_obs(obs, dispatch_span, extra: Dict) -> None:
+        """Fold one shard's worker-side observability report into this process.
+
+        Workers ship per-call deltas (this call's cache hit/miss plus the
+        cache's current size), never cumulative totals, so re-used pool
+        workers are not double-counted.
+        """
+        if extra["cache_hit"]:
+            obs.worker_cache_hits.inc()
+        else:
+            obs.worker_cache_misses.inc()
+        obs.worker_cache_size.set(extra["cache_size"])
+        if TRACER.enabled:
+            TRACER.attach_remote(dispatch_span, extra["span"])
 
     # ------------------------------------------------------------------ #
     # Streaming
@@ -418,6 +526,8 @@ class HistoryCheckerEngine:
         for name in selected:
             if name not in self._sources:
                 raise KeyError(f"unknown specification {name!r}")
+        if self._obs is not None:
+            self._obs.streams_opened.inc()
         return StreamChecker(self, selected, record=record)
 
     def restore_stream(self, blob: bytes) -> "StreamChecker":
@@ -431,7 +541,33 @@ class HistoryCheckerEngine:
         """
         from repro.engine.snapshot import load_stream
 
-        return load_stream(self, blob)
+        stream = load_stream(self, blob)
+        if self._obs is not None:
+            self._obs.streams_opened.inc()
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """One introspection dict: registry sizes, cache counters, kernel kind.
+
+        Always available -- the cache counters live on the caches themselves
+        -- and, when this engine is instrumented, ``"metrics"`` additionally
+        carries every metric value of the engine's registry
+        (:meth:`repro.obs.metrics.MetricsRegistry.to_dict`).
+        """
+        data: Dict[str, object] = {
+            "specs": len(self._sources),
+            "kernel": self._kernel_kind(),
+            "alphabet_size": len(self._alphabet),
+            "spec_cache": self._cache.stats(),
+            "kernel_cache": self._kernels.stats(),
+            "observability": self._obs is not None,
+        }
+        if self._obs is not None:
+            data["metrics"] = self._obs.registry.to_dict()
+        return data
 
 
 class StreamChecker:
@@ -576,6 +712,10 @@ class StreamChecker:
         else:
             batch = EncodedBatch.from_events(events, self._engine.alphabet, self._interner)
         count = len(batch)
+        obs = self._engine._obs
+        if obs is not None:
+            obs.batches_total.inc()
+            obs.events_total.inc(count)
         if self._traces is not None and count:
             traces = self._traces
             missing = len(self._interner) - len(traces)

@@ -14,6 +14,7 @@ column bytes plus compact spec blobs resolved through a worker-local cache
 from __future__ import annotations
 
 from bisect import bisect_left
+from time import perf_counter
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 Task = TypeVar("Task")
@@ -71,12 +72,38 @@ def shard_bounds_by_events(
     return bounds
 
 
-class SerialExecutor:
+class _ObservableBackend:
+    """Latency observation shared by the executor backends.
+
+    An engine with observability on binds its instruments here
+    (:meth:`bind_obs`); every :meth:`run` then observes one round-trip
+    latency sample in the ``repro_engine_pool_dispatch_seconds`` histogram.
+    Unbound (the default), ``run`` pays a single ``is not None`` check.
+    """
+
+    _obs = None
+
+    def bind_obs(self, instruments) -> None:
+        """Observe dispatch latency into ``instruments`` from now on."""
+        self._obs = instruments
+
+    def _observe(self, elapsed: float) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.pool_dispatch_seconds.observe(elapsed)
+
+
+class SerialExecutor(_ObservableBackend):
     """Run every shard in the calling process, in order."""
 
     def run(self, function: Callable[[Task], Result], tasks: Iterable[Task]) -> List[Result]:
         """Apply ``function`` to each task and collect the results in order."""
-        return [function(task) for task in tasks]
+        if self._obs is None:
+            return [function(task) for task in tasks]
+        start = perf_counter()
+        results = [function(task) for task in tasks]
+        self._observe(perf_counter() - start)
+        return results
 
     def close(self) -> None:
         """Nothing to release."""
@@ -85,7 +112,7 @@ class SerialExecutor:
         return "SerialExecutor()"
 
 
-class ProcessPoolBackend:
+class ProcessPoolBackend(_ObservableBackend):
     """Fan shards out over a lazily created process pool.
 
     ``function`` and every task must be picklable (the engine only submits
@@ -113,7 +140,13 @@ class ProcessPoolBackend:
         """
         tasks = tasks if isinstance(tasks, (list, tuple)) else list(tasks)
         chunksize = max(1, len(tasks) // (4 * (self._max_workers or 4)))
-        return list(self._ensure_pool().map(function, tasks, chunksize=chunksize))
+        if self._obs is None:
+            return list(self._ensure_pool().map(function, tasks, chunksize=chunksize))
+        pool = self._ensure_pool()
+        start = perf_counter()
+        results = list(pool.map(function, tasks, chunksize=chunksize))
+        self._observe(perf_counter() - start)
+        return results
 
     def close(self) -> None:
         """Shut the pool down (a later :meth:`run` recreates it)."""

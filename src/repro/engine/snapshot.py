@@ -152,7 +152,11 @@ def dump_stream(stream) -> bytes:
         "traces": traces,
     }
     payload = pickle.dumps(body, protocol=4)
-    return MAGIC + _HEADER.pack(FORMAT_VERSION, len(payload)) + payload
+    blob = MAGIC + _HEADER.pack(FORMAT_VERSION, len(payload)) + payload
+    obs = engine._obs
+    if obs is not None:
+        obs.snapshot_dump_bytes.inc(len(blob))
+    return blob
 
 
 def _parse(blob: bytes) -> Dict:
@@ -207,6 +211,15 @@ def load_stream(engine, blob: bytes):
     from repro.engine.engine import StreamChecker
 
     body = _parse(blob)
+    obs = engine._obs
+    if obs is not None:
+        obs.snapshot_restore_bytes.inc(len(blob))
+        # Every occupied product state listed in a group payload is
+        # re-materialized through ensure_state (or re-adopted verbatim on
+        # the fast path) -- either way it is one unit of restore work.
+        obs.snapshot_state_translations.inc(
+            sum(len(group["states"]) for group in body["groups"])
+        )
     names = tuple(body["names"])
     for name in names:
         if engine.generation(name) == 0:

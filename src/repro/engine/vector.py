@@ -318,6 +318,10 @@ class VectorKernel(FusedKernel):
         count = len(batch.id_list)
         if not count:
             return 0
+        obs = self.obs
+        if obs is not None:
+            obs.batches_total.inc()
+            obs.events_total.inc(count)
         ids = _id_array(batch)
         if batch._max_id is None:
             batch._max_id = int(ids.max())
@@ -333,10 +337,17 @@ class VectorKernel(FusedKernel):
                 and max_id < len(column)
                 and bool((column == tab.sink_index).all())
             ):
+                if obs is not None:
+                    obs.sink_skips.inc()
                 continue  # whole population doomed for every spec of the group
             active.append(gi)
         if not active:
             return count
+        if obs is not None:
+            if batch._np_plan is not None and batch._np_plan[0] == PEEL_CHUNK:
+                obs.plan_cache_hits.inc()
+            else:
+                obs.plan_cache_misses.inc()
         plan = _batch_plan(batch, ids, max_id)
         for gi in active:
             table = self._tables[gi].table
@@ -346,6 +357,12 @@ class VectorKernel(FusedKernel):
                     column[objects] = table[column[objects], symbol_codes]
                 else:
                     self._advance_scalar(gi, column, objects, symbol_codes)
+        if obs is not None:
+            # The aggregates were computed once when the plan was built.
+            gathers, scalar = batch._np_plan[2]
+            obs.gather_rounds.inc(gathers * len(active))
+            if scalar:
+                obs.scalar_fallback_events.inc(scalar * len(active))
         return count
 
     def _advance_scalar(self, group_index: int, column, objects, symbol_codes) -> None:
@@ -409,6 +426,9 @@ class VectorKernel(FusedKernel):
         codes = np.asarray(code_list, dtype=np.int64)
         lens = np.asarray(lengths, dtype=np.int64)
         n = len(lens)
+        obs = self.obs
+        if obs is not None:
+            obs.histories_total.inc(n)
         if n == 0:
             return {name: [] for name in self.names}
         offsets = np.zeros(n + 1, dtype=np.int64)
@@ -416,6 +436,8 @@ class VectorKernel(FusedKernel):
         order = np.argsort(-lens, kind="stable")
         starts = offsets[:-1][order]
         max_length = int(lens[order[0]])
+        if obs is not None:
+            obs.gather_rounds.inc(max_length * len(self.groups))
         counts = np.bincount(lens, minlength=max_length + 1)
         active = n - np.cumsum(counts)  # active[r] = #histories longer than r
         verdicts: Dict[str, List[bool]] = {}
@@ -461,8 +483,10 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
     there too.
 
     The plan depends only on the batch's immutable id/code columns, so it is
-    cached on the batch and replayed by every group of every stream the
-    batch is fed to.
+    cached on the batch -- together with its observability aggregates
+    ``(vectorized rounds, scalar-fallback events)``, so instrumented feeds
+    never re-walk the plan to count -- and replayed by every group of every
+    stream the batch is fed to.
     """
     cached = batch._np_plan
     if cached is not None and cached[0] == PEEL_CHUNK:
@@ -470,6 +494,8 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
     codes = _code_array(batch)
     pos = np.empty(max_id + 1, dtype=np.intp)
     plan: List[Tuple] = []
+    rounds = 0
+    scalar_events = 0
     for start in range(0, len(ids), PEEL_CHUNK):
         cur_ids = ids[start : start + PEEL_CHUNK]
         cur_codes = codes[start : start + PEEL_CHUNK]
@@ -478,11 +504,13 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
         while idx.size:
             if depth >= PEEL_DEPTH_LIMIT:
                 plan.append((False, cur_ids, cur_codes))
+                scalar_events += len(cur_ids)
                 break
             pos[cur_ids[::-1]] = idx[::-1]  # last write wins = first occurrence
             first = pos[cur_ids] == idx
             objects = cur_ids[first]
             plan.append((True, objects, cur_codes[first]))
+            rounds += 1
             if objects.size == idx.size:
                 break
             keep = ~first
@@ -490,7 +518,7 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
             cur_ids = cur_ids[keep]
             cur_codes = cur_codes[keep]
             depth += 1
-    batch._np_plan = (PEEL_CHUNK, plan)
+    batch._np_plan = (PEEL_CHUNK, plan, (rounds, scalar_events))
     return plan
 
 
