@@ -59,6 +59,7 @@ EXPECTED_CASES = {
     "test_e25_vector_streaming_beats_fused",
     "test_e25_raw_shard_dispatch_beats_zlib",
     "test_e26_metrics_enabled_streaming_overhead",
+    "test_e27_wal_overhead_and_recovery_beat_refeeding",
 }
 
 #: Iterations of the calibration workload; sized to take ~100ms on a dev VM.

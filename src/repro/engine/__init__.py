@@ -22,10 +22,15 @@ pipeline is compile → encode → fuse → shard/stream:
   by event (the reference path the fused kernel is pinned against);
 * :mod:`repro.engine.executor` -- serial and process-pool shard backends
   for batch checking;
+* :mod:`repro.engine.supervisor` -- fault supervision over the shard
+  backends: per-shard deadlines, bounded retry with backoff + jitter, pool
+  respawn, poison-shard quarantine, graceful degradation to serial;
 * :mod:`repro.engine.diagnostics` -- violation reports: fatal event,
   minimal counterexample, shortest conforming completion, MCL clause spans;
 * :mod:`repro.engine.snapshot` -- checkpoint/restore of streaming sessions
   (versioned wire format, fingerprint-validated state translation);
+* :mod:`repro.engine.journal` -- write-ahead event journaling plus
+  checkpoints: crash-durable streaming sessions and ``recover_stream``;
 * :mod:`repro.engine.engine` -- :class:`~repro.engine.engine.
   HistoryCheckerEngine`, the façade tying the pieces together.
 """
@@ -47,12 +52,15 @@ from repro.engine.engine import HistoryCheckerEngine, StreamChecker
 from repro.engine.executor import (
     MIN_SHARD_EVENTS,
     ProcessPoolBackend,
+    ProcessPoolShardExecutor,
     SerialExecutor,
     shard,
     shard_bounds,
     shard_bounds_by_events,
 )
+from repro.engine.journal import DurableStream, JournalError, open_durable, recover
 from repro.engine.snapshot import FORMAT_VERSION, SnapshotError, dump_stream, load_stream
+from repro.engine.supervisor import FaultPolicy, ShardFailure, SupervisedExecutor
 from repro.engine.vector import HAVE_NUMPY, VectorKernel
 
 __all__ = [
@@ -73,6 +81,14 @@ __all__ = [
     "check_columnar_shard",
     "SerialExecutor",
     "ProcessPoolBackend",
+    "ProcessPoolShardExecutor",
+    "SupervisedExecutor",
+    "FaultPolicy",
+    "ShardFailure",
+    "DurableStream",
+    "JournalError",
+    "open_durable",
+    "recover",
     "shard",
     "shard_bounds",
     "shard_bounds_by_events",

@@ -45,6 +45,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.compiler import CompiledSpec
 from repro.formal.alphabet import RoleSetAlphabet
+from repro.testing.faults import fire as _fire
 
 Symbol = Hashable
 ObjectId = Hashable
@@ -59,6 +60,11 @@ PRODUCT_STATE_CAP = 20_000
 #: zlib level for shard payloads: level 1 keeps compression at memory-copy
 #: speed while already collapsing low-entropy code columns by ~4-8x.
 _PAYLOAD_ZLIB_LEVEL = 1
+
+#: Decompression bound for packed columns arriving from *untrusted* wire
+#: blobs (snapshots, journal records): generous for any real session (10⁷
+#: objects at 8 bytes), fatal for a zlib bomb inside a corrupted payload.
+COLUMN_WIRE_LIMIT = 1 << 27
 
 
 class ObjectInterner:
@@ -153,6 +159,46 @@ class ObjectInterner:
             return ("dense", self._dense)
         return ("objects", list(self._objects))
 
+    def tail(self, start: int) -> Tuple:
+        """The id-space delta since the first ``start`` codes, as a payload.
+
+        Dense mode ships only the current count (integer ids are their own
+        codes); dict mode ships the object-list slice ``[start:]`` in code
+        order.  :meth:`extend_tail` applies the payload to an interner whose
+        first ``start`` codes match -- the journal's replay contract.
+        """
+        if not self._objects:
+            return ("dense", self._dense)
+        return ("objects", list(self._objects[start:]))
+
+    def extend_tail(self, payload: Tuple, start: int) -> None:
+        """Apply a :meth:`tail` payload recorded at id-space size ``start``.
+
+        The interner must hold exactly the first ``start`` codes the payload
+        was cut at (interning is deterministic, so a state restored from an
+        older checkpoint always does); misaligned payloads raise
+        ``ValueError`` rather than silently shifting codes.
+        """
+        kind, data = payload
+        if kind == "dense":
+            if self._objects:
+                raise ValueError("a dense id-space tail cannot extend a dict-mode interner")
+            self._dense = max(self._dense, data)
+            return
+        if kind != "objects":
+            raise ValueError(f"unknown object-interner tail kind {kind!r}")
+        self._leave_dense_mode()
+        if len(self._objects) != start:
+            raise ValueError(
+                f"object-id tail recorded at size {start} cannot extend an interner "
+                f"holding {len(self._objects)} codes"
+            )
+        codes = self._codes
+        objects = self._objects
+        for object_id in data:
+            codes[object_id] = len(objects)
+            objects.append(object_id)
+
     @classmethod
     def from_snapshot(cls, payload: Tuple) -> "ObjectInterner":
         """Rebuild the id space serialized by :meth:`to_snapshot`."""
@@ -162,7 +208,9 @@ class ObjectInterner:
             interner._dense = data
         elif kind == "objects":
             interner._objects = list(data)
-            interner._codes = {object_id: code for code, object_id in enumerate(data)}
+            # dict(zip(...)) builds the inverse map in C -- on a 10^5-object
+            # snapshot this is the single hottest line of a restore.
+            interner._codes = dict(zip(data, range(len(data))))
         else:
             raise ValueError(f"unknown object-interner snapshot kind {kind!r}")
         return interner
@@ -183,10 +231,27 @@ def _pack_column(values: Sequence[int], compress: bool = True) -> Tuple[str, int
     return typecode, 0, raw
 
 
-def _unpack_column(packed: Tuple[str, int, bytes]) -> List[int]:
+def _unpack_column(packed: Tuple[str, int, bytes], limit: Optional[int] = None) -> List[int]:
+    """Inverse of :func:`_pack_column`; ``limit`` caps decompressed bytes.
+
+    Untrusted wire parsers (snapshot restore, journal replay) pass a limit
+    so a corrupted or hostile length cannot zip-bomb the process into a
+    ``MemoryError``: decompression stops at the bound and raises
+    ``ValueError`` instead of materializing the claimed size.
+    """
     typecode, compressed, data = packed
+    if compressed:
+        if limit is None:
+            data = zlib.decompress(data)
+        else:
+            decompressor = zlib.decompressobj()
+            data = decompressor.decompress(data, limit + 1)
+            if len(data) > limit or decompressor.unconsumed_tail:
+                raise ValueError(f"packed column inflates past the {limit}-byte bound")
+    elif limit is not None and len(data) > limit:
+        raise ValueError(f"packed column carries more than the {limit}-byte bound")
     column = array(typecode)
-    column.frombytes(zlib.decompress(data) if compressed else data)
+    column.frombytes(data)
     return column.tolist()
 
 
@@ -782,7 +847,14 @@ class FusedKernel:
                     for signature in states
                 ]
             lookup = [group.ensure_state(tuple(signature)) for signature in states]
-            index_columns.append(list(map(lookup.__getitem__, _unpack_column(payload["column"]))))
+            index_columns.append(
+                list(
+                    map(
+                        lookup.__getitem__,
+                        _unpack_column(payload["column"], limit=COLUMN_WIRE_LIMIT),
+                    )
+                )
+            )
         return self._columns_from_indices(index_columns)
 
     # ------------------------------------------------------------------ #
@@ -939,6 +1011,7 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
     key, merges the numbers into its registry, and attaches the span to the
     dispatching trace.
     """
+    _fire("worker.shard")
     key, blobs, payload = task[0], task[1], task[2]
     obs_token = task[3] if len(task) > 3 else None
     start = perf_counter() if obs_token is not None else 0.0
@@ -979,6 +1052,7 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
 
 
 __all__ = [
+    "COLUMN_WIRE_LIMIT",
     "OBS_RESULT_KEY",
     "PRODUCT_STATE_CAP",
     "WORKER_KERNEL_CACHE_SIZE",

@@ -546,9 +546,81 @@ class HistoryCheckerEngine:
             self._obs.streams_opened.inc()
         return stream
 
+    def open_durable_stream(
+        self,
+        directory,
+        names: Optional[Iterable[str]] = None,
+        record: bool = False,
+        checkpoint_every: Optional[int] = 50_000,
+        retain: int = 2,
+        fsync: bool = False,
+    ):
+        """A crash-durable streaming session journaling into ``directory``.
+
+        Every fed batch is appended to a write-ahead journal before it is
+        applied, and a checkpoint is cut every ``checkpoint_every`` events
+        (``None`` = manual :meth:`~repro.engine.journal.DurableStream.
+        checkpoint` only).  After a crash, :meth:`recover_stream` on the
+        same directory rebuilds the session.  See
+        :mod:`repro.engine.journal` for the wire format and guarantees.
+        """
+        from repro.engine.journal import open_durable
+
+        return open_durable(
+            self,
+            directory,
+            names=names,
+            record=record,
+            checkpoint_every=checkpoint_every,
+            retain=retain,
+            fsync=fsync,
+        )
+
+    def recover_stream(
+        self,
+        directory,
+        checkpoint_every: Optional[int] = 50_000,
+        retain: int = 2,
+        fsync: bool = False,
+    ):
+        """Rebuild a durable streaming session from its journal directory.
+
+        Restores the newest valid checkpoint (corrupt generations fall back
+        to retained older ones), replays the journal tail, cleanly
+        truncates a torn final record, and returns a live
+        :class:`repro.engine.journal.DurableStream` ready to feed.
+        """
+        from repro.engine.journal import recover
+
+        return recover(
+            self,
+            directory,
+            checkpoint_every=checkpoint_every,
+            retain=retain,
+            fsync=fsync,
+        )
+
     # ------------------------------------------------------------------ #
-    # Introspection
+    # Lifecycle and introspection
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the engine's executor (process pools included); idempotent.
+
+        Engines are context managers, so pool-backed ones no longer leak
+        worker processes on teardown::
+
+            with HistoryCheckerEngine(executor=ProcessPoolShardExecutor()) as engine:
+                ...
+        """
+        close = getattr(self._executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "HistoryCheckerEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
     def stats(self) -> Dict[str, object]:
         """One introspection dict: registry sizes, cache counters, kernel kind.
 
@@ -565,6 +637,11 @@ class HistoryCheckerEngine:
             "kernel_cache": self._kernels.stats(),
             "observability": self._obs is not None,
         }
+        executor_stats = getattr(self._executor, "stats", None)
+        if executor_stats is not None:
+            # A SupervisedExecutor reports its retry/timeout/respawn/
+            # quarantine/degrade counters and current degradation state.
+            data["fault_tolerance"] = executor_stats()
         if self._obs is not None:
             data["metrics"] = self._obs.registry.to_dict()
         return data

@@ -106,7 +106,13 @@ class SerialExecutor(_ObservableBackend):
         return results
 
     def close(self) -> None:
-        """Nothing to release."""
+        """Nothing to release (idempotent, like every backend's close)."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -118,19 +124,64 @@ class ProcessPoolBackend(_ObservableBackend):
     ``function`` and every task must be picklable (the engine only submits
     module-level functions with compiled-spec/history arguments).  The pool
     is created on first use so that merely constructing an engine with a
-    parallel backend costs nothing.
+    parallel backend costs nothing.  ``initializer``/``initargs`` run in
+    every worker at spawn time (and again after a :meth:`respawn`), which is
+    how the fault-injection harness (:mod:`repro.testing.faults`) arms
+    worker-side fault sites on spawn-based platforms.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+    ) -> None:
         self._max_workers = max_workers
+        self._initializer = initializer
+        self._initargs = initargs
         self._pool = None
 
     def _ensure_pool(self):
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
         return self._pool
+
+    def submit(self, function: Callable[[Task], Result], task: Task):
+        """Submit one task; returns the pool's future.
+
+        The supervision layer (:mod:`repro.engine.supervisor`) dispatches
+        through this so it can apply per-shard deadlines and retry
+        individual futures instead of one opaque ``map``.
+        """
+        return self._ensure_pool().submit(function, task)
+
+    def respawn(self) -> None:
+        """Abandon the current pool -- hung or broken workers included.
+
+        The pool is shut down without waiting (a worker stuck past its
+        deadline would block a waiting shutdown forever), surviving worker
+        processes are killed best-effort, and the next :meth:`run` or
+        :meth:`submit` builds a fresh pool with the same configuration.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown of a broken pool
+            pass
+        for process in processes:
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
 
     def run(self, function: Callable[[Task], Result], tasks: Iterable[Task]) -> List[Result]:
         """Apply ``function`` to each task across the pool; order preserved.
@@ -149,7 +200,7 @@ class ProcessPoolBackend(_ObservableBackend):
         return results
 
     def close(self) -> None:
-        """Shut the pool down (a later :meth:`run` recreates it)."""
+        """Shut the pool down; idempotent (a later :meth:`run` recreates it)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -164,6 +215,10 @@ class ProcessPoolBackend(_ObservableBackend):
         return f"ProcessPoolBackend(max_workers={self._max_workers})"
 
 
+#: The name the satellite API grew up under; the class predates it.
+ProcessPoolShardExecutor = ProcessPoolBackend
+
+
 __all__ = [
     "MIN_SHARD_EVENTS",
     "shard",
@@ -171,4 +226,5 @@ __all__ = [
     "shard_bounds_by_events",
     "SerialExecutor",
     "ProcessPoolBackend",
+    "ProcessPoolShardExecutor",
 ]

@@ -6,9 +6,9 @@ product-row index per object per kernel group, and per-spec bookkeeping.
 This module serializes exactly that -- so a monitor can survive a process
 restart without replaying the 10⁶ events that produced its state.
 
-Wire format (version 1)::
+Wire format (version 2)::
 
-    b"RSNP"  ·  >H format version  ·  >Q body length  ·  pickled body
+    b"RSNP"  ·  >H format version  ·  >Q body length  ·  >I body crc32  ·  pickled body
 
 The body holds the object interner, per-spec ``(generation, fingerprint)``
 pairs, the shared-alphabet version, per-group state payloads, and -- when
@@ -22,8 +22,18 @@ _pack_column`), so 10⁵ objects cost a few KB, not a pickle of 10⁵ rows.
 
 Restore validates, never trusts:
 
-* the magic, version and body length gate malformed blobs
-  (:class:`SnapshotError`, not a pickle traceback five frames deep);
+* the magic, version, body length and body CRC gate malformed blobs
+  (:class:`SnapshotError`, not a pickle traceback five frames deep): any
+  truncation or bit flip anywhere in the body fails the checksum before a
+  single byte is unpickled, and a blob over-claiming its length reads as
+  truncated instead of allocating the claim;
+* packed state/trace columns decompress under a hard byte bound, so a
+  corrupted column cannot zip-bomb restore into a ``MemoryError``;
+* **everything** after the header checks surfaces as
+  :class:`SnapshotError` -- never a raw ``struct.error`` / ``zlib.error`` /
+  ``KeyError`` from five frames inside the rebuild (the one deliberate
+  exception: a snapshot naming a spec the engine does not know raises
+  ``KeyError``, an engine-configuration error rather than blob corruption);
 * the body is decoded by a **restricted unpickler**: only builtin
   container/scalar types and classes from the ``repro`` package resolve,
   so a crafted blob cannot smuggle a ``__reduce__`` gadget through the
@@ -53,13 +63,20 @@ from __future__ import annotations
 import io
 import pickle
 import struct
+import zlib
 from typing import Dict, List, Tuple
 
+from repro.engine.batch import COLUMN_WIRE_LIMIT as _COLUMN_LIMIT
 from repro.engine.batch import ObjectInterner, _pack_column, _unpack_column
 
 MAGIC = b"RSNP"
-FORMAT_VERSION = 1
-_HEADER = struct.Struct(">HQ")
+FORMAT_VERSION = 2
+_HEADER = struct.Struct(">HQI")
+
+#: Every key a version-2 body must carry; missing keys are corruption.
+_BODY_KEYS = frozenset(
+    {"names", "specs", "alphabet_version", "objects", "events_seen", "universe", "seen", "groups", "traces"}
+)
 
 
 class SnapshotError(ValueError):
@@ -152,7 +169,7 @@ def dump_stream(stream) -> bytes:
         "traces": traces,
     }
     payload = pickle.dumps(body, protocol=4)
-    blob = MAGIC + _HEADER.pack(FORMAT_VERSION, len(payload)) + payload
+    blob = MAGIC + _HEADER.pack(FORMAT_VERSION, len(payload), zlib.crc32(payload)) + payload
     obs = engine._obs
     if obs is not None:
         obs.snapshot_dump_bytes.inc(len(blob))
@@ -165,20 +182,27 @@ def _parse(blob: bytes) -> Dict:
     blob = bytes(blob)
     if len(blob) < 4 + _HEADER.size or blob[:4] != MAGIC:
         raise SnapshotError("not a stream snapshot (bad magic)")
-    version, length = _HEADER.unpack_from(blob, 4)
+    version, length, crc = _HEADER.unpack_from(blob, 4)
     if version != FORMAT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot format {version} (this build reads {FORMAT_VERSION})"
         )
+    # An over-claimed length reads as truncation; the claim is never
+    # allocated, so an absurd length cannot MemoryError the parser.
     if len(blob) < 4 + _HEADER.size + length:
         raise SnapshotError("truncated stream snapshot")
     body = blob[4 + _HEADER.size : 4 + _HEADER.size + length]
+    if zlib.crc32(body) != crc:
+        raise SnapshotError("corrupt stream snapshot (body checksum mismatch)")
     try:
-        return _RestrictedUnpickler(io.BytesIO(body)).load()
+        decoded = _RestrictedUnpickler(io.BytesIO(body)).load()
     except SnapshotError:
         raise
     except Exception as exc:
         raise SnapshotError(f"corrupt stream snapshot body: {exc}") from exc
+    if not isinstance(decoded, dict) or not _BODY_KEYS.issubset(decoded):
+        raise SnapshotError("corrupt stream snapshot (body structure)")
+    return decoded
 
 
 def _spec_state_columns(
@@ -187,7 +211,7 @@ def _spec_state_columns(
     """Per-spec DFA state columns recovered from the group payloads."""
     states: Dict[str, List[int]] = {}
     for group in body["groups"]:
-        indices = _unpack_column(group["column"])
+        indices = _unpack_column(group["column"], limit=_COLUMN_LIMIT)
         for j, name in enumerate(group["names"]):
             lookup = [signature[j] for signature in group["states"]]
             states[name] = list(map(lookup.__getitem__, indices))
@@ -208,24 +232,40 @@ def load_stream(engine, blob: bytes):
     restarted from their initial state (like live re-registration) and
     listed on the returned stream's ``reset_on_restore``.
     """
-    from repro.engine.engine import StreamChecker
-
     body = _parse(blob)
+    try:
+        names = tuple(body["names"])
+        group_states = sum(len(group["states"]) for group in body["groups"])
+    except Exception as exc:
+        raise SnapshotError(f"corrupt stream snapshot: {exc}") from exc
+    for name in names:
+        if engine.generation(name) == 0:
+            raise KeyError(
+                f"the snapshot checks spec {name!r}, which is not registered in this engine"
+            )
     obs = engine._obs
     if obs is not None:
         obs.snapshot_restore_bytes.inc(len(blob))
         # Every occupied product state listed in a group payload is
         # re-materialized through ensure_state (or re-adopted verbatim on
         # the fast path) -- either way it is one unit of restore work.
-        obs.snapshot_state_translations.inc(
-            sum(len(group["states"]) for group in body["groups"])
-        )
-    names = tuple(body["names"])
-    for name in names:
-        if engine.generation(name) == 0:
-            raise KeyError(
-                f"the snapshot checks spec {name!r}, which is not registered in this engine"
-            )
+        obs.snapshot_state_translations.inc(group_states)
+    try:
+        return _rebuild(engine, body, names)
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        # The body passed the CRC and the structure checks, yet the rebuild
+        # tripped -- inconsistent column lengths, out-of-range indices, the
+        # wrong types inside a well-formed container.  All corruption, all
+        # one exception type for callers.
+        raise SnapshotError(f"corrupt stream snapshot: {exc}") from exc
+
+
+def _rebuild(engine, body: Dict, names: Tuple[str, ...]):
+    """The post-validation restore; every failure in here is corruption."""
+    from repro.engine.engine import StreamChecker
+
     compiled = {name: engine.compiled(name) for name in names}
     resets = tuple(
         name
@@ -269,8 +309,8 @@ def load_stream(engine, blob: bytes):
             )
         alphabet = engine.alphabet
         recode = [alphabet.intern(symbol) for symbol in traces["symbols"]]
-        lengths = _unpack_column(traces["lengths"])
-        flat = _unpack_column(traces["codes"])
+        lengths = _unpack_column(traces["lengths"], limit=_COLUMN_LIMIT)
+        flat = _unpack_column(traces["codes"], limit=_COLUMN_LIMIT)
         rebuilt = []
         position = 0
         try:
@@ -286,7 +326,8 @@ def load_stream(engine, blob: bytes):
             rebuilt.append([])
         stream._traces = rebuilt
         stream._trace_marks = {
-            name: _unpack_column(packed) for name, packed in traces["marks"].items()
+            name: _unpack_column(packed, limit=_COLUMN_LIMIT)
+            for name, packed in traces["marks"].items()
         }
         for name in resets:
             # The reset spec's cursors restarted at restore time: diagnostics

@@ -57,6 +57,16 @@ class EngineInstruments:
         "snapshot_dump_bytes",
         "snapshot_restore_bytes",
         "snapshot_state_translations",
+        # supervisor.py
+        "supervisor_events",
+        # journal.py
+        "journal_append_records",
+        "journal_append_bytes",
+        "journal_replay_records",
+        "journal_replay_bytes",
+        "journal_checkpoints",
+        "journal_truncated_records",
+        "stream_recoveries",
         # batch.py / vector.py, per kernel kind
         "_kernel_cache",
     )
@@ -131,6 +141,46 @@ class EngineInstruments:
         self.snapshot_state_translations = counter(
             "repro_engine_snapshot_state_translations_total",
             "Occupied product states re-materialized during snapshot restore",
+        )
+        # Supervision events keyed by the SupervisedExecutor's internal
+        # counter names; one labelled series per degradation-ladder rung.
+        self.supervisor_events = {
+            name: counter(
+                "repro_supervisor_events_total",
+                "Fault-supervision events by kind (repro.engine.supervisor)",
+                event=event,
+            )
+            for name, event in (
+                ("retries", "retry"),
+                ("timeouts", "timeout"),
+                ("respawns", "respawn"),
+                ("quarantined", "quarantine"),
+                ("degraded", "degrade"),
+                ("shard_failures", "shard_failure"),
+            )
+        }
+        self.journal_append_records = counter(
+            "repro_journal_records_total", "Journal records processed", direction="append"
+        )
+        self.journal_replay_records = counter(
+            "repro_journal_records_total", "Journal records processed", direction="replay"
+        )
+        self.journal_append_bytes = counter(
+            "repro_journal_bytes_total", "Journal record bytes processed", direction="append"
+        )
+        self.journal_replay_bytes = counter(
+            "repro_journal_bytes_total", "Journal record bytes processed", direction="replay"
+        )
+        self.journal_checkpoints = counter(
+            "repro_journal_checkpoints_total", "Checkpoints written by durable streams"
+        )
+        self.journal_truncated_records = counter(
+            "repro_journal_truncated_records_total",
+            "Corrupt or torn journal tail records discarded during recovery",
+        )
+        self.stream_recoveries = counter(
+            "repro_stream_recoveries_total",
+            "Durable streaming sessions rebuilt by recover_stream",
         )
         self._kernel_cache: Dict[str, "KernelInstruments"] = {}
 

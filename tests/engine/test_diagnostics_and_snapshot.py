@@ -335,9 +335,17 @@ def test_restore_refuses_pickle_gadgets():
         def __reduce__(self):
             return (print, ("pwned",))
 
+    import zlib
+
     engine = _mcl_engine(banking)
     payload = pickle.dumps({"names": (), "objects": ("dense", 0), "gadget": Gadget()})
-    blob = MAGIC + bytes([0, FORMAT_VERSION]) + len(payload).to_bytes(8, "big") + payload
+    blob = (
+        MAGIC
+        + bytes([0, FORMAT_VERSION])
+        + len(payload).to_bytes(8, "big")
+        + zlib.crc32(payload).to_bytes(4, "big")
+        + payload
+    )
     with pytest.raises(SnapshotError, match="builtins"):
         engine.restore_stream(blob)
 
@@ -355,6 +363,11 @@ def test_restore_validates_wire_format():
     bumped = MAGIC + bytes([0, FORMAT_VERSION + 1]) + blob[6:]
     with pytest.raises(SnapshotError, match="unsupported snapshot format"):
         engine.restore_stream(bumped)
+    # A flipped body bit fails the header CRC before anything is unpickled.
+    flipped = bytearray(blob)
+    flipped[-1] ^= 0x40
+    with pytest.raises(SnapshotError, match="checksum"):
+        engine.restore_stream(bytes(flipped))
     with pytest.raises(SnapshotError, match="bytes"):
         engine.restore_stream("not bytes")
     # Unknown spec: a fresh engine without the snapshot's specs.

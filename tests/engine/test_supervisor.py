@@ -1,0 +1,294 @@
+"""The fault-supervision layer: retry, deadlines, respawn, quarantine, degrade.
+
+Pool-level faults are injected with :mod:`repro.testing.faults` through the
+``worker.shard`` site inside :func:`repro.engine.batch.check_columnar_shard`
+(armed in workers via the pool initializer, budgeted across processes by a
+scope directory), so every scenario here runs the *production* dispatch
+path, not a toy task function.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.rolesets import enumerate_role_sets
+from repro.engine import (
+    FaultPolicy,
+    HistoryCheckerEngine,
+    ProcessPoolShardExecutor,
+    SerialExecutor,
+    ShardFailure,
+    SupervisedExecutor,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.testing.faults import FaultError, FaultInjector, FaultSpec, inject
+from repro.workloads import generators
+
+
+def _case(seed):
+    """``(specs, histories)`` of a small seeded case (same recipe as the
+    differential fuzz suite)."""
+    rng = random.Random(seed)
+    schema = generators.random_schema(classes=3, rng=rng)
+    role_sets = list(enumerate_role_sets(schema))
+    regex = generators.random_role_set_regex(schema, size=4, rng=rng)
+    specs = {"spec0": regex.to_nfa(role_sets)}
+    histories = [
+        next(generators.random_histories(role_sets, objects=1, mean_length=5, rng=rng))
+        for _ in range(12)
+    ]
+    return specs, histories
+
+
+def _oracle_verdicts(specs, histories):
+    engine = HistoryCheckerEngine(kernel="fused")
+    for name, nfa in specs.items():
+        engine.add_spec(name, nfa)
+    return engine.check_batch_all(histories)
+
+
+def _supervised_engine(tmp_path, faults, policy, obs=False, seed=3):
+    injector = FaultInjector(faults, seed=seed, scope_dir=tmp_path)
+    init_fn, init_args = injector.initializer()
+    inner = ProcessPoolShardExecutor(max_workers=2, initializer=init_fn, initargs=init_args)
+    supervised = SupervisedExecutor(inner, policy)
+    engine = HistoryCheckerEngine(
+        executor=supervised, batch_size=2, min_shard_events=1, kernel="fused", obs=obs
+    )
+    return engine, supervised, injector
+
+
+# --------------------------------------------------------------------------- #
+# Policy object
+# --------------------------------------------------------------------------- #
+def test_policy_validates_and_computes_backoff():
+    with pytest.raises(ValueError, match="max_attempts"):
+        FaultPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="max_respawns"):
+        FaultPolicy(max_respawns=-1)
+    policy = FaultPolicy(backoff_base=0.01, backoff_factor=2.0, backoff_max=0.05, jitter=0.0)
+    rng = random.Random(0)
+    assert policy.backoff(1, rng) == pytest.approx(0.01)
+    assert policy.backoff(2, rng) == pytest.approx(0.02)
+    assert policy.backoff(10, rng) == pytest.approx(0.05)  # capped
+    jittered = FaultPolicy(backoff_base=0.01, jitter=0.5)
+    delay = jittered.backoff(1, random.Random(7))
+    assert 0.01 <= delay <= 0.015  # up to 50% longer, never shorter
+
+
+# --------------------------------------------------------------------------- #
+# In-process supervision (serial inner backend)
+# --------------------------------------------------------------------------- #
+def test_serial_inner_retries_transient_failures():
+    calls = {"n": 0}
+
+    def flaky(task):
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            raise RuntimeError("transient")
+        return task * 2
+
+    supervised = SupervisedExecutor(
+        SerialExecutor(), FaultPolicy(max_attempts=5, backoff_base=0.001, seed=1)
+    )
+    assert supervised.run(flaky, [1, 2, 3]) == [2, 4, 6]
+    assert supervised.stats()["retries"] == 2
+
+
+def test_serial_inner_raises_shard_failure_with_cause():
+    def doomed(task):
+        raise ValueError("deterministic bug")
+
+    supervised = SupervisedExecutor(
+        SerialExecutor(), FaultPolicy(max_attempts=2, backoff_base=0.001)
+    )
+    with pytest.raises(ShardFailure) as info:
+        supervised.run(doomed, ["only"])
+    assert info.value.index == 0
+    assert info.value.attempts == 2
+    assert isinstance(info.value.__cause__, ValueError)
+    assert supervised.stats()["shard_failures"] == 1
+
+
+def test_supervised_executor_close_is_idempotent_and_contextual():
+    with SupervisedExecutor(SerialExecutor()) as supervised:
+        assert supervised.run(len, [[1, 2]]) == [2]
+    supervised.close()
+    supervised.close()
+
+
+# --------------------------------------------------------------------------- #
+# Pool supervision through the engine dispatch path
+# --------------------------------------------------------------------------- #
+def test_worker_kill_mid_dispatch_respawns_and_answers(tmp_path):
+    specs, histories = _case(101)
+    expected = _oracle_verdicts(specs, histories)
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "kill", times=1)],
+        FaultPolicy(max_attempts=3, backoff_base=0.001, seed=5),
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            assert engine.check_batch_all(histories) == expected
+        stats = engine.stats()["fault_tolerance"]
+        assert stats["respawns"] >= 1
+        assert stats["retries"] >= 1
+        assert stats["degraded_now"] is False
+
+
+def test_transient_worker_exception_is_retried(tmp_path):
+    specs, histories = _case(102)
+    expected = _oracle_verdicts(specs, histories)
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "raise", times=2)],
+        FaultPolicy(max_attempts=4, backoff_base=0.001, seed=5),
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            assert engine.check_batch_all(histories) == expected
+        stats = engine.stats()["fault_tolerance"]
+        assert stats["retries"] >= 1
+        assert stats["respawns"] == 0  # task exceptions leave the pool healthy
+
+
+def test_hung_shard_hits_the_deadline_and_recovers(tmp_path):
+    specs, histories = _case(103)
+    expected = _oracle_verdicts(specs, histories)
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "delay", times=1, delay=1.5)],
+        FaultPolicy(max_attempts=3, shard_timeout=0.2, backoff_base=0.001, seed=5),
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            assert engine.check_batch_all(histories) == expected
+        stats = engine.stats()["fault_tolerance"]
+        assert stats["timeouts"] >= 1
+        assert stats["respawns"] >= 1  # a hung worker is never reclaimed
+
+
+def test_poison_shard_quarantines_inline(tmp_path):
+    specs, histories = _case(104)
+    expected = _oracle_verdicts(specs, histories)
+    # max_attempts=1 sends the one faulted shard straight to quarantine; the
+    # inline run succeeds because the cross-process budget is already spent.
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "raise", times=1)],
+        FaultPolicy(max_attempts=1, backoff_base=0.001, seed=5),
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            assert engine.check_batch_all(histories) == expected
+        assert engine.stats()["fault_tolerance"]["quarantined"] >= 1
+
+
+def test_quarantined_shard_failing_inline_raises_shard_failure():
+    def doomed(task):
+        raise FaultError("always")
+
+    supervised = SupervisedExecutor(
+        SerialExecutor(), FaultPolicy(max_attempts=1, backoff_base=0.001)
+    )
+    with pytest.raises(ShardFailure):
+        supervised.run(doomed, [0])
+
+
+def test_sick_pool_degrades_to_serial_then_recovers(tmp_path):
+    specs, histories = _case(105)
+    expected = _oracle_verdicts(specs, histories)
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "kill", times=1)],
+        FaultPolicy(
+            max_attempts=3,
+            max_respawns=0,
+            degrade_cooldown=30.0,
+            backoff_base=0.001,
+            seed=5,
+        ),
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            assert engine.check_batch_all(histories) == expected
+            stats = engine.stats()["fault_tolerance"]
+            assert stats["degraded"] == 1
+            assert stats["degraded_now"] is True
+            # Degraded dispatch answers serially -- and still correctly.
+            assert engine.check_batch_all(histories) == expected
+        supervised.reset_degraded()
+        assert supervised.degraded is False
+        assert engine.check_batch_all(histories) == expected  # pool probe
+
+
+def test_degrade_cooldown_expires_on_its_own():
+    supervised = SupervisedExecutor(SerialExecutor(), FaultPolicy(degrade_cooldown=0.05))
+    supervised._degraded_until = time.monotonic() + 0.05
+    assert supervised.degraded is True
+    time.sleep(0.08)
+    assert supervised.degraded is False
+
+
+# --------------------------------------------------------------------------- #
+# Observability wiring
+# --------------------------------------------------------------------------- #
+def test_supervisor_events_reach_registry_and_prometheus(tmp_path):
+    specs, histories = _case(106)
+    registry = MetricsRegistry()
+    engine, supervised, injector = _supervised_engine(
+        tmp_path,
+        [FaultSpec("worker.shard", "kill", times=1)],
+        FaultPolicy(max_attempts=3, backoff_base=0.001, seed=5),
+        obs=registry,
+    )
+    with engine:
+        for name, nfa in specs.items():
+            engine.add_spec(name, nfa)
+        with inject(injector):
+            engine.check_batch_all(histories)
+        metrics = engine.stats()["metrics"]
+        assert metrics['repro_supervisor_events_total{event="respawn"}'] >= 1
+        assert metrics['repro_supervisor_events_total{event="retry"}'] >= 1
+        text = registry.render_text()
+        assert 'repro_supervisor_events_total{event="respawn"}' in text
+
+
+def test_engine_stats_report_supervisor_counters():
+    supervised = SupervisedExecutor(SerialExecutor(), FaultPolicy())
+    engine = HistoryCheckerEngine(executor=supervised, kernel="fused")
+    fault_stats = engine.stats()["fault_tolerance"]
+    assert set(fault_stats) >= {
+        "retries",
+        "timeouts",
+        "respawns",
+        "quarantined",
+        "degraded",
+        "shard_failures",
+        "degraded_now",
+    }
+    engine.close()
+
+
+def test_engine_is_a_context_manager_closing_its_pool():
+    backend = ProcessPoolShardExecutor(max_workers=1)
+    with HistoryCheckerEngine(executor=backend, kernel="fused") as engine:
+        assert engine.stats()["specs"] == 0
+        backend.run(len, [[1]])
+        assert backend._pool is not None
+    assert backend._pool is None
+    engine.close()  # idempotent double close through the engine too
