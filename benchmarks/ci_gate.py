@@ -60,6 +60,7 @@ EXPECTED_CASES = {
     "test_e25_raw_shard_dispatch_beats_zlib",
     "test_e26_metrics_enabled_streaming_overhead",
     "test_e27_wal_overhead_and_recovery_beat_refeeding",
+    "test_e28_enforced_feed_overhead",
 }
 
 #: Iterations of the calibration workload; sized to take ~100ms on a dev VM.

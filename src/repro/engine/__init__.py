@@ -47,8 +47,20 @@ from repro.engine.batch import (
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
 from repro.engine.cursors import CursorTable, HistoryCursor
-from repro.engine.diagnostics import ClauseDiagnosis, Violation, diagnose
-from repro.engine.engine import HistoryCheckerEngine, StreamChecker
+from repro.engine.diagnostics import (
+    ClauseDiagnosis,
+    EnforcementError,
+    EnforcementReport,
+    RejectedEvent,
+    Violation,
+    diagnose,
+)
+from repro.engine.engine import (
+    HistoryCheckerEngine,
+    RevalidationReport,
+    SpecLintFinding,
+    StreamChecker,
+)
 from repro.engine.executor import (
     MIN_SHARD_EVENTS,
     ProcessPoolBackend,
@@ -60,7 +72,12 @@ from repro.engine.executor import (
 )
 from repro.engine.journal import DurableStream, JournalError, open_durable, recover
 from repro.engine.snapshot import FORMAT_VERSION, SnapshotError, dump_stream, load_stream
-from repro.engine.supervisor import FaultPolicy, ShardFailure, SupervisedExecutor
+from repro.engine.supervisor import (
+    FaultPolicy,
+    ShardFailure,
+    SupervisedExecutor,
+    zeroed_stats,
+)
 from repro.engine.vector import HAVE_NUMPY, VectorKernel
 
 __all__ = [
@@ -94,9 +111,15 @@ __all__ = [
     "shard_bounds_by_events",
     "HistoryCheckerEngine",
     "StreamChecker",
+    "SpecLintFinding",
+    "RevalidationReport",
     "ClauseDiagnosis",
     "Violation",
     "diagnose",
+    "EnforcementError",
+    "EnforcementReport",
+    "RejectedEvent",
+    "zeroed_stats",
     "FORMAT_VERSION",
     "SnapshotError",
     "dump_stream",

@@ -285,6 +285,7 @@ class EncodedBatch:
         code_list: List[int],
         objects: ObjectInterner,
         alphabet: Optional[RoleSetAlphabet] = None,
+        max_code: Optional[int] = None,
     ) -> None:
         self.id_list = id_list
         self.code_list = code_list
@@ -292,7 +293,12 @@ class EncodedBatch:
         #: The alphabet the codes were minted against (``None`` after a wire
         #: round trip); streams refuse batches from a foreign alphabet.
         self.alphabet = alphabet
-        self.max_code = max(code_list, default=-1)
+        #: ``max_code`` may be passed as an upper bound by callers slicing a
+        #: sub-batch out of an already-validated batch (the enforcement
+        #: gate's admitted subset): validation only compares it against the
+        #: alphabet size, so inheriting the parent's bound is safe and skips
+        #: an O(n) scan.
+        self.max_code = max(code_list, default=-1) if max_code is None else max_code
         self._max_id: Optional[int] = None
         self._ids: Optional[array] = None
         self._codes: Optional[array] = None
@@ -480,6 +486,7 @@ class _ProductGroup:
         "index",
         "accepting",
         "spec_doomed",
+        "alive",
         "sink",
         "root",
     )
@@ -500,6 +507,10 @@ class _ProductGroup:
         self.index: Dict[Tuple[int, ...], int] = {}
         self.accepting: List[bytearray] = [bytearray() for _ in specs]
         self.spec_doomed: List[bytearray] = [bytearray() for _ in specs]
+        #: Per product state: 1 iff *no* spec component is doomed there -- the
+        #: group-wise admissibility vector of the preventive-enforcement gate
+        #: (an event is admissible iff its successor state is alive).
+        self.alive = bytearray()
         self.sink: Optional[list] = None
         self.root = self.rows[self.ensure_state(tuple(spec.initial for spec in specs))]
         self.cap = None  # the cap guards the initial closure only
@@ -508,11 +519,13 @@ class _ProductGroup:
         accepting_flags = []
         doomed_flags = []
         doomed_for_all = True
+        doomed_for_any = False
         for j, spec in enumerate(self.specs):
             accepting_flags.append(spec.accepting[state[j]])
             component_doomed = spec.doomed[state[j]]
             doomed_flags.append(component_doomed)
             doomed_for_all = doomed_for_all and bool(component_doomed)
+            doomed_for_any = doomed_for_any or bool(component_doomed)
         if doomed_for_all and self.sink is not None:
             # Collapse onto the absorbing sink: acceptance is False forever
             # for every spec of the group, so one representative is enough.
@@ -527,6 +540,7 @@ class _ProductGroup:
         for j in range(len(self.specs)):
             self.accepting[j].append(accepting_flags[j])
             self.spec_doomed[j].append(doomed_flags[j])
+        self.alive.append(0 if doomed_for_any else 1)
         row = [None] * self.width + [index]
         self.rows.append(row)
         if doomed_for_all:
@@ -682,6 +696,166 @@ class FusedKernel:
             for o, c in zip(id_list, code_list):
                 column[o] = column[o][c]
         return len(id_list)
+
+    # ------------------------------------------------------------------ #
+    # Preventive enforcement
+    # ------------------------------------------------------------------ #
+    def _successor_index(self, group_index: int, state: int, code: int) -> int:
+        """The dense successor-state index for one ``(state, code)`` step."""
+        return self.groups[group_index].rows[state][code][-1]
+
+    def admissible_code(
+        self, columns: List[list], dense: int, code: int, only: Optional[str] = None
+    ) -> bool:
+        """Whether admitting one encoded event keeps acceptance possible.
+
+        O(1) per group: one successor lookup plus one ``alive`` flag read --
+        no replay, no column scan.  ``only`` restricts the question to one
+        spec (its ``spec_doomed`` flag); otherwise the event must keep
+        *every* spec of the session non-doomed.  Codes outside the kernel's
+        alphabet width (or ``-1``) are never admissible: they are outside
+        every registered spec's alphabet, so their successor is dead
+        everywhere.
+        """
+        if code < 0 or code >= self.width:
+            return not self.groups if only is None else False
+        if only is not None:
+            group_index, j = self.locate[only]
+            state = self.state_of(columns, group_index, dense)
+            successor = self._successor_index(group_index, state, code)
+            return not self.groups[group_index].spec_doomed[j][successor]
+        for group_index, group in enumerate(self.groups):
+            state = self.state_of(columns, group_index, dense)
+            if not group.alive[self._successor_index(group_index, state, code)]:
+                return False
+        return True
+
+    def blocking_specs(self, states: Sequence[int], code: int) -> Tuple[str, ...]:
+        """The specs a rejected event would have doomed, most specific first.
+
+        ``states`` holds the object's pre-event dense state index per group
+        (the shape :meth:`advance_all_enforced` records on each rejection).
+        Specs that become doomed *by this event* lead; when none do (the
+        object was already doomed before enforcement began), every spec
+        doomed at the successor is listed instead.
+        """
+        newly: List[str] = []
+        already: List[str] = []
+        for group_index, group in enumerate(self.groups):
+            state = states[group_index]
+            if code < 0 or code >= self.width:
+                successor = None  # outside every alphabet: dead for all specs
+            else:
+                successor = self._successor_index(group_index, state, code)
+            for j, name in enumerate(group.names):
+                doomed_after = True if successor is None else bool(
+                    group.spec_doomed[j][successor]
+                )
+                if not doomed_after:
+                    continue
+                if group.spec_doomed[j][state]:
+                    already.append(name)
+                else:
+                    newly.append(name)
+        return tuple(newly) if newly else tuple(already)
+
+    def component_states(self, columns: List[list], name: str) -> List[int]:
+        """One spec's per-object DFA state column (decoded from the product).
+
+        The delta-extraction read of re-registration: objects still at the
+        spec's initial state need no re-validation after a reset.
+        """
+        group_index, j = self.locate[name]
+        decode = self.groups[group_index].decode
+        return [decode[row[-1]][j] for row in columns[group_index]]
+
+    def advance_all_enforced(
+        self, columns: List[list], batch: EncodedBatch
+    ) -> Tuple[List[list], List[Tuple]]:
+        """Screen-and-advance one batch on *copies* of ``columns``.
+
+        The transactional half of ``feed_events(..., enforce=True)``: the
+        caller's columns are never touched, so a ``reject_batch`` policy can
+        discard the copies wholesale.  Per event, the successor state of
+        every group is checked against the group's ``alive`` vector; an
+        event whose successor is doomed for any spec is *not* applied and is
+        recorded as ``(position, dense id, code, per-group pre-event state
+        indices)``.  Later events of the same object screen against the
+        state *without* the rejected event -- exactly the ``reject_event``
+        skip-and-continue semantics.  Returns ``(new columns, rejections)``;
+        rejections are in plan order, not necessarily position order.
+        """
+        copies = [list(column) for column in columns]
+        rejections: List[Tuple] = []
+        id_list = batch.id_list
+        code_list = batch.code_list
+        if len(copies) == 1:
+            column = copies[0]
+            alive = self.groups[0].alive
+            for p, (o, c) in enumerate(zip(id_list, code_list)):
+                row = column[o]
+                successor = row[c]
+                if alive[successor[-1]]:
+                    column[o] = successor
+                else:
+                    rejections.append((p, o, c, (row[-1],)))
+            return copies, rejections
+        alive_flags = [group.alive for group in self.groups]
+        for p, (o, c) in enumerate(zip(id_list, code_list)):
+            rows = [column[o] for column in copies]
+            successors = [row[c] for row in rows]
+            if all(
+                flags[successor[-1]]
+                for flags, successor in zip(alive_flags, successors)
+            ):
+                for column, successor in zip(copies, successors):
+                    column[o] = successor
+            else:
+                rejections.append((p, o, c, tuple(row[-1] for row in rows)))
+        return copies, rejections
+
+    def fatal_histories(
+        self, code_list, lengths: Sequence[int]
+    ) -> Dict[str, List[Optional[int]]]:
+        """Per-spec first-fatal indices for contiguous per-history code runs.
+
+        The whole-history analogue of :func:`repro.engine.diagnostics.
+        replay`: for each history and spec, the index of the first event
+        after which acceptance became impossible -- ``None`` when the
+        history stays salvageable throughout, ``-1`` when the spec's
+        language is empty (doomed before any event).  This is the shardable
+        screening primitive behind ``engine.screen_histories``.
+        """
+        results: Dict[str, List[Optional[int]]] = {}
+        for group in self.groups:
+            root = group.root
+            root_index = root[-1]
+            n_specs = len(group.specs)
+            doomed = group.spec_doomed
+            per_spec: List[List[Optional[int]]] = [[] for _ in range(n_specs)]
+            position = 0
+            for length in lengths:
+                fatal: List[Optional[int]] = [
+                    -1 if doomed[j][root_index] else None for j in range(n_specs)
+                ]
+                pending = fatal.count(None)
+                if pending:
+                    r = root
+                    for offset in range(length):
+                        r = r[code_list[position + offset]]
+                        index = r[-1]
+                        for j in range(n_specs):
+                            if fatal[j] is None and doomed[j][index]:
+                                fatal[j] = offset
+                                pending -= 1
+                        if not pending:
+                            break
+                position += length
+                for j in range(n_specs):
+                    per_spec[j].append(fatal[j])
+            for j, name in enumerate(group.names):
+                results[name] = per_spec[j]
+        return results
 
     def verdicts_of(
         self, name: str, column_set: List[list], seen: Iterable[int]
@@ -988,14 +1162,21 @@ def make_shard_task(
     specs: Sequence[Tuple[str, CompiledSpec]],
     payload: Tuple,
     obs_token: Optional[int] = None,
+    mode: Optional[str] = None,
 ) -> Tuple:
     """One process-pool task: spec references, compact blobs, column bytes.
 
     ``obs_token`` -- the dispatching span's id (0 for metrics-only) -- is
     appended only when observability is on, so the disabled wire format is
-    byte-identical to the uninstrumented one.
+    byte-identical to the uninstrumented one.  ``mode`` selects the worker
+    computation: ``None`` (membership verdicts, the historical wire shape)
+    or ``"screen"`` (per-history first-fatal indices for the enforcement
+    audit, :meth:`FusedKernel.fatal_histories`); a mode-carrying task is a
+    5-tuple whose fourth slot holds the obs token or ``None``.
     """
     blobs = tuple(spec.to_blob() for _name, spec in specs)
+    if mode is not None:
+        return (kernel.key, blobs, payload, obs_token, mode)
     if obs_token is None:
         return (kernel.key, blobs, payload)
     return (kernel.key, blobs, payload, obs_token)
@@ -1014,6 +1195,7 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
     _fire("worker.shard")
     key, blobs, payload = task[0], task[1], task[2]
     obs_token = task[3] if len(task) > 3 else None
+    mode = task[4] if len(task) > 4 else None
     start = perf_counter() if obs_token is not None else 0.0
     kernel = _WORKER_KERNELS.get(key)
     cache_hit = kernel is not None
@@ -1036,7 +1218,10 @@ def check_columnar_shard(task: Tuple) -> Dict[str, List[bool]]:
         lengths, code_list = unpack_shard_arrays(payload)
     else:
         lengths, code_list = ColumnarHistorySet.unpack_payload(payload)
-    result = kernel.check_histories(code_list, lengths)
+    if mode == "screen":
+        result = kernel.fatal_histories(code_list, lengths)
+    else:
+        result = kernel.check_histories(code_list, lengths)
     if obs_token is not None:
         result[OBS_RESULT_KEY] = {
             "parent": obs_token,

@@ -54,6 +54,7 @@ class CompiledSpec:
         "dead",
         "remap",
         "_fingerprint",
+        "_mask",
     )
 
     def __init__(
@@ -82,6 +83,7 @@ class CompiledSpec:
         #: hashing any symbol twice.
         self.remap: array = array("i")
         self._fingerprint: Optional[str] = None
+        self._mask: Optional[bytearray] = None
 
     # ------------------------------------------------------------------ #
     # Event encoding
@@ -132,6 +134,39 @@ class CompiledSpec:
     def is_doomed(self, state: int) -> bool:
         """Whether no continuation of a history in ``state`` can be accepted."""
         return bool(self.doomed[state])
+
+    # ------------------------------------------------------------------ #
+    # Admissibility (preventive enforcement)
+    # ------------------------------------------------------------------ #
+    def admissibility_mask(self) -> bytearray:
+        """The per-``(state, code)`` admissibility mask derived from ``doomed``.
+
+        ``mask[state * n_symbols + code]`` is 1 iff taking ``code`` from
+        ``state`` lands in a non-doomed successor -- i.e. the event can be
+        *admitted* without making acceptance impossible.  The synthetic dead
+        state contributes an all-zero row (every event from it is already
+        fatal), so the mask covers states ``0 .. n_states`` like the flag
+        columns.  Built lazily, once, straight off the transition table: an
+        admissibility query is then one flat array read, no replay.
+        """
+        if self._mask is None:
+            doomed = self.doomed
+            mask = bytearray(0 if doomed[target] else 1 for target in self.table)
+            mask.extend(bytes(self.n_symbols))  # dead-state row: nothing admits
+            self._mask = mask
+        return self._mask
+
+    def admissible(self, state: int, symbol: Symbol) -> bool:
+        """Whether admitting ``symbol`` from ``state`` keeps acceptance possible.
+
+        O(1): one dict lookup to encode the symbol plus one mask read.
+        Symbols outside the spec's alphabet are never admissible (their
+        successor is the synthetic dead state).
+        """
+        code = self.codes.get(symbol, -1)
+        if code < 0 or state == self.dead:
+            return False
+        return bool(self.admissibility_mask()[state * self.n_symbols + code])
 
     def fingerprint(self) -> str:
         """A stable identity of the table *and* its symbol alphabet.

@@ -288,9 +288,126 @@ def diagnose(
     )
 
 
+_UNRESOLVED = object()
+
+
+class RejectedEvent:
+    """One event refused by the transactional ``enforce=True`` gate.
+
+    ``index`` is the event's position in the batch as fed, ``object_id`` /
+    ``symbol`` identify the refused transition.  ``blocked_specs`` resolves
+    lazily (one successor lookup per spec -- O(#specs), never a replay) to
+    the names of the specs whose admissibility mask refused the event.
+    ``violation`` -- the span-anchored :class:`Violation` for the history
+    that *would have* resulted had the event been admitted -- is also built
+    lazily (it replays and shrinks), so rejecting stays O(1) per event;
+    streams that do not record traces cannot reconstruct the history and
+    answer ``None``.
+    """
+
+    __slots__ = ("index", "object_id", "symbol", "_factory", "_violation", "_kernel", "_states", "_code")
+
+    def __init__(self, index, object_id, symbol, factory, kernel, states, code):
+        self.index = index
+        self.object_id = object_id
+        self.symbol = symbol
+        self._factory = factory
+        self._violation = _UNRESOLVED
+        self._kernel = kernel
+        self._states = states
+        self._code = code
+
+    @property
+    def violation(self) -> Optional["Violation"]:
+        if self._violation is _UNRESOLVED:
+            self._violation = None if self._factory is None else self._factory()
+            self._factory = None
+        return self._violation
+
+    @property
+    def blocked_specs(self) -> Tuple[str, ...]:
+        return tuple(self._kernel.blocking_specs(self._states, self._code))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RejectedEvent(index={self.index}, object_id={self.object_id!r}, "
+            f"symbol={self.symbol!r})"
+        )
+
+
+class EnforcementReport(int):
+    """The result of an enforced feed: an ``int`` (the admitted-event count,
+    so existing ``events += stream.feed_events(...)`` call sites keep
+    working) carrying the rejection records and the policy that produced
+    them.
+
+    ``rejected`` may be handed in as a zero-argument callable: streams that
+    do not record traces defer building the per-event
+    :class:`RejectedEvent` objects until someone actually reads them, so a
+    hot enforced feed that only counts admissions never pays for record
+    construction.
+    """
+
+    def __new__(cls, admitted: int, rejected, policy: str, rejections: Optional[int] = None):
+        self = super().__new__(cls, admitted)
+        self._rejected = rejected if callable(rejected) else tuple(rejected)
+        self._rejections = rejections
+        self.policy = policy
+        return self
+
+    @property
+    def rejected(self) -> Tuple["RejectedEvent", ...]:
+        if callable(self._rejected):
+            self._rejected = tuple(self._rejected())
+        return self._rejected
+
+    @property
+    def rejection_count(self) -> int:
+        """``len(self.rejected)`` without materializing deferred records."""
+        if self._rejections is not None:
+            return self._rejections
+        return len(self.rejected)
+
+    @property
+    def admitted(self) -> int:
+        return int(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnforcementReport(admitted={int(self)}, "
+            f"rejected={len(self.rejected)}, policy={self.policy!r})"
+        )
+
+
+class EnforcementError(Exception):
+    """Raised by ``feed_events(..., enforce=True, policy='reject_batch')``
+    when any event of the batch is inadmissible: the whole batch is rolled
+    back (stream state, traces, and WAL untouched) and the error carries the
+    first refused event's span-anchored diagnostic."""
+
+    def __init__(self, rejected: RejectedEvent, policy: str):
+        self.rejected = rejected
+        self.spec = None if rejected.violation is None else rejected.violation.spec
+        self.object_id = rejected.object_id
+        self.symbol = rejected.symbol
+        self.index = rejected.index
+        self.policy = policy
+        self.violation = rejected.violation
+        blocked = rejected.blocked_specs
+        self.blocked_specs = blocked
+        specs = ", ".join(blocked) if blocked else "<unknown>"
+        super().__init__(
+            f"event #{rejected.index} ({symbol_text(rejected.symbol)!r} on object "
+            f"{rejected.object_id!r}) is inadmissible: it dooms {specs}"
+        )
+
+
 __all__ = [
     "SHRINK_BUDGET",
     "ClauseDiagnosis",
+    "EnforcementError",
+    "EnforcementReport",
+    "RejectedEvent",
     "Violation",
     "diagnose",
     "replay",

@@ -32,6 +32,8 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from itertools import count
 from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -49,7 +51,13 @@ from repro.engine.batch import (
 from repro.engine import vector
 from repro.engine.cache import SpecCache
 from repro.engine.compiler import CompiledSpec, compile_spec
-from repro.engine.diagnostics import Violation, diagnose
+from repro.engine.diagnostics import (
+    EnforcementError,
+    EnforcementReport,
+    RejectedEvent,
+    Violation,
+    diagnose,
+)
 from repro.engine.executor import MIN_SHARD_EVENTS, SerialExecutor, shard_bounds_by_events
 from repro.formal.alphabet import RoleSetAlphabet
 from repro.formal.nfa import NFA
@@ -90,6 +98,51 @@ def _as_automaton(spec) -> NFA:
     if callable(to_nfa):
         return to_nfa()
     raise TypeError(f"cannot interpret {type(spec).__name__} as a specification automaton")
+
+
+@dataclass(frozen=True)
+class SpecLintFinding:
+    """One registration-time implication finding over a spec set.
+
+    ``kind`` is one of ``"unsatisfiable"`` (the spec's language is empty:
+    every object is doomed before its first event), ``"equivalent"`` (two
+    specs accept exactly the same histories), ``"redundant"`` (the first
+    named spec implies the second: checking both costs kernel width for no
+    extra enforcement), or ``"contradictory"`` (no history satisfies both:
+    any object checked against the pair is doomed from the start).
+    ``witness`` carries a separating or violating word when the lazy search
+    produced one.
+    """
+
+    kind: str
+    specs: Tuple[str, ...]
+    detail: str
+    witness: Optional[Tuple] = None
+
+    def render(self) -> str:
+        names = " + ".join(self.specs)
+        return f"[{self.kind}] {names}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class RevalidationReport:
+    """What a spec re-registration actually forced a stream to re-check.
+
+    The delta-driven half of preventive enforcement (Decker-style: derive
+    the re-check set from the *update*, not the population).  ``changed``
+    maps each reset spec to the objects whose component state had moved off
+    the spec's initial state -- only those objects carried progress the
+    reset discarded; everything else needs no re-validation.  On recording
+    streams ``verdicts`` additionally maps each changed object to whether
+    its full recorded history satisfies the *new* automaton (one table
+    replay per changed object -- the unchanged population is never
+    touched).
+    """
+
+    specs: Tuple[str, ...]
+    changed: Dict[str, Tuple[ObjectId, ...]]
+    verdicts: Optional[Dict[str, Dict[ObjectId, bool]]]
+    replayed: int
 
 
 class HistoryCheckerEngine:
@@ -189,8 +242,14 @@ class HistoryCheckerEngine:
     # ------------------------------------------------------------------ #
     # Spec registry
     # ------------------------------------------------------------------ #
-    def add_spec(self, name: str, spec, schema=None) -> None:
+    def add_spec(self, name: str, spec, schema=None, lint: bool = False) -> None:
         """Register (or replace) a named specification.
+
+        ``lint=True`` additionally runs the registration-time implication
+        checks (:meth:`lint_specs`) for the new spec against every other
+        registered spec and emits one :class:`UserWarning` per finding --
+        an unsatisfiable, redundant or contradictory constraint is caught
+        before any event flows against it.
 
         ``spec`` may be an automaton, an inventory, a compiled MCL
         constraint -- or **MCL source text** (a string), in which case
@@ -229,6 +288,12 @@ class HistoryCheckerEngine:
             self._provenance[name] = provenance
         else:
             self._provenance.pop(name, None)
+        if lint:
+            for finding in self.lint_specs():
+                if name in finding.specs:
+                    warnings.warn(
+                        f"spec lint: {finding.render()}", UserWarning, stacklevel=2
+                    )
 
     @staticmethod
     def _compile_mcl_source(name: str, text: str, schema):
@@ -275,6 +340,104 @@ class HistoryCheckerEngine:
     def provenance(self, name: str) -> Optional[object]:
         """The MCL constraint ``name`` was registered from, when it was."""
         return self._provenance.get(name)
+
+    def admissible(self, name: str, symbol, state: Optional[int] = None) -> bool:
+        """Whether admitting ``symbol`` keeps acceptance of ``name`` possible.
+
+        O(1) -- one symbol-encode plus one admissibility-mask read on the
+        compiled table (:meth:`repro.engine.compiler.CompiledSpec.
+        admissible`); no replay.  ``state`` defaults to the spec's initial
+        state (the empty-history question); streaming sessions answer the
+        per-object form via :meth:`StreamChecker.admissible`.
+        """
+        spec = self.compiled(name)
+        return spec.admissible(spec.initial if state is None else state, symbol)
+
+    def lint_specs(self, names: Optional[Iterable[str]] = None) -> Tuple[SpecLintFinding, ...]:
+        """Registration-time implication checks over a spec set.
+
+        Runs the lazy decision procedures of :mod:`repro.formal.lazy` over
+        every pair of the selected specs (plus a per-spec emptiness check)
+        and reports constraints that are **unsatisfiable** (empty language),
+        **equivalent**, **redundant** (one implies the other) or
+        **contradictory** (empty intersection) -- the conditions under which
+        preventive enforcement would refuse every event, or pay kernel
+        width for no enforcement.  Pairs with an unsatisfiable side are not
+        re-reported.  ``add_spec(..., lint=True)`` surfaces the findings
+        touching the new spec as warnings at registration time.
+        """
+        from repro.formal import lazy
+
+        selected = tuple(names) if names is not None else self.spec_names()
+        for name in selected:
+            if name not in self._sources:
+                raise KeyError(f"unknown specification {name!r}")
+        findings: List[SpecLintFinding] = []
+        empty: Dict[str, bool] = {}
+        for name in selected:
+            outcome = lazy.emptiness(self._sources[name])
+            empty[name] = outcome.holds
+            if outcome.holds:
+                findings.append(
+                    SpecLintFinding(
+                        "unsatisfiable",
+                        (name,),
+                        "the spec accepts no history at all; every object is "
+                        "doomed before its first event",
+                    )
+                )
+        for i, a in enumerate(selected):
+            if empty[a]:
+                continue
+            for b in selected[i + 1 :]:
+                if empty[b]:
+                    continue
+                forward = lazy.containment(self._sources[a], self._sources[b])
+                backward = lazy.containment(self._sources[b], self._sources[a])
+                if forward.holds and backward.holds:
+                    findings.append(
+                        SpecLintFinding(
+                            "equivalent",
+                            (a, b),
+                            "the two specs accept exactly the same histories; "
+                            "one of them is redundant",
+                        )
+                    )
+                elif forward.holds:
+                    findings.append(
+                        SpecLintFinding(
+                            "redundant",
+                            (a, b),
+                            f"every history satisfying {a!r} satisfies {b!r}; "
+                            f"checking {b!r} alongside adds no enforcement",
+                            witness=backward.witness,
+                        )
+                    )
+                elif backward.holds:
+                    findings.append(
+                        SpecLintFinding(
+                            "redundant",
+                            (b, a),
+                            f"every history satisfying {b!r} satisfies {a!r}; "
+                            f"checking {a!r} alongside adds no enforcement",
+                            witness=forward.witness,
+                        )
+                    )
+                else:
+                    intersection = lazy.intersection_emptiness(
+                        self._sources[a], self._sources[b]
+                    )
+                    if intersection.holds:
+                        findings.append(
+                            SpecLintFinding(
+                                "contradictory",
+                                (a, b),
+                                "no history satisfies both specs; any object "
+                                "checked against the pair is doomed from the "
+                                "start",
+                            )
+                        )
+        return tuple(findings)
 
     def _clause_tables(self, name: str):
         """``(clause, compiled table)`` pairs for a spec's MCL conjuncts.
@@ -493,6 +656,69 @@ class HistoryCheckerEngine:
                 obs.verdicts_fail.inc(len(verdicts) - passes)
         return result
 
+    def screen_histories(
+        self,
+        histories,
+        names: Optional[Iterable[str]] = None,
+        executor=None,
+    ) -> Dict[str, List[Optional[int]]]:
+        """Per-spec first-fatal indices for a batch of histories.
+
+        The batch analogue of the ``enforce=True`` gate: for every history
+        and every selected spec, the index of the first event after which
+        acceptance became impossible -- ``None`` when the history stays
+        salvageable throughout, ``-1`` when the spec's language is empty.
+        Shares the encode-once/fused-kernel pipeline of
+        :meth:`check_batch_all`; with a parallel executor the shards ship
+        with a ``"screen"`` mode tag and the per-shard verdicts are
+        stitched back **in shard order**, so supervised pools (retries,
+        respawns, degraded serial fallback) merge deterministically.
+        """
+        selected = tuple(names) if names is not None else self.spec_names()
+        if not selected:
+            return {}
+        if isinstance(histories, ColumnarHistorySet):
+            history_set = histories
+            if (
+                history_set.alphabet is not None
+                and history_set.alphabet is not self._alphabet
+            ) or history_set.max_code >= len(self._alphabet):
+                raise ValueError(
+                    "the encoded history set was built against a different alphabet "
+                    "than this engine's; encode with engine.encode_histories"
+                )
+        else:
+            history_set = ColumnarHistorySet.from_histories(histories, self._alphabet)
+        kernel = self._kernel_for(selected)
+        backend = executor if executor is not None else self._executor
+        bounds = (
+            None
+            if isinstance(backend, SerialExecutor)
+            else shard_bounds_by_events(
+                history_set.offsets, self._batch_size, self._min_shard_events
+            )
+        )
+        if bounds is None or len(bounds) <= 1:
+            fatal = kernel.fatal_histories(history_set.code_list, history_set.lengths())
+            return {name: fatal[name] for name in selected}
+        specs = [(name, self.compiled(name)) for name in selected]
+        tasks = [
+            make_shard_task(
+                kernel,
+                specs,
+                kernel.shard_payload(history_set, start, stop),
+                mode="screen",
+            )
+            for start, stop in bounds
+        ]
+        results = backend.run(check_columnar_shard, tasks)
+        stitched: Dict[str, List[Optional[int]]] = {name: [] for name in selected}
+        for piece in results:
+            piece.pop(OBS_RESULT_KEY, None)
+            for name in selected:
+                stitched[name].extend(piece[name])
+        return stitched
+
     @staticmethod
     def _merge_shard_obs(obs, dispatch_span, extra: Dict) -> None:
         """Fold one shard's worker-side observability report into this process.
@@ -513,22 +739,32 @@ class HistoryCheckerEngine:
     # Streaming
     # ------------------------------------------------------------------ #
     def open_stream(
-        self, names: Optional[Iterable[str]] = None, record: bool = False
+        self,
+        names: Optional[Iterable[str]] = None,
+        record: bool = False,
+        trace_limit: Optional[int] = None,
     ) -> "StreamChecker":
         """A streaming session tracking every object against the given specs.
 
         ``record=True`` keeps every object's encoded event history alongside
         the dense cursor state, so :meth:`StreamChecker.explain` can produce
         violation reports without the caller re-supplying histories (and
-        snapshots carry the traces across restarts).
+        snapshots carry the traces across restarts).  ``trace_limit`` caps
+        each object's recorded trace at its first ``trace_limit`` events --
+        the *prefix*, which is what diagnostics replay (a violation's fatal
+        event sits on the way into the doomed sink, never after it) -- so a
+        hot violating object whose groups have all collapsed onto the sink
+        stops growing memory instead of appending unboundedly.
         """
         selected = tuple(names) if names is not None else self.spec_names()
         for name in selected:
             if name not in self._sources:
                 raise KeyError(f"unknown specification {name!r}")
+        if trace_limit is not None and trace_limit < 1:
+            raise ValueError(f"trace_limit must be a positive event count, not {trace_limit!r}")
         if self._obs is not None:
             self._obs.streams_opened.inc()
-        return StreamChecker(self, selected, record=record)
+        return StreamChecker(self, selected, record=record, trace_limit=trace_limit)
 
     def restore_stream(self, blob: bytes) -> "StreamChecker":
         """Rebuild a streaming session from :meth:`StreamChecker.snapshot` bytes.
@@ -642,6 +878,12 @@ class HistoryCheckerEngine:
             # A SupervisedExecutor reports its retry/timeout/respawn/
             # quarantine/degrade counters and current degradation state.
             data["fault_tolerance"] = executor_stats()
+        else:
+            # Dashboards key on the section unconditionally; engines without
+            # a supervised executor report the same shape, zeroed.
+            from repro.engine.supervisor import zeroed_stats
+
+            data["fault_tolerance"] = zeroed_stats()
         if self._obs is not None:
             data["metrics"] = self._obs.registry.to_dict()
         return data
@@ -680,12 +922,18 @@ class StreamChecker:
         "_universe",
         "_traces",
         "_trace_marks",
+        "_trace_limit",
         "events_seen",
         "reset_on_restore",
+        "last_revalidation",
     )
 
     def __init__(
-        self, engine: HistoryCheckerEngine, names: Tuple[str, ...], record: bool = False
+        self,
+        engine: HistoryCheckerEngine,
+        names: Tuple[str, ...],
+        record: bool = False,
+        trace_limit: Optional[int] = None,
     ) -> None:
         self._engine = engine
         self._names = names
@@ -701,6 +949,8 @@ class StreamChecker:
         self._universe = 0
         #: Per-object encoded event traces (``record=True`` sessions only).
         self._traces: Optional[List[List[int]]] = [] if record else None
+        #: Per-object cap on recorded trace length (``None`` = unbounded).
+        self._trace_limit = trace_limit
         #: Per spec, the per-object trace lengths at that spec's last reset:
         #: diagnostics replay only the trace suffix fed *after* the reset, so
         #: ``explain`` and ``verdict`` always judge the same events.
@@ -708,6 +958,9 @@ class StreamChecker:
         self.events_seen = 0
         #: Specs reset by the last snapshot restore that built this session.
         self.reset_on_restore: Tuple[str, ...] = ()
+        #: The delta report of the last re-registration reset applied to this
+        #: session (:class:`RevalidationReport`); ``None`` until one happens.
+        self.last_revalidation: Optional[RevalidationReport] = None
 
     @property
     def spec_names(self) -> Tuple[str, ...]:
@@ -735,6 +988,11 @@ class StreamChecker:
             if generation != self._generations[name]:
                 self._generations[name] = generation
                 reset.append(name)
+        if reset and self._kernel is not None:
+            # Delta extraction *before* translation discards the old states:
+            # only objects that had moved off the reset spec's initial state
+            # carried progress worth re-validating.
+            self.last_revalidation = self._revalidation_report(reset)
         kernel = engine._kernel_for(self._names)
         if kernel is not self._kernel:
             if self._kernel is None:
@@ -748,6 +1006,46 @@ class StreamChecker:
                 self._trace_marks[name] = [len(trace) for trace in self._traces]
         kernel.grow_columns(self._columns, len(self._interner))
         return kernel
+
+    def _revalidation_report(self, reset: List[str]) -> RevalidationReport:
+        """The Decker delta of a pending reset: who actually needs re-checking.
+
+        Reads the *old* kernel's columns (the caller has not translated
+        yet): an object whose component state for a reset spec still equals
+        the spec's initial state carried no progress, so the reset changes
+        nothing for it.  On recording sessions, each changed object's full
+        recorded trace is replayed once through the **new** table --
+        ``replayed`` counts exactly those replays, never the unchanged
+        population.
+        """
+        old_kernel = self._kernel
+        engine = self._engine
+        decode_object = self._interner.object
+        changed: Dict[str, Tuple[ObjectId, ...]] = {}
+        verdicts: Optional[Dict[str, Dict[ObjectId, bool]]] = (
+            {} if self._traces is not None else None
+        )
+        replayed = 0
+        for name in reset:
+            group_index, j = old_kernel.locate[name]
+            group = old_kernel.groups[group_index]
+            initial = group.decode[group.root[-1]][j]
+            states = old_kernel.component_states(self._columns, name)
+            moved = [dense for dense, state in enumerate(states) if state != initial]
+            changed[name] = tuple(map(decode_object, moved))
+            if verdicts is not None:
+                spec = engine.compiled(name)  # the incoming generation
+                symbol = engine.alphabet.symbol
+                traces = self._traces
+                per: Dict[ObjectId, bool] = {}
+                for dense in moved:
+                    trace = traces[dense] if dense < len(traces) else ()
+                    per[decode_object(dense)] = spec.accepts(
+                        [symbol(code) for code in trace]
+                    )
+                    replayed += 1
+                verdicts[name] = per
+        return RevalidationReport(tuple(reset), changed, verdicts, replayed)
 
     def _adopt(self, batch: EncodedBatch) -> None:
         """Validate a pre-encoded batch and adopt its id space if fresh."""
@@ -774,7 +1072,9 @@ class StreamChecker:
         """Consume a single event."""
         self.feed_events(((object_id, symbol),))
 
-    def feed_events(self, events) -> int:
+    def feed_events(
+        self, events, enforce: bool = False, policy: str = "reject_event"
+    ) -> int:
         """Consume a batch of events; returns the batch's event count.
 
         ``events`` is an iterable of ``(object_id, symbol)`` pairs or an
@@ -782,24 +1082,36 @@ class StreamChecker:
         most) once and every spec of the session advances over the encoded
         columns in one fused pass.  Events are counted once per batch --
         also when the session checks zero specs.
+
+        ``enforce=True`` turns the feed into a transactional gate: every
+        event is screened against the admissibility masks *before* it is
+        applied, and an event whose successor state is doomed for any spec
+        of the session is refused.  Under ``policy="reject_event"`` (the
+        default) refused events are skipped and the rest of the batch is
+        admitted; the return value is an
+        :class:`repro.engine.diagnostics.EnforcementReport` -- an ``int``
+        counting the *admitted* events, carrying the per-event
+        :class:`repro.engine.diagnostics.RejectedEvent` records.  Under
+        ``policy="reject_batch"`` the first inadmissible event raises
+        :class:`repro.engine.diagnostics.EnforcementError` and the whole
+        batch rolls back -- cursor state, traces and ``events_seen`` are
+        untouched.  Rejected events are never recorded in traces and (via
+        :class:`repro.engine.journal.DurableStream`) never journaled.
         """
         if isinstance(events, EncodedBatch):
             self._adopt(events)
             batch = events
         else:
             batch = EncodedBatch.from_events(events, self._engine.alphabet, self._interner)
+        if enforce:
+            return self._feed_enforced(batch, policy)
         count = len(batch)
         obs = self._engine._obs
         if obs is not None:
             obs.batches_total.inc()
             obs.events_total.inc(count)
         if self._traces is not None and count:
-            traces = self._traces
-            missing = len(self._interner) - len(traces)
-            if missing > 0:
-                traces.extend([] for _ in range(missing))
-            for o, c in zip(batch.id_list, batch.code_list):
-                traces[o].append(c)
+            self._record_traces(batch)
         if not self._names:
             self.events_seen += count
             return count
@@ -808,14 +1120,220 @@ class StreamChecker:
         kernel = self._resolve_kernel()
         if count:
             kernel.advance_all(self._columns, batch)
-            partial = [seen for seen in self._seen.values() if seen is not None]
-            if partial:
-                batch_objects = dict.fromkeys(batch.id_list)
-                for seen in partial:
-                    seen.update(batch_objects)
-            self._universe = max(self._universe, batch.max_id + 1)
+            self._note_seen(batch)
         self.events_seen += count
         return count
+
+    def _record_traces(self, batch: EncodedBatch) -> None:
+        """Append a batch's events to the per-object traces, capped at
+        ``trace_limit`` events per object (the replayable prefix)."""
+        traces = self._traces
+        missing = len(self._interner) - len(traces)
+        if missing > 0:
+            traces.extend([] for _ in range(missing))
+        limit = self._trace_limit
+        if limit is None:
+            for o, c in zip(batch.id_list, batch.code_list):
+                traces[o].append(c)
+        else:
+            for o, c in zip(batch.id_list, batch.code_list):
+                trace = traces[o]
+                if len(trace) < limit:
+                    trace.append(c)
+
+    def _note_seen(self, batch: EncodedBatch) -> None:
+        """Fold a just-applied batch's objects into the seen/universe sets."""
+        partial = [seen for seen in self._seen.values() if seen is not None]
+        if partial:
+            batch_objects = dict.fromkeys(batch.id_list)
+            for seen in partial:
+                seen.update(batch_objects)
+        self._universe = max(self._universe, batch.max_id + 1)
+
+    def _feed_enforced(self, batch: EncodedBatch, policy: str, pre_commit=None):
+        """The transactional gate behind ``feed_events(..., enforce=True)``.
+
+        Screen-and-advance runs on *copies* of the cursor columns; nothing
+        -- columns, traces, seen sets, ``events_seen``, the WAL hook -- is
+        touched until the batch's verdict is in, so a ``reject_batch``
+        refusal leaves the session exactly as it was.  ``pre_commit`` (the
+        durable stream's journal append) runs with the admitted sub-batch
+        after screening but before the state commit: the WAL orders strictly
+        ahead of the state it covers and holds **admitted events only**.
+        """
+        if policy not in ("reject_event", "reject_batch"):
+            raise ValueError(
+                "enforcement policy must be 'reject_event' or 'reject_batch', "
+                f"not {policy!r}"
+            )
+        count = len(batch)
+        obs = self._engine._obs
+        if obs is not None:
+            obs.batches_total.inc()
+            obs.events_total.inc(count)
+        if not self._names:
+            # Nothing to enforce against: the gate admits everything.
+            if pre_commit is not None:
+                pre_commit(batch)
+            if self._traces is not None and count:
+                self._record_traces(batch)
+            self.events_seen += count
+            return EnforcementReport(count, (), policy)
+        kernel = self._resolve_kernel()
+        if not count:
+            if pre_commit is not None:
+                pre_commit(batch)
+            return EnforcementReport(0, (), policy)
+        copies, raw = kernel.advance_all_enforced(self._columns, batch)
+        if raw:
+            raw.sort()  # kernel emits plan order; positions are unique
+            if obs is not None:
+                obs.enforce_rejections.inc(len(raw))
+            if policy == "reject_batch":
+                records = self._rejection_records(kernel, batch, raw[:1])
+                raise EnforcementError(records[0], policy)
+            if self._traces is None:
+                # Nothing mutable feeds the records (no trace prefixes), so
+                # defer building them until someone reads report.rejected.
+                make = self._make_rejected
+
+                def records():
+                    return [make(kernel, p, o, c, states, None) for p, o, c, states in raw]
+
+            else:
+                # Trace prefixes must be captured before the commit below
+                # appends this batch's admitted events to them.
+                records = self._rejection_records(kernel, batch, raw)
+            if pre_commit is None and self._traces is None:
+                # Nothing consumes the admitted sub-batch (no WAL to append,
+                # no traces to extend), so skip assembling it: commit the
+                # screened columns and fold the *observed* batch into the
+                # seen/universe bookkeeping (its max id is already cached by
+                # the kernel).  Objects whose every event was refused are
+                # tracked at their initial state -- they were observed, and
+                # the interner holds them either way.
+                self._columns = copies
+                n_admitted = count - len(raw)
+                self._note_seen(batch)
+                self.events_seen += n_admitted
+                return EnforcementReport(n_admitted, records, policy, rejections=len(raw))
+            # Assemble the admitted sub-batch from the runs between rejected
+            # positions (raw is position-sorted): slice-extends keep this
+            # O(#rejections) list operations, not O(#events) Python steps.
+            id_list, code_list = batch.id_list, batch.code_list
+            admitted_ids, admitted_codes = [], []
+            previous = 0
+            for r in raw:
+                p = r[0]
+                admitted_ids.extend(id_list[previous:p])
+                admitted_codes.extend(code_list[previous:p])
+                previous = p + 1
+            admitted_ids.extend(id_list[previous:])
+            admitted_codes.extend(code_list[previous:])
+            admitted = EncodedBatch(
+                admitted_ids,
+                admitted_codes,
+                self._interner,
+                batch.alphabet,
+                max_code=batch.max_code,
+            )
+        else:
+            records = []
+            admitted = batch
+        if pre_commit is not None:
+            pre_commit(admitted)
+        self._columns = copies
+        n_admitted = len(admitted.id_list)
+        if n_admitted:
+            if self._traces is not None:
+                self._record_traces(admitted)
+            self._note_seen(admitted)
+        self.events_seen += n_admitted
+        return EnforcementReport(n_admitted, records, policy, rejections=len(raw))
+
+    def _rejection_records(self, kernel, batch: EncodedBatch, raw) -> List[RejectedEvent]:
+        """Build :class:`RejectedEvent` records for screened-out events.
+
+        On recording sessions each record captures the encoded prefix the
+        refused event would have extended -- the stored pre-batch trace plus
+        the object's *admitted* in-batch events before the rejection -- so
+        its (lazy) ``violation`` replays exactly the history the gate
+        refused to create.  Non-recording sessions cannot reconstruct
+        pre-batch history; their records answer ``violation = None``.
+        """
+        records: List[RejectedEvent] = []
+        if self._traces is None:
+            for p, o, c, states in raw:
+                records.append(self._make_rejected(kernel, p, o, c, states, None))
+            return records
+        traces = self._traces
+        rejected_at = {r[0]: r for r in raw}
+        inbatch: Dict[int, List[int]] = {}
+        remaining = len(rejected_at)
+        for p, (o, c) in enumerate(zip(batch.id_list, batch.code_list)):
+            r = rejected_at.get(p)
+            if r is None:
+                inbatch.setdefault(o, []).append(c)
+                continue
+            base = traces[o] if o < len(traces) else ()
+            codes = tuple(base) + tuple(inbatch.get(o, ())) + (c,)
+            records.append(self._make_rejected(kernel, *r, codes))
+            remaining -= 1
+            if not remaining:
+                break
+        return records
+
+    def _make_rejected(self, kernel, p, o, c, states, codes) -> RejectedEvent:
+        engine = self._engine
+        object_id = self._interner.object(o)
+        sym = engine.alphabet.symbol(c)
+        if codes is None:
+            factory = None
+        else:
+            names = self._names
+            marks = self._trace_marks
+
+            def factory():
+                blocked = kernel.blocking_specs(states, c)
+                spec_name = blocked[0] if blocked else names[0]
+                mark = marks.get(spec_name)
+                start = mark[o] if mark is not None and o < len(mark) else 0
+                symbol = engine.alphabet.symbol
+                history = tuple(symbol(code) for code in codes[start:])
+                return engine.explain(spec_name, history, object_id=object_id)
+
+        return RejectedEvent(p, object_id, sym, factory, kernel, states, c)
+
+    def admissible(
+        self, object_id: ObjectId, symbol: Symbol, name: Optional[str] = None
+    ) -> bool:
+        """Whether feeding ``(object_id, symbol)`` now would be admitted.
+
+        O(1) -- one symbol encode plus one successor/``alive`` flag read per
+        kernel group, no replay: exactly the screen ``enforce=True`` applies
+        per event.  ``name`` restricts the question to one spec of the
+        session; by default the event must keep *every* spec non-doomed.
+        Unknown objects are judged from the initial state; symbols the
+        engine has never encoded are never admissible.
+        """
+        if name is not None and name not in self._names:
+            raise KeyError(f"spec {name!r} is not checked by this stream; have {self._names}")
+        kernel = self._resolve_kernel()
+        code = self._engine.alphabet.encode(symbol)
+        dense = self._interner.code_of(object_id)
+        return kernel.admissible_code(self._columns, dense, code, only=name)
+
+    def doomed(self, name: str, object_id: ObjectId) -> bool:
+        """Whether one object can no longer satisfy one spec (no continuation
+        of its history is accepted) -- the state the ``enforce=True`` gate
+        refuses to enter."""
+        if name not in self._names:
+            raise KeyError(f"spec {name!r} is not checked by this stream; have {self._names}")
+        kernel = self._resolve_kernel()
+        group_index, j = kernel.locate[name]
+        dense = self._interner.code_of(object_id)
+        state = kernel.state_of(self._columns, group_index, dense)
+        return bool(kernel.groups[group_index].spec_doomed[j][state])
 
     def _seen_codes(self, name: str) -> Iterable[int]:
         """The dense ids tracked for one spec (``range`` when never reset)."""
@@ -926,4 +1444,9 @@ class StreamChecker:
         return dump_stream(self)
 
 
-__all__ = ["HistoryCheckerEngine", "StreamChecker"]
+__all__ = [
+    "HistoryCheckerEngine",
+    "RevalidationReport",
+    "SpecLintFinding",
+    "StreamChecker",
+]

@@ -253,7 +253,7 @@ class DurableStream:
         """Durably consume a single event."""
         self.feed_events(((object_id, symbol),))
 
-    def feed_events(self, events) -> int:
+    def feed_events(self, events, enforce: bool = False, policy: str = "reject_event") -> int:
         """Append a batch to the journal, then apply it to the session.
 
         Accepts the same shapes as :meth:`StreamChecker.feed_events` (raw
@@ -261,6 +261,15 @@ class DurableStream:
         :class:`repro.engine.batch.EncodedBatch`).  Returns the event
         count.  Crossing ``checkpoint_every`` appended events triggers an
         automatic :meth:`checkpoint`.
+
+        ``enforce=True`` runs the transactional admissibility gate *before*
+        anything touches the journal: the batch is screened first, the WAL
+        appends **only the admitted events**, and the session state commits
+        after the append -- so replaying the journal reproduces the
+        enforced session exactly, and a ``reject_batch``
+        :class:`repro.engine.diagnostics.EnforcementError` leaves both the
+        WAL and the session untouched.  The return value is the enforced
+        feed's :class:`repro.engine.diagnostics.EnforcementReport`.
         """
         stream = self.stream
         engine = stream._engine
@@ -269,10 +278,19 @@ class DurableStream:
             batch = events
         else:
             batch = EncodedBatch.from_events(events, engine.alphabet, stream._interner)
-        if len(batch):
-            self._append_batch(batch)
-        count = stream.feed_events(batch)
-        self._events_since_checkpoint += count
+        if enforce:
+            count = stream._feed_enforced(
+                batch,
+                policy,
+                pre_commit=lambda admitted: (
+                    self._append_batch(admitted) if len(admitted) else None
+                ),
+            )
+        else:
+            if len(batch):
+                self._append_batch(batch)
+            count = stream.feed_events(batch)
+        self._events_since_checkpoint += int(count)
         if (
             self.checkpoint_every is not None
             and self._events_since_checkpoint >= self.checkpoint_every

@@ -48,8 +48,23 @@ Restore validates, never trusts:
   states still mean the same thing -- compilation is deterministic, so this
   holds across processes and engine instances.  A mismatch (the spec was
   re-registered with a different automaton since the snapshot) resets that
-  spec to its initial state, mirroring live re-registration semantics; the
-  reset names are reported on ``StreamChecker.reset_on_restore``.
+  spec to its initial state; the reset names are reported on
+  ``StreamChecker.reset_on_restore``.
+
+**The generation-vs-fingerprint contract.**  Live sessions and restore
+answer to *different* authorities, deliberately.  A live session resets a
+spec's cursors whenever its registration **generation** bumps -- even for a
+byte-identical re-registration -- because re-registration is an operator
+action whose stated semantics are "start this constraint over".  Restore
+instead trusts the **fingerprint** alone: a snapshot is a *state transfer*,
+and the only question that matters is whether the snapshot's integer states
+are still interpretable -- which the fingerprint decides exactly.  So
+restoring a snapshot taken before a *same-text* re-registration keeps the
+cursor state (fingerprints match; the generation divergence is erased by
+adopting the engine's current generations) and ``reset_on_restore`` stays
+``()``; a *changed-text* re-registration resets, exactly as live.  The
+restored stream never resets retroactively for generation bumps that
+happened between dump and restore.
 
 States are translated, not copied: the restoring engine's fused kernel may
 group specs differently (different shared-alphabet width, different
@@ -154,6 +169,7 @@ def dump_stream(stream) -> bytes:
             "marks": {
                 name: _pack_column(marks) for name, marks in stream._trace_marks.items()
             },
+            "limit": stream._trace_limit,
         }
     body = {
         "names": stream._names,
@@ -229,8 +245,12 @@ def load_stream(engine, blob: bytes):
     Raises :class:`SnapshotError` for malformed blobs and ``KeyError`` when
     the snapshot references a spec the engine does not know.  Specs whose
     current compilation no longer matches the snapshot's fingerprint are
-    restarted from their initial state (like live re-registration) and
-    listed on the returned stream's ``reset_on_restore``.
+    restarted from their initial state and listed on the returned stream's
+    ``reset_on_restore``.  The fingerprint is the *only* reset authority
+    here: re-registrations since the snapshot that recompile to the same
+    table (same-text) keep the snapshot's state, and the restored session
+    adopts the engine's current generations so it does not reset again on
+    its next touch (see the module docstring for the contract).
     """
     body = _parse(blob)
     try:
@@ -333,6 +353,7 @@ def _rebuild(engine, body: Dict, names: Tuple[str, ...]):
             # The reset spec's cursors restarted at restore time: diagnostics
             # must not re-judge events the verdict machinery has forgotten.
             stream._trace_marks[name] = [len(trace) for trace in rebuilt]
+        stream._trace_limit = traces.get("limit")
     stream.reset_on_restore = resets
     return stream
 

@@ -159,6 +159,25 @@ class FaultPolicy:
         )
 
 
+def zeroed_stats() -> Dict[str, object]:
+    """The all-zero :meth:`SupervisedExecutor.stats` shape.
+
+    ``engine.stats()`` emits this when no supervised executor is attached,
+    so dashboards keyed on ``fault_tolerance`` fields never ``KeyError``
+    against an unsupervised engine.
+    """
+    return {
+        "retries": 0,
+        "timeouts": 0,
+        "respawns": 0,
+        "quarantined": 0,
+        "degraded": 0,
+        "shard_failures": 0,
+        "degraded_now": False,
+        "policy": None,
+    }
+
+
 class SupervisedExecutor(_ObservableBackend):
     """A shard executor that survives worker death, hangs and pool loss.
 
@@ -168,7 +187,10 @@ class SupervisedExecutor(_ObservableBackend):
     (a fresh :class:`ProcessPoolBackend` by default).  An inner backend
     without ``submit`` (e.g. :class:`repro.engine.executor.SerialExecutor`)
     is supervised in-process: per-task retry with the same backoff policy,
-    no deadlines.
+    no deadlines.  Results always come back in **task order** regardless of
+    retries, respawns or degraded serial fallback -- the enforcement
+    screens of ``engine.screen_histories`` rely on that deterministic
+    merge.
     """
 
     def __init__(self, inner=None, policy: Optional[FaultPolicy] = None) -> None:
@@ -194,7 +216,12 @@ class SupervisedExecutor(_ObservableBackend):
         return monotonic() < self._degraded_until
 
     def stats(self) -> Dict[str, object]:
-        """Supervision counters plus the current degradation state."""
+        """Supervision counters plus the current degradation state.
+
+        Same keys as :func:`zeroed_stats` (plus the live values), so
+        ``engine.stats()["fault_tolerance"]`` has one shape whether or not
+        a supervisor is attached.
+        """
         data: Dict[str, object] = dict(self._counts)
         data["degraded_now"] = self.degraded
         data["policy"] = repr(self.policy)
@@ -342,4 +369,4 @@ class SupervisedExecutor(_ObservableBackend):
         return results
 
 
-__all__ = ["FaultPolicy", "SupervisedExecutor", "ShardFailure"]
+__all__ = ["FaultPolicy", "SupervisedExecutor", "ShardFailure", "zeroed_stats"]

@@ -227,12 +227,17 @@ class _GroupTable:
     :meth:`VectorKernel.grow_columns` propagates to the columns.
     """
 
-    __slots__ = ("n_states", "table", "accepting", "sink_index", "scalar_rows")
+    __slots__ = ("n_states", "table", "accepting", "alive", "doomed", "sink_index", "scalar_rows")
 
     def __init__(self) -> None:
         self.n_states = -1
         self.table = None
         self.accepting: List = []
+        #: Per product state, 1 iff no spec component is doomed -- the
+        #: vectorized admissibility vector of the enforcement gate.
+        self.alive = None
+        #: Per spec, the per-state doomed flags (drives ``fatal_histories``).
+        self.doomed: List = []
         self.sink_index = -1
         #: ``table.tolist()`` built on first use by the skew fallback.
         self.scalar_rows: Optional[List[List[int]]] = None
@@ -249,6 +254,8 @@ class _GroupTable:
         self.table = table.astype(_dtype_for(n))
         # bytes() copies: the group bytearrays keep growing in place.
         self.accepting = [np.frombuffer(bytes(acc), dtype=np.uint8) for acc in group.accepting]
+        self.alive = np.frombuffer(bytes(group.alive), dtype=np.uint8)
+        self.doomed = [np.frombuffer(bytes(col), dtype=np.uint8) for col in group.spec_doomed]
         self.sink_index = group.sink[-1] if group.sink is not None else -1
         self.n_states = n
         self.scalar_rows = None
@@ -352,7 +359,7 @@ class VectorKernel(FusedKernel):
         for gi in active:
             table = self._tables[gi].table
             column = columns[gi]
-            for vectorized, objects, symbol_codes in plan:
+            for vectorized, objects, symbol_codes, _positions in plan:
                 if vectorized:
                     column[objects] = table[column[objects], symbol_codes]
                 else:
@@ -391,6 +398,153 @@ class VectorKernel(FusedKernel):
         if 0 <= dense < len(column):
             return int(column[dense])
         return self.groups[group_index].root[-1]
+
+    # ------------------------------------------------------------------ #
+    # Preventive enforcement
+    # ------------------------------------------------------------------ #
+    def _successor_index(self, group_index: int, state: int, code: int) -> int:
+        return int(self._table(group_index).table[state, code])
+
+    def component_states(self, columns: List, name: str) -> List[int]:
+        group_index, j = self.locate[name]
+        group = self.groups[group_index]
+        decode = np.fromiter(
+            (signature[j] for signature in group.decode),
+            dtype=np.int64,
+            count=len(group.decode),
+        )
+        return decode[columns[group_index]].tolist()
+
+    def advance_all_enforced(
+        self, columns: List, batch: EncodedBatch
+    ) -> Tuple[List, List[Tuple]]:
+        """The vectorized transactional screen-and-advance.
+
+        Same contract as :meth:`FusedKernel.advance_all_enforced` (copies,
+        skip-and-continue semantics, ``(position, dense, code, states)``
+        rejection records), fused into the peel plan: each round gathers the
+        successors once, masks them through the group ``alive`` vectors,
+        scatters them all and restores the refused few -- the all-admitted
+        common case costs one extra 1-D flag gather per group over the
+        plain feed, and a round with rejections costs O(#rejections) on
+        top, never a second full scatter.
+        """
+        n_groups = len(self.groups)
+        tabs = []
+        copies: List = []
+        for gi in range(n_groups):
+            tab = self._table(gi)
+            column = columns[gi]
+            if column.dtype != tab.table.dtype:
+                column = column.astype(tab.table.dtype)
+            else:
+                column = column.copy()
+            tabs.append(tab)
+            copies.append(column)
+        rejections: List[Tuple] = []
+        if not batch.id_list:
+            return copies, rejections
+        ids = _id_array(batch)
+        if batch._max_id is None:
+            batch._max_id = int(ids.max())
+        plan = _batch_plan(batch, ids, batch.max_id)
+        group_range = range(n_groups)
+        for vectorized, objects, symbol_codes, positions in plan:
+            if vectorized:
+                successors = []
+                ok = None
+                for gi in group_range:
+                    successor = tabs[gi].table[copies[gi][objects], symbol_codes]
+                    successors.append(successor)
+                    good = tabs[gi].alive[successor] != 0
+                    ok = good if ok is None else ok & good
+                if ok is None or bool(ok.all()):
+                    for gi in group_range:
+                        copies[gi][objects] = successors[gi]
+                    continue
+                # Scatter-all then restore the (few) refused objects: one
+                # contiguous fancy scatter per group plus O(#rejections)
+                # fixup beats two boolean-masked scatters per round.
+                bad = np.flatnonzero(~ok)
+                bad_objects = objects[bad]
+                # Objects are distinct within one peel round, so the copies
+                # still hold the pre-event states before the scatter.
+                pre_states = [copies[gi][bad_objects] for gi in group_range]
+                for gi in group_range:
+                    copies[gi][objects] = successors[gi]
+                    copies[gi][bad_objects] = pre_states[gi]
+                rejections.extend(
+                    zip(
+                        positions[bad].tolist(),
+                        bad_objects.tolist(),
+                        symbol_codes[bad].tolist(),
+                        zip(*(pre.tolist() for pre in pre_states)),
+                    )
+                )
+            else:
+                # Skew fallback tail: events may repeat objects, so screen
+                # one event at a time across all groups.
+                rows = []
+                alive = []
+                for gi in group_range:
+                    tab = tabs[gi]
+                    if tab.scalar_rows is None:
+                        tab.scalar_rows = tab.table.tolist()
+                    rows.append(tab.scalar_rows)
+                    alive.append(self.groups[gi].alive)
+                for p, o, c in zip(
+                    positions.tolist(), objects.tolist(), symbol_codes.tolist()
+                ):
+                    current = [int(copies[gi][o]) for gi in group_range]
+                    successor = [rows[gi][current[gi]][c] for gi in group_range]
+                    if all(alive[gi][successor[gi]] for gi in group_range):
+                        for gi in group_range:
+                            copies[gi][o] = successor[gi]
+                    else:
+                        rejections.append((p, o, c, tuple(current)))
+        return copies, rejections
+
+    def fatal_histories(self, code_list, lengths) -> Dict[str, List[Optional[int]]]:
+        codes = np.asarray(code_list, dtype=np.int64)
+        lens = np.asarray(lengths, dtype=np.int64)
+        n = len(lens)
+        if n == 0:
+            return {name: [] for name in self.names}
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        order = np.argsort(-lens, kind="stable")
+        starts = offsets[:-1][order]
+        max_length = int(lens[order[0]]) if n else 0
+        counts = np.bincount(lens, minlength=max_length + 1)
+        active = n - np.cumsum(counts)  # active[r] = #histories longer than r
+        results: Dict[str, List[Optional[int]]] = {}
+        for gi, group in enumerate(self.groups):
+            tab = self._table(gi)
+            table = tab.table
+            root = group.root[-1]
+            n_specs = len(group.specs)
+            states = np.full(n, root, dtype=table.dtype)
+            # -2 = still salvageable; -1 = empty language; r = fatal index.
+            fatal = np.full((n, n_specs), -2, dtype=np.int64)
+            for j in range(n_specs):
+                if tab.doomed[j][root]:
+                    fatal[:, j] = -1
+            for r in range(max_length):
+                a = int(active[r])
+                if a == 0:  # pragma: no cover - max_length bounds the loop
+                    break
+                states[:a] = table[states[:a], codes[starts[:a] + r]]
+                for j in range(n_specs):
+                    newly = (fatal[:a, j] == -2) & (tab.doomed[j][states[:a]] != 0)
+                    if newly.any():
+                        fatal[: a, j][newly] = r
+            unsorted = np.empty_like(fatal)
+            unsorted[order] = fatal
+            for j, name in enumerate(group.names):
+                results[name] = [
+                    None if value == -2 else value for value in unsorted[:, j].tolist()
+                ]
+        return results
 
     def index_columns(self, columns: List) -> List[List[int]]:
         return [column.tolist() for column in columns]
@@ -471,7 +625,7 @@ class VectorKernel(FusedKernel):
 
 
 def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
-    """The batch's peel plan: ``(vectorized, objects, codes)`` entries.
+    """The batch's peel plan: ``(vectorized, objects, codes, positions)`` entries.
 
     Each vectorized entry holds the first pending occurrence of every object
     still carrying events within one :data:`PEEL_CHUNK` chunk -- applying
@@ -480,7 +634,9 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
     pathologically skewed chunk (one object owning more than
     :data:`PEEL_DEPTH_LIMIT` events) for the scalar fallback; its events
     sort after every peeled entry for their objects, so order is preserved
-    there too.
+    there too.  ``positions`` holds each entry's absolute batch positions
+    (``intp``), which the enforcement gate reports rejections by; the plain
+    feed never touches them.
 
     The plan depends only on the batch's immutable id/code columns, so it is
     cached on the batch -- together with its observability aggregates
@@ -503,13 +659,13 @@ def _batch_plan(batch: EncodedBatch, ids, max_id: int) -> List[Tuple]:
         depth = 0
         while idx.size:
             if depth >= PEEL_DEPTH_LIMIT:
-                plan.append((False, cur_ids, cur_codes))
+                plan.append((False, cur_ids, cur_codes, start + idx))
                 scalar_events += len(cur_ids)
                 break
             pos[cur_ids[::-1]] = idx[::-1]  # last write wins = first occurrence
             first = pos[cur_ids] == idx
             objects = cur_ids[first]
-            plan.append((True, objects, cur_codes[first]))
+            plan.append((True, objects, cur_codes[first], start + idx[first]))
             rounds += 1
             if objects.size == idx.size:
                 break

@@ -94,8 +94,7 @@ class EngineInstruments:
         )
         self.enforce_rejections = counter(
             "repro_engine_enforce_rejections_total",
-            "Events refused at the gate (reserved for the preventive-enforcement "
-            "ROADMAP item; stays 0 until it lands)",
+            "Events refused by the feed_events(enforce=True) admissibility gate",
         )
         self.streams_opened = counter(
             "repro_engine_streams_opened_total", "Streaming sessions opened or restored"

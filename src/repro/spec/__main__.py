@@ -5,7 +5,7 @@ Subcommands::
     python -m repro.spec workloads
         List the bundled workload schemas constraints can be checked against.
 
-    python -m repro.spec check FILE --workload NAME [--verify] [--explain] [--kind KIND]
+    python -m repro.spec check FILE --workload NAME [--verify] [--explain] [--lint] [--kind KIND]
         Parse, analyze and compile FILE against the workload's database
         schema; with --verify additionally decide satisfaction/generation of
         every constraint by the workload's transaction schema
@@ -13,7 +13,10 @@ Subcommands::
         (implies --verify) prints a full violation diagnosis -- fatal event,
         minimal counterexample, per-clause source spans -- for every
         constraint the workload's transactions violate
-        (:mod:`repro.engine.diagnostics`).
+        (:mod:`repro.engine.diagnostics`).  --lint runs the implication
+        checks of ``engine.lint_specs`` over the file's constraint set and
+        reports unsatisfiable, equivalent, redundant or contradictory
+        constraints before any event flows against them.
 
 Malformed files produce a single-span caret diagnostic on stderr and exit
 status 1 -- never a traceback.
@@ -75,6 +78,18 @@ def _cmd_check(args, out, err) -> int:
         print(f"{args.file}: no constraints defined", file=err)
         return 1
     print(f"{args.file}: {len(compiled)} constraint(s) against workload '{args.workload}'", file=out)
+    if getattr(args, "lint", False):
+        from repro.engine import HistoryCheckerEngine
+
+        lint_engine = HistoryCheckerEngine()
+        for name, constraint in compiled.items():
+            lint_engine.add_spec(name, constraint)
+        findings = lint_engine.lint_specs()
+        if findings:
+            for finding in findings:
+                print(f"  lint: {finding.render()}", file=out)
+        else:
+            print("  lint: no redundant or contradictory constraints", file=out)
     explain = getattr(args, "explain", False)
     transactions = module.transactions() if (args.verify or explain) else None
     engine = None
@@ -127,6 +142,13 @@ def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
         action="store_true",
         help="print a violation diagnosis (fatal event, minimal counterexample, "
         "clause source spans) for every violated constraint; implies --verify",
+    )
+    check.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the registration-time implication checks over the file's "
+        "constraint set and report unsatisfiable, equivalent, redundant or "
+        "contradictory constraints (engine.lint_specs)",
     )
     from repro.core.sl_analysis import PATTERN_KINDS
 

@@ -27,7 +27,13 @@ streams (spec walks, uniform noise, alien symbols) and asserts
   subset of cases);
 * process-pool executor agreement with the serial path, including the
   worker-side kernel cache, alternating kernel kinds so both the zlib and
-  the raw buffer-protocol shard payloads cross the pickle boundary.
+  the raw buffer-protocol shard payloads cross the pickle boundary;
+* the ``enforce=True`` admissibility gate (both kernel kinds) against an
+  independent DFA-walk oracle with its own backward-reachability doomed
+  set: the gate's rejected event indices must equal the oracle's fatal
+  indices exactly, an enforced stream must never hold a doomed object, and
+  ``reject_batch`` must raise on the oracle's *first* fatal index leaving
+  the session untouched.
 
 The fused paths are pinned with ``kernel="fused"`` so they stay exercised
 even though ``kernel="auto"`` now prefers the vector kernel.  A failure
@@ -42,7 +48,13 @@ import random
 import pytest
 
 from repro.core.rolesets import RoleSet, enumerate_role_sets
-from repro.engine import HAVE_NUMPY, HistoryCheckerEngine, HistoryCursor, ProcessPoolBackend
+from repro.engine import (
+    HAVE_NUMPY,
+    EnforcementError,
+    HistoryCheckerEngine,
+    HistoryCursor,
+    ProcessPoolBackend,
+)
 from repro.workloads import generators
 
 BASE_SEED = 0x5EED
@@ -94,6 +106,94 @@ def _oracle(specs, histories):
 def _register_all(engine, specs):
     for name, nfa in specs.items():
         engine.add_spec(name, nfa)
+
+
+_DEAD = object()
+
+
+def _enforcement_oracle(specs, events):
+    """Ground truth for the ``enforce=True`` gate, independent of the engine.
+
+    Walks the event stream with one DFA per spec, using a doomed set computed
+    here by backward reachability over ``dfa.transitions`` (not the compiled
+    tables' ``doomed`` vectors).  An event is fatal iff *any* spec's successor
+    state cannot reach acceptance -- symbols outside a DFA's alphabet count as
+    doomed successors.  Fatal events do not advance state (the gate's
+    skip-and-continue semantics).  Returns the sorted fatal indices.
+    """
+    machines = {}
+    for name, nfa in specs.items():
+        dfa = nfa.determinize()
+        incoming = {}
+        for (state, symbol), target in dfa.transitions.items():
+            incoming.setdefault(target, []).append(state)
+        salvageable = set(dfa.accepting_states)
+        frontier = list(salvageable)
+        while frontier:
+            state = frontier.pop()
+            for previous in incoming.get(state, ()):
+                if previous not in salvageable:
+                    salvageable.add(previous)
+                    frontier.append(previous)
+        machines[name] = (dfa, salvageable)
+    states = {}
+    fatal = []
+    for index, (object_id, symbol) in enumerate(events):
+        current = states.setdefault(
+            object_id, {name: dfa.initial_state for name, (dfa, _) in machines.items()}
+        )
+        successors = {}
+        for name, (dfa, salvageable) in machines.items():
+            if symbol not in dfa.alphabet:
+                successors[name] = _DEAD
+                continue
+            nxt = dfa.delta(current[name], symbol)
+            successors[name] = nxt if nxt in salvageable else _DEAD
+        if _DEAD in successors.values():
+            fatal.append(index)
+        else:
+            current.update(successors)
+    return fatal
+
+
+def _check_enforcement(kind, specs, events, oracle_fatal, tag):
+    """The enforce=True gate under ``kind`` agrees with the DFA-walk oracle."""
+    engine = HistoryCheckerEngine(kernel=kind)
+    _register_all(engine, specs)
+    # Specs with an empty language doom every object from its very first
+    # event; the gate rejects everything, but untouched objects legitimately
+    # sit in the (doomed) initial state, so exempt them from the never-doomed
+    # scan below.
+    nonempty = [
+        name for name in specs if not engine.compiled(name).is_doomed(engine.compiled(name).initial)
+    ]
+
+    stream = engine.open_stream(record=True)
+    rejected = []
+    chunk = max(1, len(events) // 3)
+    for start in range(0, len(events), chunk):
+        piece = events[start : start + chunk]
+        report = stream.feed_events(piece, enforce=True)
+        assert int(report) + len(report.rejected) == len(piece), (tag, kind)
+        rejected.extend(start + record.index for record in report.rejected)
+    assert rejected == oracle_fatal, (tag, kind, "gate vs oracle fatal indices")
+    assert stream.events_seen == len(events) - len(oracle_fatal), (tag, kind)
+    # An enforced stream never reports a doomed verdict.
+    for name in nonempty:
+        for object_id in stream.objects(name):
+            assert not stream.doomed(name, object_id), (tag, kind, name, object_id)
+
+    # reject_batch is all-or-nothing: it raises on the oracle's *first* fatal
+    # index and leaves the session untouched.
+    batch_stream = engine.open_stream(record=True)
+    if oracle_fatal:
+        with pytest.raises(EnforcementError) as caught:
+            batch_stream.feed_events(events, enforce=True, policy="reject_batch")
+        assert caught.value.index == oracle_fatal[0], (tag, kind)
+        assert batch_stream.events_seen == 0, (tag, kind)
+    else:
+        report = batch_stream.feed_events(events, enforce=True, policy="reject_batch")
+        assert int(report) == len(events) and not report.rejected, (tag, kind)
 
 
 def _check_one_case(case_seed, fresh_restore):
@@ -191,6 +291,12 @@ def _check_one_case(case_seed, fresh_restore):
                 verdicts = vec_stream.verdicts(name)
                 streamed = [verdicts[index] for index in range(len(histories))]
                 assert streamed == expected[name], (tag, name, "vector re-registration")
+
+    # Path 7: the enforce=True admissibility gate against an independent
+    # DFA-walk oracle, under both kernel kinds.
+    oracle_fatal = _enforcement_oracle(specs, events)
+    for kind in ("fused", "vector") if HAVE_NUMPY else ("fused",):
+        _check_enforcement(kind, specs, events, oracle_fatal, tag)
 
 
 def test_differential_fuzz_all_paths_agree(fuzz_rounds):
